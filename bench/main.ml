@@ -1,0 +1,256 @@
+(* Benchmark harness: one Bechamel test per reproduction experiment
+   (DESIGN.md §4 / EXPERIMENTS.md). The paper reports no performance
+   tables, so these benches measure the cost of each mechanized
+   claim-check — workload generation is done up front, the timed kernel is
+   the exploration/checking work.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Gem
+
+let strategy = Strategy.Linearizations (Some 200)
+
+(* ------------------------------------------------------------------ *)
+(* Pre-built workloads                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tick_etype = Etype.make "Tick" ~events:[ { Etype.klass = "Tick"; schema = [] } ] ()
+
+let random_computation n =
+  let rng = Random.State.make [| 7; n |] in
+  let b = Build.create () in
+  let handles =
+    Array.init n (fun _ ->
+        Build.emit b ~element:(Printf.sprintf "X%d" (Random.State.int rng 4)) ~klass:"Tick" ())
+  in
+  for j = 1 to n - 1 do
+    if Random.State.int rng 3 = 0 then
+      Build.enable b handles.(Random.State.int rng j) handles.(j)
+  done;
+  for i = 0 to 3 do
+    Build.declare_element b (Printf.sprintf "X%d" i)
+  done;
+  Build.finish b
+
+let legality_spec =
+  Spec.make "random" ~elements:(List.init 4 (fun i -> (Printf.sprintf "X%d" i, tick_etype))) ()
+
+let rand10 = random_computation 10
+let rand50 = random_computation 50
+let rand100 = random_computation 100
+
+let diamond =
+  let b = Build.create () in
+  let e1 = Build.emit b ~element:"E1" ~klass:"A" () in
+  let e2 = Build.emit_enabled_by b ~by:e1 ~element:"E2" ~klass:"B" () in
+  let e3 = Build.emit_enabled_by b ~by:e1 ~element:"E3" ~klass:"C" () in
+  let e4 = Build.emit_enabled_by b ~by:e2 ~element:"E4" ~klass:"D" () in
+  Build.enable b e3 e4;
+  Build.finish b
+
+let chains k =
+  let b = Build.create () in
+  for i = 0 to k - 1 do
+    let a = Build.emit b ~element:(Printf.sprintf "C%d" i) ~klass:"Tick" () in
+    ignore (Build.emit_enabled_by b ~by:a ~element:(Printf.sprintf "C%d" i) ~klass:"Tick" ())
+  done;
+  Build.finish b
+
+let chains4 = chains 4
+
+let rw_program readers writers =
+  Readers_writers.program ~monitor:Readers_writers.paper_monitor ~readers ~writers
+
+let rw11 = rw_program 1 1
+let rw21 = rw_program 2 1
+let rw11_comps = (Monitor.explore rw11).Monitor.computations
+let rw11_spec = Monitor.language_spec rw11
+
+let rw11_problem v =
+  Readers_writers.spec v ~users:(Readers_writers.user_names ~readers:1 ~writers:1)
+
+let buffer_monitor_program =
+  Buffer_problem.monitor_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2
+
+let buffer_csp_program =
+  Buffer_problem.csp_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2
+
+let buffer_ada_program =
+  Buffer_problem.ada_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2
+
+let bounded2_program =
+  Buffer_problem.monitor_solution ~capacity:2 ~producers:2 ~consumers:1 ~items_each:1
+
+let rw_one_comp = Monitor.run_one ~seed:5 rw11
+let blinker = [ (1, 0); (1, 1); (1, 2) ]
+
+let rwd_csp = Rw_distributed.csp_program ~readers:1 ~writers:1
+let rwd_ada = Rw_distributed.ada_program ~readers:1 ~writers:1
+
+let rwd_problem =
+  let rnames, wnames = Rw_distributed.user_names ~readers:1 ~writers:1 in
+  Rw_distributed.spec ~readers:rnames ~writers:wnames
+let finish_write = Formula.(eventually (exists [ ("x", Cls "FinishWrite") ] (occurred "x")))
+
+let priority_text =
+  Formula.to_string
+    (Gem.Abbrev.priority ~thread:"piRW"
+       ~req_hi:(Formula.Cls_at ("control", "ReqRead"))
+       ~start_hi:(Formula.Cls_at ("control", "StartRead"))
+       ~req_lo:(Formula.Cls_at ("control", "ReqWrite"))
+       ~start_lo:(Formula.Cls_at ("control", "StartWrite")))
+
+let life_poset =
+  Computation.temporal_exn (Life.build ~width:4 ~height:4 ~generations:2 ~alive:blinker)
+
+(* ------------------------------------------------------------------ *)
+(* One test per experiment                                             *)
+(* ------------------------------------------------------------------ *)
+
+let t name f = Test.make ~name (Staged.stage f)
+
+let tests =
+  [
+    (* E1 *)
+    t "legality/random-10" (fun () -> ignore (Legality.check legality_spec rand10));
+    t "legality/random-50" (fun () -> ignore (Legality.check legality_spec rand50));
+    t "legality/random-100" (fun () -> ignore (Legality.check legality_spec rand100));
+    (* E2 *)
+    t "vhs/diamond-enumerate" (fun () -> ignore (Vhs.all diamond));
+    t "vhs/count-4-chains" (fun () ->
+        ignore (Linext.count_step_sequences (Computation.temporal_exn chains4)));
+    t "vhs/histories-diamond" (fun () -> ignore (History.all diamond));
+    (* E3 *)
+    t "monitor/explore-rw-1r1w" (fun () -> ignore (Monitor.explore rw11));
+    t "monitor/entries-seq-check" (fun () ->
+        List.iter (fun c -> ignore (Check.check rw11_spec c)) rw11_comps);
+    (* E4 *)
+    t "csp/io-sync" (fun () ->
+        let o = Csp.explore buffer_csp_program in
+        let spec = Csp.language_spec buffer_csp_program in
+        List.iter (fun c -> ignore (Check.check spec c)) o.Csp.computations);
+    (* E5 *)
+    t "ada/rendezvous" (fun () ->
+        let o = Ada.explore buffer_ada_program in
+        let spec = Ada.language_spec buffer_ada_program in
+        List.iter (fun c -> ignore (Check.check spec c)) o.Ada.computations);
+    (* E6 *)
+    t "buffer/one-slot-monitor" (fun () ->
+        let o = Monitor.explore buffer_monitor_program in
+        ignore
+          (Refine.sat_ok ~strategy ~problem:(Buffer_problem.spec ~capacity:1)
+             ~map:Buffer_problem.monitor_correspondence o.Monitor.computations));
+    t "buffer/one-slot-csp" (fun () ->
+        let o = Csp.explore buffer_csp_program in
+        ignore
+          (Refine.sat_ok ~strategy ~problem:(Buffer_problem.spec ~capacity:1)
+             ~map:Buffer_problem.csp_correspondence o.Csp.computations));
+    t "buffer/one-slot-ada" (fun () ->
+        let o = Ada.explore buffer_ada_program in
+        ignore
+          (Refine.sat_ok ~strategy ~problem:(Buffer_problem.spec ~capacity:1)
+             ~map:Buffer_problem.ada_correspondence o.Ada.computations));
+    (* E7 *)
+    t "buffer/bounded-2" (fun () ->
+        let o = Monitor.explore bounded2_program in
+        ignore
+          (Refine.sat_ok ~strategy ~problem:(Buffer_problem.spec ~capacity:2)
+             ~map:Buffer_problem.monitor_correspondence o.Monitor.computations));
+    (* E8 *)
+    t "rw/spec-free-for-all" (fun () ->
+        ignore
+          (Refine.sat_ok ~strategy ~edges:Refine.Actor_paths
+             ~problem:(rw11_problem Readers_writers.Free_for_all)
+             ~map:Readers_writers.correspondence rw11_comps));
+    (* E9 *)
+    t "rw/readers-priority" (fun () ->
+        ignore
+          (Refine.sat_ok ~strategy ~edges:Refine.Actor_paths
+             ~problem:(rw11_problem Readers_writers.Readers_priority)
+             ~map:Readers_writers.correspondence rw11_comps));
+    t "rw/explore-2r1w" (fun () -> ignore (Monitor.explore rw21));
+    (* E10 *)
+    t "db/update-2-sites" (fun () -> ignore (Db_update.check ~sites:2 ()));
+    (* E11 *)
+    t "life/async-4x4x2" (fun () ->
+        let comp = Life.build ~width:4 ~height:4 ~generations:2 ~alive:blinker in
+        ignore
+          (Check.holds (Life.spec ~width:4 ~height:4) comp
+             (Life.matches_reference ~width:4 ~height:4 ~generations:2 ~alive:blinker)));
+    (* E12 *)
+    t "thread/label-rw" (fun () ->
+        List.iter
+          (fun c ->
+            ignore (Spec.label_threads (rw11_problem Readers_writers.Free_for_all) c))
+          (List.filter_map
+             (fun c ->
+               Result.to_option
+                 (Refine.project ~edges:Refine.Actor_paths Readers_writers.correspondence c
+                    ~elements:(rw11_problem Readers_writers.Free_for_all).Spec.elements
+                    ~groups:[]))
+             rw11_comps));
+    (* E15 *)
+    t "rwd/csp-readers-priority" (fun () ->
+        let o = Csp.explore rwd_csp in
+        ignore
+          (Refine.sat_ok ~strategy ~problem:rwd_problem
+             ~map:Rw_distributed.csp_correspondence o.Csp.computations));
+    t "rwd/ada-readers-priority" (fun () ->
+        let o = Ada.explore rwd_ada in
+        ignore
+          (Refine.sat_ok ~strategy ~problem:rwd_problem
+             ~map:Rw_distributed.ada_correspondence o.Ada.computations));
+    (* concrete syntax *)
+    t "syntax/parse-priority" (fun () ->
+        match Parser.parse_formula priority_text with
+        | Ok _ -> ()
+        | Error m -> failwith m);
+    (* order substrate *)
+    t "order/width-life-4x4x2" (fun () -> ignore (Poset.width life_poset));
+    (* E14 *)
+    t "ablate/exhaustive-vhs" (fun () ->
+        ignore
+          (Check.check_formula ~strategy:(Strategy.Exhaustive_vhs (Some 2000)) rw11_spec
+             rw_one_comp ~name:"p" finish_write));
+    t "ablate/linearizations" (fun () ->
+        ignore
+          (Check.check_formula ~strategy:(Strategy.Linearizations (Some 2000)) rw11_spec
+             rw_one_comp ~name:"p" finish_write));
+    t "ablate/sampled-50" (fun () ->
+        ignore
+          (Check.check_formula ~strategy:(Strategy.Sampled { seed = 3; count = 50 })
+             rw11_spec rw_one_comp ~name:"p" finish_write));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
+  Printf.printf "%-28s %16s %10s\n" "benchmark" "time/run" "r^2";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let time_ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ estimate ] -> estimate
+            | Some _ | None -> nan
+          in
+          let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols_result) in
+          let pretty =
+            if time_ns >= 1e9 then Printf.sprintf "%10.3f s " (time_ns /. 1e9)
+            else if time_ns >= 1e6 then Printf.sprintf "%9.3f ms " (time_ns /. 1e6)
+            else if time_ns >= 1e3 then Printf.sprintf "%9.3f us " (time_ns /. 1e3)
+            else Printf.sprintf "%9.1f ns " time_ns
+          in
+          Printf.printf "%-28s %16s %10.4f\n%!" name pretty r2)
+        analyzed)
+    tests

@@ -1,0 +1,11 @@
+(* Reproduce every claim-check experiment (EXPERIMENTS.md) and print the
+   PASS/FAIL tables. Exit status 1 if anything fails.
+
+   Run with: dune exec bin/experiments.exe *)
+
+let () =
+  print_endline "GEM reproduction experiments (Lansky & Owicki 1983)";
+  print_endline "====================================================";
+  let ok = Gem_experiments.Experiments.run_all () in
+  Printf.printf "\n%s\n" (if ok then "ALL EXPERIMENTS PASS" else "SOME EXPERIMENTS FAILED");
+  exit (if ok then 0 else 1)

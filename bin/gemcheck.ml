@@ -1,0 +1,274 @@
+(* gemcheck — command-line front end to the GEM toolkit.
+
+   Subcommands:
+     experiments  run the reproduction experiments (optionally a subset)
+     rw           verify a Readers/Writers monitor against a problem version
+     buffer       verify a bounded-buffer solution in a chosen language
+     db           explore the distributed database update
+     life         check the asynchronous Game of Life
+
+   Run with: dune exec bin/gemcheck.exe -- <subcommand> ... *)
+
+open Cmdliner
+open Gem
+
+let strategy = Strategy.Linearizations (Some 400)
+
+(* ------------------------------------------------------------------ *)
+(* experiments                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let experiments_cmd =
+  let only =
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc:"Run only experiment $(docv) (e.g. E9).")
+  in
+  let run only =
+    let selected =
+      match only with
+      | None -> Gem_experiments.Experiments.all
+      | Some id ->
+          List.filter (fun (i, _, _) -> String.equal i id) Gem_experiments.Experiments.all
+    in
+    if selected = [] then (
+      Printf.eprintf "no such experiment\n";
+      1)
+    else begin
+      let ok = ref true in
+      List.iter
+        (fun (id, title, kernel) ->
+          Printf.printf "\n%s — %s\n" id title;
+          List.iter
+            (fun r ->
+              let open Gem_experiments.Experiments in
+              if not r.pass then ok := false;
+              Printf.printf "  [%s] %-62s %s\n%!"
+                (if r.pass then "PASS" else "FAIL")
+                r.label r.detail)
+            (kernel ()))
+        selected;
+      if !ok then 0 else 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Run the paper-reproduction experiments.")
+    Term.(const run $ only)
+
+(* ------------------------------------------------------------------ *)
+(* rw                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let monitor_conv =
+  Arg.enum
+    [
+      ("paper", Readers_writers.paper_monitor);
+      ("writers-priority", Readers_writers.writers_priority_monitor);
+      ("buggy", Readers_writers.buggy_monitor);
+      ("no-exclusion", Readers_writers.no_exclusion_monitor);
+    ]
+
+let version_conv =
+  Arg.enum
+    (List.map (fun v -> (Readers_writers.version_name v, v)) Readers_writers.all_versions)
+
+let rw_cmd =
+  let monitor =
+    Arg.(value & opt monitor_conv Readers_writers.paper_monitor
+         & info [ "monitor" ] ~docv:"M" ~doc:"Monitor program: paper, writers-priority, buggy, no-exclusion.")
+  in
+  let version =
+    Arg.(value & opt version_conv Readers_writers.Readers_priority
+         & info [ "version" ] ~docv:"V" ~doc:"Problem version to check.")
+  in
+  let readers = Arg.(value & opt int 2 & info [ "readers" ] ~docv:"N") in
+  let writers = Arg.(value & opt int 1 & info [ "writers" ] ~docv:"N") in
+  let run monitor version readers writers =
+    let program = Readers_writers.program ~monitor ~readers ~writers in
+    let o = Monitor.explore program in
+    Printf.printf "explored: %d distinct computations, %d deadlocks\n"
+      (List.length o.Monitor.computations)
+      (List.length o.Monitor.deadlocks);
+    let problem =
+      Readers_writers.spec version ~users:(Readers_writers.user_names ~readers ~writers)
+    in
+    let results =
+      Refine.sat ~strategy ~edges:Refine.Actor_paths ~problem
+        ~map:Readers_writers.correspondence o.Monitor.computations
+    in
+    let failures = List.filter (fun (_, v) -> not (Verdict.ok v)) results in
+    (match failures with
+    | [] -> Printf.printf "SAT: every computation satisfies %s\n" (Readers_writers.version_name version)
+    | (i, v) :: _ ->
+        Printf.printf "VIOLATED on computation %d (of %d failing):\n" i (List.length failures);
+        Format.printf "%a@." (Verdict.pp None) v);
+    if failures = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "rw" ~doc:"Verify a Readers/Writers monitor against a problem version.")
+    Term.(const run $ monitor $ version $ readers $ writers)
+
+(* ------------------------------------------------------------------ *)
+(* buffer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let buffer_cmd =
+  let lang =
+    Arg.(value & opt (enum [ ("monitor", `Monitor); ("csp", `Csp); ("ada", `Ada) ]) `Monitor
+         & info [ "lang" ] ~docv:"L" ~doc:"Implementation language.")
+  in
+  let capacity = Arg.(value & opt int 1 & info [ "capacity" ] ~docv:"N") in
+  let producers = Arg.(value & opt int 1 & info [ "producers" ] ~docv:"N") in
+  let consumers = Arg.(value & opt int 1 & info [ "consumers" ] ~docv:"N") in
+  let items = Arg.(value & opt int 2 & info [ "items" ] ~docv:"N" ~doc:"Items per producer.") in
+  let run lang capacity producers consumers items =
+    let problem = Buffer_problem.spec ~capacity in
+    let comps, deadlocks, ok =
+      match lang with
+      | `Monitor ->
+          let o = Monitor.explore (Buffer_problem.monitor_solution ~capacity ~producers ~consumers ~items_each:items) in
+          ( List.length o.Monitor.computations,
+            List.length o.Monitor.deadlocks,
+            Refine.sat_ok ~strategy ~problem ~map:Buffer_problem.monitor_correspondence
+              o.Monitor.computations )
+      | `Csp ->
+          let o = Csp.explore (Buffer_problem.csp_solution ~capacity ~producers ~consumers ~items_each:items) in
+          ( List.length o.Csp.computations,
+            List.length o.Csp.deadlocks,
+            Refine.sat_ok ~strategy ~problem ~map:Buffer_problem.csp_correspondence
+              o.Csp.computations )
+      | `Ada ->
+          let o = Ada.explore (Buffer_problem.ada_solution ~capacity ~producers ~consumers ~items_each:items) in
+          ( List.length o.Ada.computations,
+            List.length o.Ada.deadlocks,
+            Refine.sat_ok ~strategy ~problem ~map:Buffer_problem.ada_correspondence
+              o.Ada.computations )
+    in
+    Printf.printf "%d computations, %d deadlocks — %s\n" comps deadlocks
+      (if ok && deadlocks = 0 then "SAT" else "VIOLATED");
+    if ok && deadlocks = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "buffer" ~doc:"Verify a bounded-buffer solution.")
+    Term.(const run $ lang $ capacity $ producers $ consumers $ items)
+
+(* ------------------------------------------------------------------ *)
+(* rwd: distributed Readers/Writers                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rwd_cmd =
+  let lang =
+    Arg.(value & opt (enum [ ("csp", `Csp); ("ada", `Ada) ]) `Csp
+         & info [ "lang" ] ~docv:"L" ~doc:"Implementation language.")
+  in
+  let readers = Arg.(value & opt int 1 & info [ "readers" ] ~docv:"N") in
+  let writers = Arg.(value & opt int 1 & info [ "writers" ] ~docv:"N") in
+  let broken =
+    Arg.(value & flag & info [ "no-priority" ] ~doc:"Use the priority-less mutant.")
+  in
+  let run lang readers writers broken =
+    let rnames, wnames = Rw_distributed.user_names ~readers ~writers in
+    let problem = Rw_distributed.spec ~readers:rnames ~writers:wnames in
+    let comps, deadlocks, ok =
+      match lang with
+      | `Csp ->
+          let program =
+            if broken then Rw_distributed.csp_program_no_priority ~readers ~writers
+            else Rw_distributed.csp_program ~readers ~writers
+          in
+          let o = Csp.explore ~max_configs:20_000_000 program in
+          ( List.length o.Csp.computations,
+            List.length o.Csp.deadlocks,
+            Refine.sat_ok ~strategy ~problem ~map:Rw_distributed.csp_correspondence
+              o.Csp.computations )
+      | `Ada ->
+          let program =
+            if broken then Rw_distributed.ada_program_no_priority ~readers ~writers
+            else Rw_distributed.ada_program ~readers ~writers
+          in
+          let o = Ada.explore ~max_configs:20_000_000 program in
+          ( List.length o.Ada.computations,
+            List.length o.Ada.deadlocks,
+            Refine.sat_ok ~strategy ~problem ~map:Rw_distributed.ada_correspondence
+              o.Ada.computations )
+    in
+    Printf.printf "%d computations, %d deadlocks — %s\n" comps deadlocks
+      (if ok && deadlocks = 0 then "SAT" else "VIOLATED");
+    if ok && deadlocks = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "rwd"
+       ~doc:"Verify the distributed (CSP/ADA) Readers/Writers solutions.")
+    Term.(const run $ lang $ readers $ writers $ broken)
+
+(* ------------------------------------------------------------------ *)
+(* parse                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"A specification in GEM's concrete syntax (.gem).")
+  in
+  let run file =
+    let ic = open_in file in
+    let src =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Parser.parse_spec src with
+    | Ok spec ->
+        Format.printf "%a@." Spec.pp spec;
+        Printf.printf "\n%d element(s), %d group(s), %d restriction(s), %d thread(s)\n"
+          (List.length spec.Spec.elements)
+          (List.length spec.Spec.groups)
+          (Spec.restriction_count spec)
+          (List.length spec.Spec.threads);
+        0
+    | Error m ->
+        Printf.eprintf "parse error: %s\n" m;
+        1
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse and echo a GEM specification file.")
+    Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
+(* db / life                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let db_cmd =
+  let sites = Arg.(value & opt int 3 & info [ "sites" ] ~docv:"N") in
+  let run sites =
+    let comps, deadlocks, ok = Db_update.check ~sites () in
+    Printf.printf "%d computations, %d deadlocks, convergence: %b\n" comps deadlocks ok;
+    if ok && deadlocks = 0 then 0 else 1
+  in
+  Cmd.v (Cmd.info "db" ~doc:"Explore the distributed database update.") Term.(const run $ sites)
+
+let life_cmd =
+  let width = Arg.(value & opt int 4 & info [ "width" ] ~docv:"N") in
+  let height = Arg.(value & opt int 4 & info [ "height" ] ~docv:"N") in
+  let generations = Arg.(value & opt int 2 & info [ "generations" ] ~docv:"N") in
+  let run width height generations =
+    let alive = [ (1, 0); (1, 1); (1, 2) ] in
+    let comp = Life.build ~width ~height ~generations ~alive in
+    let spec = Life.spec ~width ~height in
+    let correct =
+      Check.holds spec comp (Life.matches_reference ~width ~height ~generations ~alive)
+    in
+    Printf.printf "%d events, correct: %b, asynchrony witness: %b\n"
+      (Computation.n_events comp) correct
+      (Life.asynchrony_witness comp <> None);
+    if correct then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "life" ~doc:"Check the asynchronous Game of Life.")
+    Term.(const run $ width $ height $ generations)
+
+let () =
+  let doc = "GEM concurrency specification and verification toolkit" in
+  let info = Cmd.info "gemcheck" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ experiments_cmd; rw_cmd; rwd_cmd; buffer_cmd; db_cmd; life_cmd; parse_cmd ]))

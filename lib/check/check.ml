@@ -1,0 +1,63 @@
+module F = Gem_logic.Formula
+module Eval = Gem_logic.Eval
+module Spec = Gem_spec.Spec
+module Legality = Gem_spec.Legality
+
+let check_restrictions ~strategy ~spec_name comp restrictions =
+  let immediate, temporal = List.partition (fun (_, f) -> F.is_immediate f) restrictions in
+  let failures = ref [] in
+  List.iter
+    (fun (name, f) ->
+      if not (Eval.eval_computation comp f) then
+        failures := { Verdict.restriction = name; formula = f; witness = None } :: !failures)
+    immediate;
+  let runs_checked = ref 0 in
+  if temporal <> [] then begin
+    let runs = Strategy.runs strategy comp in
+    let pending = ref temporal in
+    (try
+       List.iter
+         (fun run ->
+           incr runs_checked;
+           pending :=
+             List.filter
+               (fun (name, f) ->
+                 if Eval.eval_run run f then true
+                 else begin
+                   failures :=
+                     { Verdict.restriction = name; formula = f; witness = Some run }
+                     :: !failures;
+                   false
+                 end)
+               !pending;
+           if !pending = [] then raise Exit)
+         runs
+     with Exit -> ())
+  end;
+  {
+    Verdict.spec_name;
+    legality = [];
+    failures = List.rev !failures;
+    runs_checked = !runs_checked;
+    complete = (temporal = []) || Strategy.is_complete strategy comp;
+  }
+
+let check ?(strategy = Strategy.default) spec comp =
+  let legality = Legality.check spec comp in
+  if legality <> [] then Verdict.legal_verdict ~spec_name:spec.Spec.spec_name legality
+  else begin
+    let comp = Spec.label_threads spec comp in
+    check_restrictions ~strategy ~spec_name:spec.Spec.spec_name comp
+      (Spec.all_restrictions spec)
+  end
+
+let check_formula ?(strategy = Strategy.default) spec comp ~name f =
+  let legality = Legality.check spec comp in
+  if legality <> [] then Verdict.legal_verdict ~spec_name:spec.Spec.spec_name legality
+  else begin
+    let comp = Spec.label_threads spec comp in
+    check_restrictions ~strategy ~spec_name:spec.Spec.spec_name comp [ (name, f) ]
+  end
+
+let holds ?strategy spec comp f =
+  Verdict.ok (check_formula ?strategy spec comp ~name:"property" f)

@@ -1,0 +1,33 @@
+(** The GEM checker: does a computation satisfy a specification?
+
+    [legal(C, sigma)] per the paper: the built-in legality restrictions
+    ({!Gem_spec.Legality}) plus every explicit and element-type restriction
+    of the specification. Immediate restrictions are evaluated once on the
+    full history; temporal restrictions are evaluated over the runs
+    produced by a {!Strategy}. Thread labels are attached before any
+    restriction is evaluated. *)
+
+val check :
+  ?strategy:Strategy.t -> Gem_spec.Spec.t -> Gem_model.Computation.t -> Verdict.t
+(** Stops collecting witnesses at the first failing run per restriction
+    (all restrictions are always reported). If legality fails, restriction
+    checking is skipped — the orders the formulas quantify over may not
+    exist. *)
+
+val check_formula :
+  ?strategy:Strategy.t ->
+  Gem_spec.Spec.t ->
+  Gem_model.Computation.t ->
+  name:string ->
+  Gem_logic.Formula.t ->
+  Verdict.t
+(** Check a single extra restriction (e.g. a problem property) against a
+    computation, with the spec supplying threads and legality context. *)
+
+val holds :
+  ?strategy:Strategy.t ->
+  Gem_spec.Spec.t ->
+  Gem_model.Computation.t ->
+  Gem_logic.Formula.t ->
+  bool
+(** [ok (check_formula ...)] without the verdict plumbing. *)

@@ -1,0 +1,29 @@
+module Vhs = Gem_logic.Vhs
+
+type t =
+  | Exhaustive_vhs of int option
+  | Linearizations of int option
+  | Sampled of { seed : int; count : int }
+
+let default = Exhaustive_vhs (Some 20_000)
+
+let runs t comp =
+  match t with
+  | Exhaustive_vhs limit -> Vhs.all ?limit comp
+  | Linearizations limit -> Vhs.all_linearizations ?limit comp
+  | Sampled { seed; count } ->
+      let rng = Random.State.make [| seed |] in
+      List.init count (fun _ -> Vhs.sample rng comp)
+
+let is_complete t comp =
+  match t with
+  | Exhaustive_vhs None -> true
+  | Exhaustive_vhs (Some cap) -> Vhs.count ~cap comp < cap
+  | Linearizations _ | Sampled _ -> false
+
+let pp ppf = function
+  | Exhaustive_vhs None -> Format.fprintf ppf "exhaustive-vhs"
+  | Exhaustive_vhs (Some n) -> Format.fprintf ppf "exhaustive-vhs(<=%d)" n
+  | Linearizations None -> Format.fprintf ppf "linearizations"
+  | Linearizations (Some n) -> Format.fprintf ppf "linearizations(<=%d)" n
+  | Sampled { seed; count } -> Format.fprintf ppf "sampled(seed=%d,n=%d)" seed count

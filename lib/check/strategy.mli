@@ -1,0 +1,29 @@
+(** Run-enumeration strategies for temporal restriction checking.
+
+    The set of valid history sequences grows explosively with the number of
+    concurrent events; this module packages the three ways we cope (the E14
+    ablation compares them):
+
+    - exhaustively enumerate all complete runs (sound and complete, small
+      computations only);
+    - enumerate only maximal runs — linear extensions, one event per step
+      (complete for properties insensitive to simultaneous occurrence;
+      every vhs's history set is a subset of the union of linearization
+      history sets... not in general — see EXPERIMENTS.md E14 discussion);
+    - sample random runs (sound for falsification only). *)
+
+type t =
+  | Exhaustive_vhs of int option  (** Optional cap on the number of runs. *)
+  | Linearizations of int option
+  | Sampled of { seed : int; count : int }
+
+val default : t
+(** [Exhaustive_vhs (Some 20_000)]. *)
+
+val runs : t -> Gem_model.Computation.t -> Gem_logic.Vhs.t list
+
+val is_complete : t -> Gem_model.Computation.t -> bool
+(** Whether [runs] covered every complete run of this computation (i.e.
+    exhaustive and the cap did not truncate). *)
+
+val pp : Format.formatter -> t -> unit

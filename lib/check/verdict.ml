@@ -1,0 +1,42 @@
+type failure = {
+  restriction : string;
+  formula : Gem_logic.Formula.t;
+  witness : Gem_logic.Vhs.t option;
+}
+
+type t = {
+  spec_name : string;
+  legality : Gem_spec.Legality.violation list;
+  failures : failure list;
+  runs_checked : int;
+  complete : bool;
+}
+
+let ok t = t.legality = [] && t.failures = []
+
+let legal_verdict ~spec_name legality =
+  { spec_name; legality; failures = []; runs_checked = 0; complete = true }
+
+let pp comp ppf t =
+  if ok t then
+    Format.fprintf ppf "@[<v>%s: OK (%d run(s) checked%s)@]" t.spec_name t.runs_checked
+      (if t.complete then ", complete" else ", bounded")
+  else begin
+    Format.fprintf ppf "@[<v>%s: FAILED" t.spec_name;
+    List.iter
+      (fun v ->
+        match comp with
+        | Some c ->
+            Format.fprintf ppf "@,  legality: %a" (Gem_spec.Legality.pp_violation c) v
+        | None -> Format.fprintf ppf "@,  legality violation")
+      t.legality;
+    List.iter
+      (fun f ->
+        Format.fprintf ppf "@,  @[<hov 2>restriction %s:@ %a@]" f.restriction
+          Gem_logic.Formula.pp f.formula;
+        match f.witness with
+        | Some run -> Format.fprintf ppf "@,    on run %a" Gem_logic.Vhs.pp run
+        | None -> ())
+      t.failures;
+    Format.fprintf ppf "@]"
+  end

@@ -1,0 +1,27 @@
+(** Outcome of checking a computation against a specification. *)
+
+type failure = {
+  restriction : string;
+  formula : Gem_logic.Formula.t;
+  witness : Gem_logic.Vhs.t option;
+      (** A run on which the restriction fails; [None] for immediate
+          restrictions (which fail on the computation itself). *)
+}
+
+type t = {
+  spec_name : string;
+  legality : Gem_spec.Legality.violation list;
+  failures : failure list;
+  runs_checked : int;
+  complete : bool;
+      (** True when the temporal check covered every complete run. *)
+}
+
+val ok : t -> bool
+(** Legal and no restriction failed. *)
+
+val legal_verdict : spec_name:string -> Gem_spec.Legality.violation list -> t
+(** A verdict that records only legality violations (no runs checked). *)
+
+val pp : Gem_model.Computation.t option -> Format.formatter -> t -> unit
+(** Pass the computation to print legality violations with event detail. *)

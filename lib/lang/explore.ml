@@ -1,0 +1,81 @@
+type 'c result = {
+  completed : 'c list;
+  deadlocked : 'c list;
+  truncated : int;
+  explored : int;
+}
+
+let run ?(max_steps = 10_000) ?(max_configs = 1_000_000) ?key ~moves ~terminated init =
+  let completed = ref [] in
+  let deadlocked = ref [] in
+  let truncated = ref 0 in
+  let explored = ref 0 in
+  let seen = Hashtbl.create 1024 in
+  let fresh config =
+    match key with
+    | None -> true
+    | Some k ->
+        let d = Digest.string (k config) in
+        if Hashtbl.mem seen d then false
+        else begin
+          Hashtbl.add seen d ();
+          true
+        end
+  in
+  let rec dfs depth config =
+    incr explored;
+    if !explored > max_configs then
+      failwith
+        (Printf.sprintf "Explore.run: configuration budget %d exceeded" max_configs);
+    if depth > max_steps then incr truncated
+    else
+      match moves config with
+      | [] ->
+          if terminated config then completed := config :: !completed
+          else deadlocked := config :: !deadlocked
+      | ms -> List.iter (fun c -> if fresh c then dfs (depth + 1) c) ms
+  in
+  dfs 0 init;
+  {
+    completed = List.rev !completed;
+    deadlocked = List.rev !deadlocked;
+    truncated = !truncated;
+    explored = !explored;
+  }
+
+let fingerprint comp =
+  let module C = Gem_model.Computation in
+  let module E = Gem_model.Event in
+  let buf = Buffer.create 256 in
+  let evs =
+    List.sort
+      (fun a b -> E.id_compare (C.event comp a).E.id (C.event comp b).E.id)
+      (C.all_events comp)
+  in
+  List.iter
+    (fun h ->
+      let e = C.event comp h in
+      Buffer.add_string buf (Format.asprintf "%a;" E.pp { e with E.threads = [] });
+      let succs =
+        List.sort E.id_compare
+          (List.map (fun s -> (C.event comp s).E.id) (C.enable_succs comp h))
+      in
+      List.iter
+        (fun id -> Buffer.add_string buf (Format.asprintf ">%a" E.pp_id id))
+        succs;
+      Buffer.add_char buf '|')
+    evs;
+  Buffer.contents buf
+
+let dedup_computations seal leaves =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun leaf ->
+      let comp = seal leaf in
+      let key = fingerprint comp in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.add seen key ();
+        Some comp
+      end)
+    leaves

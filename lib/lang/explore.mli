@@ -1,0 +1,47 @@
+(** Generic exhaustive scheduler exploration.
+
+    Language interpreters expose their operational semantics as a [moves]
+    function (all configurations reachable in one scheduler choice); this
+    module walks the choice tree depth-first, within bounds, and classifies
+    the leaves. Configurations carry their own traces, so a completed leaf
+    can be sealed into a computation by the caller. *)
+
+type 'c result = {
+  completed : 'c list;  (** Leaves with no moves that satisfy [terminated]. *)
+  deadlocked : 'c list;  (** Leaves with no moves that do not. *)
+  truncated : int;  (** Branches cut by [max_steps]. *)
+  explored : int;  (** Configurations visited. *)
+}
+
+val run :
+  ?max_steps:int ->
+  ?max_configs:int ->
+  ?key:('c -> string) ->
+  moves:('c -> 'c list) ->
+  terminated:('c -> bool) ->
+  'c ->
+  'c result
+(** [max_steps] bounds each branch's depth (default 10_000);
+    [max_configs] bounds the total visit budget (default 1_000_000) —
+    exceeding it raises [Failure] rather than silently under-reporting,
+    since an incomplete computation set would make "verified" claims
+    unsound.
+
+    [key], when given, enables partial-order reduction by memoization: two
+    configurations with equal keys generate the same set of future
+    computations (up to emission order), so the second subtree is skipped.
+    Language interpreters build the key from the trace's canonical
+    fingerprint plus the runtime state with event handles replaced by
+    stable event identities — interleavings of commuting moves then
+    converge to one key. *)
+
+val fingerprint : Gem_model.Computation.t -> string
+(** Canonical string of a computation's events (identity, class, params)
+    and enable edges — emission-order independent. *)
+
+val dedup_computations :
+  ('c -> Gem_model.Computation.t) -> 'c list -> Gem_model.Computation.t list
+(** Seal each leaf and drop partial-order duplicates: different
+    interleavings of commuting steps produce the same computation (same
+    event identities, parameters and enable edges), and are collapsed by a
+    canonical fingerprint. *)

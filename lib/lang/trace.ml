@@ -1,0 +1,52 @@
+module Smap = Map.Make (String)
+module Event = Gem_model.Event
+
+type t = {
+  rev_events : Event.t list;
+  counts : int Smap.t;
+  rev_edges : (int * int) list;
+  n : int;
+}
+
+let empty = { rev_events = []; counts = Smap.empty; rev_edges = []; n = 0 }
+
+let emit t ?actor ~element ~klass ?(params = []) () =
+  let index = Option.value ~default:0 (Smap.find_opt element t.counts) in
+  let e = Event.make ?actor ~element ~index ~klass params in
+  ( t.n,
+    {
+      rev_events = e :: t.rev_events;
+      counts = Smap.add element (index + 1) t.counts;
+      rev_edges = t.rev_edges;
+      n = t.n + 1;
+    } )
+
+let enable t a b =
+  if a = b then invalid_arg "Trace.enable: self-enable";
+  if a < 0 || a >= t.n || b < 0 || b >= t.n then invalid_arg "Trace.enable: bad handle";
+  { t with rev_edges = (a, b) :: t.rev_edges }
+
+let emit_after t ?actor ~after ~element ~klass ?params () =
+  let h, t = emit t ?actor ~element ~klass ?params () in
+  let t = match after with Some a -> enable t a h | None -> t in
+  (h, t)
+
+let n_events t = t.n
+
+let to_computation ?(extra_elements = []) ?(groups = []) t =
+  let events = Array.of_list (List.rev t.rev_events) in
+  let enable = Gem_order.Digraph.of_edges t.n (List.rev t.rev_edges) in
+  let seen = Hashtbl.create 16 in
+  let elements_in_order =
+    Array.to_list events
+    |> List.filter_map (fun (e : Event.t) ->
+           if Hashtbl.mem seen e.id.element then None
+           else begin
+             Hashtbl.add seen e.id.element ();
+             Some e.id.element
+           end)
+  in
+  let extras = List.filter (fun el -> not (Hashtbl.mem seen el)) extra_elements in
+  Gem_model.Computation.unsafe_make
+    ~elements:(elements_in_order @ extras)
+    ~groups ~events ~enable

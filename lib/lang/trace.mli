@@ -1,0 +1,47 @@
+(** Persistent (purely functional) event-trace builder.
+
+    Language interpreters thread a trace through their configurations;
+    because it is persistent, the scheduler can branch without copying.
+    Handles issued by {!emit} are stable across branches that share a
+    prefix. [to_computation] seals a branch's trace into a
+    {!Gem_model.Computation.t}. *)
+
+type t
+
+val empty : t
+
+val emit :
+  t ->
+  ?actor:string ->
+  element:string ->
+  klass:string ->
+  ?params:(string * Gem_model.Value.t) list ->
+  unit ->
+  int * t
+(** New event at the element (next occurrence index there); returns its
+    handle. *)
+
+val enable : t -> int -> int -> t
+(** Raises [Invalid_argument] on a self-enable or unknown handle. *)
+
+val emit_after :
+  t ->
+  ?actor:string ->
+  after:int option ->
+  element:string ->
+  klass:string ->
+  ?params:(string * Gem_model.Value.t) list ->
+  unit ->
+  int * t
+(** [emit], plus an enable edge from [after] when given — the common
+    "sequential control passes" shape. *)
+
+val n_events : t -> int
+
+val to_computation :
+  ?extra_elements:string list ->
+  ?groups:Gem_model.Group.t list ->
+  t ->
+  Gem_model.Computation.t
+(** Elements are those events occurred at (in first-occurrence order) plus
+    [extra_elements] (declared even if eventless). *)

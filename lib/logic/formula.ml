@@ -1,0 +1,203 @@
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type texp =
+  | Const of Gem_model.Value.t
+  | Param of string * string
+  | Index of string
+  | Plus of texp * int
+
+type domain =
+  | Any
+  | Cls of string
+  | At_elem of string
+  | Cls_at of string * string
+  | Union of domain list
+
+type sem_fn = Gem_model.Computation.t -> Gem_order.Bitset.t -> int list -> bool
+
+type atom =
+  | Occurred of string
+  | Enables of string * string
+  | Elem_lt of string * string
+  | Temp_lt of string * string
+  | Same_event of string * string
+  | Same_element of string * string
+  | In_class of string * domain
+  | Cmp of cmp * texp * texp
+  | At_class of string * domain
+  | New of string
+  | Potential of string
+  | Same_thread of string * string * string
+  | Distinct_thread of string * string * string
+  | In_thread of string * string
+  | Sem of string * string list * sem_fn
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Implies of t * t
+  | Iff of t * t
+  | Forall of string * domain * t
+  | Exists of string * domain * t
+  | Exists_unique of string * domain * t
+  | At_most_one of string * domain * t
+  | Henceforth of t
+  | Eventually of t
+
+let rec is_immediate = function
+  | True | False | Atom _ -> true
+  | Not f -> is_immediate f
+  | And fs | Or fs -> List.for_all is_immediate fs
+  | Implies (a, b) | Iff (a, b) -> is_immediate a && is_immediate b
+  | Forall (_, _, f) | Exists (_, _, f) | Exists_unique (_, _, f) | At_most_one (_, _, f)
+    ->
+      is_immediate f
+  | Henceforth _ | Eventually _ -> false
+
+module Sset = Set.Make (String)
+
+let free_vars f =
+  let rec go bound = function
+    | True | False -> Sset.empty
+    | Atom a -> atom_vars bound a
+    | Not f -> go bound f
+    | And fs | Or fs ->
+        List.fold_left (fun acc f -> Sset.union acc (go bound f)) Sset.empty fs
+    | Implies (a, b) | Iff (a, b) -> Sset.union (go bound a) (go bound b)
+    | Forall (x, _, f) | Exists (x, _, f) | Exists_unique (x, _, f) | At_most_one (x, _, f)
+      ->
+        go (Sset.add x bound) f
+    | Henceforth f | Eventually f -> go bound f
+  and atom_vars bound a =
+    let add x acc = if Sset.mem x bound then acc else Sset.add x acc in
+    let rec texp_vars t acc =
+      match t with
+      | Const _ -> acc
+      | Param (x, _) | Index x -> add x acc
+      | Plus (t, _) -> texp_vars t acc
+    in
+    match a with
+    | Occurred x | New x | Potential x -> add x Sset.empty
+    | Enables (x, y)
+    | Elem_lt (x, y)
+    | Temp_lt (x, y)
+    | Same_event (x, y)
+    | Same_element (x, y) ->
+        add x (add y Sset.empty)
+    | In_class (x, _) | At_class (x, _) | In_thread (_, x) -> add x Sset.empty
+    | Cmp (_, t1, t2) -> texp_vars t1 (texp_vars t2 Sset.empty)
+    | Same_thread (_, x, y) | Distinct_thread (_, x, y) -> add x (add y Sset.empty)
+    | Sem (_, xs, _) -> List.fold_left (fun acc x -> add x acc) Sset.empty xs
+  in
+  Sset.elements (go Sset.empty f)
+
+let pp_cmp ppf = function
+  | Eq -> Format.fprintf ppf "="
+  | Ne -> Format.fprintf ppf "!="
+  | Lt -> Format.fprintf ppf "<"
+  | Le -> Format.fprintf ppf "<="
+  | Gt -> Format.fprintf ppf ">"
+  | Ge -> Format.fprintf ppf ">="
+
+let rec pp_texp ppf = function
+  | Const v -> Gem_model.Value.pp ppf v
+  | Param (x, p) -> Format.fprintf ppf "%s.%s" x p
+  | Index x -> Format.fprintf ppf "index(%s)" x
+  | Plus (t, n) -> Format.fprintf ppf "%a + %d" pp_texp t n
+
+let rec pp_domain ppf = function
+  | Any -> Format.fprintf ppf "*"
+  | Cls c -> Format.fprintf ppf "%s" c
+  | At_elem e -> Format.fprintf ppf "%s.*" e
+  | Cls_at (e, c) -> Format.fprintf ppf "%s.%s" e c
+  | Union ds ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "|") pp_domain)
+        ds
+
+let pp_atom ppf = function
+  | Occurred x -> Format.fprintf ppf "occurred(%s)" x
+  | Enables (x, y) -> Format.fprintf ppf "%s |> %s" x y
+  | Elem_lt (x, y) -> Format.fprintf ppf "%s =>el %s" x y
+  | Temp_lt (x, y) -> Format.fprintf ppf "%s => %s" x y
+  | Same_event (x, y) -> Format.fprintf ppf "%s = %s" x y
+  | Same_element (x, y) -> Format.fprintf ppf "elem(%s) = elem(%s)" x y
+  | In_class (x, d) -> Format.fprintf ppf "%s : %a" x pp_domain d
+  | Cmp (c, t1, t2) -> Format.fprintf ppf "%a %a %a" pp_texp t1 pp_cmp c pp_texp t2
+  | At_class (x, d) -> Format.fprintf ppf "%s at %a" x pp_domain d
+  | New x -> Format.fprintf ppf "new(%s)" x
+  | Potential x -> Format.fprintf ppf "potential(%s)" x
+  | Same_thread (pi, x, y) -> Format.fprintf ppf "%s ~%s~ %s" x pi y
+  | Distinct_thread (pi, x, y) -> Format.fprintf ppf "%s !~%s~ %s" x pi y
+  | In_thread (pi, x) -> Format.fprintf ppf "%s in %s" x pi
+  | Sem (name, xs, _) ->
+      Format.fprintf ppf "%s(%a)" name
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_string)
+        xs
+
+let rec pp ppf = function
+  | True -> Format.fprintf ppf "true"
+  | False -> Format.fprintf ppf "false"
+  | Atom a -> pp_atom ppf a
+  | Not f -> Format.fprintf ppf "~(%a)" pp f
+  | And fs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ /\\ ") pp)
+        fs
+  | Or fs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ \\/ ") pp)
+        fs
+  | Implies (a, b) -> Format.fprintf ppf "(%a ->@ %a)" pp a pp b
+  | Iff (a, b) -> Format.fprintf ppf "(%a <->@ %a)" pp a pp b
+  | Forall (x, d, f) -> Format.fprintf ppf "@[(ALL %s:%a)@ %a@]" x pp_domain d pp f
+  | Exists (x, d, f) -> Format.fprintf ppf "@[(EX %s:%a)@ %a@]" x pp_domain d pp f
+  | Exists_unique (x, d, f) ->
+      Format.fprintf ppf "@[(EX! %s:%a)@ %a@]" x pp_domain d pp f
+  | At_most_one (x, d, f) ->
+      Format.fprintf ppf "@[(EX<=1 %s:%a)@ %a@]" x pp_domain d pp f
+  | Henceforth f -> Format.fprintf ppf "[](%a)" pp f
+  | Eventually f -> Format.fprintf ppf "<>(%a)" pp f
+
+let to_string f = Format.asprintf "%a" pp f
+
+(* Constructors *)
+
+let ( &&& ) a b = And [ a; b ]
+let ( ||| ) a b = Or [ a; b ]
+let ( ==> ) a b = Implies (a, b)
+let ( <=> ) a b = Iff (a, b)
+let neg f = Not f
+let conj fs = And fs
+let disj fs = Or fs
+let forall binders body = List.fold_right (fun (x, d) f -> Forall (x, d, f)) binders body
+let exists binders body = List.fold_right (fun (x, d) f -> Exists (x, d, f)) binders body
+let exists1 x d body = Exists_unique (x, d, body)
+let at_most_one x d body = At_most_one (x, d, body)
+let occurred x = Atom (Occurred x)
+let enables x y = Atom (Enables (x, y))
+let elem_lt x y = Atom (Elem_lt (x, y))
+let temp_lt x y = Atom (Temp_lt (x, y))
+let same x y = Atom (Same_event (x, y))
+let same_element x y = Atom (Same_element (x, y))
+let distinct x y = Not (Atom (Same_event (x, y)))
+let in_class x d = Atom (In_class (x, d))
+let at_cls x d = Atom (At_class (x, d))
+let fresh x = Atom (New x)
+let potential x = Atom (Potential x)
+let same_thread pi x y = Atom (Same_thread (pi, x, y))
+let distinct_thread pi x y = Atom (Distinct_thread (pi, x, y))
+let in_thread pi x = Atom (In_thread (pi, x))
+let param x p = Param (x, p)
+let const_int n = Const (Gem_model.Value.Int n)
+let const_str s = Const (Gem_model.Value.Str s)
+let ( =. ) a b = Atom (Cmp (Eq, a, b))
+let ( <. ) a b = Atom (Cmp (Lt, a, b))
+let ( <=. ) a b = Atom (Cmp (Le, a, b))
+let henceforth f = Henceforth f
+let eventually f = Eventually f
+let sem name xs fn = Atom (Sem (name, xs, fn))

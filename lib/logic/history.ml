@@ -1,0 +1,139 @@
+module Bitset = Gem_order.Bitset
+module Poset = Gem_order.Poset
+module Computation = Gem_model.Computation
+
+type t = { comp : Computation.t; set : Bitset.t }
+
+let computation h = h.comp
+let members h = Bitset.copy h.set
+
+let empty comp = { comp; set = Bitset.create (Computation.n_events comp) }
+
+let full comp =
+  let set = Bitset.create (Computation.n_events comp) in
+  for i = 0 to Computation.n_events comp - 1 do
+    Bitset.add set i
+  done;
+  { comp; set }
+
+let of_set comp set =
+  let poset = Computation.temporal_exn comp in
+  if Poset.is_down_closed poset set then Some { comp; set = Bitset.copy set } else None
+
+let down_closure comp set =
+  let poset = Computation.temporal_exn comp in
+  { comp; set = Poset.down_closure poset set }
+
+let mem h e = Bitset.mem h.set e
+let cardinal h = Bitset.cardinal h.set
+let is_full h = cardinal h = Computation.n_events h.comp
+let prefix a b = Bitset.subset a.set b.set
+let equal a b = Bitset.equal a.set b.set
+
+let potential h e =
+  (not (mem h e))
+  && Bitset.subset (Poset.down_set (Computation.temporal_exn h.comp) e) h.set
+
+let add_step h step =
+  let poset = Computation.temporal_exn h.comp in
+  let fresh = List.for_all (fun e -> not (mem h e)) step in
+  let antichain =
+    List.for_all
+      (fun a -> List.for_all (fun b -> a = b || Poset.concurrent poset a b) step)
+      step
+  in
+  let ready = List.for_all (potential h) step in
+  if step <> [] && fresh && antichain && ready then begin
+    let set = Bitset.copy h.set in
+    List.iter (Bitset.add set) step;
+    Some { h with set }
+  end
+  else None
+
+let frontier h =
+  let n = Computation.n_events h.comp in
+  let acc = ref [] in
+  for e = n - 1 downto 0 do
+    if potential h e then acc := e :: !acc
+  done;
+  !acc
+
+let is_new h e =
+  mem h e
+  && not
+       (Bitset.exists
+          (fun e' -> Poset.lt (Computation.temporal_exn h.comp) e e')
+          h.set)
+
+let at h e1 is_e2 =
+  mem h e1
+  && not
+       (List.exists
+          (fun e2 -> mem h e2 && is_e2 e2)
+          (Computation.enable_succs h.comp e1))
+
+(* BFS over the prefix lattice with set-keyed dedup: adding independent
+   events in either order yields the same down-set, so generation by ordered
+   insertion alone would duplicate. *)
+let all comp =
+  let module H = Hashtbl.Make (struct
+    type t = Bitset.t
+
+    let equal = Bitset.equal
+    let hash = Bitset.hash
+  end) in
+  let seen = H.create 64 in
+  let queue = Queue.create () in
+  let start = empty comp in
+  H.add seen start.set ();
+  Queue.add start queue;
+  let out = ref [] in
+  while not (Queue.is_empty queue) do
+    let h = Queue.pop queue in
+    out := h :: !out;
+    List.iter
+      (fun e ->
+        match add_step h [ e ] with
+        | Some h' -> if not (H.mem seen h'.set) then begin
+            H.add seen h'.set ();
+            Queue.add h' queue
+          end
+        | None -> ())
+      (frontier h)
+  done;
+  List.rev !out
+
+let count ?(cap = max_int) comp =
+  let module H = Hashtbl.Make (struct
+    type t = Bitset.t
+
+    let equal = Bitset.equal
+    let hash = Bitset.hash
+  end) in
+  let seen = H.create 64 in
+  let queue = Queue.create () in
+  let start = empty comp in
+  H.add seen start.set ();
+  Queue.add start queue;
+  let n = ref 0 in
+  while (not (Queue.is_empty queue)) && !n < cap do
+    let h = Queue.pop queue in
+    incr n;
+    List.iter
+      (fun e ->
+        match add_step h [ e ] with
+        | Some h' -> if not (H.mem seen h'.set) then begin
+            H.add seen h'.set ();
+            Queue.add h' queue
+          end
+        | None -> ())
+      (frontier h)
+  done;
+  min !n cap
+
+let pp ppf h =
+  Format.fprintf ppf "@[<hov 2>history{%a}@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf e -> Gem_model.Event.pp ppf (Computation.event h.comp e)))
+    (Bitset.elements h.set)

@@ -1,0 +1,77 @@
+module Linext = Gem_order.Linext
+module Computation = Gem_model.Computation
+
+type t = {
+  comp : Computation.t;
+  steps : int list list;
+  histories : History.t array;  (* length = steps + 1 *)
+}
+
+let computation s = s.comp
+let steps s = s.steps
+let histories s = Array.to_list s.histories
+let length s = Array.length s.histories
+
+let nth_history s i =
+  if i < 0 || i >= Array.length s.histories then invalid_arg "Vhs.nth_history";
+  s.histories.(i)
+
+let of_steps comp step_list =
+  let rec build acc h = function
+    | [] -> if History.is_full h then Some (List.rev acc) else None
+    | step :: rest -> (
+        match History.add_step h step with
+        | Some h' -> build (h' :: acc) h' rest
+        | None -> None)
+  in
+  let h0 = History.empty comp in
+  match build [ h0 ] h0 step_list with
+  | Some hist -> Some { comp; steps = step_list; histories = Array.of_list hist }
+  | None -> None
+
+let of_steps_trusted comp step_list =
+  (* Steps produced by Linext on the temporal order are valid by
+     construction; skip re-validation (it is O(n^2) per step). *)
+  let n = Computation.n_events comp in
+  let cur = Gem_order.Bitset.create n in
+  let hist = ref [] in
+  let snapshot () =
+    match History.of_set comp cur with Some h -> hist := h :: !hist | None -> assert false
+  in
+  snapshot ();
+  List.iter
+    (fun step ->
+      List.iter (Gem_order.Bitset.add cur) step;
+      snapshot ())
+    step_list;
+  { comp; steps = step_list; histories = Array.of_list (List.rev !hist) }
+
+let of_linearization comp ext = of_steps comp (Linext.singleton_steps ext)
+
+let poset comp = Computation.temporal_exn comp
+
+let all ?limit comp =
+  List.map (of_steps_trusted comp) (Linext.step_sequences ?limit (poset comp))
+
+let all_linearizations ?limit comp =
+  List.map
+    (fun ext -> of_steps_trusted comp (Linext.singleton_steps ext))
+    (Gem_order.Poset.linear_extensions ?limit (poset comp))
+
+let greedy comp = of_steps_trusted comp (Linext.greedy_levels (poset comp))
+
+let sample rng comp = of_steps_trusted comp (Linext.sample_step_sequence rng (poset comp))
+
+let count ?cap comp = Linext.count_step_sequences ?cap (poset comp)
+
+let pp ppf s =
+  Format.fprintf ppf "@[<hov 2>vhs:";
+  List.iter
+    (fun step ->
+      Format.fprintf ppf "@ {%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           (fun ppf e -> Gem_model.Event.pp_id ppf (Computation.event s.comp e).Gem_model.Event.id))
+        step)
+    s.steps;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,58 @@
+(** Valid history sequences (paper §7).
+
+    A vhs is a monotonically increasing sequence of histories in which the
+    events appearing for the first time in the same history are pairwise
+    potentially concurrent. We work with {e complete runs}: sequences that
+    start at the empty history and end at the full computation, represented
+    by their step decomposition (each step the set of newly-occurring
+    events). Complete runs are exactly the step sequences of the temporal
+    order ({!Gem_order.Linext.step_sequences}); the paper's more liberal
+    sequences (arbitrary starting history, repeated histories) add nothing
+    when checking restrictions, since [] and <> quantify over tails.
+
+    Sequences are exposed as history lists including the initial empty
+    history, so a run over [k] steps has [k + 1] histories. *)
+
+type t
+
+val computation : t -> Gem_model.Computation.t
+
+val steps : t -> int list list
+
+val histories : t -> History.t list
+(** [k + 1] histories for [k] steps; first is empty, last is full. *)
+
+val length : t -> int
+(** Number of histories. *)
+
+val nth_history : t -> int -> History.t
+
+val of_steps : Gem_model.Computation.t -> int list list -> t option
+(** Validates the step conditions; [None] if violated or if the steps do
+    not cover the whole computation. *)
+
+val of_linearization : Gem_model.Computation.t -> int list -> t option
+(** Singleton steps. *)
+
+val all : ?limit:int -> Gem_model.Computation.t -> t list
+(** Every complete run (up to [limit] if given). Exponential; bound your
+    computations. *)
+
+val all_linearizations : ?limit:int -> Gem_model.Computation.t -> t list
+(** Only the maximal (one-event-per-step) runs — the linear extensions of
+    the temporal order. A strictly smaller set than [all] on which
+    immediate+[]/<> properties coincide for most practical restrictions;
+    the E14 ablation quantifies the difference. *)
+
+val greedy : Gem_model.Computation.t -> t
+(** The unique maximally-parallel run. *)
+
+val sample : Random.State.t -> Gem_model.Computation.t -> t
+(** A random complete run. *)
+
+val count : ?cap:int -> Gem_model.Computation.t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints the step decomposition. Tail sequences (the paper's tail-closure
+    property) need no representation of their own: temporal evaluation
+    indexes into {!histories} directly. *)

@@ -1,0 +1,35 @@
+(** Imperative builder for {!Computation}s.
+
+    Typical use: declare elements and groups, emit events (each gets the
+    next occurrence index at its element), draw enable edges between the
+    returned handles, and [finish]. Emission order at an element {e is} the
+    element order — mirroring how an execution unfolds. *)
+
+type t
+
+val create : unit -> t
+
+val declare_element : t -> string -> unit
+(** Idempotent. Elements may also be declared implicitly by emitting. *)
+
+val declare_group : t -> Group.t -> unit
+(** Raises [Invalid_argument] on a duplicate group name. *)
+
+val emit :
+  t -> element:string -> klass:string -> ?params:(string * Value.t) list -> unit -> int
+(** Creates the next event at [element], returning its handle. *)
+
+val enable : t -> int -> int -> unit
+(** Records [a |> b]. Self-enables are rejected ([Invalid_argument]): the
+    enable relation is irreflexive by definition. *)
+
+val emit_enabled_by : t -> by:int -> element:string -> klass:string ->
+  ?params:(string * Value.t) list -> unit -> int
+(** [emit] followed by [enable ~by handle] — the common "this action
+    enables that one" chaining. *)
+
+val event_count : t -> int
+
+val finish : t -> Computation.t
+(** The builder remains usable after [finish]; subsequent emissions extend
+    a fresh snapshot (histories of a growing run can be snapshotted). *)

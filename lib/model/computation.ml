@@ -1,0 +1,138 @@
+module Digraph = Gem_order.Digraph
+module Poset = Gem_order.Poset
+
+module Id_map = Map.Make (struct
+  type t = Event.id
+
+  let compare = Event.id_compare
+end)
+
+type t = {
+  elements : string list;
+  groups : Group.t list;
+  events : Event.t array;
+  enable : Digraph.t;
+  by_id : int Id_map.t;
+  at_element : (string, int list) Hashtbl.t;  (* element -> handles in order *)
+  causal : Digraph.t;
+  temporal : Poset.t option;
+}
+
+let elements t = t.elements
+let groups t = t.groups
+let group t name = List.find_opt (fun (g : Group.t) -> String.equal g.name name) t.groups
+let has_element t name = List.exists (String.equal name) t.elements
+let n_events t = Array.length t.events
+
+let event t h =
+  if h < 0 || h >= Array.length t.events then invalid_arg "Computation.event";
+  t.events.(h)
+
+let find t id = Id_map.find_opt id t.by_id
+
+let find_exn t id =
+  match find t id with
+  | Some h -> h
+  | None -> invalid_arg (Format.asprintf "Computation.find_exn: no event %a" Event.pp_id id)
+
+let handle_of t ~element ~index = find t { Event.element; index }
+
+let all_events t = List.init (Array.length t.events) Fun.id
+
+let events_at t el = Option.value ~default:[] (Hashtbl.find_opt t.at_element el)
+
+let events_of_class t klass =
+  let acc = ref [] in
+  Array.iteri (fun h e -> if Event.has_class e klass then acc := h :: !acc) t.events;
+  List.rev !acc
+
+let events_of_class_at t ~element ~klass =
+  List.filter (fun h -> Event.has_class t.events.(h) klass) (events_at t element)
+
+let enables t a b = Digraph.mem_edge t.enable a b
+let enable_succs t a = Digraph.succs t.enable a
+let enable_preds t a = Digraph.preds t.enable a
+let enable_graph t = t.enable
+
+let elem_lt t a b =
+  let ea = (event t a).Event.id and eb = (event t b).Event.id in
+  String.equal ea.element eb.element && ea.index < eb.index
+
+let causal_graph t = t.causal
+let temporal t = t.temporal
+
+let temporal_exn t =
+  match t.temporal with
+  | Some p -> p
+  | None -> invalid_arg "Computation: causal graph is cyclic, no temporal order"
+
+let temp_lt t a b = Poset.lt (temporal_exn t) a b
+let concurrent t a b = a <> b && not (temp_lt t a b) && not (temp_lt t b a)
+
+let build_tables events enable elements groups =
+  let n = Array.length events in
+  let by_id =
+    Array.to_seq events
+    |> Seq.mapi (fun h (e : Event.t) -> (e.id, h))
+    |> Id_map.of_seq
+  in
+  let at_element = Hashtbl.create 16 in
+  Array.iteri
+    (fun h (e : Event.t) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt at_element e.id.element) in
+      Hashtbl.replace at_element e.id.element (h :: prev))
+    events;
+  (* Reverse and sort each list by occurrence index. *)
+  Hashtbl.filter_map_inplace
+    (fun _ hs ->
+      Some
+        (List.sort
+           (fun a b -> Int.compare events.(a).Event.id.index events.(b).Event.id.index)
+           hs))
+    at_element;
+  let causal = Digraph.copy enable in
+  Hashtbl.iter
+    (fun _ hs ->
+      let rec link = function
+        | a :: (b :: _ as rest) ->
+            Digraph.add_edge causal a b;
+            link rest
+        | [ _ ] | [] -> ()
+      in
+      link hs)
+    at_element;
+  let temporal = Poset.of_digraph causal in
+  ignore n;
+  { elements; groups; events; enable; by_id; at_element; causal; temporal }
+
+let unsafe_make ~elements ~groups ~events ~enable =
+  build_tables events enable elements groups
+
+let map_events f t =
+  let events =
+    Array.mapi
+      (fun h e ->
+        let e' = f h e in
+        if not (Event.id_equal e'.Event.id e.Event.id) then
+          invalid_arg "Computation.map_events: event identity changed";
+        e')
+      t.events
+  in
+  { t with events }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>computation: %d elements, %d groups, %d events"
+    (List.length t.elements) (List.length t.groups) (Array.length t.events);
+  Array.iteri
+    (fun h e ->
+      Format.fprintf ppf "@,%3d  %a" h Event.pp e;
+      match Digraph.succs t.enable h with
+      | [] -> ()
+      | ss ->
+          Format.fprintf ppf "  |> %a"
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+               Format.pp_print_int)
+            ss)
+    t.events;
+  Format.fprintf ppf "@]"

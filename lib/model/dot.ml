@@ -1,0 +1,44 @@
+let sanitize s =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') then c else '_') s
+
+let computation ppf c =
+  Format.fprintf ppf "@[<v 2>digraph gem {@,rankdir=TB;@,node [shape=box, fontsize=10];";
+  List.iteri
+    (fun i el ->
+      Format.fprintf ppf "@,@[<v 2>subgraph cluster_%d {@,label=\"%s\";@,style=dashed;" i el;
+      List.iter
+        (fun h ->
+          let e = Computation.event c h in
+          Format.fprintf ppf "@,n%d [label=\"%s\"];" h
+            (String.concat ""
+               [ sanitize el; "^"; string_of_int e.Event.id.index; "\\n"; e.Event.klass ]))
+        (Computation.events_at c el);
+      Format.fprintf ppf "@]@,}")
+    (Computation.elements c);
+  (* Element-successor edges (dashed). *)
+  List.iter
+    (fun el ->
+      let rec link = function
+        | a :: (b :: _ as rest) ->
+            Format.fprintf ppf "@,n%d -> n%d [style=dashed, color=gray];" a b;
+            link rest
+        | [ _ ] | [] -> ()
+      in
+      link (Computation.events_at c el))
+    (Computation.elements c);
+  (* Enable edges (solid). *)
+  List.iter
+    (fun h ->
+      List.iter
+        (fun h' -> Format.fprintf ppf "@,n%d -> n%d;" h h')
+        (Computation.enable_succs c h))
+    (Computation.all_events c);
+  Format.fprintf ppf "@]@,}@."
+
+let to_string c = Format.asprintf "%a" computation c
+
+let save path c =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string c))

@@ -1,0 +1,10 @@
+(** Graphviz export of computations: enable edges solid, element-successor
+    edges dashed, events clustered by element. Handy for inspecting
+    counterexamples. *)
+
+val computation : Format.formatter -> Computation.t -> unit
+
+val to_string : Computation.t -> string
+
+val save : string -> Computation.t -> unit
+(** [save path c] writes DOT text to [path]. *)

@@ -1,0 +1,37 @@
+type id = { element : string; index : int }
+
+type t = {
+  id : id;
+  klass : string;
+  params : (string * Value.t) list;
+  threads : (string * int) list;
+  actor : string option;
+}
+
+let id_compare a b =
+  match String.compare a.element b.element with
+  | 0 -> Int.compare a.index b.index
+  | c -> c
+
+let id_equal a b = id_compare a b = 0
+
+let pp_id ppf { element; index } = Format.fprintf ppf "%s^%d" element index
+
+let make ?actor ~element ~index ~klass params =
+  { id = { element; index }; klass; params; threads = []; actor }
+
+let param e name = List.assoc name e.params
+let param_opt e name = List.assoc_opt name e.params
+let has_class e klass = String.equal e.klass klass
+let with_thread e pi inst = { e with threads = (pi, inst) :: e.threads }
+let thread_instance e pi = List.assoc_opt pi e.threads
+
+let pp ppf e =
+  Format.fprintf ppf "%a:%s" pp_id e.id e.klass;
+  if e.params <> [] then
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (fun ppf (k, v) -> Format.fprintf ppf "%s=%a" k Value.pp v))
+      e.params;
+  List.iter (fun (pi, i) -> Format.fprintf ppf "[%s-%d]" pi i) e.threads

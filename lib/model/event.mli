@@ -1,0 +1,52 @@
+(** GEM events.
+
+    An event is a unique atomic occurrence within a computation (paper §4).
+    Its identity is the element it occurs at plus its occurrence number
+    there — the paper's [Var.assign_i] / [Var^i] notation — so two events
+    are the same iff they are the same occurrence at the same element.
+
+    Events carry a {e class} name (the paper's eventclass, e.g. [Assign]),
+    named data parameters, and thread labels attached after the fact by the
+    thread-labelling engine ({!Gem_spec.Thread}). *)
+
+type id = { element : string; index : int }
+(** [index] is the 0-based occurrence number at [element]. *)
+
+type t = {
+  id : id;
+  klass : string;  (** Event class name, capitalized by convention. *)
+  params : (string * Value.t) list;  (** Named data parameters, in order. *)
+  threads : (string * int) list;
+      (** Thread labels: (thread type name, instance number). Empty until
+          labelling runs. *)
+  actor : string option;
+      (** The sequential activity (process, task) on whose behalf the event
+          occurred, when known — part of the paper's "thread identifier"
+          event information, used by the actor-path refinement rule. *)
+}
+
+val id_compare : id -> id -> int
+
+val id_equal : id -> id -> bool
+
+val pp_id : Format.formatter -> id -> unit
+(** Prints [element^index], the paper's superscript notation. *)
+
+val make :
+  ?actor:string -> element:string -> index:int -> klass:string -> (string * Value.t) list -> t
+
+val param : t -> string -> Value.t
+(** Raises [Not_found] if the event has no such parameter. *)
+
+val param_opt : t -> string -> Value.t option
+
+val has_class : t -> string -> bool
+
+val with_thread : t -> string -> int -> t
+(** Functional update adding a thread label. *)
+
+val thread_instance : t -> string -> int option
+(** [thread_instance e pi] is the instance number of thread type [pi] on
+    [e], if labelled. *)
+
+val pp : Format.formatter -> t -> unit

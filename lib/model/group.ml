@@ -1,0 +1,39 @@
+type member = Elem of string | Grp of string
+
+type port = { port_element : string; port_class : string }
+
+type t = { name : string; members : member list; ports : port list }
+
+let make ?(ports = []) name members = { name; members; ports }
+
+let member_equal a b =
+  match a, b with
+  | Elem x, Elem y | Grp x, Grp y -> String.equal x y
+  | Elem _, Grp _ | Grp _, Elem _ -> false
+
+let contains_element g el =
+  List.exists (function Elem e -> String.equal e el | Grp _ -> false) g.members
+
+let contains_group g name =
+  List.exists (function Grp n -> String.equal n name | Elem _ -> false) g.members
+
+let is_port g ~element ~klass =
+  List.exists
+    (fun p -> String.equal p.port_element element && String.equal p.port_class klass)
+    g.ports
+
+let pp_member ppf = function
+  | Elem e -> Format.fprintf ppf "%s" e
+  | Grp g -> Format.fprintf ppf "GROUP %s" g
+
+let pp ppf g =
+  Format.fprintf ppf "@[<hov 2>%s = GROUP(%a)" g.name
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_member)
+    g.members;
+  if g.ports <> [] then
+    Format.fprintf ppf "@ PORTS(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         (fun ppf p -> Format.fprintf ppf "%s.%s" p.port_element p.port_class))
+      g.ports;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,27 @@
+(** GEM groups: named clusters of elements and/or other groups (paper §4).
+
+    Groups model scope: an event may enable an event of another element only
+    if the group structure grants access (see {!Gem_spec.Access}). Certain
+    events are designated {e port events} — "access holes" into a group —
+    identified by (element, event class) pairs, as in
+    [PORTS(Oper1.Start, ...)]. Groups may be disjoint, hierarchical or
+    overlapping. *)
+
+type member = Elem of string | Grp of string
+
+type port = { port_element : string; port_class : string }
+
+type t = { name : string; members : member list; ports : port list }
+
+val make : ?ports:port list -> string -> member list -> t
+
+val member_equal : member -> member -> bool
+
+val contains_element : t -> string -> bool
+(** Direct membership of an element (not recursive). *)
+
+val contains_group : t -> string -> bool
+
+val is_port : t -> element:string -> klass:string -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | List of t list
+
+let rec compare a b =
+  match a, b with
+  | Unit, Unit -> 0
+  | Unit, _ -> -1
+  | _, Unit -> 1
+  | Bool x, Bool y -> Bool.compare x y
+  | Bool _, _ -> -1
+  | _, Bool _ -> 1
+  | Int x, Int y -> Int.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Str x, Str y -> String.compare x y
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+  | Pair (x1, y1), Pair (x2, y2) ->
+      (match compare x1 x2 with 0 -> compare y1 y2 | c -> c)
+  | Pair _, _ -> -1
+  | _, Pair _ -> 1
+  | List xs, List ys -> List.compare compare xs ys
+
+let equal a b = compare a b = 0
+
+let rec pp ppf = function
+  | Unit -> Format.fprintf ppf "()"
+  | Bool b -> Format.fprintf ppf "%b" b
+  | Int n -> Format.fprintf ppf "%d" n
+  | Str s -> Format.fprintf ppf "%S" s
+  | Pair (a, b) -> Format.fprintf ppf "(%a, %a)" pp a pp b
+  | List xs ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp)
+        xs
+
+let to_string v = Format.asprintf "%a" pp v
+
+let as_int = function Int n -> n | v -> invalid_arg ("Value.as_int: " ^ to_string v)
+let as_bool = function Bool b -> b | v -> invalid_arg ("Value.as_bool: " ^ to_string v)
+let as_string = function Str s -> s | v -> invalid_arg ("Value.as_string: " ^ to_string v)

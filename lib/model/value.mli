@@ -1,0 +1,32 @@
+(** Data values carried by GEM events.
+
+    The paper attaches data parameters to events (e.g. [Assign(newval:
+    INTEGER)]) and lets restrictions compare them ([send.par1 =
+    receive.par2]). This small dynamic value universe is what event
+    parameters range over. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | List of t list
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Conveniences for the common cases, raising [Invalid_argument] on a
+    type mismatch — parameter schemas are checked when specs are applied,
+    so a mismatch here is a programming error. *)
+
+val as_int : t -> int
+
+val as_bool : t -> bool
+
+val as_string : t -> string

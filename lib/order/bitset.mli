@@ -1,0 +1,69 @@
+(** Fixed-capacity mutable bitsets over the universe [0 .. capacity-1].
+
+    Used as the dense set representation throughout the order substrate:
+    rows of reachability matrices, history membership, antichain candidates.
+    All operations besides [copy], [union], [inter] and [diff] are in-place. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set with capacity [n]. Raises
+    [Invalid_argument] if [n < 0]. *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val copy : t -> t
+
+val clear : t -> unit
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+(** Sets must have the same capacity. *)
+
+val subset : t -> t -> bool
+(** [subset a b] is true iff every member of [a] is a member of [b]. *)
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val union_into : t -> t -> unit
+(** [union_into dst src] adds every member of [src] to [dst]. *)
+
+val disjoint : t -> t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Iterates members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val elements : t -> int list
+(** Members in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list n xs] is the set with capacity [n] containing [xs]. *)
+
+val for_all : (int -> bool) -> t -> bool
+
+val exists : (int -> bool) -> t -> bool
+
+val choose : t -> int option
+(** Smallest member, if any. *)
+
+val hash : t -> int
+
+val compare : t -> t -> int
+(** Total order compatible with [equal]; compares capacities first. *)
+
+val pp : Format.formatter -> t -> unit

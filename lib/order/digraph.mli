@@ -1,0 +1,69 @@
+(** Dense directed graphs over the node universe [0 .. size-1].
+
+    This is the workhorse behind GEM's three event relations: the enable
+    relation and element order are stored as edge lists, and the temporal
+    order is their transitive closure. The graph is mutable during
+    construction and then queried functionally. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the edgeless graph on [n] nodes. *)
+
+val size : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** Idempotent; self-loops are allowed here and rejected by {!Poset}. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val succs : t -> int -> int list
+(** Successors in increasing order. *)
+
+val preds : t -> int -> int list
+
+val edges : t -> (int * int) list
+(** All edges, lexicographically ordered. *)
+
+val nb_edges : t -> int
+
+val of_edges : int -> (int * int) list -> t
+
+val copy : t -> t
+
+val union : t -> t -> t
+(** Graphs must have the same size. *)
+
+val transpose : t -> t
+
+val has_cycle : t -> bool
+(** True iff the graph has a directed cycle (including self-loops). *)
+
+val topological_sort : t -> int list option
+(** A topological order of all nodes, or [None] if the graph is cyclic.
+    Deterministic: among ready nodes, smallest index first. *)
+
+val transitive_closure : ?reflexive:bool -> t -> t
+(** Reachability closure. With [reflexive:true] every node reaches itself. *)
+
+val reachable : t -> int -> Bitset.t
+(** [reachable g v] is the set of nodes reachable from [v] by a non-empty
+    path, plus [v] itself iff [v] lies on a cycle... — precisely: nodes [u]
+    such that there is a path of length >= 1 from [v] to [u]. *)
+
+val transitive_reduction : t -> t
+(** On a DAG, the unique minimal relation with the same closure. Raises
+    [Invalid_argument] if the graph is cyclic. *)
+
+val sources : t -> int list
+(** Nodes with no incoming edge, increasing order. *)
+
+val sinks : t -> int list
+
+val induced : t -> Bitset.t -> t
+(** [induced g s] keeps only edges between members of [s]; the node universe
+    is unchanged (non-members become isolated). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

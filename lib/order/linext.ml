@@ -1,0 +1,146 @@
+let ready_nodes p taken =
+  let n = Poset.size p in
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    if (not (Bitset.mem taken v)) && Bitset.subset (Poset.down_set p v) taken then
+      acc := v :: !acc
+  done;
+  !acc
+
+(* All non-empty subsets of [xs] that are antichains in [p]; [xs] consists of
+   currently-minimal nodes, which are pairwise incomparable only if the poset
+   says so — minimal nodes of the *remaining* poset are automatically
+   pairwise incomparable, so every non-empty subset qualifies. *)
+let nonempty_subsets xs =
+  let rec loop = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let subs = loop rest in
+        subs @ List.map (fun s -> x :: s) subs
+  in
+  List.filter (fun s -> s <> []) (loop xs)
+
+exception Limit_reached
+
+let step_sequences ?limit p =
+  let n = Poset.size p in
+  let results = ref [] in
+  let count = ref 0 in
+  let taken = Bitset.create n in
+  let rec extend acc covered =
+    if covered = n then begin
+      results := List.rev acc :: !results;
+      incr count;
+      match limit with Some l when !count >= l -> raise Limit_reached | _ -> ()
+    end
+    else
+      let ready = ready_nodes p taken in
+      let steps = nonempty_subsets ready in
+      List.iter
+        (fun step ->
+          List.iter (Bitset.add taken) step;
+          extend (step :: acc) (covered + List.length step);
+          List.iter (Bitset.remove taken) step)
+        steps
+  in
+  (try extend [] 0 with Limit_reached -> ());
+  List.rev !results
+
+let count_step_sequences ?(cap = max_int) p =
+  let module H = Hashtbl.Make (struct
+    type t = Bitset.t
+
+    let equal = Bitset.equal
+    let hash = Bitset.hash
+  end) in
+  let n = Poset.size p in
+  let memo = H.create 256 in
+  let rec ways taken =
+    if Bitset.cardinal taken = n then 1
+    else
+      match H.find_opt memo taken with
+      | Some w -> w
+      | None ->
+          let ready = ready_nodes p taken in
+          let total = ref 0 in
+          List.iter
+            (fun step ->
+              if !total < cap then begin
+                let taken' = Bitset.copy taken in
+                List.iter (Bitset.add taken') step;
+                total := min cap (!total + ways taken')
+              end)
+            (nonempty_subsets ready);
+          H.add memo taken !total;
+          !total
+  in
+  ways (Bitset.create n)
+
+let greedy_levels p =
+  let n = Poset.size p in
+  let taken = Bitset.create n in
+  let rec loop acc covered =
+    if covered = n then List.rev acc
+    else begin
+      let step = ready_nodes p taken in
+      List.iter (Bitset.add taken) step;
+      loop (step :: acc) (covered + List.length step)
+    end
+  in
+  loop [] 0
+
+let singleton_steps ext = List.map (fun v -> [ v ]) ext
+
+let sample_linear_extension rng p =
+  let n = Poset.size p in
+  let taken = Bitset.create n in
+  let rec loop acc covered =
+    if covered = n then List.rev acc
+    else begin
+      let ready = Array.of_list (ready_nodes p taken) in
+      let v = ready.(Random.State.int rng (Array.length ready)) in
+      Bitset.add taken v;
+      loop (v :: acc) (covered + 1)
+    end
+  in
+  loop [] 0
+
+let sample_step_sequence rng p =
+  let n = Poset.size p in
+  let taken = Bitset.create n in
+  let rec loop acc covered =
+    if covered = n then List.rev acc
+    else begin
+      let ready = ready_nodes p taken in
+      let chosen = List.filter (fun _ -> Random.State.bool rng) ready in
+      let step =
+        if chosen = [] then [ List.nth ready (Random.State.int rng (List.length ready)) ]
+        else chosen
+      in
+      List.iter (Bitset.add taken) step;
+      loop (step :: acc) (covered + List.length step)
+    end
+  in
+  loop [] 0
+
+let is_step_sequence p steps =
+  let n = Poset.size p in
+  let taken = Bitset.create n in
+  let ok_step step =
+    let antichain =
+      List.for_all
+        (fun a -> List.for_all (fun b -> a = b || Poset.concurrent p a b) step)
+        step
+    in
+    let preds_done =
+      List.for_all (fun v -> Bitset.subset (Poset.down_set p v) taken) step
+    in
+    let fresh = List.for_all (fun v -> not (Bitset.mem taken v)) step in
+    let nonempty = step <> [] in
+    if antichain && preds_done && fresh && nonempty then begin
+      List.iter (Bitset.add taken) step;
+      true
+    end
+    else false
+  in
+  List.for_all ok_step steps && Bitset.cardinal taken = n

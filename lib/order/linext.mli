@@ -1,0 +1,35 @@
+(** Step sequences and sampled extensions of a strict partial order.
+
+    GEM's valid history sequences (paper §7) correspond one-to-one with
+    {e step sequences}: ordered partitions of the poset into non-empty
+    antichains such that every element's predecessors appear in strictly
+    earlier steps. The history after step [k] is the union of the first [k]
+    steps; condition (2) of the paper (events first occurring together must
+    be potentially concurrent) is exactly the antichain requirement. *)
+
+val step_sequences : ?limit:int -> Poset.t -> int list list list
+(** All step sequences, each a list of steps, each step an increasing node
+    list. For the empty poset the only sequence is [[]]. Enumeration stops
+    after [limit] sequences when given. Order of results is deterministic. *)
+
+val count_step_sequences : ?cap:int -> Poset.t -> int
+(** Number of step sequences, capped at [cap] (default [max_int]). *)
+
+val greedy_levels : Poset.t -> int list list
+(** The unique maximally-parallel step sequence: step [k] contains every
+    node all of whose predecessors lie in steps [< k]. *)
+
+val singleton_steps : int list -> int list list
+(** View a linear extension as a step sequence of singletons. *)
+
+val sample_linear_extension : Random.State.t -> Poset.t -> int list
+(** A uniformly-chosen-at-each-step (not globally uniform) random
+    topological order; cheap and adequate for sampling-based checking. *)
+
+val sample_step_sequence : Random.State.t -> Poset.t -> int list list
+(** Random step sequence: at each step, a non-empty random subset of the
+    currently-minimal elements. *)
+
+val is_step_sequence : Poset.t -> int list list -> bool
+(** Checks the two vhs conditions: steps partition the universe, each step
+    is an antichain, and predecessors occur strictly earlier. *)

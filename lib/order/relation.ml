@@ -1,0 +1,68 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (X : ORDERED) = struct
+  type elt = X.t
+
+  module Pair = struct
+    type t = elt * elt
+
+    let compare (a1, b1) (a2, b2) =
+      match X.compare a1 a2 with 0 -> X.compare b1 b2 | c -> c
+  end
+
+  module Pairs = Set.Make (Pair)
+  module Elts = Set.Make (X)
+
+  type t = Pairs.t
+
+  let empty = Pairs.empty
+  let add a b r = Pairs.add (a, b) r
+  let mem a b r = Pairs.mem (a, b) r
+  let of_list l = Pairs.of_list l
+  let to_list r = Pairs.elements r
+  let cardinal = Pairs.cardinal
+  let union = Pairs.union
+  let inverse r = Pairs.fold (fun (a, b) acc -> Pairs.add (b, a) acc) r Pairs.empty
+
+  let successors a r =
+    Pairs.fold (fun (x, y) acc -> if X.compare x a = 0 then y :: acc else acc) r []
+    |> List.rev
+
+  let compose r s =
+    Pairs.fold
+      (fun (a, b) acc ->
+        List.fold_left (fun acc c -> Pairs.add (a, c) acc) acc (successors b s))
+      r Pairs.empty
+
+  let domain r =
+    Elts.elements (Pairs.fold (fun (a, _) acc -> Elts.add a acc) r Elts.empty)
+
+  let range r =
+    Elts.elements (Pairs.fold (fun (_, b) acc -> Elts.add b acc) r Elts.empty)
+
+  let rec transitive_closure r =
+    let r' = Pairs.union r (compose r r) in
+    if Pairs.equal r r' then r else transitive_closure r'
+
+  let reflexive_over xs =
+    List.fold_left (fun acc x -> Pairs.add (x, x) acc) Pairs.empty xs
+
+  let is_irreflexive r = Pairs.for_all (fun (a, b) -> X.compare a b <> 0) r
+  let is_transitive r = Pairs.subset (compose r r) r
+
+  let is_antisymmetric r =
+    Pairs.for_all (fun (a, b) -> X.compare a b = 0 || not (Pairs.mem (b, a) r)) r
+
+  let is_strict_order r = is_irreflexive r && is_transitive r
+
+  let restrict p r = Pairs.filter (fun (a, b) -> p a && p b) r
+
+  let map f r = Pairs.fold (fun (a, b) acc -> Pairs.add (f a, f b) acc) r Pairs.empty
+
+  let equal = Pairs.equal
+  let subrelation = Pairs.subset
+end

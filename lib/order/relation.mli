@@ -1,0 +1,68 @@
+(** Finite binary relations over an arbitrary ordered carrier.
+
+    A thin, purely-functional companion to the dense {!Digraph}: used where
+    the carrier is not a dense integer range (group containment between
+    named groups, element access tables, test oracles). *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (X : ORDERED) : sig
+  type elt = X.t
+
+  type t
+
+  val empty : t
+
+  val add : elt -> elt -> t -> t
+
+  val mem : elt -> elt -> t -> bool
+
+  val of_list : (elt * elt) list -> t
+
+  val to_list : t -> (elt * elt) list
+  (** Sorted by [X.compare] on the first then second component. *)
+
+  val cardinal : t -> int
+
+  val union : t -> t -> t
+
+  val inverse : t -> t
+
+  val compose : t -> t -> t
+  (** [(a,c)] in [compose r s] iff exists [b] with [(a,b)] in [r] and
+      [(b,c)] in [s]. *)
+
+  val domain : t -> elt list
+
+  val range : t -> elt list
+
+  val successors : elt -> t -> elt list
+
+  val transitive_closure : t -> t
+
+  val reflexive_over : elt list -> t
+  (** Identity relation on the given carrier list. *)
+
+  val is_irreflexive : t -> bool
+
+  val is_transitive : t -> bool
+
+  val is_antisymmetric : t -> bool
+  (** No pair [(a,b)], [a <> b], with both directions present. *)
+
+  val is_strict_order : t -> bool
+  (** Irreflexive and transitive (hence antisymmetric). *)
+
+  val restrict : (elt -> bool) -> t -> t
+  (** Keep pairs whose both components satisfy the predicate. *)
+
+  val map : (elt -> elt) -> t -> t
+
+  val equal : t -> t -> bool
+
+  val subrelation : t -> t -> bool
+end

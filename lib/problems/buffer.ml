@@ -1,0 +1,367 @@
+module F = Gem_logic.Formula
+module V = Gem_model.Value
+module E = Gem_lang.Expr
+module Etype = Gem_spec.Etype
+
+let in_element = "buffer.in"
+let out_element = "buffer.out"
+
+let in_etype =
+  Etype.make "BufferIn"
+    ~events:[ { Etype.klass = "Dep"; schema = [ ("item", Etype.P_any) ] } ]
+    ()
+
+let out_etype =
+  Etype.make "BufferOut"
+    ~events:[ { Etype.klass = "Rem"; schema = [ ("item", Etype.P_any) ] } ]
+    ()
+
+let value_fifo =
+  let open F in
+  forall
+    [ ("d", Cls "Dep"); ("r", Cls "Rem") ]
+    (Atom (Cmp (Eq, Index "r", Index "d"))
+     ==> ((param "d" "item" =. param "r" "item") &&& temp_lt "d" "r"))
+
+let capacity_bound n =
+  let open F in
+  forall
+    [ ("d", Cls "Dep"); ("r", Cls "Rem") ]
+    (Atom (Cmp (Eq, Index "d", Plus (Index "r", n))) ==> temp_lt "r" "d")
+
+let spec ~capacity =
+  Gem_spec.Spec.make
+    (Printf.sprintf "bounded-buffer-%d" capacity)
+    ~elements:[ (in_element, in_etype); (out_element, out_etype) ]
+    ~restrictions:[ ("value-fifo", value_fifo); ("capacity", capacity_bound capacity) ]
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Monitor solution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+open Gem_lang.Monitor
+
+let buffer_monitor ~capacity ~check_full =
+  {
+    mon_name = "BB";
+    vars = [ ("buf", V.List []); ("out", V.Int 0) ];
+    conditions = [ "notfull"; "notempty" ];
+    entries =
+      [
+        {
+          entry_name = "deposit";
+          formals = [ "item" ];
+          body =
+            (if check_full then
+               [ MIf (E.Ge (E.Len (E.Var "buf"), E.Int capacity), [ MWait "notfull" ], []) ]
+             else [])
+            @ [
+                MAssign { var = "buf"; value = E.Append (E.Var "buf", E.Var "item"); site = Some "dep" };
+                MSignal "notempty";
+              ];
+        };
+        {
+          entry_name = "fetch";
+          formals = [];
+          body =
+            [
+              MIf (E.Eq (E.Len (E.Var "buf"), E.Int 0), [ MWait "notempty" ], []);
+              MAssign { var = "out"; value = E.Head (E.Var "buf"); site = Some "rem" };
+              MAssign { var = "buf"; value = E.Tail (E.Var "buf"); site = Some "rem" };
+              MSignal "notfull";
+              MReturn (E.Var "out");
+            ];
+        };
+      ];
+  }
+
+let check_counts ~producers ~consumers ~items_each =
+  let total = producers * items_each in
+  if consumers <= 0 || producers <= 0 || total mod consumers <> 0 then
+    invalid_arg "Buffer: total items must divide evenly among consumers";
+  total / consumers
+
+let monitor_producer i items_each =
+  {
+    proc_name = Printf.sprintf "Prod%d" i;
+    locals = [ ("k", V.Int 0) ];
+    code =
+      [
+        PWhile
+          ( E.Lt (E.Var "k", E.Int items_each),
+            [
+              PCall
+                {
+                  monitor = "BB";
+                  entry = "deposit";
+                  args = [ E.Add (E.Mul (E.Int (1000 * i), E.Int 1), E.Var "k") ];
+                  bind = None;
+                };
+              PLocal ("k", E.Add (E.Var "k", E.Int 1));
+            ] );
+      ];
+  }
+
+let monitor_consumer j quota =
+  {
+    proc_name = Printf.sprintf "Cons%d" j;
+    locals = [ ("k", V.Int 0); ("x", V.Int 0) ];
+    code =
+      [
+        PWhile
+          ( E.Lt (E.Var "k", E.Int quota),
+            [
+              PCall { monitor = "BB"; entry = "fetch"; args = []; bind = Some "x" };
+              PLocal ("k", E.Add (E.Var "k", E.Int 1));
+            ] );
+      ];
+  }
+
+let monitor_solution_gen ~capacity ~producers ~consumers ~items_each ~check_full =
+  let quota = check_counts ~producers ~consumers ~items_each in
+  {
+    monitors = [ buffer_monitor ~capacity ~check_full ];
+    shared = [];
+    processes =
+      List.init producers (fun i -> monitor_producer (i + 1) items_each)
+      @ List.init consumers (fun j -> monitor_consumer (j + 1) quota);
+  }
+
+let monitor_solution ~capacity ~producers ~consumers ~items_each =
+  monitor_solution_gen ~capacity ~producers ~consumers ~items_each ~check_full:true
+
+let buggy_monitor_solution ~capacity ~producers ~consumers ~items_each =
+  monitor_solution_gen ~capacity ~producers ~consumers ~items_each ~check_full:false
+
+(* In the paper's style (§9 maps StartRead to the readernum assignment,
+   not to the entry's BEGIN), the significant deposit event is the moment
+   the item enters the buffer — the [buf] assignment tagged "dep" — and the
+   significant removal is the [out := head(buf)] assignment tagged "rem".
+   Mapping BEGIN(deposit) instead would be wrong: a deposit that waits on
+   [notfull] has entered the entry long before its item is buffered. *)
+let monitor_correspondence : Gem_check.Refine.correspondence =
+ fun comp h ->
+  let e = Gem_model.Computation.event comp h in
+  let el = e.Gem_model.Event.id.element in
+  let site = Gem_model.Event.param_opt e "site" in
+  if String.equal el "BB.buf" && site = Some (V.Str "dep") then
+    let item =
+      match Gem_model.Event.param e "newval" with
+      | V.List items when items <> [] -> List.nth items (List.length items - 1)
+      | v -> v
+    in
+    Some { Gem_check.Refine.to_element = in_element; to_class = "Dep"; to_params = [ ("item", item) ] }
+  else if String.equal el "BB.out" && site = Some (V.Str "rem") then
+    Some
+      {
+        Gem_check.Refine.to_element = out_element;
+        to_class = "Rem";
+        to_params = [ ("item", Gem_model.Event.param e "newval") ];
+      }
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* CSP solution                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Csp = Gem_lang.Csp
+
+let csp_solution ~capacity ~producers ~consumers ~items_each =
+  let quota = check_counts ~producers ~consumers ~items_each in
+  let producer i =
+    {
+      Csp.proc_name = Printf.sprintf "Prod%d" i;
+      locals = [ ("k", V.Int 0) ];
+      code =
+        [
+          Csp.CWhile
+            ( E.Lt (E.Var "k", E.Int items_each),
+              [
+                Csp.CComm
+                  (Csp.Send { to_ = "Buf"; value = E.Add (E.Int (1000 * i), E.Var "k") });
+                Csp.CLocal ("k", E.Add (E.Var "k", E.Int 1));
+              ] );
+        ];
+    }
+  in
+  let consumer j =
+    {
+      Csp.proc_name = Printf.sprintf "Cons%d" j;
+      locals = [ ("k", V.Int 0); ("x", V.Int 0) ];
+      code =
+        [
+          Csp.CWhile
+            ( E.Lt (E.Var "k", E.Int quota),
+              [
+                Csp.CComm (Csp.Recv { from_ = "Buf"; bind = "x" });
+                Csp.CLocal ("k", E.Add (E.Var "k", E.Int 1));
+              ] );
+        ];
+    }
+  in
+  let buffer =
+    {
+      Csp.proc_name = "Buf";
+      locals = [ ("buf", V.List []); ("x", V.Int 0) ];
+      code =
+        [
+          Csp.CDo
+            (List.init producers (fun i ->
+                 {
+                   Csp.guard = E.Lt (E.Len (E.Var "buf"), E.Int capacity);
+                   comm = Some (Csp.Recv { from_ = Printf.sprintf "Prod%d" (i + 1); bind = "x" });
+                   body = [ Csp.CLocal ("buf", E.Append (E.Var "buf", E.Var "x")) ];
+                 })
+             @ List.init consumers (fun j ->
+                   {
+                     Csp.guard = E.Gt (E.Len (E.Var "buf"), E.Int 0);
+                     comm =
+                       Some
+                         (Csp.Send
+                            { to_ = Printf.sprintf "Cons%d" (j + 1); value = E.Head (E.Var "buf") });
+                     body = [ Csp.CLocal ("buf", E.Tail (E.Var "buf")) ];
+                   }));
+        ];
+    }
+  in
+  (buffer :: List.init producers (fun i -> producer (i + 1)))
+  @ List.init consumers (fun j -> consumer (j + 1))
+
+let csp_correspondence : Gem_check.Refine.correspondence =
+ fun comp h ->
+  let e = Gem_model.Computation.event comp h in
+  if String.equal e.Gem_model.Event.id.element "Buf" then
+    if Gem_model.Event.has_class e "EndIn" then
+      Some
+        {
+          Gem_check.Refine.to_element = in_element;
+          to_class = "Dep";
+          to_params = [ ("item", Gem_model.Event.param e "value") ];
+        }
+    else if Gem_model.Event.has_class e "EndOut" then
+      Some
+        {
+          Gem_check.Refine.to_element = out_element;
+          to_class = "Rem";
+          to_params = [ ("item", Gem_model.Event.param e "value") ];
+        }
+    else None
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* ADA solution                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Ada = Gem_lang.Ada
+
+let ada_solution ~capacity ~producers ~consumers ~items_each =
+  let quota = check_counts ~producers ~consumers ~items_each in
+  let total = producers * items_each in
+  let producer i =
+    {
+      Ada.task_name = Printf.sprintf "Prod%d" i;
+      locals = [ ("k", V.Int 0) ];
+      code =
+        [
+          Ada.AWhile
+            ( E.Lt (E.Var "k", E.Int items_each),
+              [
+                Ada.ACall
+                  {
+                    task = "Buffer";
+                    entry = "Deposit";
+                    args = [ E.Add (E.Int (1000 * i), E.Var "k") ];
+                    bind = None;
+                  };
+                Ada.ALocal ("k", E.Add (E.Var "k", E.Int 1));
+              ] );
+        ];
+    }
+  in
+  let consumer j =
+    {
+      Ada.task_name = Printf.sprintf "Cons%d" j;
+      locals = [ ("k", V.Int 0); ("x", V.Int 0) ];
+      code =
+        [
+          Ada.AWhile
+            ( E.Lt (E.Var "k", E.Int quota),
+              [
+                Ada.ACall { task = "Buffer"; entry = "Fetch"; args = []; bind = Some "x" };
+                Ada.ALocal ("k", E.Add (E.Var "k", E.Int 1));
+              ] );
+        ];
+    }
+  in
+  let buffer =
+    {
+      Ada.task_name = "Buffer";
+      locals = [ ("buf", V.List []); ("out", V.Int 0); ("served", V.Int 0) ];
+      code =
+        [
+          Ada.AWhile
+            ( E.Lt (E.Var "served", E.Int (2 * total)),
+              [
+                Ada.ASelect
+                  [
+                    {
+                      Ada.when_ = E.Lt (E.Len (E.Var "buf"), E.Int capacity);
+                      accept =
+                        {
+                          Ada.acc_entry = "Deposit";
+                          acc_formals = [ "item" ];
+                          acc_body =
+                            [ Ada.ALocal ("buf", E.Append (E.Var "buf", E.Var "item")) ];
+                          acc_result = None;
+                        };
+                    };
+                    {
+                      Ada.when_ = E.Gt (E.Len (E.Var "buf"), E.Int 0);
+                      accept =
+                        {
+                          Ada.acc_entry = "Fetch";
+                          acc_formals = [];
+                          acc_body =
+                            [
+                              Ada.ALocal ("out", E.Head (E.Var "buf"));
+                              Ada.ALocal ("buf", E.Tail (E.Var "buf"));
+                            ];
+                          acc_result = Some (E.Var "out");
+                        };
+                    };
+                  ];
+                Ada.ALocal ("served", E.Add (E.Var "served", E.Int 1));
+              ] );
+        ];
+    }
+  in
+  (buffer :: List.init producers (fun i -> producer (i + 1)))
+  @ List.init consumers (fun j -> consumer (j + 1))
+
+let ada_correspondence : Gem_check.Refine.correspondence =
+ fun comp h ->
+  let e = Gem_model.Computation.event comp h in
+  if String.equal e.Gem_model.Event.id.element "Buffer" then
+    if
+      Gem_model.Event.has_class e "AcceptBegin"
+      && V.equal (Gem_model.Event.param e "entry") (V.Str "Deposit")
+    then
+      let item =
+        match Gem_model.Event.param e "args" with
+        | V.List [ v ] -> v
+        | v -> v
+      in
+      Some { Gem_check.Refine.to_element = in_element; to_class = "Dep"; to_params = [ ("item", item) ] }
+    else if
+      Gem_model.Event.has_class e "AcceptEnd"
+      && V.equal (Gem_model.Event.param e "entry") (V.Str "Fetch")
+    then
+      Some
+        {
+          Gem_check.Refine.to_element = out_element;
+          to_class = "Rem";
+          to_params = [ ("item", Gem_model.Event.param e "value") ];
+        }
+    else None
+  else None

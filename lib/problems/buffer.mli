@@ -1,0 +1,59 @@
+(** The One-Slot Buffer and Bounded Buffer problems (paper §1, §11), as GEM
+    problem specifications, with verified Monitor, CSP and ADA solutions.
+
+    {b Problem specification.} Two control elements: ["buffer.in"] hosting
+    [Dep(item)] events and ["buffer.out"] hosting [Rem(item)] events (one
+    class per element, so an event's occurrence index is its per-class
+    sequence number). Restrictions, for capacity [n]:
+    - [value-fifo]: the k-th removal yields the k-th deposited item, and
+      the deposit temporally precedes it;
+    - [capacity]: the (k+n)-th deposit temporally follows the k-th removal
+      (at most [n] items are ever buffered).
+    The One-Slot Buffer is the [n = 1] instance, where deposits and
+    removals strictly alternate. *)
+
+val spec : capacity:int -> Gem_spec.Spec.t
+
+val value_fifo : Gem_logic.Formula.t
+
+val capacity_bound : int -> Gem_logic.Formula.t
+
+(** {1 Solutions}
+
+    Each generator produces a program in which [producers] producer
+    processes each deposit [items_each] distinct items and [consumers]
+    consumer processes remove them (the total count divides evenly), plus
+    the correspondence mapping its events onto the problem spec. *)
+
+val monitor_solution :
+  capacity:int -> producers:int -> consumers:int -> items_each:int -> Gem_lang.Monitor.program
+(** The classic bounded-buffer monitor: entries [deposit]/[fetch], a list-
+    valued buffer variable, conditions [notfull]/[notempty]. *)
+
+val monitor_correspondence : Gem_check.Refine.correspondence
+(** [Begin] of the deposit entry ↦ [Dep]; [End] of the fetch entry ↦
+    [Rem]. *)
+
+val csp_solution :
+  capacity:int -> producers:int -> consumers:int -> items_each:int -> Gem_lang.Csp.program
+(** A buffer process holding a local list, alternating over guarded
+    receive (when not full) and guarded sends to consumers (when not
+    empty), CSP-style. *)
+
+val csp_correspondence : Gem_check.Refine.correspondence
+(** Buffer-process [EndIn] ↦ [Dep]; buffer-process [EndOut] ↦ [Rem]. *)
+
+val ada_solution :
+  capacity:int -> producers:int -> consumers:int -> items_each:int -> Gem_lang.Ada.program
+(** A buffer task with a [Select] over guarded [Deposit] and [Fetch]
+    entries. *)
+
+val ada_correspondence : Gem_check.Refine.correspondence
+(** [AcceptBegin(Deposit)] ↦ [Dep]; [AcceptEnd(Fetch)] ↦ [Rem]. *)
+
+(** {1 A knowingly broken solution (failure injection)} *)
+
+val buggy_monitor_solution :
+  capacity:int -> producers:int -> consumers:int -> items_each:int -> Gem_lang.Monitor.program
+(** Like {!monitor_solution} but the deposit entry omits the full-buffer
+    wait — its computations must violate [capacity]. *)

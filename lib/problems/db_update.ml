@@ -1,0 +1,72 @@
+module F = Gem_logic.Formula
+module V = Gem_model.Value
+module E = Gem_lang.Expr
+module Csp = Gem_lang.Csp
+
+let site_name i = Printf.sprintf "S%d" i
+
+(* One site: a guarded loop that offers its own stamped update to every
+   peer not yet served, and accepts any incoming update, applying the
+   Thomas write rule (newest timestamp wins). The stamped update is a
+   single integer [100 + i]; timestamps are the site index, so "newest"
+   is simply the larger value — all replicas must converge to the maximum. *)
+let site ~sites i =
+  let peers = List.filter (fun j -> j <> i) (List.init sites (fun j -> j + 1)) in
+  let sent_flag j = Printf.sprintf "sent%d" j in
+  {
+    Csp.proc_name = site_name i;
+    locals =
+      [ ("cur", V.Int (100 + i)); ("m", V.Int 0); ("recvd", V.Int 0) ]
+      @ List.map (fun j -> (sent_flag j, V.Int 0)) peers;
+    code =
+      [
+        Csp.CDo
+          (List.map
+             (fun j ->
+               {
+                 Csp.guard = E.Eq (E.Var (sent_flag j), E.Int 0);
+                 comm = Some (Csp.Send { to_ = site_name j; value = E.Int (100 + i) });
+                 body = [ Csp.CLocal (sent_flag j, E.Int 1) ];
+               })
+             peers
+           @ List.map
+               (fun j ->
+                 {
+                   Csp.guard = E.Lt (E.Var "recvd", E.Int (sites - 1));
+                   comm = Some (Csp.Recv { from_ = site_name j; bind = "m" });
+                   body =
+                     [
+                       Csp.CIfb
+                         (E.Gt (E.Var "m", E.Var "cur"),
+                          [ Csp.CLocal ("cur", E.Var "m") ],
+                          []);
+                       Csp.CLocal ("recvd", E.Add (E.Var "recvd", E.Int 1));
+                     ];
+                 })
+               peers);
+        Csp.CMark { klass = "Final"; params = [ E.Var "cur" ] };
+      ];
+  }
+
+let program ~sites =
+  if sites < 2 then invalid_arg "Db_update.program: need at least 2 sites";
+  List.init sites (fun i -> site ~sites (i + 1))
+
+let convergence =
+  let open F in
+  forall
+    [ ("f1", Cls "Final"); ("f2", Cls "Final") ]
+    (param "f1" "p0" =. param "f2" "p0")
+
+let converges_to ~sites =
+  let open F in
+  forall [ ("f", Cls "Final") ] (param "f" "p0" =. const_int (100 + sites))
+
+let check ?max_configs ~sites () =
+  let o = Csp.explore ?max_configs (program ~sites) in
+  let spec = Csp.language_spec ~name:"db-update" (program ~sites) in
+  let prop = F.conj [ convergence; converges_to ~sites ] in
+  let all_ok =
+    List.for_all (fun comp -> Gem_check.Check.holds spec comp prop) o.computations
+  in
+  (List.length o.computations, List.length o.deadlocks, all_ok)

@@ -1,0 +1,32 @@
+(** The distributed database update application (paper §1, §11 —
+    "an algorithm for performing updates to a distributed database").
+
+    Each of [sites] sites holds a replica of one register and originates
+    one timestamped update; updates propagate over synchronous CSP
+    channels in a full mesh, and each site applies the Thomas write rule
+    (keep the update with the highest timestamp). Every site runs a single
+    guarded loop offering its unsent updates and accepting any incoming
+    one, so the symmetric protocol cannot deadlock.
+
+    The paper's claims, checked mechanically:
+    - {e lack of deadlock}: the exhaustive exploration reports no
+      deadlocked leaf;
+    - {e functional correctness}: in every computation, all sites finish
+      with the same value — the maximum timestamp ({!convergence},
+      {!converges_to}). *)
+
+val program : sites:int -> Gem_lang.Csp.program
+(** Site [i] (1-based) originates update value [100 + i] with timestamp
+    [i]. Requires [sites >= 2]. *)
+
+val site_name : int -> string
+
+val convergence : Gem_logic.Formula.t
+(** All [Final] marker events carry equal values. *)
+
+val converges_to : sites:int -> Gem_logic.Formula.t
+(** Every [Final] value is the maximum update ([100 + sites]). *)
+
+val check : ?max_configs:int -> sites:int -> unit -> (int * int * bool)
+(** Explore and check: returns (computations, deadlocks, all runs
+    converge). *)

@@ -1,0 +1,469 @@
+module F = Gem_logic.Formula
+module V = Gem_model.Value
+module E = Gem_lang.Expr
+module Etype = Gem_spec.Etype
+module Abbrev = Gem_spec.Abbrev
+module Thread = Gem_spec.Thread
+open Gem_lang.Monitor
+
+type version =
+  | Free_for_all
+  | Readers_priority
+  | Writers_priority
+  | Arrival_order
+  | No_starved_writers
+
+let all_versions =
+  [ Free_for_all; Readers_priority; Writers_priority; Arrival_order; No_starved_writers ]
+
+let version_name = function
+  | Free_for_all -> "free-for-all"
+  | Readers_priority -> "readers-priority"
+  | Writers_priority -> "writers-priority"
+  | Arrival_order -> "arrival-order"
+  | No_starved_writers -> "no-starved-writers"
+
+let control = "control"
+let data = "data"
+let thread_name = "piRW"
+
+(* ------------------------------------------------------------------ *)
+(* Problem specification                                               *)
+(* ------------------------------------------------------------------ *)
+
+let control_etype =
+  Etype.make "RWControl"
+    ~events:
+      [
+        { Etype.klass = "ReqRead"; schema = [] };
+        { klass = "StartRead"; schema = [] };
+        { klass = "EndRead"; schema = [] };
+        { klass = "ReqWrite"; schema = [] };
+        { klass = "StartWrite"; schema = [] };
+        { klass = "EndWrite"; schema = [] };
+      ]
+    ()
+
+let user_etype =
+  Etype.make "User"
+    ~events:
+      [
+        { Etype.klass = "Read"; schema = [] };
+        { klass = "FinishRead"; schema = [ ("info", Etype.P_any) ] };
+        { klass = "Write"; schema = [ ("info", Etype.P_any) ] };
+        { klass = "FinishWrite"; schema = [] };
+      ]
+    ()
+
+let rw_thread =
+  Thread.def thread_name
+    (Thread.Alt
+       [
+         Thread.seq_of_domains
+           [
+             F.Cls "Read";
+             F.Cls_at (control, "ReqRead");
+             F.Cls_at (control, "StartRead");
+             F.Cls_at (data, "Getval");
+             F.Cls_at (control, "EndRead");
+             F.Cls "FinishRead";
+           ];
+         Thread.seq_of_domains
+           [
+             F.Cls "Write";
+             F.Cls_at (control, "ReqWrite");
+             F.Cls_at (control, "StartWrite");
+             F.Cls_at (data, "Assign");
+             F.Cls_at (control, "EndWrite");
+             F.Cls "FinishWrite";
+           ];
+       ])
+
+(* The paper's RWProblem restrictions 1 and 2: each user call flows
+   request -> start -> data access -> end -> return. *)
+let transaction_chains ~users =
+  ignore users;
+  F.conj
+    [
+      Abbrev.chain
+        [
+          F.Cls "Read";
+          F.Cls_at (control, "ReqRead");
+          F.Cls_at (control, "StartRead");
+          F.Cls_at (data, "Getval");
+          F.Cls_at (control, "EndRead");
+          F.Cls "FinishRead";
+        ];
+      Abbrev.chain
+        [
+          F.Cls "Write";
+          F.Cls_at (control, "ReqWrite");
+          F.Cls_at (control, "StartWrite");
+          F.Cls_at (data, "Assign");
+          F.Cls_at (control, "EndWrite");
+          F.Cls "FinishWrite";
+        ];
+    ]
+
+(* The paper's Mutual Exclusion Restriction (§8.3): writers exclude
+   readers, and writers exclude other writers. *)
+let mutual_exclusion =
+  F.conj
+    [
+      Abbrev.mutex ~thread:thread_name
+        ~start1:(F.Cls_at (control, "StartRead"))
+        ~finish1:(F.Cls_at (control, "EndRead"))
+        ~start2:(F.Cls_at (control, "StartWrite"))
+        ~finish2:(F.Cls_at (control, "EndWrite"));
+      Abbrev.mutex ~thread:thread_name
+        ~start1:(F.Cls_at (control, "StartWrite"))
+        ~finish1:(F.Cls_at (control, "EndWrite"))
+        ~start2:(F.Cls_at (control, "StartWrite"))
+        ~finish2:(F.Cls_at (control, "EndWrite"));
+    ]
+
+(* If requests of classes A then B are simultaneously pending and A's
+   request observably preceded (condition [before]), then B does not start
+   before A. *)
+let pending_precedence ~req_a ~start_a ~req_b ~start_b ~before =
+  let open F in
+  henceforth
+    (forall
+       [ ("_ra", req_a); ("_rb", req_b) ]
+       (at_cls "_ra" start_a &&& at_cls "_rb" start_b
+        &&& distinct_thread thread_name "_ra" "_rb"
+        &&& before "_ra" "_rb"
+        ==> henceforth
+              (forall
+                 [ ("_sb", start_b) ]
+                 (same_thread thread_name "_rb" "_sb" &&& occurred "_sb"
+                  ==> exists
+                        [ ("_sa", start_a) ]
+                        (same_thread thread_name "_ra" "_sa" &&& occurred "_sa")))))
+
+let readers_priority_restriction =
+  Abbrev.priority ~thread:thread_name
+    ~req_hi:(F.Cls_at (control, "ReqRead"))
+    ~start_hi:(F.Cls_at (control, "StartRead"))
+    ~req_lo:(F.Cls_at (control, "ReqWrite"))
+    ~start_lo:(F.Cls_at (control, "StartWrite"))
+
+let writers_priority_restriction =
+  Abbrev.priority ~thread:thread_name
+    ~req_hi:(F.Cls_at (control, "ReqWrite"))
+    ~start_hi:(F.Cls_at (control, "StartWrite"))
+    ~req_lo:(F.Cls_at (control, "ReqRead"))
+    ~start_lo:(F.Cls_at (control, "StartRead"))
+
+let arrival_order_restriction =
+  let earlier a b = F.temp_lt a b in
+  F.conj
+    [
+      pending_precedence
+        ~req_a:(F.Cls_at (control, "ReqRead"))
+        ~start_a:(F.Cls_at (control, "StartRead"))
+        ~req_b:(F.Cls_at (control, "ReqWrite"))
+        ~start_b:(F.Cls_at (control, "StartWrite"))
+        ~before:earlier;
+      pending_precedence
+        ~req_a:(F.Cls_at (control, "ReqWrite"))
+        ~start_a:(F.Cls_at (control, "StartWrite"))
+        ~req_b:(F.Cls_at (control, "ReqRead"))
+        ~start_b:(F.Cls_at (control, "StartRead"))
+        ~before:earlier;
+    ]
+
+(* Weak writer priority: reads requested after a pending write do not
+   start before it. *)
+let no_starved_writers_restriction =
+  pending_precedence
+    ~req_a:(F.Cls_at (control, "ReqWrite"))
+    ~start_a:(F.Cls_at (control, "StartWrite"))
+    ~req_b:(F.Cls_at (control, "ReqRead"))
+    ~start_b:(F.Cls_at (control, "StartRead"))
+    ~before:(fun a b -> F.temp_lt a b)
+
+let version_restriction = function
+  | Free_for_all -> None
+  | Readers_priority -> Some readers_priority_restriction
+  | Writers_priority -> Some writers_priority_restriction
+  | Arrival_order -> Some arrival_order_restriction
+  | No_starved_writers -> Some no_starved_writers_restriction
+
+let spec version ~users =
+  let restrictions =
+    [
+      ("transaction-chains", transaction_chains ~users);
+      ("mutual-exclusion", mutual_exclusion);
+    ]
+    @
+    match version_restriction version with
+    | Some f -> [ (version_name version, f) ]
+    | None -> []
+  in
+  Gem_spec.Spec.make
+    ("readers-writers-" ^ version_name version)
+    ~elements:
+      ((control, control_etype) :: (data, Etype.variable)
+      :: List.map (fun u -> (u, user_etype)) users)
+    ~restrictions ~threads:[ rw_thread ] ()
+
+(* ------------------------------------------------------------------ *)
+(* Monitor programs                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's §9 monitor, transcribed statement for statement. *)
+let paper_monitor =
+  {
+    mon_name = "RW";
+    vars = [ ("readernum", V.Int 0) ];
+    conditions = [ "readqueue"; "writequeue" ];
+    entries =
+      [
+        {
+          entry_name = "StartRead";
+          formals = [];
+          body =
+            [
+              MIf (E.Lt (E.Var "readernum", E.Int 0), [ MWait "readqueue" ], []);
+              MAssign
+                {
+                  var = "readernum";
+                  value = E.Add (E.Var "readernum", E.Int 1);
+                  site = Some "startread";
+                };
+              MSignal "readqueue";
+            ];
+        };
+        {
+          entry_name = "EndRead";
+          formals = [];
+          body =
+            [
+              MAssign
+                {
+                  var = "readernum";
+                  value = E.Sub (E.Var "readernum", E.Int 1);
+                  site = Some "endread";
+                };
+              MIf (E.Eq (E.Var "readernum", E.Int 0), [ MSignal "writequeue" ], []);
+            ];
+        };
+        {
+          entry_name = "StartWrite";
+          formals = [];
+          body =
+            [
+              MIf (E.Ne (E.Var "readernum", E.Int 0), [ MWait "writequeue" ], []);
+              MAssign { var = "readernum"; value = E.Int (-1); site = Some "startwrite" };
+            ];
+        };
+        {
+          entry_name = "EndWrite";
+          formals = [];
+          body =
+            [
+              MAssign { var = "readernum"; value = E.Int 0; site = Some "endwrite" };
+              MIf
+                ( E.Queue_non_empty "readqueue",
+                  [ MSignal "readqueue" ],
+                  [ MSignal "writequeue" ] );
+            ];
+        };
+      ];
+  }
+
+(* Courtois-style writer priority: arriving readers also defer to waiting
+   writers, and EndWrite prefers the write queue. *)
+let writers_priority_monitor =
+  {
+    mon_name = "RW";
+    vars = [ ("readernum", V.Int 0); ("writing", V.Int 0); ("waitingw", V.Int 0) ];
+    conditions = [ "readqueue"; "writequeue" ];
+    entries =
+      [
+        {
+          entry_name = "StartRead";
+          formals = [];
+          body =
+            [
+              MIf
+                ( E.Or (E.Gt (E.Var "waitingw", E.Int 0), E.Ne (E.Var "writing", E.Int 0)),
+                  [ MWait "readqueue" ],
+                  [] );
+              MAssign
+                {
+                  var = "readernum";
+                  value = E.Add (E.Var "readernum", E.Int 1);
+                  site = Some "startread";
+                };
+              MIf (E.Eq (E.Var "waitingw", E.Int 0), [ MSignal "readqueue" ], []);
+            ];
+        };
+        {
+          entry_name = "EndRead";
+          formals = [];
+          body =
+            [
+              MAssign
+                {
+                  var = "readernum";
+                  value = E.Sub (E.Var "readernum", E.Int 1);
+                  site = Some "endread";
+                };
+              MIf (E.Eq (E.Var "readernum", E.Int 0), [ MSignal "writequeue" ], []);
+            ];
+        };
+        {
+          entry_name = "StartWrite";
+          formals = [];
+          body =
+            [
+              MAssign { var = "waitingw"; value = E.Add (E.Var "waitingw", E.Int 1); site = None };
+              MIf
+                ( E.Or (E.Ne (E.Var "readernum", E.Int 0), E.Ne (E.Var "writing", E.Int 0)),
+                  [ MWait "writequeue" ],
+                  [] );
+              MAssign { var = "waitingw"; value = E.Sub (E.Var "waitingw", E.Int 1); site = None };
+              MAssign { var = "writing"; value = E.Int 1; site = Some "startwrite" };
+            ];
+        };
+        {
+          entry_name = "EndWrite";
+          formals = [];
+          body =
+            [
+              MAssign { var = "writing"; value = E.Int 0; site = Some "endwrite" };
+              MIf
+                ( E.Queue_non_empty "writequeue",
+                  [ MSignal "writequeue" ],
+                  [ MSignal "readqueue" ] );
+            ];
+        };
+      ];
+  }
+
+(* The paper's monitor with EndWrite's wakeup preference inverted: after a
+   write, a waiting writer beats waiting readers. *)
+let buggy_monitor =
+  let invert = function
+    | {
+        entry_name = "EndWrite";
+        formals;
+        body = [ assign; MIf (_, [ sig_read ], [ sig_write ]) ];
+      } ->
+        {
+          entry_name = "EndWrite";
+          formals;
+          body = [ assign; MIf (E.Queue_non_empty "writequeue", [ sig_write ], [ sig_read ]) ];
+        }
+    | e -> e
+  in
+  { paper_monitor with entries = List.map invert paper_monitor.entries }
+
+(* StartWrite ignores active readers entirely. *)
+let no_exclusion_monitor =
+  let break = function
+    | { entry_name = "StartWrite"; formals; body = [ MIf _; assign ] } ->
+        { entry_name = "StartWrite"; formals; body = [ assign ] }
+    | e -> e
+  in
+  { paper_monitor with entries = List.map break paper_monitor.entries }
+
+(* ------------------------------------------------------------------ *)
+(* Processes                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let reader name =
+  {
+    proc_name = name;
+    locals = [ ("x", V.Int 0) ];
+    code =
+      [
+        PMark { klass = "Read"; params = [] };
+        PCall { monitor = "RW"; entry = "StartRead"; args = []; bind = None };
+        PRead { var = data; bind = "x" };
+        PCall { monitor = "RW"; entry = "EndRead"; args = []; bind = None };
+        PMark { klass = "FinishRead"; params = [ E.Var "x" ] };
+      ];
+  }
+
+let writer name value =
+  {
+    proc_name = name;
+    locals = [];
+    code =
+      [
+        PMark { klass = "Write"; params = [ E.Int value ] };
+        PCall { monitor = "RW"; entry = "StartWrite"; args = []; bind = None };
+        PWrite { var = data; value = E.Int value };
+        PCall { monitor = "RW"; entry = "EndWrite"; args = []; bind = None };
+        PMark { klass = "FinishWrite"; params = [] };
+      ];
+  }
+
+let user_names ~readers ~writers =
+  List.init readers (fun i -> Printf.sprintf "R%d" (i + 1))
+  @ List.init writers (fun i -> Printf.sprintf "W%d" (i + 1))
+
+let program ~monitor ~readers ~writers =
+  {
+    monitors = [ monitor ];
+    shared = [ (data, V.Int 0) ];
+    processes =
+      List.init readers (fun i -> reader (Printf.sprintf "R%d" (i + 1)))
+      @ List.init writers (fun i -> writer (Printf.sprintf "W%d" (i + 1)) (100 + i + 1));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The paper's event correspondence (§9)                               *)
+(* ------------------------------------------------------------------ *)
+
+let site_map =
+  [
+    ("startread", "StartRead");
+    ("endread", "EndRead");
+    ("startwrite", "StartWrite");
+    ("endwrite", "EndWrite");
+  ]
+
+let correspondence : Gem_check.Refine.correspondence =
+ fun comp h ->
+  let e = Gem_model.Computation.event comp h in
+  let el = e.Gem_model.Event.id.element in
+  let mk to_element to_class to_params =
+    Some { Gem_check.Refine.to_element; to_class; to_params }
+  in
+  match e.Gem_model.Event.klass with
+  (* User markers map to themselves (renaming positional params). *)
+  | "Read" -> mk el "Read" []
+  | "FinishRead" -> mk el "FinishRead" [ ("info", Gem_model.Event.param e "p0") ]
+  | "Write" -> mk el "Write" [ ("info", Gem_model.Event.param e "p0") ]
+  | "FinishWrite" -> mk el "FinishWrite" []
+  (* ReqRead / ReqWrite are the entry BEGINs. *)
+  | "Begin" when String.equal el "RW.StartRead" -> mk control "ReqRead" []
+  | "Begin" when String.equal el "RW.StartWrite" -> mk control "ReqWrite" []
+  (* Start/End events are the significant assignments, per their site tag. *)
+  | "Assign" when String.length el > 3 && String.equal (String.sub el 0 3) "RW." -> (
+      match Gem_model.Event.param_opt e "site" with
+      | Some (V.Str s) -> (
+          match List.assoc_opt s site_map with
+          | Some klass -> mk control klass []
+          | None -> None)
+      | Some _ | None -> None)
+  (* Database accesses map to the problem's data element, except the
+     initialization write (its only enabler chain starts at main). *)
+  | "Getval" when String.equal el data ->
+      mk data "Getval" [ ("oldval", Gem_model.Event.param e "oldval") ]
+  | "Assign" when String.equal el data ->
+      let from_process =
+        List.exists
+          (fun p ->
+            not
+              (String.equal (Gem_model.Computation.event comp p).Gem_model.Event.id.element
+                 "main"))
+          (Gem_model.Computation.enable_preds comp h)
+      in
+      if from_process then mk data "Assign" [ ("newval", Gem_model.Event.param e "newval") ]
+      else None
+  | _ -> None

@@ -1,0 +1,90 @@
+(** The Readers/Writers problem (paper §8.3, §9): the GEM problem
+    specification, its five priority variants, the paper's monitor program
+    verbatim, and mutated programs for failure injection.
+
+    {b Problem structure} (following the paper's [RWProblem]): one control
+    element ["control"] hosting [ReqRead], [StartRead], [EndRead],
+    [ReqWrite], [StartWrite] and [EndWrite] events; one user element per
+    user hosting [Read]/[FinishRead]/[Write]/[FinishWrite] markers; data
+    elements for the database. The thread type [piRW] labels each
+    transaction's control chain
+    ([Read :: ReqRead :: StartRead :: EndRead :: FinishRead] or the write
+    counterpart), exactly the paper's path-expression notation.
+
+    {b The five versions} (paper §11 mentions five) differ only in the
+    added scheduling restriction:
+    - {e free-for-all}: mutual exclusion only ("writers exclude others");
+    - {e reader's priority}: a pending read is serviced before a pending
+      write (the paper's worked example);
+    - {e writer's priority}: symmetric;
+    - {e arrival order (FIFO)}: of two pending requests, the one requested
+      first starts first;
+    - {e no-starved-writers}: once a write is pending, reads that are
+      requested afterwards do not start before it (weak writer priority —
+      readers already pending may still go first). *)
+
+type version =
+  | Free_for_all
+  | Readers_priority
+  | Writers_priority
+  | Arrival_order
+  | No_starved_writers
+
+val all_versions : version list
+
+val version_name : version -> string
+
+val control : string
+(** The control element name. *)
+
+val thread_name : string
+(** ["piRW"]. *)
+
+val spec : version -> users:string list -> Gem_spec.Spec.t
+(** The problem specification: control + user elements, the [piRW] thread,
+    transaction-chain prerequisites, mutual exclusion, and the version's
+    scheduling restriction. *)
+
+val mutual_exclusion : Gem_logic.Formula.t
+
+val transaction_chains : users:string list -> Gem_logic.Formula.t
+
+val version_restriction : version -> Gem_logic.Formula.t option
+
+(** {1 Programs} *)
+
+val paper_monitor : Gem_lang.Monitor.monitor
+(** The ReadersWriters monitor of §9, transcribed statement for statement
+    (site tags [startread]/[endread]/[startwrite]/[endwrite] mark the
+    significant assignments, as in the paper's event correspondence). *)
+
+val writers_priority_monitor : Gem_lang.Monitor.monitor
+(** A Courtois-style writer-priority variant: readers wait while a writer
+    is waiting. *)
+
+val buggy_monitor : Gem_lang.Monitor.monitor
+(** The paper's monitor with EndWrite's wakeup preference inverted
+    (writers first even when readers wait) — this must violate
+    {!Readers_priority} but still satisfy mutual exclusion. *)
+
+val no_exclusion_monitor : Gem_lang.Monitor.monitor
+(** StartWrite does not wait for readers to drain — violates
+    {!mutual_exclusion}. *)
+
+val program :
+  monitor:Gem_lang.Monitor.monitor ->
+  readers:int ->
+  writers:int ->
+  Gem_lang.Monitor.program
+(** [readers] reader processes and [writers] writer processes around the
+    given monitor, each performing one transaction on a shared [data]
+    variable, emitting the user marker events. Reader names are
+    [R1, R2, ...]; writer names [W1, ...] writing value [100 + i]. *)
+
+val user_names : readers:int -> writers:int -> string list
+
+val correspondence : Gem_check.Refine.correspondence
+(** The paper's §9 event correspondence: [ReqRead] ↦ BEGIN of entry
+    StartRead, [StartRead] ↦ the [readernum := readernum + 1] assignment,
+    [EndRead] ↦ the [readernum := readernum - 1] assignment, and the write
+    counterparts; user markers and data accesses map to themselves. *)

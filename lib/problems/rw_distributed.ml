@@ -1,0 +1,550 @@
+module F = Gem_logic.Formula
+module V = Gem_model.Value
+module E = Gem_lang.Expr
+module Etype = Gem_spec.Etype
+module Computation = Gem_model.Computation
+module Event = Gem_model.Event
+module Csp = Gem_lang.Csp
+module Ada = Gem_lang.Ada
+
+let ctl u = "ctl_" ^ u
+let data = "data"
+
+let user_names ~readers ~writers =
+  ( List.init readers (fun i -> Printf.sprintf "R%d" (i + 1)),
+    List.init writers (fun i -> Printf.sprintf "W%d" (i + 1)) )
+
+(* ------------------------------------------------------------------ *)
+(* The distributed problem specification                               *)
+(* ------------------------------------------------------------------ *)
+
+let reader_ctl_etype =
+  Etype.make "ReaderControl"
+    ~events:
+      [
+        { Etype.klass = "ReqRead"; schema = [] };
+        { klass = "StartRead"; schema = [] };
+        { klass = "EndRead"; schema = [] };
+      ]
+    ()
+
+let writer_ctl_etype =
+  Etype.make "WriterControl"
+    ~events:
+      [
+        { Etype.klass = "ReqWrite"; schema = [] };
+        { klass = "StartWrite"; schema = [] };
+        { klass = "EndWrite"; schema = [] };
+      ]
+    ()
+
+let user_etype =
+  Etype.make "User"
+    ~events:
+      [
+        { Etype.klass = "Read"; schema = [] };
+        { klass = "FinishRead"; schema = [ ("info", Etype.P_any) ] };
+        { klass = "Write"; schema = [ ("info", Etype.P_any) ] };
+        { klass = "FinishWrite"; schema = [] };
+      ]
+    ()
+
+(* "s is in progress": s occurred and the first matching end after it (at
+   the same control element, before any next start) has not occurred. *)
+let in_progress ~el ~start_cls ~end_cls s =
+  let open F in
+  occurred s
+  &&& neg
+        (exists
+           [ ("_e", Cls_at (el, end_cls)) ]
+           (elem_lt s "_e" &&& occurred "_e"
+            &&& neg
+                  (exists
+                     [ ("_s'", Cls_at (el, start_cls)) ]
+                     (elem_lt s "_s'" &&& elem_lt "_s'" "_e"))))
+
+let mutual_exclusion ~readers ~writers =
+  let open F in
+  let read_write =
+    List.concat_map
+      (fun r ->
+        List.map
+          (fun w ->
+            forall
+              [ ("_sr", Cls_at (ctl r, "StartRead")); ("_sw", Cls_at (ctl w, "StartWrite")) ]
+              (neg
+                 (in_progress ~el:(ctl r) ~start_cls:"StartRead" ~end_cls:"EndRead" "_sr"
+                  &&& in_progress ~el:(ctl w) ~start_cls:"StartWrite" ~end_cls:"EndWrite"
+                        "_sw")))
+          writers)
+      readers
+  in
+  let write_write =
+    List.concat_map
+      (fun w1 ->
+        List.filter_map
+          (fun w2 ->
+            if String.compare w1 w2 < 0 then
+              Some
+                (forall
+                   [
+                     ("_s1", Cls_at (ctl w1, "StartWrite"));
+                     ("_s2", Cls_at (ctl w2, "StartWrite"));
+                   ]
+                   (neg
+                      (in_progress ~el:(ctl w1) ~start_cls:"StartWrite" ~end_cls:"EndWrite"
+                         "_s1"
+                       &&& in_progress ~el:(ctl w2) ~start_cls:"StartWrite"
+                             ~end_cls:"EndWrite" "_s2")))
+            else None)
+          writers)
+      writers
+  in
+  henceforth (conj (read_write @ write_write))
+
+(* The start matching request [q]: the first start after [q] at its control
+   element with no intervening request (requests and starts alternate
+   there). *)
+let matched_start ~el ~req_cls ~start_var q =
+  let open F in
+  elem_lt q start_var
+  &&& neg
+        (exists
+           [ ("_q'", Cls_at (el, req_cls)) ]
+           (elem_lt q "_q'" &&& elem_lt "_q'" start_var))
+
+let granted ~el ~req_cls ~start_cls q =
+  let open F in
+  exists
+    [ ("_s", Cls_at (el, start_cls)) ]
+    (matched_start ~el ~req_cls ~start_var:"_s" q &&& occurred "_s")
+
+let readers_priority ~readers ~writers =
+  let open F in
+  henceforth
+    (conj
+       (List.concat_map
+          (fun r ->
+            List.map
+              (fun w ->
+                let pending_r =
+                  occurred "_r" &&& neg (granted ~el:(ctl r) ~req_cls:"ReqRead" ~start_cls:"StartRead" "_r")
+                in
+                let pending_q =
+                  occurred "_q" &&& neg (granted ~el:(ctl w) ~req_cls:"ReqWrite" ~start_cls:"StartWrite" "_q")
+                in
+                forall
+                  [ ("_r", Cls_at (ctl r, "ReqRead")); ("_q", Cls_at (ctl w, "ReqWrite")) ]
+                  (pending_r &&& pending_q
+                   ==> henceforth
+                         (granted ~el:(ctl w) ~req_cls:"ReqWrite" ~start_cls:"StartWrite" "_q"
+                          ==> granted ~el:(ctl r) ~req_cls:"ReqRead" ~start_cls:"StartRead" "_r")))
+              writers)
+          readers))
+
+let spec ~readers ~writers =
+  Gem_spec.Spec.make "readers-writers-distributed"
+    ~elements:
+      (((data, Etype.variable)
+        :: List.map (fun r -> (r, user_etype)) readers)
+      @ List.map (fun w -> (w, user_etype)) writers
+      @ List.map (fun r -> (ctl r, reader_ctl_etype)) readers
+      @ List.map (fun w -> (ctl w, writer_ctl_etype)) writers)
+    ~restrictions:
+      [
+        ("mutual-exclusion", mutual_exclusion ~readers ~writers);
+        ("readers-priority", readers_priority ~readers ~writers);
+      ]
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* CSP solution                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Message tags on user->controller channels. *)
+let tag_req = 1
+let tag_done = 2
+let tag_grant = 0
+let tag_read_data = -1
+
+let csp_reader name =
+  {
+    Csp.proc_name = name;
+    locals = [ ("g", V.Int 0); ("x", V.Int 0) ];
+    code =
+      [
+        Csp.CMark { klass = "Read"; params = [] };
+        Csp.CComm (Csp.Send { to_ = "C"; value = E.Int tag_req });
+        Csp.CComm (Csp.Recv { from_ = "C"; bind = "g" });
+        Csp.CComm (Csp.Send { to_ = "D"; value = E.Int tag_read_data });
+        Csp.CComm (Csp.Recv { from_ = "D"; bind = "x" });
+        Csp.CComm (Csp.Send { to_ = "C"; value = E.Int tag_done });
+        Csp.CMark { klass = "FinishRead"; params = [ E.Var "x" ] };
+      ];
+  }
+
+let csp_writer name value =
+  {
+    Csp.proc_name = name;
+    locals = [ ("g", V.Int 0) ];
+    code =
+      [
+        Csp.CMark { klass = "Write"; params = [ E.Int value ] };
+        Csp.CComm (Csp.Send { to_ = "C"; value = E.Int tag_req });
+        Csp.CComm (Csp.Recv { from_ = "C"; bind = "g" });
+        Csp.CComm (Csp.Send { to_ = "D"; value = E.Int value });
+        Csp.CComm (Csp.Send { to_ = "C"; value = E.Int tag_done });
+        Csp.CMark { klass = "FinishWrite"; params = [] };
+      ];
+  }
+
+let pend r = "pend_" ^ r
+
+let csp_controller ~rnames ~wnames ~priority =
+  let no_pending_reads =
+    List.fold_left
+      (fun acc r -> E.And (acc, E.Eq (E.Var (pend r), E.Int 0)))
+      (E.Bool true) rnames
+  in
+  let reader_branches =
+    List.concat_map
+      (fun r ->
+        [
+          {
+            Csp.guard = E.Bool true;
+            comm = Some (Csp.Recv { from_ = r; bind = "m" });
+            body =
+              [
+                Csp.CIfb
+                  ( E.Eq (E.Var "m", E.Int tag_req),
+                    [ Csp.CLocal (pend r, E.Int 1) ],
+                    [ Csp.CLocal ("activeR", E.Sub (E.Var "activeR", E.Int 1)) ] );
+              ];
+          };
+          {
+            Csp.guard = E.And (E.Eq (E.Var (pend r), E.Int 1), E.Eq (E.Var "activeW", E.Int 0));
+            comm = Some (Csp.Send { to_ = r; value = E.Int tag_grant });
+            body =
+              [
+                Csp.CLocal (pend r, E.Int 0);
+                Csp.CLocal ("activeR", E.Add (E.Var "activeR", E.Int 1));
+              ];
+          };
+        ])
+      rnames
+  in
+  let writer_branches =
+    List.concat_map
+      (fun w ->
+        let base_guard =
+          E.And
+            ( E.Eq (E.Var (pend w), E.Int 1),
+              E.And (E.Eq (E.Var "activeW", E.Int 0), E.Eq (E.Var "activeR", E.Int 0)) )
+        in
+        let guard = if priority then E.And (base_guard, no_pending_reads) else base_guard in
+        [
+          {
+            Csp.guard = E.Bool true;
+            comm = Some (Csp.Recv { from_ = w; bind = "m" });
+            body =
+              [
+                Csp.CIfb
+                  ( E.Eq (E.Var "m", E.Int tag_req),
+                    [ Csp.CLocal (pend w, E.Int 1) ],
+                    [ Csp.CLocal ("activeW", E.Int 0) ] );
+              ];
+          };
+          {
+            Csp.guard;
+            comm = Some (Csp.Send { to_ = w; value = E.Int tag_grant });
+            body = [ Csp.CLocal (pend w, E.Int 0); Csp.CLocal ("activeW", E.Int 1) ];
+          };
+        ])
+      wnames
+  in
+  {
+    Csp.proc_name = "C";
+    locals =
+      [ ("m", V.Int 0); ("activeR", V.Int 0); ("activeW", V.Int 0) ]
+      @ List.map (fun u -> (pend u, V.Int 0)) (rnames @ wnames);
+    code = [ Csp.CDo (reader_branches @ writer_branches) ];
+  }
+
+let csp_data ~users =
+  {
+    Csp.proc_name = "D";
+    locals = [ ("val", V.Int 0); ("m", V.Int 0) ];
+    code =
+      [
+        Csp.CDo
+          (List.map
+             (fun u ->
+               {
+                 Csp.guard = E.Bool true;
+                 comm = Some (Csp.Recv { from_ = u; bind = "m" });
+                 body =
+                   [
+                     Csp.CIfb
+                       ( E.Ge (E.Var "m", E.Int 0),
+                         [ Csp.CLocal ("val", E.Var "m") ],
+                         [ Csp.CComm (Csp.Send { to_ = u; value = E.Var "val" }) ] );
+                   ];
+               })
+             users);
+      ];
+  }
+
+let csp_program_gen ~readers ~writers ~priority =
+  let rnames, wnames = user_names ~readers ~writers in
+  (csp_controller ~rnames ~wnames ~priority :: csp_data ~users:(rnames @ wnames)
+  :: List.map csp_reader rnames)
+  @ List.mapi (fun i w -> csp_writer w (100 + i + 1)) wnames
+
+let csp_program ~readers ~writers = csp_program_gen ~readers ~writers ~priority:true
+
+let csp_program_no_priority ~readers ~writers =
+  csp_program_gen ~readers ~writers ~priority:false
+
+(* Role of an element in the generated programs. *)
+let role el =
+  if String.equal el "C" then `Controller
+  else if String.equal el "D" then `Data
+  else if String.length el > 0 && el.[0] = 'R' then `Reader
+  else if String.length el > 0 && el.[0] = 'W' then `Writer
+  else `Other
+
+(* The element-order predecessor of [h] (same element, previous index). *)
+let elem_pred comp h =
+  let e = Computation.event comp h in
+  if e.Event.id.index = 0 then None
+  else Computation.handle_of comp ~element:e.Event.id.element ~index:(e.Event.id.index - 1)
+
+(* The partner-side Req event that enables [h] (for EndIn/EndOut). *)
+let enabling_partner comp h klass =
+  List.find_opt
+    (fun p -> Event.has_class (Computation.event comp p) klass)
+    (Computation.enable_preds comp h)
+
+let mk to_element to_class to_params =
+  Some { Gem_check.Refine.to_element; to_class; to_params }
+
+(* Control events live at the controller — RWControl is the control locus,
+   and C's element order totally orders registrations and grants, so the
+   projection carries the full decision order (per-user significant C
+   events are chained through the non-significant C events between them).
+
+   - ReqRead/ReqWrite:  C's EndIn of a tag_req message (registration);
+   - StartRead/StartWrite: C's EndOut of the grant;
+   - EndRead/EndWrite:  C's EndIn of the tag_done message. *)
+let csp_correspondence : Gem_check.Refine.correspondence =
+ fun comp h ->
+  let e = Computation.event comp h in
+  let el = e.Event.id.element in
+  match role el, e.Event.klass with
+  (* User markers. *)
+  | (`Reader | `Writer), "Read" -> mk el "Read" []
+  | (`Reader | `Writer), "FinishRead" -> mk el "FinishRead" [ ("info", Event.param e "p0") ]
+  | (`Reader | `Writer), "Write" -> mk el "Write" [ ("info", Event.param e "p0") ]
+  | (`Reader | `Writer), "FinishWrite" -> mk el "FinishWrite" []
+  (* Controller-side registration / relinquish: C's EndIn, partner found
+     via the enabling ReqOut. *)
+  | `Controller, "EndIn" -> (
+      match enabling_partner comp h "ReqOut" with
+      | Some p -> (
+          let user = (Computation.event comp p).Event.id.element in
+          let tag = Event.param e "value" in
+          match role user, tag with
+          | `Reader, V.Int 1 -> mk (ctl user) "ReqRead" []
+          | `Reader, V.Int 2 -> mk (ctl user) "EndRead" []
+          | `Writer, V.Int 1 -> mk (ctl user) "ReqWrite" []
+          | `Writer, V.Int 2 -> mk (ctl user) "EndWrite" []
+          | _ -> None)
+      | None -> None)
+  (* Controller-side grant: C's EndOut; the recipient is the "to" of the
+     element-adjacent ReqOut. *)
+  | `Controller, "EndOut" -> (
+      match elem_pred comp h with
+      | Some p
+        when Event.has_class (Computation.event comp p) "ReqOut" -> (
+          let user = V.as_string (Event.param (Computation.event comp p) "to") in
+          match role user with
+          | `Reader -> mk (ctl user) "StartRead" []
+          | `Writer -> mk (ctl user) "StartWrite" []
+          | _ -> None)
+      | _ -> None)
+  (* Data server events. *)
+  | `Data, "EndOut" -> mk data "Getval" [ ("oldval", Event.param e "value") ]
+  | `Data, "EndIn" -> (
+      match enabling_partner comp h "ReqOut" with
+      | Some p
+        when role (Computation.event comp p).Event.id.element = `Writer ->
+          mk data "Assign" [ ("newval", Event.param e "value") ]
+      | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* ADA solution                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let ada_reader name =
+  {
+    Ada.task_name = name;
+    locals = [ ("x", V.Int 0) ];
+    code =
+      [
+        Ada.AMark { klass = "Read"; params = [] };
+        Ada.ACall { task = "S"; entry = "StartRead"; args = []; bind = None };
+        Ada.ACall { task = "D"; entry = "Get"; args = []; bind = Some "x" };
+        Ada.ACall { task = "S"; entry = "EndRead"; args = []; bind = None };
+        Ada.AMark { klass = "FinishRead"; params = [ E.Var "x" ] };
+      ];
+  }
+
+let ada_writer name value =
+  {
+    Ada.task_name = name;
+    locals = [];
+    code =
+      [
+        Ada.AMark { klass = "Write"; params = [ E.Int value ] };
+        Ada.ACall { task = "S"; entry = "StartWrite"; args = []; bind = None };
+        Ada.ACall { task = "D"; entry = "Put"; args = [ E.Int value ]; bind = None };
+        Ada.ACall { task = "S"; entry = "EndWrite"; args = []; bind = None };
+        Ada.AMark { klass = "FinishWrite"; params = [] };
+      ];
+  }
+
+let ada_server ~readers ~writers ~priority =
+  let services = 2 * (readers + writers) in
+  let accept entry formals body =
+    { Ada.acc_entry = entry; acc_formals = formals; acc_body = body; acc_result = None }
+  in
+  let start_write_guard =
+    let base = E.And (E.Eq (E.Var "writing", E.Int 0), E.Eq (E.Var "readers", E.Int 0)) in
+    if priority then E.And (base, E.Eq (E.Queue_length "StartRead", E.Int 0)) else base
+  in
+  {
+    Ada.task_name = "S";
+    locals = [ ("readers", V.Int 0); ("writing", V.Int 0); ("served", V.Int 0) ];
+    code =
+      [
+        Ada.AWhile
+          ( E.Lt (E.Var "served", E.Int services),
+            [
+              Ada.ASelect
+                [
+                  {
+                    Ada.when_ = E.Eq (E.Var "writing", E.Int 0);
+                    accept =
+                      accept "StartRead" []
+                        [ Ada.ALocal ("readers", E.Add (E.Var "readers", E.Int 1)) ];
+                  };
+                  {
+                    Ada.when_ = start_write_guard;
+                    accept = accept "StartWrite" [] [ Ada.ALocal ("writing", E.Int 1) ];
+                  };
+                  {
+                    Ada.when_ = E.Bool true;
+                    accept =
+                      accept "EndRead" []
+                        [ Ada.ALocal ("readers", E.Sub (E.Var "readers", E.Int 1)) ];
+                  };
+                  {
+                    Ada.when_ = E.Bool true;
+                    accept = accept "EndWrite" [] [ Ada.ALocal ("writing", E.Int 0) ];
+                  };
+                ];
+              Ada.ALocal ("served", E.Add (E.Var "served", E.Int 1));
+            ] );
+      ];
+  }
+
+let ada_data ~accesses =
+  {
+    Ada.task_name = "D";
+    locals = [ ("val", V.Int 0); ("served", V.Int 0) ];
+    code =
+      [
+        Ada.AWhile
+          ( E.Lt (E.Var "served", E.Int accesses),
+            [
+              Ada.ASelect
+                [
+                  {
+                    Ada.when_ = E.Bool true;
+                    accept =
+                      {
+                        Ada.acc_entry = "Get";
+                        acc_formals = [];
+                        acc_body = [];
+                        acc_result = Some (E.Var "val");
+                      };
+                  };
+                  {
+                    Ada.when_ = E.Bool true;
+                    accept =
+                      {
+                        Ada.acc_entry = "Put";
+                        acc_formals = [ "x" ];
+                        acc_body = [ Ada.ALocal ("val", E.Var "x") ];
+                        acc_result = None;
+                      };
+                  };
+                ];
+              Ada.ALocal ("served", E.Add (E.Var "served", E.Int 1));
+            ] );
+      ];
+  }
+
+let ada_program_gen ~readers ~writers ~priority =
+  let rnames, wnames = user_names ~readers ~writers in
+  (ada_server ~readers ~writers ~priority
+  :: ada_data ~accesses:(readers + writers)
+  :: List.map ada_reader rnames)
+  @ List.mapi (fun i w -> ada_writer w (100 + i + 1)) wnames
+
+let ada_program ~readers ~writers = ada_program_gen ~readers ~writers ~priority:true
+
+let ada_program_no_priority ~readers ~writers =
+  ada_program_gen ~readers ~writers ~priority:false
+
+let entry_of e = V.as_string (Event.param e "entry")
+
+let server_role name =
+  if String.equal name "S" then `Server else role name
+
+(* Control events live at the server: the Enqueue event (queue insertion —
+   the basis of ADA's 'Count, atomic with the call) registers a request or
+   a relinquish; the AcceptBegin of a Start entry is the grant. All are at
+   the server element, hence totally ordered. *)
+let ada_correspondence : Gem_check.Refine.correspondence =
+ fun comp h ->
+  let e = Computation.event comp h in
+  let el = e.Event.id.element in
+  match server_role el, e.Event.klass with
+  | (`Reader | `Writer), "Read" -> mk el "Read" []
+  | (`Reader | `Writer), "FinishRead" -> mk el "FinishRead" [ ("info", Event.param e "p0") ]
+  | (`Reader | `Writer), "Write" -> mk el "Write" [ ("info", Event.param e "p0") ]
+  | (`Reader | `Writer), "FinishWrite" -> mk el "FinishWrite" []
+  | `Server, "Enqueue" -> (
+      let user = V.as_string (Event.param e "caller") in
+      match entry_of e with
+      | "StartRead" -> mk (ctl user) "ReqRead" []
+      | "StartWrite" -> mk (ctl user) "ReqWrite" []
+      | "EndRead" -> mk (ctl user) "EndRead" []
+      | "EndWrite" -> mk (ctl user) "EndWrite" []
+      | _ -> None)
+  | `Server, "AcceptBegin" -> (
+      let user = V.as_string (Event.param e "caller") in
+      match entry_of e with
+      | "StartRead" -> mk (ctl user) "StartRead" []
+      | "StartWrite" -> mk (ctl user) "StartWrite" []
+      | _ -> None)
+  | `Data, "AcceptEnd" when String.equal (entry_of e) "Get" ->
+      mk data "Getval" [ ("oldval", Event.param e "value") ]
+  | `Data, "AcceptBegin" when String.equal (entry_of e) "Put" ->
+      let newval =
+        match Event.param e "args" with V.List [ v ] -> v | v -> v
+      in
+      mk data "Assign" [ ("newval", newval) ]
+  | _ -> None

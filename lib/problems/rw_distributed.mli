@@ -1,0 +1,78 @@
+(** CSP and ADA solutions to the Reader's-Priority Readers/Writers problem
+    (the paper's §11: "Monitor, CSP, and ADA solutions to the … Reader's
+    Priority Readers/Writers problem have been verified").
+
+    {b The distributed problem specification.} The centralized spec
+    ({!Readers_writers.spec}) puts all control events on one element —
+    natural for a monitor, where the lock serializes them. A message-
+    passing realization has no such locus: each user's transaction events
+    happen at the user. The distributed variant therefore hosts each
+    user's [ReqRead]/[StartRead]/[EndRead] (or write counterparts) on a
+    per-user control element [ctl_<user>], keeps a single [data] element
+    (the data server process/task is sequential), and states the paper's
+    safety restrictions in a correspondence-robust form:
+    - {e mutual exclusion}: no history has both a read and a write (or two
+      writes) in progress, where "s is in progress" means the first
+      matching end after [s] at its element has not occurred;
+    - {e reader's priority}: if a registered read request and a registered
+      write request are both pending, the write's start does not occur
+      before the read's;
+    - the {e Variable restriction} on [data].
+
+    The centralized spec's transaction-chain prerequisites are an idiom of
+    the one-element structure: under causal projection of a message-passing
+    program, scheduler causality (a controller's receive enabling a later
+    grant) merges with transaction causality, so chains are not checked
+    here — the ordering content they carry is captured by the temporal
+    restrictions above. DESIGN.md discusses the trade-off.
+
+    {b Event correspondences} (registration semantics): a request is
+    pending from the moment the controller {e learns} of it — the
+    requester's [EndOut] of the request message (CSP; the rendezvous makes
+    sender- and receiver-side simultaneous) or the [Call] event (ADA; the
+    call is queued at the server from that moment, and the server's select
+    guards read the queue). Relinquishment ([EndRead]/[EndWrite]) maps to
+    the {e arrival} of the done message ([ReqOut]/[Call]) so that the
+    causal path to the next grant starts at the significant event. *)
+
+val spec :
+  readers:string list -> writers:string list -> Gem_spec.Spec.t
+(** The distributed reader's-priority problem over the given user names. *)
+
+val mutual_exclusion : readers:string list -> writers:string list -> Gem_logic.Formula.t
+
+val readers_priority : readers:string list -> writers:string list -> Gem_logic.Formula.t
+
+val ctl : string -> string
+(** [ctl u] is user [u]'s control element name. *)
+
+(** {1 CSP solution} *)
+
+val csp_program : readers:int -> writers:int -> Gem_lang.Csp.program
+(** Users, a controller process [C] (grant logic: readers whenever no
+    writer is active; writers only when nothing is active {e and no read
+    request is registered}), and a data server [D]. Reader [i] reads the
+    value; writer [j] writes [100 + j]. *)
+
+val csp_correspondence : Gem_check.Refine.correspondence
+
+(** {1 ADA solution} *)
+
+val ada_program : readers:int -> writers:int -> Gem_lang.Ada.program
+(** Users, a server task [S] whose select guards implement reader's
+    priority using the entry-queue length (ADA's ['Count]), and a data
+    task [D] with [Get]/[Put] entries. *)
+
+val ada_correspondence : Gem_check.Refine.correspondence
+
+(** {1 Broken variants (failure injection)} *)
+
+val csp_program_no_priority : readers:int -> writers:int -> Gem_lang.Csp.program
+(** The controller grants writers even while read requests are registered
+    — must violate {!readers_priority} (but not mutual exclusion). *)
+
+val ada_program_no_priority : readers:int -> writers:int -> Gem_lang.Ada.program
+(** The server's StartWrite guard ignores the StartRead queue. *)
+
+val user_names : readers:int -> writers:int -> string list * string list
+(** (reader names, writer names). *)

@@ -1,0 +1,68 @@
+open Gem_logic.Formula
+
+let prerequisite e1 e2 =
+  conj
+    [
+      forall
+        [ ("_e2", e2) ]
+        (occurred "_e2" ==> exists1 "_e1" e1 (enables "_e1" "_e2"));
+      forall [ ("_e1", e1) ] (at_most_one "_e2" e2 (enables "_e1" "_e2"));
+    ]
+
+let chain domains =
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> prerequisite a b :: pairs rest
+    | [ _ ] | [] -> []
+  in
+  conj (pairs domains)
+
+let nondet_prerequisite sources target =
+  let union = Union sources in
+  conj
+    [
+      forall
+        [ ("_e", target) ]
+        (occurred "_e" ==> exists1 "_e'" union (enables "_e'" "_e"));
+      forall [ ("_e'", union) ] (at_most_one "_e" target (enables "_e'" "_e"));
+    ]
+
+let fork source targets = conj (List.map (fun t -> prerequisite source t) targets)
+
+let join sources target = conj (List.map (fun s -> prerequisite s target) sources)
+
+let message_passing ~send ~receive ~send_param ~receive_param =
+  forall
+    [ ("_s", send); ("_r", receive) ]
+    (enables "_s" "_r" ==> (param "_s" send_param =. param "_r" receive_param))
+
+(* started-and-unfinished: the start occurred but no finish of the same
+   thread instance has. *)
+let in_progress th start_var finish_dom =
+  occurred start_var
+  &&& neg
+        (exists
+           [ ("_f", finish_dom) ]
+           (same_thread th start_var "_f" &&& occurred "_f"))
+
+let mutex ~thread ~start1 ~finish1 ~start2 ~finish2 =
+  henceforth
+    (forall
+       [ ("_s1", start1); ("_s2", start2) ]
+       (distinct_thread thread "_s1" "_s2"
+        ==> neg
+              (in_progress thread "_s1" finish1 &&& in_progress thread "_s2" finish2)))
+
+let priority ~thread ~req_hi ~start_hi ~req_lo ~start_lo =
+  henceforth
+    (forall
+       [ ("_rh", req_hi); ("_rl", req_lo) ]
+       (at_cls "_rh" start_hi
+        &&& at_cls "_rl" start_lo
+        &&& distinct_thread thread "_rh" "_rl"
+        ==> henceforth
+              (forall
+                 [ ("_sl", start_lo) ]
+                 (same_thread thread "_rl" "_sl" &&& occurred "_sl"
+                  ==> exists
+                        [ ("_sh", start_hi) ]
+                        (same_thread thread "_rh" "_sh" &&& occurred "_sh")))))

@@ -1,0 +1,61 @@
+(** Restriction abbreviations (paper §8.2) — common computational patterns
+    packaged as formula generators.
+
+    Each function returns a closed {!Gem_logic.Formula.t}; generated bound
+    variables are prefixed with ['_'] to avoid clashing with user variables. *)
+
+open Gem_logic
+
+val prerequisite : Formula.domain -> Formula.domain -> Formula.t
+(** [E1 --> E2]: every occurred E2-event is enabled by exactly one E1-event,
+    and each E1-event enables at most one E2-event. *)
+
+val chain : Formula.domain list -> Formula.t
+(** [E1 --> E2 --> ... --> En] as a conjunction of adjacent prerequisites —
+    the paper's sequential-code pattern. *)
+
+val nondet_prerequisite : Formula.domain list -> Formula.domain -> Formula.t
+(** [{E1,...,Ek} --> E]: every occurred E-event is enabled by exactly one
+    event drawn from the union, and each union event enables at most one
+    E-event. *)
+
+val fork : Formula.domain -> Formula.domain list -> Formula.t
+(** Event FORK: [E --> Ei] for each [Ei] in the set. *)
+
+val join : Formula.domain list -> Formula.domain -> Formula.t
+(** Event JOIN: [Ei --> E] for each [Ei]. *)
+
+val message_passing :
+  send:Formula.domain ->
+  receive:Formula.domain ->
+  send_param:string ->
+  receive_param:string ->
+  Formula.t
+(** If a send enables a receive, their data parameters are equal (§5). *)
+
+val mutex :
+  thread:string ->
+  start1:Formula.domain ->
+  finish1:Formula.domain ->
+  start2:Formula.domain ->
+  finish2:Formula.domain ->
+  Formula.t
+(** Intervals [start1..finish1] and [start2..finish2] belonging to distinct
+    instances of [thread] never overlap: henceforth, it is not the case
+    that both a started-and-unfinished interval of the first kind and one
+    of the second kind (from a different thread instance) exist. Matches
+    the paper's Mutual Exclusion Restriction shape (§8.3). *)
+
+val priority :
+  thread:string ->
+  req_hi:Formula.domain ->
+  start_hi:Formula.domain ->
+  req_lo:Formula.domain ->
+  start_lo:Formula.domain ->
+  Formula.t
+(** The paper's priority pattern (§8.3): henceforth, if a high-priority
+    request is pending (has not yet led to its start) while a low-priority
+    request of a different thread instance is also pending, then the
+    low-priority start does not happen before the high-priority start —
+    [occurred(start_lo) => occurred(start_hi)] from that point on, for the
+    pending pair. *)

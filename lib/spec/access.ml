@@ -1,0 +1,82 @@
+module Group = Gem_model.Group
+
+type node = E of string | G of string
+
+let node_equal a b =
+  match a, b with
+  | E x, E y | G x, G y -> String.equal x y
+  | E _, G _ | G _, E _ -> false
+
+type t = {
+  groups : (string * Group.t) list;  (* "" is the universal group *)
+}
+
+let member_node = function Group.Elem e -> E e | Group.Grp g -> G g
+
+let build ~elements ~groups =
+  let names = List.map (fun (g : Group.t) -> g.name) groups in
+  let rec dup = function
+    | [] -> None
+    | n :: rest -> if List.exists (String.equal n) rest then Some n else dup rest
+  in
+  (match dup names with
+  | Some n -> invalid_arg ("Access.build: duplicate group " ^ n)
+  | None -> ());
+  let in_some_group node =
+    List.exists
+      (fun (g : Group.t) -> List.exists (fun m -> node_equal (member_node m) node) g.members)
+      groups
+  in
+  let orphans =
+    List.filter_map
+      (fun el -> if in_some_group (E el) then None else Some (Group.Elem el))
+      elements
+    @ List.filter_map
+        (fun (g : Group.t) -> if in_some_group (G g.name) then None else Some (Group.Grp g.name))
+        groups
+  in
+  let universal = Group.make "" orphans in
+  { groups = ("", universal) :: List.map (fun (g : Group.t) -> (g.name, g)) groups }
+
+let direct_member t node gname =
+  match List.assoc_opt gname t.groups with
+  | None -> false
+  | Some g -> List.exists (fun m -> node_equal (member_node m) node) g.members
+
+(* contained(x, G) = x in G directly, or some group G' containing x (as we
+   recurse: x in G' and contained(G', G)). Guard against membership cycles. *)
+let contained t node gname =
+  let rec go node visiting =
+    direct_member t node gname
+    || List.exists
+         (fun (g', _) ->
+           (not (List.mem g' visiting))
+           && (not (String.equal g' gname))
+           && direct_member t node g'
+           && go (G g') (g' :: visiting))
+         t.groups
+  in
+  go node []
+
+let access t x y =
+  List.exists (fun (gname, _) -> direct_member t y gname && contained t x gname) t.groups
+
+(* Same-element enabling needs no special case: every element sits in some
+   group (at worst the universal one), so access(EL, EL) always holds. *)
+let may_enable t ~from_element ~to_element ~to_class =
+  access t (E from_element) (E to_element)
+  || List.exists
+       (fun (gname, g) ->
+         (not (String.equal gname ""))
+         && Group.is_port g ~element:to_element ~klass:to_class
+         && access t (E from_element) (G gname))
+       t.groups
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, g) ->
+      if String.equal name "" then Format.fprintf ppf "UNIVERSAL: %a@," Group.pp g
+      else Format.fprintf ppf "%a@," Group.pp g)
+    t.groups;
+  Format.fprintf ppf "@]"

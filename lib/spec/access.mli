@@ -1,0 +1,32 @@
+(** Scope control via groups (paper §4 and footnote 4).
+
+    [access(x, y)] holds iff there is a group [G] with [y] a direct member
+    of [G] and [x] contained (transitively) in [G]. All elements and groups
+    not placed in any declared group are treated as direct members of an
+    implicit universal enclosing group, per the paper's convention.
+
+    An event [e1 @ EL1] may enable [e2 @ EL2] (class [K2]) iff
+    [access(EL1, EL2)], or [e2] is a port event of some group [G] with
+    [access(EL1, G)]. *)
+
+type t
+
+type node = E of string | G of string
+(** An element or group name. *)
+
+val build : elements:string list -> groups:Gem_model.Group.t list -> t
+(** Precomputes containment. Unknown member names are tolerated (they
+    simply never grant access); duplicate group names raise
+    [Invalid_argument]. *)
+
+val contained : t -> node -> string -> bool
+(** [contained t x g]: x is in group [g], directly or transitively.
+    The universal group is named [""] internally and contains exactly the
+    orphan nodes. *)
+
+val access : t -> node -> node -> bool
+
+val may_enable :
+  t -> from_element:string -> to_element:string -> to_class:string -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,120 @@
+module Computation = Gem_model.Computation
+module Event = Gem_model.Event
+module Group = Gem_model.Group
+module V = Gem_model.Value
+
+let structure_element = "structure"
+
+let etype =
+  Etype.make "GroupStructure"
+    ~events:
+      [
+        { Etype.klass = "NewGroup"; schema = [ ("name", Etype.P_str) ] };
+        { klass = "DeleteGroup"; schema = [ ("name", Etype.P_str) ] };
+        {
+          klass = "AddElem";
+          schema = [ ("group", Etype.P_str); ("element", Etype.P_str) ];
+        };
+        { klass = "AddGroup"; schema = [ ("group", Etype.P_str); ("member", Etype.P_str) ] };
+        {
+          klass = "RemoveElem";
+          schema = [ ("group", Etype.P_str); ("element", Etype.P_str) ];
+        };
+        {
+          klass = "RemoveGroup";
+          schema = [ ("group", Etype.P_str); ("member", Etype.P_str) ];
+        };
+        {
+          klass = "AddPort";
+          schema =
+            [ ("group", Etype.P_str); ("element", Etype.P_str); ("class", Etype.P_str) ];
+        };
+      ]
+    ()
+
+let str e name = V.as_string (Event.param e name)
+
+let apply groups e =
+  let update name f =
+    List.map (fun (g : Group.t) -> if String.equal g.name name then f g else g) groups
+  in
+  match e.Event.klass with
+  | "NewGroup" ->
+      let name = str e "name" in
+      if List.exists (fun (g : Group.t) -> String.equal g.name name) groups then groups
+      else Group.make name [] :: groups
+  | "DeleteGroup" ->
+      let name = str e "name" in
+      List.filter (fun (g : Group.t) -> not (String.equal g.name name)) groups
+  | "AddElem" ->
+      update (str e "group") (fun g ->
+          { g with members = Group.Elem (str e "element") :: g.members })
+  | "AddGroup" ->
+      update (str e "group") (fun g ->
+          { g with members = Group.Grp (str e "member") :: g.members })
+  | "RemoveElem" ->
+      update (str e "group") (fun g ->
+          {
+            g with
+            members =
+              List.filter
+                (fun m -> not (Group.member_equal m (Group.Elem (str e "element"))))
+                g.members;
+          })
+  | "RemoveGroup" ->
+      update (str e "group") (fun g ->
+          {
+            g with
+            members =
+              List.filter
+                (fun m -> not (Group.member_equal m (Group.Grp (str e "member"))))
+                g.members;
+          })
+  | "AddPort" ->
+      update (str e "group") (fun g ->
+          {
+            g with
+            ports =
+              { Group.port_element = str e "element"; port_class = str e "class" }
+              :: g.ports;
+          })
+  | _ -> groups
+
+let structure_events comp =
+  List.filter
+    (fun h ->
+      String.equal (Computation.event comp h).Event.id.element structure_element)
+    (Computation.all_events comp)
+
+let groups_before ~base comp h =
+  let poset = Computation.temporal_exn comp in
+  List.fold_left
+    (fun groups s ->
+      if Gem_order.Poset.lt poset s h then apply groups (Computation.event comp s)
+      else groups)
+    base (structure_events comp)
+
+let check_access spec comp =
+  let base = spec.Spec.groups in
+  let bad = ref [] in
+  List.iter
+    (fun a ->
+      if
+        String.equal (Computation.event comp a).Event.id.element structure_element
+      then () (* administrative meta-events may order anything *)
+      else
+      List.iter
+        (fun b ->
+          let groups = groups_before ~base comp b in
+          let table =
+            Access.build ~elements:(Spec.declared_elements spec) ~groups
+          in
+          let ea = Computation.event comp a and eb = Computation.event comp b in
+          if
+            not
+              (Access.may_enable table ~from_element:ea.Event.id.element
+                 ~to_element:eb.Event.id.element ~to_class:eb.Event.klass)
+          then bad := (a, b) :: !bad)
+        (Computation.enable_succs comp a))
+    (Computation.all_events comp);
+  List.rev !bad

@@ -1,0 +1,43 @@
+(** Dynamic group structures (paper §4, footnote 5: "Computations grow
+    monotonically, even in the presence of dynamic group structures. This
+    is because changes to group structure are represented as events.").
+
+    Structure changes are ordinary GEM events at a designated sequential
+    element (default ["structure"]), so they are totally ordered and every
+    other event [e] has a well-defined set of structure events temporally
+    before it — the group table in effect "when [e] occurs", independent of
+    the run chosen. Declared classes:
+
+    - [NewGroup(name)] — create an empty group;
+    - [DeleteGroup(name)] — remove a group (its members become orphans);
+    - [AddElem(group, element)] / [AddGroup(group, member)] — add a member;
+    - [RemoveElem(group, element)] / [RemoveGroup(group, member)];
+    - [AddPort(group, element, class)] — declare a port event.
+
+    {!check} replays these changes along the temporal order and verifies
+    every enable edge against the group table in effect at its target —
+    the dynamic counterpart of {!Legality}'s access check. *)
+
+val structure_element : string
+(** ["structure"]. *)
+
+val etype : Etype.t
+(** The element type declaring the six structure-change classes. *)
+
+val groups_before :
+  base:Gem_model.Group.t list ->
+  Gem_model.Computation.t ->
+  int ->
+  Gem_model.Group.t list
+(** The group table in effect for event [h]: the base groups with every
+    structure-change event temporally before [h] applied, in structure
+    element order. Changes naming unknown groups are ignored (they never
+    grant access). Requires an acyclic computation. *)
+
+val check_access :
+  Spec.t -> Gem_model.Computation.t -> (int * int) list
+(** Enable edges forbidden by the group table in effect at their target
+    event. The spec's static groups are the base table; the computation's
+    structure events modify it. Edges {e from} the structure element are
+    exempt — structure changes are administrative meta-events that may
+    order anything. An empty list means dynamically legal. *)

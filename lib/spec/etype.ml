@@ -1,0 +1,104 @@
+module F = Gem_logic.Formula
+module Value = Gem_model.Value
+
+type ptype = P_int | P_bool | P_str | P_unit | P_any
+
+type event_decl = { klass : string; schema : (string * ptype) list }
+
+type t = {
+  type_name : string;
+  events : event_decl list;
+  restrictions : (string * (string -> F.t)) list;
+}
+
+let make type_name ~events ?(restrictions = []) () = { type_name; events; restrictions }
+
+let refine base ~name ?(add_events = []) ?(add_restrictions = []) () =
+  List.iter
+    (fun (d : event_decl) ->
+      if List.exists (fun (d' : event_decl) -> String.equal d'.klass d.klass) base.events
+      then invalid_arg ("Etype.refine: event class " ^ d.klass ^ " already declared"))
+    add_events;
+  {
+    type_name = name;
+    events = base.events @ add_events;
+    restrictions = base.restrictions @ add_restrictions;
+  }
+
+let event_decl t klass =
+  List.find_opt (fun (d : event_decl) -> String.equal d.klass klass) t.events
+
+let declares t klass = event_decl t klass <> None
+
+let param_ok pt (v : Value.t) =
+  match pt, v with
+  | P_any, _ -> true
+  | P_int, Int _ -> true
+  | P_bool, Bool _ -> true
+  | P_str, Str _ -> true
+  | P_unit, Unit -> true
+  | (P_int | P_bool | P_str | P_unit), _ -> false
+
+let schema_ok decl params =
+  List.length decl.schema = List.length params
+  && List.for_all2
+       (fun (name, pt) (name', v) -> String.equal name name' && param_ok pt v)
+       decl.schema params
+
+(* The paper's Variable restriction (§8.2): a Getval must yield the value
+   last assigned. Phrased contrapositively to match the paper: if [assign]
+   is element-before [getval] with no intervening assignment, the values
+   agree. *)
+let getval_yields_last_assigned el =
+  let open F in
+  forall
+    [ ("assign", Cls_at (el, "Assign")); ("getval", Cls_at (el, "Getval")) ]
+    (elem_lt "assign" "getval"
+     &&& neg
+           (exists
+              [ ("assign'", Cls_at (el, "Assign")) ]
+              (elem_lt "assign" "assign'" &&& elem_lt "assign'" "getval"))
+    ==> (param "assign" "newval" =. param "getval" "oldval"))
+
+let variable =
+  make "Variable"
+    ~events:
+      [
+        { klass = "Assign"; schema = [ ("newval", P_any) ] };
+        { klass = "Getval"; schema = [ ("oldval", P_any) ] };
+      ]
+    ~restrictions:[ ("getval-yields-last-assigned", getval_yields_last_assigned) ]
+    ()
+
+let integer_variable =
+  {
+    (refine variable ~name:"IntegerVariable" ()) with
+    events =
+      [
+        { klass = "Assign"; schema = [ ("newval", P_int) ] };
+        { klass = "Getval"; schema = [ ("oldval", P_int) ] };
+      ];
+  }
+
+let pp_ptype ppf = function
+  | P_int -> Format.fprintf ppf "INTEGER"
+  | P_bool -> Format.fprintf ppf "BOOLEAN"
+  | P_str -> Format.fprintf ppf "STRING"
+  | P_unit -> Format.fprintf ppf "UNIT"
+  | P_any -> Format.fprintf ppf "VALUE"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>%s = ELEMENT TYPE@,EVENTS" t.type_name;
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "@,  %s(%a)" d.klass
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf (n, pt) -> Format.fprintf ppf "%s:%a" n pp_ptype pt))
+        d.schema)
+    t.events;
+  if t.restrictions <> [] then begin
+    Format.fprintf ppf "@,RESTRICTIONS";
+    List.iter (fun (name, _) -> Format.fprintf ppf "@,  %s" name) t.restrictions
+  end;
+  Format.fprintf ppf "@,END %s@]" t.type_name

@@ -1,0 +1,64 @@
+(** Element type descriptions (paper §6).
+
+    An element type declares the event classes that may occur at elements
+    of that type, each with a parameter schema, plus restriction templates.
+    GEM's type system is "a simple text substitution facility": a
+    restriction template is a function of the instance's element name, so
+    instantiating [Var = IntegerVariable ELEMENT] substitutes ["Var"] into
+    the template — the OCaml closure {e is} the substitution.
+
+    Refinement ([TypedVariable = Variable ELEMENT TYPE / ADD RESTRICTION
+    ...]) is expressed by {!refine}, which extends the event and
+    restriction lists of a base type. *)
+
+type ptype = P_int | P_bool | P_str | P_unit | P_any
+
+type event_decl = { klass : string; schema : (string * ptype) list }
+
+type t = {
+  type_name : string;
+  events : event_decl list;
+  restrictions : (string * (string -> Gem_logic.Formula.t)) list;
+      (** (restriction name, template over the instance element name). *)
+}
+
+val make :
+  string ->
+  events:event_decl list ->
+  ?restrictions:(string * (string -> Gem_logic.Formula.t)) list ->
+  unit ->
+  t
+
+val refine :
+  t ->
+  name:string ->
+  ?add_events:event_decl list ->
+  ?add_restrictions:(string * (string -> Gem_logic.Formula.t)) list ->
+  unit ->
+  t
+(** The refined type has the base's events and restrictions plus the
+    additions. Raises [Invalid_argument] if an added event class clashes
+    with a declared one. *)
+
+val event_decl : t -> string -> event_decl option
+
+val declares : t -> string -> bool
+(** Does the type declare the event class? *)
+
+val param_ok : ptype -> Gem_model.Value.t -> bool
+
+val schema_ok : event_decl -> (string * Gem_model.Value.t) list -> bool
+(** Parameters match the declaration: same names in the same order, each
+    value of the declared type. *)
+
+(** {1 Stock types from the paper} *)
+
+val variable : t
+(** The paper's generic [Variable]: [Assign(newval)], [Getval(oldval)],
+    with the "a Getval yields the value last assigned" restriction (§8.2)
+    and the convention that a Getval before any Assign is unconstrained. *)
+
+val integer_variable : t
+(** [TypedVariable(INTEGER)] per §6. *)
+
+val pp : Format.formatter -> t -> unit

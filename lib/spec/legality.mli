@@ -1,0 +1,36 @@
+(** The built-in GEM legality restrictions (paper §3, §5) — "automatically
+    part of any GEM specification".
+
+    A computation is structurally legal with respect to a specification iff
+    - the causal graph (enable relation together with the element order) is
+      acyclic, so the temporal order is a strict partial order equal to
+      their transitive closure minus identity;
+    - every event occurs at an element declared by the specification
+      (events occur at exactly one element by construction — identity is
+      element + occurrence index);
+    - every event's class is declared by its element's type, with
+      parameters matching the declared schema;
+    - every enable edge respects the group access rules (including ports);
+    - the enable relation is irreflexive (guaranteed by {!Build}, but
+      re-checked here since computations can come from anywhere).
+
+    Totality of the element order at each element and downward closure of
+    histories are structural invariants of the representation and need no
+    runtime check. *)
+
+type violation =
+  | Cyclic_causality of int list
+      (** Handles on a causal cycle (witness: one cycle's nodes). *)
+  | Self_enable of int
+  | Undeclared_element of string
+  | Undeclared_class of int  (** Event whose class its element doesn't declare. *)
+  | Bad_params of int
+  | Access_violation of int * int  (** Enable edge forbidden by the groups. *)
+
+val pp_violation :
+  Gem_model.Computation.t -> Format.formatter -> violation -> unit
+
+val check : Spec.t -> Gem_model.Computation.t -> violation list
+(** All violations, deterministically ordered. *)
+
+val is_legal : Spec.t -> Gem_model.Computation.t -> bool

@@ -1,0 +1,96 @@
+module Group = Gem_model.Group
+
+type t = {
+  spec_name : string;
+  elements : (string * Etype.t) list;
+  groups : Group.t list;
+  restrictions : (string * Gem_logic.Formula.t) list;
+  threads : Thread.def list;
+}
+
+let check_dup_elements elements =
+  let rec loop = function
+    | [] -> ()
+    | (name, _) :: rest ->
+        if List.mem_assoc name rest then
+          invalid_arg ("Spec: duplicate element " ^ name);
+        loop rest
+  in
+  loop elements
+
+let make spec_name ?(elements = []) ?(groups = []) ?(restrictions = []) ?(threads = [])
+    () =
+  check_dup_elements elements;
+  { spec_name; elements; groups; restrictions; threads }
+
+let merge spec_name fragments =
+  let elements =
+    List.concat_map (fun f -> f.elements) fragments
+    |> List.fold_left
+         (fun acc (name, ty) ->
+           match List.assoc_opt name acc with
+           | None -> (name, ty) :: acc
+           | Some ty' ->
+               if String.equal ty'.Etype.type_name ty.Etype.type_name then acc
+               else
+                 invalid_arg
+                   ("Spec.merge: element " ^ name ^ " declared with two types"))
+         []
+    |> List.rev
+  in
+  let groups = List.concat_map (fun f -> f.groups) fragments in
+  let rec dup_group = function
+    | [] -> ()
+    | (g : Group.t) :: rest ->
+        if List.exists (fun (g' : Group.t) -> String.equal g'.name g.name) rest then
+          invalid_arg ("Spec.merge: duplicate group " ^ g.name);
+        dup_group rest
+  in
+  dup_group groups;
+  let restrictions = List.concat_map (fun f -> f.restrictions) fragments in
+  let rec dup_restr = function
+    | [] -> ()
+    | (name, _) :: rest ->
+        if List.mem_assoc name rest then
+          invalid_arg ("Spec.merge: duplicate restriction " ^ name);
+        dup_restr rest
+  in
+  dup_restr restrictions;
+  let threads = List.concat_map (fun f -> f.threads) fragments in
+  { spec_name; elements; groups; restrictions; threads }
+
+let element_type t name = List.assoc_opt name t.elements
+
+let declared_elements t = List.map fst t.elements
+
+let access_table t = Access.build ~elements:(declared_elements t) ~groups:t.groups
+
+let type_restrictions t =
+  List.concat_map
+    (fun (el, ty) ->
+      List.map
+        (fun (rname, template) -> (el ^ "." ^ rname, template el))
+        ty.Etype.restrictions)
+    t.elements
+
+let all_restrictions t = type_restrictions t @ t.restrictions
+
+let label_threads t comp = Thread.label comp t.threads
+
+let restriction_count t = List.length (all_restrictions t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>SPECIFICATION %s" t.spec_name;
+  List.iter
+    (fun (el, ty) -> Format.fprintf ppf "@,%s = %s ELEMENT" el ty.Etype.type_name)
+    t.elements;
+  List.iter (fun g -> Format.fprintf ppf "@,%a" Group.pp g) t.groups;
+  if t.restrictions <> [] then begin
+    Format.fprintf ppf "@,RESTRICTIONS";
+    List.iter
+      (fun (name, f) ->
+        Format.fprintf ppf "@,  @[<hov 2>%s:@ %a@]" name Gem_logic.Formula.pp f)
+      t.restrictions
+  end;
+  List.iter (fun d -> Format.fprintf ppf "@,THREAD %s" d.Thread.thread_name) t.threads;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,56 @@
+(** GEM specifications (paper §3): element instances, groups, explicit
+    restrictions, and thread definitions, bundled.
+
+    A specification admits the computations that (a) pass the built-in
+    legality restrictions ({!Legality}) and (b) satisfy every explicit
+    restriction — that check lives in [Gem_check], which also needs
+    checking strategies; this module is the passive description.
+
+    Group {e types} (paper §6) need no dedicated machinery: a group type is
+    an OCaml function returning a specification fragment ("semantically,
+    the GEM type system may be viewed as a simple text substitution
+    facility"); fragments compose with {!merge}. *)
+
+type t = {
+  spec_name : string;
+  elements : (string * Etype.t) list;  (** (element name, its type). *)
+  groups : Gem_model.Group.t list;
+  restrictions : (string * Gem_logic.Formula.t) list;
+      (** Named explicit restrictions, already instantiated. *)
+  threads : Thread.def list;
+}
+
+val make :
+  string ->
+  ?elements:(string * Etype.t) list ->
+  ?groups:Gem_model.Group.t list ->
+  ?restrictions:(string * Gem_logic.Formula.t) list ->
+  ?threads:Thread.def list ->
+  unit ->
+  t
+(** Raises [Invalid_argument] on duplicate element names. *)
+
+val merge : string -> t list -> t
+(** Union of fragments under a new name. Duplicate element names must
+    agree on their type name; duplicate group or restriction names raise
+    [Invalid_argument]. *)
+
+val element_type : t -> string -> Etype.t option
+
+val declared_elements : t -> string list
+
+val access_table : t -> Access.t
+
+val type_restrictions : t -> (string * Gem_logic.Formula.t) list
+(** Element-type restriction templates instantiated per element:
+    ["El.restriction-name"]. *)
+
+val all_restrictions : t -> (string * Gem_logic.Formula.t) list
+(** Type restrictions followed by explicit restrictions. *)
+
+val label_threads : t -> Gem_model.Computation.t -> Gem_model.Computation.t
+(** Attach this spec's thread labels to a computation. *)
+
+val restriction_count : t -> int
+
+val pp : Format.formatter -> t -> unit

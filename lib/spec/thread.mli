@@ -1,0 +1,40 @@
+(** GEM threads (paper §8.3): named chains of enabled events matching a
+    path-expression-like pattern.
+
+    A thread definition gives a pattern over eventclass descriptors; a
+    fresh instance identifier is created at every event matching the start
+    of the pattern, and the identifier is passed along enable edges as long
+    as successive events match the pattern in order. Labelled events can
+    then be related by the [Same_thread]/[Distinct_thread] predicates.
+
+    Patterns are the path-expression subset the paper's examples need,
+    plus alternation and iteration: [Step d], [Seq], [Alt], [Opt], [Star]. *)
+
+type pat =
+  | Step of Gem_logic.Formula.domain
+  | Seq of pat list
+  | Alt of pat list
+  | Opt of pat
+  | Star of pat
+
+type def = { thread_name : string; pattern : pat }
+
+val def : string -> pat -> def
+
+val seq_of_domains : Gem_logic.Formula.domain list -> pat
+(** The common linear form [(A :: B :: C)]. *)
+
+val label : Gem_model.Computation.t -> def list -> Gem_model.Computation.t
+(** Returns the computation with thread labels attached to events.
+    Processing visits events in a topological order of the causal graph
+    (requires an acyclic computation): an event extends an instance when an
+    enable-predecessor carries that instance at a pattern position from
+    which the event can continue; otherwise, if it matches the pattern's
+    start, it founds a new instance. Instance numbers are dense per
+    definition, in founding order. *)
+
+val instances : Gem_model.Computation.t -> string -> int list
+(** Instance numbers of a thread type present in a labelled computation. *)
+
+val events_of_instance : Gem_model.Computation.t -> string -> int -> int list
+(** Handles carrying the given instance, ascending. *)

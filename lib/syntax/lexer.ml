@@ -1,0 +1,275 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | ALL
+  | EX
+  | TRUE
+  | FALSE
+  | NOT
+  | AND
+  | OR
+  | IMPLIES
+  | IFF
+  | HENCEFORTH
+  | EVENTUALLY
+  | ENABLES
+  | ELEM_LT
+  | TEMP_LT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | BANG
+  | AT
+  | OCCURRED
+  | NEW
+  | POTENTIAL
+  | INDEX
+  | ELEM
+  | IN
+  | STAR
+  | QUESTION
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | COLON
+  | SEMI
+  | DOT
+  | BAR
+  | COLONCOLON
+  | KW_ELEMENT
+  | KW_TYPE
+  | KW_EVENTS
+  | KW_RESTRICTIONS
+  | KW_RESTRICTION
+  | KW_END
+  | KW_GROUP
+  | KW_PORTS
+  | KW_THREAD
+  | KW_SPECIFICATION
+  | EOF
+
+type error = { pos : int; message : string }
+
+let keyword = function
+  | "ALL" -> Some ALL
+  | "EX" -> Some EX
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | "at" -> Some AT
+  | "in" -> Some IN
+  | "occurred" -> Some OCCURRED
+  | "new" -> Some NEW
+  | "potential" -> Some POTENTIAL
+  | "index" -> Some INDEX
+  | "elem" -> Some ELEM
+  | "ELEMENT" -> Some KW_ELEMENT
+  | "TYPE" -> Some KW_TYPE
+  | "EVENTS" -> Some KW_EVENTS
+  | "RESTRICTIONS" -> Some KW_RESTRICTIONS
+  | "RESTRICTION" -> Some KW_RESTRICTION
+  | "END" -> Some KW_END
+  | "GROUP" -> Some KW_GROUP
+  | "PORTS" -> Some KW_PORTS
+  | "THREAD" -> Some KW_THREAD
+  | "SPECIFICATION" -> Some KW_SPECIFICATION
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\'' || c = '-'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let error = ref None in
+  let emit t = tokens := t :: !tokens in
+  let peek i = if i < n then Some src.[i] else None in
+  let fail pos message = error := Some { pos; message } in
+  let rec loop i =
+    if !error <> None then ()
+    else if i >= n then emit EOF
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> loop (i + 1)
+      | '(' -> emit LPAREN; loop (i + 1)
+      | ')' -> emit RPAREN; loop (i + 1)
+      | '{' -> emit LBRACE; loop (i + 1)
+      | '}' -> emit RBRACE; loop (i + 1)
+      | ',' -> emit COMMA; loop (i + 1)
+      | ';' -> emit SEMI; loop (i + 1)
+      | '.' -> emit DOT; loop (i + 1)
+      | '*' -> emit STAR; loop (i + 1)
+      | '?' -> emit QUESTION; loop (i + 1)
+      | '+' -> emit PLUS; loop (i + 1)
+      | '~' -> emit NOT; loop (i + 1)
+      | '[' ->
+          if peek (i + 1) = Some ']' then begin emit HENCEFORTH; loop (i + 2) end
+          else fail i "expected []"
+      | ']' -> fail i "unmatched ]"
+      | ':' ->
+          if peek (i + 1) = Some ':' then begin emit COLONCOLON; loop (i + 2) end
+          else begin emit COLON; loop (i + 1) end
+      | '/' ->
+          if peek (i + 1) = Some '\\' then begin emit AND; loop (i + 2) end
+          else fail i "expected /\\"
+      | '\\' ->
+          if peek (i + 1) = Some '/' then begin emit OR; loop (i + 2) end
+          else fail i "expected \\/"
+      | '|' ->
+          if peek (i + 1) = Some '>' then begin emit ENABLES; loop (i + 2) end
+          else begin emit BAR; loop (i + 1) end
+      | '!' ->
+          if peek (i + 1) = Some '=' then begin emit NE; loop (i + 2) end
+          else begin emit BANG; loop (i + 1) end
+      | '=' ->
+          if peek (i + 1) = Some '>' then
+            if peek (i + 2) = Some 'e' && peek (i + 3) = Some 'l'
+               && not (match peek (i + 4) with Some c -> is_ident_char c | None -> false)
+            then begin emit ELEM_LT; loop (i + 4) end
+            else begin emit TEMP_LT; loop (i + 2) end
+          else begin emit EQ; loop (i + 1) end
+      | '<' -> (
+          match peek (i + 1) with
+          | Some '>' -> emit EVENTUALLY; loop (i + 2)
+          | Some '=' -> emit LE; loop (i + 2)
+          | Some '-' when peek (i + 2) = Some '>' -> emit IFF; loop (i + 3)
+          | _ -> emit LT; loop (i + 1))
+      | '>' ->
+          if peek (i + 1) = Some '=' then begin emit GE; loop (i + 2) end
+          else begin emit GT; loop (i + 1) end
+      | '-' -> (
+          match peek (i + 1) with
+          | Some '>' -> emit IMPLIES; loop (i + 2)
+          | Some '-' ->
+              (* comment to end of line *)
+              let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+              loop (skip (i + 2))
+          | Some c when is_digit c ->
+              let rec num j acc =
+                match peek j with
+                | Some c when is_digit c -> num (j + 1) ((acc * 10) + Char.code c - 48)
+                | _ -> (j, acc)
+              in
+              let j, v = num (i + 1) 0 in
+              emit (INT (-v));
+              loop j
+          | _ -> fail i "stray '-'")
+      | '"' ->
+          let buf = Buffer.create 16 in
+          let rec str j =
+            match peek j with
+            | None -> fail j "unterminated string"
+            | Some '"' ->
+                emit (STRING (Buffer.contents buf));
+                loop (j + 1)
+            | Some '\\' -> (
+                match peek (j + 1) with
+                | Some 'n' -> Buffer.add_char buf '\n'; str (j + 2)
+                | Some 't' -> Buffer.add_char buf '\t'; str (j + 2)
+                | Some c -> Buffer.add_char buf c; str (j + 2)
+                | None -> fail j "unterminated escape")
+            | Some c ->
+                Buffer.add_char buf c;
+                str (j + 1)
+          in
+          str (i + 1)
+      | c when is_digit c ->
+          let rec num j acc =
+            match peek j with
+            | Some c when is_digit c -> num (j + 1) ((acc * 10) + Char.code c - 48)
+            | _ -> (j, acc)
+          in
+          let j, v = num i 0 in
+          emit (INT v);
+          loop j
+      | c when is_ident_start c ->
+          (* A dash continues the identifier only when followed by another
+             identifier character (so "a->b" is three tokens). *)
+          let rec ident j =
+            match peek j with
+            | Some '-' -> (
+                match peek (j + 1) with
+                | Some c when is_ident_char c && c <> '-' -> ident (j + 1)
+                | _ -> j)
+            | Some c when is_ident_char c -> ident (j + 1)
+            | _ -> j
+          in
+          let j = ident (i + 1) in
+          let word = String.sub src i (j - i) in
+          (match keyword word with Some t -> emit t | None -> emit (IDENT word));
+          loop j
+      | c -> fail i (Printf.sprintf "unexpected character %C" c)
+  in
+  loop 0;
+  match !error with Some e -> Error e | None -> Ok (List.rev !tokens)
+
+let pp_token ppf t =
+  let s =
+    match t with
+    | IDENT s -> Printf.sprintf "identifier %s" s
+    | INT n -> Printf.sprintf "integer %d" n
+    | STRING s -> Printf.sprintf "string %S" s
+    | ALL -> "ALL"
+    | EX -> "EX"
+    | TRUE -> "true"
+    | FALSE -> "false"
+    | NOT -> "~"
+    | AND -> "/\\"
+    | OR -> "\\/"
+    | IMPLIES -> "->"
+    | IFF -> "<->"
+    | HENCEFORTH -> "[]"
+    | EVENTUALLY -> "<>"
+    | ENABLES -> "|>"
+    | ELEM_LT -> "=>el"
+    | TEMP_LT -> "=>"
+    | EQ -> "="
+    | NE -> "!="
+    | LT -> "<"
+    | LE -> "<="
+    | GT -> ">"
+    | GE -> ">="
+    | PLUS -> "+"
+    | BANG -> "!"
+    | AT -> "at"
+    | OCCURRED -> "occurred"
+    | NEW -> "new"
+    | POTENTIAL -> "potential"
+    | INDEX -> "index"
+    | ELEM -> "elem"
+    | IN -> "in"
+    | STAR -> "*"
+    | QUESTION -> "?"
+    | LPAREN -> "("
+    | RPAREN -> ")"
+    | LBRACE -> "{"
+    | RBRACE -> "}"
+    | COMMA -> ","
+    | COLON -> ":"
+    | SEMI -> ";"
+    | DOT -> "."
+    | BAR -> "|"
+    | COLONCOLON -> "::"
+    | KW_ELEMENT -> "ELEMENT"
+    | KW_TYPE -> "TYPE"
+    | KW_EVENTS -> "EVENTS"
+    | KW_RESTRICTIONS -> "RESTRICTIONS"
+    | KW_RESTRICTION -> "RESTRICTION"
+    | KW_END -> "END"
+    | KW_GROUP -> "GROUP"
+    | KW_PORTS -> "PORTS"
+    | KW_THREAD -> "THREAD"
+    | KW_SPECIFICATION -> "SPECIFICATION"
+    | EOF -> "end of input"
+  in
+  Format.pp_print_string ppf s

@@ -1,0 +1,73 @@
+(** Tokenizer for the GEM concrete syntax (see {!Parser} for the grammar).
+
+    Identifiers are [[A-Za-z_][A-Za-z0-9_'-]*] (dashes allowed inside, as
+    in the paper's restriction names; a dash is part of an identifier only
+    when followed by another identifier character, so [a->b] lexes as
+    [a], [->], [b]). Comments run from [--] to end of line. String
+    literals use double quotes with [\\] escapes. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  (* formula tokens *)
+  | ALL
+  | EX
+  | TRUE
+  | FALSE
+  | NOT  (** [~] *)
+  | AND  (** [/\ ] *)
+  | OR  (** [\/ ] *)
+  | IMPLIES  (** [->] *)
+  | IFF  (** [<->] *)
+  | HENCEFORTH  (** [[]] *)
+  | EVENTUALLY  (** [<>] *)
+  | ENABLES  (** [|>] *)
+  | ELEM_LT  (** [=>el] *)
+  | TEMP_LT  (** [=>] *)
+  | EQ  (** [=] *)
+  | NE  (** [!=] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | BANG  (** [!] — [EX!], [x !~pi~ y] *)
+  | AT  (** [at] *)
+  | OCCURRED
+  | NEW
+  | POTENTIAL
+  | INDEX
+  | ELEM
+  | IN
+  | STAR
+  | QUESTION
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | COLON
+  | SEMI
+  | DOT
+  | BAR
+  | COLONCOLON
+  (* specification keywords *)
+  | KW_ELEMENT
+  | KW_TYPE
+  | KW_EVENTS
+  | KW_RESTRICTIONS
+  | KW_RESTRICTION
+  | KW_END
+  | KW_GROUP
+  | KW_PORTS
+  | KW_THREAD
+  | KW_SPECIFICATION
+  | EOF
+
+type error = { pos : int; message : string }
+
+val tokenize : string -> (token list, error) result
+(** The token list always ends with [EOF]. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,690 @@
+module F = Gem_logic.Formula
+module V = Gem_model.Value
+module Etype = Gem_spec.Etype
+module Group = Gem_model.Group
+module Thread = Gem_spec.Thread
+module Spec = Gem_spec.Spec
+open Lexer
+
+exception Parse_error of string
+
+(* Mutable token cursor. *)
+type cursor = { toks : token array; mutable pos : int }
+
+let peek c = c.toks.(c.pos)
+let peek2 c = if c.pos + 1 < Array.length c.toks then c.toks.(c.pos + 1) else EOF
+let advance c = if c.pos < Array.length c.toks - 1 then c.pos <- c.pos + 1
+
+let fail c what =
+  raise
+    (Parse_error
+       (Format.asprintf "at token %d: expected %s, found %a" c.pos what pp_token (peek c)))
+
+let expect c t what = if peek c = t then advance c else fail c what
+
+let ident c =
+  match peek c with
+  | IDENT s -> advance c; s
+  | _ -> fail c "an identifier"
+
+(* ------------------------------------------------------------------ *)
+(* Domains                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* path = ident (DOT ident)* (DOT STAR)? — returns segments and whether it
+   ended in ".*". *)
+let rec path_segments c acc =
+  let seg = ident c in
+  if peek c = DOT then begin
+    advance c;
+    match peek c with
+    | STAR ->
+        advance c;
+        (List.rev (seg :: acc), true)
+    | IDENT _ -> path_segments c (seg :: acc)
+    | _ -> fail c "an identifier or * after '.'"
+  end
+  else (List.rev (seg :: acc), false)
+
+let rec domain c =
+  match peek c with
+  | STAR -> advance c; F.Any
+  | LBRACE ->
+      advance c;
+      let rec members acc =
+        let d = domain c in
+        if peek c = BAR then begin advance c; members (d :: acc) end
+        else begin
+          expect c RBRACE "'}'";
+          F.Union (List.rev (d :: acc))
+        end
+      in
+      members []
+  | IDENT _ -> (
+      let segs, at_elem = path_segments c [] in
+      if at_elem then F.At_elem (String.concat "." segs)
+      else
+        match segs with
+        | [ cls ] -> F.Cls cls
+        | _ ->
+            let rec split acc = function
+              | [ last ] -> (String.concat "." (List.rev acc), last)
+              | x :: rest -> split (x :: acc) rest
+              | [] -> assert false
+            in
+            let el, cls = split [] segs in
+            F.Cls_at (el, cls))
+  | _ -> fail c "a domain"
+
+(* ------------------------------------------------------------------ *)
+(* Terms and comparisons                                               *)
+(* ------------------------------------------------------------------ *)
+
+let cmp_of_token = function
+  | EQ -> Some F.Eq
+  | NE -> Some F.Ne
+  | LT -> Some F.Lt
+  | LE -> Some F.Le
+  | GT -> Some F.Gt
+  | GE -> Some F.Ge
+  | _ -> None
+
+let rec term c =
+  let base =
+    match peek c with
+    | INT n -> advance c; F.Const (V.Int n)
+    | STRING s -> advance c; F.Const (V.Str s)
+    | TRUE -> advance c; F.Const (V.Bool true)
+    | FALSE -> advance c; F.Const (V.Bool false)
+    | LPAREN ->
+        advance c;
+        expect c RPAREN "')' (the unit constant)";
+        F.Const V.Unit
+    | INDEX ->
+        advance c;
+        expect c LPAREN "'('";
+        let x = ident c in
+        expect c RPAREN "')'";
+        F.Index x
+    | IDENT x ->
+        advance c;
+        expect c DOT "'.' (a parameter access)";
+        let p = ident c in
+        F.Param (x, p)
+    | _ -> fail c "a term"
+  in
+  plus_suffix c base
+
+and plus_suffix c t =
+  if peek c = PLUS then begin
+    advance c;
+    match peek c with
+    | INT n ->
+        advance c;
+        plus_suffix c (F.Plus (t, n))
+    | _ -> fail c "an integer offset"
+  end
+  else t
+
+(* ------------------------------------------------------------------ *)
+(* Formulae                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec formula c = iff_level c
+
+and iff_level c =
+  let lhs = implies_level c in
+  if peek c = IFF then begin
+    advance c;
+    F.Iff (lhs, implies_level c)
+  end
+  else lhs
+
+and implies_level c =
+  let lhs = or_level c in
+  if peek c = IMPLIES then begin
+    advance c;
+    (* right associative *)
+    F.Implies (lhs, implies_level c)
+  end
+  else lhs
+
+and or_level c =
+  let first = and_level c in
+  if peek c = OR then begin
+    let rec more acc =
+      if peek c = OR then begin
+        advance c;
+        more (and_level c :: acc)
+      end
+      else F.Or (List.rev acc)
+    in
+    more [ first ]
+  end
+  else first
+
+and and_level c =
+  let first = unary c in
+  if peek c = AND then begin
+    let rec more acc =
+      if peek c = AND then begin
+        advance c;
+        more (unary c :: acc)
+      end
+      else F.And (List.rev acc)
+    in
+    more [ first ]
+  end
+  else first
+
+and unary c =
+  match peek c with
+  | NOT ->
+      advance c;
+      F.Not (unary c)
+  | HENCEFORTH ->
+      advance c;
+      F.Henceforth (unary c)
+  | EVENTUALLY ->
+      advance c;
+      F.Eventually (unary c)
+  | LPAREN when peek2 c = ALL || peek2 c = EX -> quantifier c
+  | _ -> atom c
+
+and quantifier c =
+  expect c LPAREN "'('";
+  let quant =
+    match peek c with
+    | ALL -> advance c; `All
+    | EX -> (
+        advance c;
+        match peek c with
+        | BANG -> advance c; `Ex1
+        | LE -> (
+            advance c;
+            match peek c with
+            | INT 1 -> advance c; `Atmost1
+            | _ -> fail c "'1' (in EX<=1)")
+        | _ -> `Ex)
+    | _ -> fail c "ALL or EX"
+  in
+  let rec binders acc =
+    let x = ident c in
+    expect c COLON "':'";
+    let d = domain c in
+    if peek c = COMMA then begin advance c; binders ((x, d) :: acc) end
+    else List.rev ((x, d) :: acc)
+  in
+  let bs = binders [] in
+  expect c RPAREN "')'";
+  let body = unary c in
+  match quant with
+  | `All -> List.fold_right (fun (x, d) f -> F.Forall (x, d, f)) bs body
+  | `Ex -> List.fold_right (fun (x, d) f -> F.Exists (x, d, f)) bs body
+  | `Ex1 -> List.fold_right (fun (x, d) f -> F.Exists_unique (x, d, f)) bs body
+  | `Atmost1 -> List.fold_right (fun (x, d) f -> F.At_most_one (x, d, f)) bs body
+
+and atom c =
+  match peek c with
+  | TRUE when cmp_of_token (peek2 c) = None -> advance c; F.True
+  | FALSE when cmp_of_token (peek2 c) = None -> advance c; F.False
+  | TRUE | FALSE -> comparison c
+  | OCCURRED ->
+      advance c;
+      expect c LPAREN "'('";
+      let x = ident c in
+      expect c RPAREN "')'";
+      F.Atom (F.Occurred x)
+  | NEW ->
+      advance c;
+      expect c LPAREN "'('";
+      let x = ident c in
+      expect c RPAREN "')'";
+      F.Atom (F.New x)
+  | POTENTIAL ->
+      advance c;
+      expect c LPAREN "'('";
+      let x = ident c in
+      expect c RPAREN "')'";
+      F.Atom (F.Potential x)
+  | ELEM ->
+      advance c;
+      expect c LPAREN "'('";
+      let x = ident c in
+      expect c RPAREN "')'";
+      expect c EQ "'='";
+      (match peek c with ELEM -> advance c | _ -> fail c "elem");
+      expect c LPAREN "'('";
+      let y = ident c in
+      expect c RPAREN "')'";
+      F.Atom (F.Same_element (x, y))
+  | LPAREN ->
+      (* Either a parenthesized formula or the unit constant starting a
+         comparison. *)
+      if peek2 c = RPAREN then comparison c
+      else begin
+        advance c;
+        let f = formula c in
+        expect c RPAREN "')'";
+        f
+      end
+  | INT _ | STRING _ | INDEX -> comparison c
+  | IDENT x -> (
+      match peek2 c with
+      | DOT -> comparison c
+      | ENABLES ->
+          advance c; advance c;
+          F.Atom (F.Enables (x, ident c))
+      | ELEM_LT ->
+          advance c; advance c;
+          F.Atom (F.Elem_lt (x, ident c))
+      | TEMP_LT ->
+          advance c; advance c;
+          F.Atom (F.Temp_lt (x, ident c))
+      | EQ ->
+          advance c; advance c;
+          F.Atom (F.Same_event (x, ident c))
+      | AT ->
+          advance c; advance c;
+          F.Atom (F.At_class (x, domain c))
+      | IN ->
+          advance c; advance c;
+          F.Atom (F.In_thread (ident c, x))
+      | NOT ->
+          advance c; advance c;
+          let pi = ident c in
+          expect c NOT "'~'";
+          F.Atom (F.Same_thread (pi, x, ident c))
+      | BANG ->
+          advance c; advance c;
+          expect c NOT "'~'";
+          let pi = ident c in
+          expect c NOT "'~'";
+          F.Atom (F.Distinct_thread (pi, x, ident c))
+      | _ -> fail c "a relation after the event variable")
+  | _ -> fail c "a formula"
+
+and comparison c =
+  let lhs = term c in
+  let op =
+    match cmp_of_token (peek c) with
+    | Some op -> advance c; op
+    | None -> fail c "a comparison operator"
+  in
+  let rhs = term c in
+  F.Atom (F.Cmp (op, lhs, rhs))
+
+(* ------------------------------------------------------------------ *)
+(* Thread patterns                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec thread_pat c =
+  let first = thread_seq c in
+  if peek c = BAR then begin
+    let rec more acc =
+      if peek c = BAR then begin advance c; more (thread_seq c :: acc) end
+      else Thread.Alt (List.rev acc)
+    in
+    more [ first ]
+  end
+  else first
+
+and thread_seq c =
+  let first = thread_rep c in
+  if peek c = COLONCOLON then begin
+    let rec more acc =
+      if peek c = COLONCOLON then begin advance c; more (thread_rep c :: acc) end
+      else Thread.Seq (List.rev acc)
+    in
+    more [ first ]
+  end
+  else first
+
+and thread_rep c =
+  let base = thread_prim c in
+  match peek c with
+  | STAR -> advance c; Thread.Star base
+  | QUESTION -> advance c; Thread.Opt base
+  | _ -> base
+
+and thread_prim c =
+  match peek c with
+  | LPAREN ->
+      advance c;
+      let p = thread_pat c in
+      expect c RPAREN "')'";
+      p
+  | _ -> Thread.Step (domain c)
+
+(* ------------------------------------------------------------------ *)
+(* Specifications                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ptype_of = function
+  | "INTEGER" -> Etype.P_int
+  | "BOOLEAN" -> Etype.P_bool
+  | "STRING" -> Etype.P_str
+  | "UNIT" -> Etype.P_unit
+  | "VALUE" -> Etype.P_any
+  | s -> raise (Parse_error ("unknown parameter type " ^ s))
+
+(* A parameter type in a (possibly parameterized) element type body: a
+   concrete ptype or a reference to a type parameter (paper §6:
+   TypedVariable(t: TYPE)). *)
+type ptype_ref = Concrete_pt of Etype.ptype | Pt_var of string
+
+let ptype_ref ~type_params name =
+  if List.mem name type_params then Pt_var name else Concrete_pt (ptype_of name)
+
+let event_decl ~type_params c =
+  let klass = ident c in
+  let schema =
+    if peek c = LPAREN then begin
+      advance c;
+      let rec params acc =
+        let p = ident c in
+        expect c COLON "':'";
+        let ty = ptype_ref ~type_params (ident c) in
+        if peek c = COMMA then begin advance c; params ((p, ty) :: acc) end
+        else begin
+          expect c RPAREN "')'";
+          List.rev ((p, ty) :: acc)
+        end
+      in
+      params []
+    end
+    else []
+  in
+  (klass, schema)
+
+(* Substitute the pseudo-element "self" in a formula's domains. *)
+let rec subst_self el f =
+  let dom = function
+    | F.Cls_at ("self", cls) -> F.Cls_at (el, cls)
+    | F.At_elem "self" -> F.At_elem el
+    | F.Union ds ->
+        F.Union
+          (List.map
+             (function
+               | F.Cls_at ("self", cls) -> F.Cls_at (el, cls)
+               | F.At_elem "self" -> F.At_elem el
+               | d -> d)
+             ds)
+    | d -> d
+  in
+  let atom = function
+    | F.In_class (x, d) -> F.In_class (x, dom d)
+    | F.At_class (x, d) -> F.At_class (x, dom d)
+    | a -> a
+  in
+  match f with
+  | F.True | F.False -> f
+  | F.Atom a -> F.Atom (atom a)
+  | F.Not g -> F.Not (subst_self el g)
+  | F.And gs -> F.And (List.map (subst_self el) gs)
+  | F.Or gs -> F.Or (List.map (subst_self el) gs)
+  | F.Implies (a, b) -> F.Implies (subst_self el a, subst_self el b)
+  | F.Iff (a, b) -> F.Iff (subst_self el a, subst_self el b)
+  | F.Forall (x, d, g) -> F.Forall (x, dom d, subst_self el g)
+  | F.Exists (x, d, g) -> F.Exists (x, dom d, subst_self el g)
+  | F.Exists_unique (x, d, g) -> F.Exists_unique (x, dom d, subst_self el g)
+  | F.At_most_one (x, d, g) -> F.At_most_one (x, dom d, subst_self el g)
+  | F.Henceforth g -> F.Henceforth (subst_self el g)
+  | F.Eventually g -> F.Eventually (subst_self el g)
+
+(* A type definition: possibly parameterized over TYPE parameters
+   (paper §6). Instantiating with concrete ptypes yields an Etype. *)
+type type_def = {
+  td_name : string;
+  td_params : string list;
+  td_events : (string * (string * ptype_ref) list) list;
+  td_restrictions : (string * (string -> Gem_logic.Formula.t)) list;
+}
+
+let instantiate_type td args =
+  if List.length args <> List.length td.td_params then
+    raise
+      (Parse_error
+         (Printf.sprintf "type %s expects %d type argument(s), got %d" td.td_name
+            (List.length td.td_params) (List.length args)));
+  let binding = List.combine td.td_params args in
+  let events =
+    List.map
+      (fun (klass, schema) ->
+        {
+          Etype.klass;
+          schema =
+            List.map
+              (fun (p, ty) ->
+                match ty with
+                | Concrete_pt pt -> (p, pt)
+                | Pt_var v -> (p, List.assoc v binding))
+              schema;
+        })
+      td.td_events
+  in
+  let suffix =
+    if args = [] then ""
+    else
+      "("
+      ^ String.concat ","
+          (List.map
+             (function
+               | Etype.P_int -> "INTEGER"
+               | Etype.P_bool -> "BOOLEAN"
+               | Etype.P_str -> "STRING"
+               | Etype.P_unit -> "UNIT"
+               | Etype.P_any -> "VALUE")
+             args)
+      ^ ")"
+  in
+  Etype.make (td.td_name ^ suffix) ~events ~restrictions:td.td_restrictions ()
+
+let etype_def c =
+  (* ELEMENT TYPE already consumed *)
+  let name = ident c in
+  let type_params =
+    if peek c = LPAREN then begin
+      advance c;
+      let rec params acc =
+        let p = ident c in
+        expect c COLON "':'";
+        (match peek c with
+        | KW_TYPE -> advance c
+        | IDENT "TYPE" -> advance c
+        | _ -> fail c "TYPE");
+        if peek c = COMMA then begin advance c; params (p :: acc) end
+        else begin
+          expect c RPAREN "')'";
+          List.rev (p :: acc)
+        end
+      in
+      params []
+    end
+    else []
+  in
+  expect c KW_EVENTS "EVENTS";
+  let rec events acc =
+    match peek c with
+    | IDENT _ -> events (event_decl ~type_params c :: acc)
+    | _ -> List.rev acc
+  in
+  let events = events [] in
+  let restrictions =
+    if peek c = KW_RESTRICTIONS then begin
+      advance c;
+      let rec restr acc =
+        match peek c, peek2 c with
+        | IDENT rname, COLON ->
+            advance c;
+            advance c;
+            let f = formula c in
+            restr ((rname, fun el -> subst_self el f) :: acc)
+        | _ -> List.rev acc
+      in
+      restr []
+    end
+    else []
+  in
+  expect c KW_END "END";
+  { td_name = name; td_params = type_params; td_events = events;
+    td_restrictions = restrictions }
+
+let type_def_of_etype (t : Etype.t) =
+  {
+    td_name = t.Etype.type_name;
+    td_params = [];
+    td_events =
+      List.map
+        (fun (d : Etype.event_decl) ->
+          (d.klass, List.map (fun (p, pt) -> (p, Concrete_pt pt)) d.schema))
+        t.Etype.events;
+    td_restrictions = t.Etype.restrictions;
+  }
+
+let builtin_types =
+  [
+    ("Variable", type_def_of_etype Etype.variable);
+    ("IntegerVariable", type_def_of_etype Etype.integer_variable);
+  ]
+
+let group_def c =
+  (* GROUP already consumed *)
+  let name = ident c in
+  expect c LPAREN "'('";
+  let rec members acc =
+    let m =
+      if peek c = KW_GROUP then begin
+        advance c;
+        Group.Grp (ident c)
+      end
+      else
+        let segs, star = path_segments c [] in
+        if star then raise (Parse_error "group members cannot end in .*")
+        else Group.Elem (String.concat "." segs)
+    in
+    if peek c = COMMA then begin advance c; members (m :: acc) end
+    else begin
+      expect c RPAREN "')'";
+      List.rev (m :: acc)
+    end
+  in
+  let members = members [] in
+  let ports =
+    if peek c = KW_PORTS then begin
+      advance c;
+      expect c LPAREN "'('";
+      let rec ports acc =
+        let segs, star = path_segments c [] in
+        if star then raise (Parse_error "a port is element.Class, not element.*");
+        let port =
+          match List.rev segs with
+          | cls :: rev_el when rev_el <> [] ->
+              { Group.port_element = String.concat "." (List.rev rev_el); port_class = cls }
+          | _ -> raise (Parse_error "a port is element.Class")
+        in
+        if peek c = COMMA then begin advance c; ports (port :: acc) end
+        else begin
+          expect c RPAREN "')'";
+          List.rev (port :: acc)
+        end
+      in
+      ports []
+    end
+    else []
+  in
+  Group.make name members ~ports
+
+let spec_items c =
+  let types = ref builtin_types in
+  let elements = ref [] in
+  let groups = ref [] in
+  let restrictions = ref [] in
+  let threads = ref [] in
+  let rec items () =
+    match peek c with
+    | KW_ELEMENT when peek2 c = KW_TYPE ->
+        advance c;
+        advance c;
+        let td = etype_def c in
+        types := (td.td_name, td) :: !types;
+        items ()
+    | KW_ELEMENT ->
+        advance c;
+        let segs, star = path_segments c [] in
+        if star then raise (Parse_error "an element name cannot end in .*");
+        let name = String.concat "." segs in
+        expect c COLON "':'";
+        let tyname = ident c in
+        let td =
+          match List.assoc_opt tyname !types with
+          | Some t -> t
+          | None -> raise (Parse_error ("unknown element type " ^ tyname))
+        in
+        let args =
+          if peek c = LPAREN then begin
+            advance c;
+            let rec args acc =
+              let a = ptype_of (ident c) in
+              if peek c = COMMA then begin advance c; args (a :: acc) end
+              else begin
+                expect c RPAREN "')'";
+                List.rev (a :: acc)
+              end
+            in
+            args []
+          end
+          else []
+        in
+        elements := (name, instantiate_type td args) :: !elements;
+        items ()
+    | KW_GROUP ->
+        advance c;
+        groups := group_def c :: !groups;
+        items ()
+    | KW_RESTRICTION ->
+        advance c;
+        let name = ident c in
+        expect c COLON "':'";
+        restrictions := (name, formula c) :: !restrictions;
+        items ()
+    | KW_THREAD ->
+        advance c;
+        let name = ident c in
+        expect c EQ "'='";
+        threads := Thread.def name (thread_pat c) :: !threads;
+        items ()
+    | KW_END -> advance c
+    | EOF -> ()
+    | _ -> fail c "ELEMENT, GROUP, RESTRICTION, THREAD or END"
+  in
+  items ();
+  (List.rev !elements, List.rev !groups, List.rev !restrictions, List.rev !threads)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let with_cursor src k =
+  match tokenize src with
+  | Error e -> Error (Printf.sprintf "lexical error at offset %d: %s" e.pos e.message)
+  | Ok toks -> (
+      let c = { toks = Array.of_list toks; pos = 0 } in
+      try
+        let v = k c in
+        if peek c <> EOF then
+          Error
+            (Format.asprintf "trailing input at token %d: %a" c.pos pp_token (peek c))
+        else Ok v
+      with Parse_error m -> Error m)
+
+let parse_formula src = with_cursor src formula
+
+let parse_thread_pattern src = with_cursor src thread_pat
+
+let parse_spec src =
+  with_cursor src (fun c ->
+      expect c KW_SPECIFICATION "SPECIFICATION";
+      let name = ident c in
+      let elements, groups, restrictions, threads = spec_items c in
+      Spec.make name ~elements ~groups ~restrictions ~threads ())

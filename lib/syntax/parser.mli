@@ -1,0 +1,82 @@
+(** Parser for the GEM concrete syntax — the textual specification language
+    the paper presents its examples in, ASCII-ized.
+
+    {2 Formulae}
+
+    {[
+      formula   ::= iff
+      iff       ::= implies ( "<->" implies )*
+      implies   ::= or ( "->" or )*          (right associative)
+      or        ::= and ( \/ and )*
+      and       ::= unary ( /\ unary )*
+      unary     ::= "~" unary | "[]" unary | "<>" unary | quant | atom
+      quant     ::= "(" ("ALL" | "EX" | "EX!" | "EX<=1") binders ")" unary
+                    -- a quantifier's scope is ONE unary formula: wrap
+                    -- larger bodies in parentheses, as Formula.pp does
+      binders   ::= ident ":" domain ( "," ident ":" domain )*
+      atom      ::= "true" | "false" | "(" formula ")"
+                  | "occurred" "(" ident ")" | "new" "(" ident ")"
+                  | "potential" "(" ident ")"
+                  | "elem" "(" ident ")" "=" "elem" "(" ident ")"
+                  | term cmp term                  (data comparison)
+                  | ident "|>" ident | ident "=>el" ident | ident "=>" ident
+                  | ident "=" ident | ident "at" domain | ident "in" ident
+                  | ident "~" ident "~" ident      (same thread instance)
+                  | ident "!" "~" ident "~" ident  (distinct instances)
+      term      ::= ident "." ident | "index" "(" ident ")" | term "+" int
+                  | int | string | "true" | "false" | "(" ")"
+      cmp       ::= "=" | "!=" | "<" | "<=" | ">" | ">="
+      domain    ::= "*" | path | path "." "*"
+                  | "{" domain ("|" domain)* "}"
+      path      ::= ident ( "." ident )*
+    ]}
+
+    A one-segment domain is a class anywhere ([Formula.Cls]); a multi-
+    segment domain is class-at-element ([Formula.Cls_at]), the element
+    being all but the last segment (element names may contain dots); a
+    path ending in [.*] is every event at the element ([Formula.At_elem]);
+    a bare [*] is every event.
+
+    [Formula.pp] prints in exactly this syntax, and
+    [parse_formula (Formula.to_string f)] returns [f] for [Sem]-free
+    formulae whose data constants are ints, strings, booleans or unit.
+
+    {2 Specifications}
+
+    {[
+      spec      ::= "SPECIFICATION" ident item* "END"?
+      item      ::= etype | element | group | restriction | thread
+      etype     ::= "ELEMENT" "TYPE" ident tparams? "EVENTS" eventdecl*
+                    ( "RESTRICTIONS" (ident ":" formula)* )? "END"
+      tparams   ::= "(" ident ":" "TYPE" ("," ident ":" "TYPE")* ")"
+      eventdecl ::= ident ( "(" ident ":" ptyref ("," ident ":" ptyref)* ")" )?
+      ptype     ::= "INTEGER" | "BOOLEAN" | "STRING" | "UNIT" | "VALUE"
+      ptyref    ::= ptype | ident          (a declared TYPE parameter)
+      element   ::= "ELEMENT" path ":" ident ( "(" ptype ("," ptype)* ")" )?
+                    -- instance : type, with type arguments for
+                    -- parameterized types (paper sec. 6's TypedVariable)
+      group     ::= "GROUP" ident "(" member ("," member)* ")"
+                    ( "PORTS" "(" path ("," path)* ")" )?
+      member    ::= path | "GROUP" ident
+      restriction ::= "RESTRICTION" ident ":" formula
+      thread    ::= "THREAD" ident "=" tpat
+      tpat      ::= tseq ( "|" tseq )*
+      tseq      ::= trep ( "::" trep )*
+      trep      ::= tprim ( "*" | "?" )?
+      tprim     ::= domain | "(" tpat ")"
+    ]}
+
+    Inside an element type's restrictions, the pseudo-element [self]
+    refers to the instance: [self.Assign] becomes
+    [Cls_at (instance, "Assign")] at instantiation.
+
+    Reserved words ([at], [in], [occurred], [new], [potential], [index],
+    [elem], the keywords) cannot be used as variable or parameter names. *)
+
+val parse_formula : string -> (Gem_logic.Formula.t, string) result
+
+val parse_spec : string -> (Gem_spec.Spec.t, string) result
+(** Element instances may reference types declared earlier in the same
+    text or the built-ins [Variable] / [IntegerVariable]. *)
+
+val parse_thread_pattern : string -> (Gem_spec.Thread.pat, string) result

@@ -1,0 +1,258 @@
+(* Unit tests for the checker: strategies, verdicts, temporal checking
+   and the sat refinement projection. *)
+
+module V = Gem_model.Value
+module Build = Gem_model.Build
+module C = Gem_model.Computation
+module Etype = Gem_spec.Etype
+module Spec = Gem_spec.Spec
+module F = Gem_logic.Formula
+module Strategy = Gem_check.Strategy
+module Check = Gem_check.Check
+module Verdict = Gem_check.Verdict
+module Refine = Gem_check.Refine
+
+let check = Alcotest.check
+
+let ab_etype =
+  Etype.make "AB"
+    ~events:
+      [ { Etype.klass = "A"; schema = [] }; { Etype.klass = "B"; schema = [] };
+        { Etype.klass = "C"; schema = [] }; { Etype.klass = "D"; schema = [] } ]
+    ()
+
+let diamond_spec = Spec.make "diamond"
+    ~elements:[ ("E1", ab_etype); ("E2", ab_etype); ("E3", ab_etype); ("E4", ab_etype) ] ()
+
+let diamond () =
+  let b = Build.create () in
+  let e1 = Build.emit b ~element:"E1" ~klass:"A" () in
+  let e2 = Build.emit_enabled_by b ~by:e1 ~element:"E2" ~klass:"B" () in
+  let e3 = Build.emit_enabled_by b ~by:e1 ~element:"E3" ~klass:"C" () in
+  let e4 = Build.emit_enabled_by b ~by:e2 ~element:"E4" ~klass:"D" () in
+  Build.enable b e3 e4;
+  Build.finish b
+
+(* ------------------------------------------------------------------ *)
+(* Strategies                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_strategy_counts () =
+  let comp = diamond () in
+  check Alcotest.int "exhaustive = 3 runs" 3
+    (List.length (Strategy.runs (Strategy.Exhaustive_vhs None) comp));
+  check Alcotest.int "linearizations = 2" 2
+    (List.length (Strategy.runs (Strategy.Linearizations None) comp));
+  check Alcotest.int "sampled = count" 5
+    (List.length (Strategy.runs (Strategy.Sampled { seed = 1; count = 5 }) comp))
+
+let test_strategy_completeness () =
+  let comp = diamond () in
+  check Alcotest.bool "exhaustive complete" true
+    (Strategy.is_complete (Strategy.Exhaustive_vhs None) comp);
+  check Alcotest.bool "capped below" false
+    (Strategy.is_complete (Strategy.Exhaustive_vhs (Some 2)) comp);
+  check Alcotest.bool "capped above" true
+    (Strategy.is_complete (Strategy.Exhaustive_vhs (Some 10)) comp);
+  check Alcotest.bool "linearizations never complete" false
+    (Strategy.is_complete (Strategy.Linearizations None) comp);
+  check Alcotest.bool "sampled never complete" false
+    (Strategy.is_complete (Strategy.Sampled { seed = 1; count = 5 }) comp)
+
+(* ------------------------------------------------------------------ *)
+(* Check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_check_immediate () =
+  let comp = diamond () in
+  let good = F.forall [ ("a", F.Cls "A"); ("d", F.Cls "D") ] (F.temp_lt "a" "d") in
+  let bad = F.forall [ ("b", F.Cls "B"); ("c", F.Cls "C") ] (F.temp_lt "b" "c") in
+  check Alcotest.bool "good" true (Check.holds diamond_spec comp good);
+  check Alcotest.bool "bad" false (Check.holds diamond_spec comp bad)
+
+let test_check_temporal_all_runs () =
+  let comp = diamond () in
+  (* B before C in SOME run but not all: a henceforth-style property that
+     depends on the run must fail. *)
+  let b_never_alone =
+    F.(henceforth
+         (forall [ ("b", Cls "B") ]
+            (occurred "b" ==> exists [ ("c", Cls "C") ] (occurred "c"))))
+  in
+  check Alcotest.bool "fails on some run" false
+    (Check.holds diamond_spec comp b_never_alone);
+  (* Eventually D holds on every complete run. *)
+  check Alcotest.bool "eventually D" true
+    (Check.holds diamond_spec comp
+       F.(eventually (exists [ ("d", Cls "D") ] (occurred "d"))))
+
+let test_check_verdict_contents () =
+  let comp = diamond () in
+  let v =
+    Check.check_formula diamond_spec comp ~name:"bogus"
+      (F.henceforth (F.exists [ ("d", F.Cls "D") ] (F.occurred "d")))
+  in
+  check Alcotest.bool "failed" false (Verdict.ok v);
+  (match v.Verdict.failures with
+  | [ f ] ->
+      check Alcotest.string "name" "bogus" f.Verdict.restriction;
+      check Alcotest.bool "witness run" true (f.Verdict.witness <> None)
+  | _ -> Alcotest.fail "expected one failure");
+  check Alcotest.bool "counted runs" true (v.Verdict.runs_checked >= 1)
+
+let test_check_illegal_skips_restrictions () =
+  let b = Build.create () in
+  let _ = Build.emit b ~element:"Zed" ~klass:"A" () in
+  let v = Check.check diamond_spec (Build.finish b) in
+  check Alcotest.bool "not ok" false (Verdict.ok v);
+  check Alcotest.bool "legality reported" true (v.Verdict.legality <> []);
+  check Alcotest.bool "no restriction failures" true (v.Verdict.failures = [])
+
+let test_check_strategy_ablation_soundness () =
+  (* Anything exhaustive-vhs validates, linearizations must also validate
+     (they are a subset of runs). *)
+  let comp = diamond () in
+  let prop =
+    F.(henceforth
+         (forall [ ("d", Cls "D") ]
+            (occurred "d" ==> exists [ ("b", Cls "B") ] (occurred "b"))))
+  in
+  let ok_vhs = Check.holds ~strategy:(Strategy.Exhaustive_vhs None) diamond_spec comp prop in
+  let ok_lin = Check.holds ~strategy:(Strategy.Linearizations None) diamond_spec comp prop in
+  check Alcotest.bool "vhs ok" true ok_vhs;
+  check Alcotest.bool "lin ok (subset)" true ok_lin
+
+(* A property distinguishing vhs-exhaustive from linearizations: "some
+   history separates B from C" holds on every linearization (events are
+   added one at a time) but fails on the run whose step adds B and C
+   simultaneously. This is the paper's point that histories may grow by
+   concurrent bundles. *)
+let test_check_simultaneity_distinguishes () =
+  let comp = diamond () in
+  let separated =
+    F.(eventually
+         (exists [ ("b", Cls "B") ]
+            (occurred "b" &&& neg (exists [ ("c", Cls "C") ] (occurred "c")))
+          ||| exists [ ("c", Cls "C") ]
+                (occurred "c" &&& neg (exists [ ("b", Cls "B") ] (occurred "b")))))
+  in
+  check Alcotest.bool "linearizations blind" true
+    (Check.holds ~strategy:(Strategy.Linearizations None) diamond_spec comp separated);
+  check Alcotest.bool "vhs catches the joint step" false
+    (Check.holds ~strategy:(Strategy.Exhaustive_vhs None) diamond_spec comp separated)
+
+(* ------------------------------------------------------------------ *)
+(* Refinement                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Program: P emits Lo;Hi;Lo;Hi at two elements with glue events; problem:
+   only Hi events matter, renamed to K at element "k". *)
+let refine_program () =
+  let b = Build.create () in
+  let l0 = Build.emit b ~element:"P" ~klass:"Lo" () in
+  let h0 = Build.emit_enabled_by b ~by:l0 ~element:"P" ~klass:"Hi"
+      ~params:[ ("n", V.Int 0) ] () in
+  let l1 = Build.emit_enabled_by b ~by:h0 ~element:"P" ~klass:"Lo" () in
+  let _ = Build.emit_enabled_by b ~by:l1 ~element:"P" ~klass:"Hi"
+      ~params:[ ("n", V.Int 1) ] () in
+  Build.finish b
+
+let k_etype = Etype.make "K" ~events:[ { Etype.klass = "K"; schema = [ ("n", Etype.P_int) ] } ] ()
+
+let problem = Spec.make "hi-problem" ~elements:[ ("k", k_etype) ]
+    ~restrictions:
+      [ ("ordered",
+         F.(forall [ ("a", Cls "K"); ("b", Cls "K") ]
+              (Atom (Cmp (Lt, Index "a", Index "b")) ==> temp_lt "a" "b")) ) ]
+    ()
+
+let hi_map : Refine.correspondence =
+ fun comp h ->
+  let e = C.event comp h in
+  if Gem_model.Event.has_class e "Hi" then
+    Some { Refine.to_element = "k"; to_class = "K";
+           to_params = [ ("n", Gem_model.Event.param e "n") ] }
+  else None
+
+let test_refine_project () =
+  match Refine.project hi_map (refine_program ()) ~elements:problem.Spec.elements ~groups:[] with
+  | Error _ -> Alcotest.fail "projection failed"
+  | Ok p ->
+      check Alcotest.int "2 events" 2 (C.n_events p);
+      check Alcotest.(list int) "at k" [ 0; 1 ] (C.events_at p "k");
+      check Alcotest.bool "enable through glue" true (C.enables p 0 1);
+      check Alcotest.bool "indices" true
+        ((C.event p 0).Gem_model.Event.id.index = 0
+        && (C.event p 1).Gem_model.Event.id.index = 1)
+
+let test_refine_sat () =
+  check Alcotest.bool "sat" true
+    (Refine.sat_ok ~problem ~map:hi_map [ refine_program () ])
+
+let test_refine_unserializable () =
+  (* Two concurrent Hi events mapped to one problem element. *)
+  let b = Build.create () in
+  let _ = Build.emit b ~element:"P" ~klass:"Hi" ~params:[ ("n", V.Int 0) ] () in
+  let _ = Build.emit b ~element:"Q" ~klass:"Hi" ~params:[ ("n", V.Int 1) ] () in
+  match Refine.project hi_map (Build.finish b) ~elements:problem.Spec.elements ~groups:[] with
+  | Error (Refine.Unserializable _) -> ()
+  | Error Refine.Cyclic_program -> Alcotest.fail "wrong error"
+  | Ok _ -> Alcotest.fail "expected Unserializable"
+
+let test_refine_actor_rule () =
+  (* Same structure, but the glue event belongs to another actor: the
+     Actor_paths rule must not produce the enable edge, Causal_paths must. *)
+  let b = Build.create () in
+  let h0 = Build.emit b ~element:"P" ~klass:"Hi" ~params:[ ("n", V.Int 0) ] () in
+  let glue = Build.emit_enabled_by b ~by:h0 ~element:"Q" ~klass:"Lo" () in
+  let h1 = Build.emit_enabled_by b ~by:glue ~element:"P" ~klass:"Hi"
+      ~params:[ ("n", V.Int 1) ] () in
+  ignore h1;
+  let comp =
+    C.map_events
+      (fun _ e ->
+        let actor = if Gem_model.Event.has_class e "Hi" then "P" else "Q" in
+        Gem_model.Event.make ~actor ~element:e.Gem_model.Event.id.element
+          ~index:e.Gem_model.Event.id.index ~klass:e.Gem_model.Event.klass
+          e.Gem_model.Event.params)
+      (Build.finish b)
+  in
+  let project edges =
+    match Refine.project ~edges hi_map comp ~elements:problem.Spec.elements ~groups:[] with
+    | Ok p -> p
+    | Error _ -> Alcotest.fail "projection failed"
+  in
+  check Alcotest.bool "causal has edge" true (C.enables (project Refine.Causal_paths) 0 1);
+  check Alcotest.bool "actor drops edge" false (C.enables (project Refine.Actor_paths) 0 1)
+
+let test_refine_sat_reports_indices () =
+  let results = Refine.sat ~problem ~map:hi_map [ refine_program (); refine_program () ] in
+  check Alcotest.(list int) "indices" [ 0; 1 ] (List.map fst results);
+  check Alcotest.bool "all ok" true (List.for_all (fun (_, v) -> Verdict.ok v) results)
+
+let () =
+  Alcotest.run "gem_check"
+    [
+      ( "strategy",
+        [
+          Alcotest.test_case "counts" `Quick test_strategy_counts;
+          Alcotest.test_case "completeness" `Quick test_strategy_completeness;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "immediate" `Quick test_check_immediate;
+          Alcotest.test_case "temporal-all-runs" `Quick test_check_temporal_all_runs;
+          Alcotest.test_case "verdict" `Quick test_check_verdict_contents;
+          Alcotest.test_case "illegal-skips" `Quick test_check_illegal_skips_restrictions;
+          Alcotest.test_case "ablation-soundness" `Quick test_check_strategy_ablation_soundness;
+          Alcotest.test_case "simultaneity" `Quick test_check_simultaneity_distinguishes;
+        ] );
+      ( "refine",
+        [
+          Alcotest.test_case "project" `Quick test_refine_project;
+          Alcotest.test_case "sat" `Quick test_refine_sat;
+          Alcotest.test_case "unserializable" `Quick test_refine_unserializable;
+          Alcotest.test_case "actor-rule" `Quick test_refine_actor_rule;
+          Alcotest.test_case "sat-indices" `Quick test_refine_sat_reports_indices;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* Tests for dynamic group structures (paper footnote 5) and for the
+   generic Relation module. *)
+
+module Group = Gem_model.Group
+module Build = Gem_model.Build
+module V = Gem_model.Value
+module Etype = Gem_spec.Etype
+module Spec = Gem_spec.Spec
+module Dyngroup = Gem_spec.Dyngroup
+
+let check = Alcotest.check
+
+let tick = Etype.make "Tick" ~events:[ { Etype.klass = "Tick"; schema = [] } ] ()
+
+let base_spec ?(groups = []) () =
+  Spec.make "dyn"
+    ~elements:
+      [
+        ("A", tick); ("B", tick);
+        (Dyngroup.structure_element, Dyngroup.etype);
+      ]
+    ~groups ()
+
+(* B starts hidden inside group G; a structure event adds A to G, after
+   which A may enable B. *)
+let test_access_granted_by_change () =
+  let spec = base_spec ~groups:[ Group.make "G" [ Group.Elem "B" ] ] () in
+  let b = Build.create () in
+  let s =
+    Build.emit b ~element:Dyngroup.structure_element ~klass:"AddElem"
+      ~params:[ ("group", V.Str "G"); ("element", V.Str "A") ] ()
+  in
+  let a = Build.emit_enabled_by b ~by:s ~element:"A" ~klass:"Tick" () in
+  let _ = Build.emit_enabled_by b ~by:a ~element:"B" ~klass:"Tick" () in
+  let comp = Build.finish b in
+  (* Statically illegal (A outside G)... *)
+  check Alcotest.bool "static check rejects" false (Gem_spec.Legality.is_legal spec comp);
+  (* ...but dynamically legal: the membership change precedes the enable. *)
+  check Alcotest.int "dynamic check accepts" 0
+    (List.length (Dyngroup.check_access spec comp))
+
+let test_access_denied_before_change () =
+  let spec = base_spec ~groups:[ Group.make "G" [ Group.Elem "B" ] ] () in
+  let b = Build.create () in
+  (* The enable happens with no structure change before it. *)
+  let a = Build.emit b ~element:"A" ~klass:"Tick" () in
+  let bt = Build.emit_enabled_by b ~by:a ~element:"B" ~klass:"Tick" () in
+  (* A concurrent (not temporally prior) change does not help. *)
+  let _ =
+    Build.emit b ~element:Dyngroup.structure_element ~klass:"AddElem"
+      ~params:[ ("group", V.Str "G"); ("element", V.Str "A") ] ()
+  in
+  let comp = Build.finish b in
+  check Alcotest.(list (pair int int)) "edge rejected" [ (a, bt) ]
+    (Dyngroup.check_access spec comp)
+
+let test_access_revoked_by_removal () =
+  let spec = base_spec ~groups:[ Group.make "G" [ Group.Elem "A"; Group.Elem "B" ] ] () in
+  let b = Build.create () in
+  let s =
+    Build.emit b ~element:Dyngroup.structure_element ~klass:"RemoveElem"
+      ~params:[ ("group", V.Str "G"); ("element", V.Str "A") ] ()
+  in
+  let a = Build.emit_enabled_by b ~by:s ~element:"A" ~klass:"Tick" () in
+  let bt = Build.emit_enabled_by b ~by:a ~element:"B" ~klass:"Tick" () in
+  let comp = Build.finish b in
+  check Alcotest.(list (pair int int)) "revoked" [ (a, bt) ]
+    (Dyngroup.check_access spec comp)
+
+let test_new_group_and_port () =
+  let spec = base_spec () in
+  let b = Build.create () in
+  let s1 =
+    Build.emit b ~element:Dyngroup.structure_element ~klass:"NewGroup"
+      ~params:[ ("name", V.Str "H") ] ()
+  in
+  let s2 =
+    Build.emit_enabled_by b ~by:s1 ~element:Dyngroup.structure_element ~klass:"AddElem"
+      ~params:[ ("group", V.Str "H"); ("element", V.Str "B") ] ()
+  in
+  (* B hidden in H: A -> B illegal until a port is declared. *)
+  let a = Build.emit_enabled_by b ~by:s2 ~element:"A" ~klass:"Tick" () in
+  let bt = Build.emit_enabled_by b ~by:a ~element:"B" ~klass:"Tick" () in
+  let comp = Build.finish b in
+  check Alcotest.(list (pair int int)) "hidden by new group" [ (a, bt) ]
+    (Dyngroup.check_access spec comp);
+  (* Same computation plus an AddPort before the enable: legal. *)
+  let b = Build.create () in
+  let s1 =
+    Build.emit b ~element:Dyngroup.structure_element ~klass:"NewGroup"
+      ~params:[ ("name", V.Str "H") ] ()
+  in
+  let s2 =
+    Build.emit_enabled_by b ~by:s1 ~element:Dyngroup.structure_element ~klass:"AddElem"
+      ~params:[ ("group", V.Str "H"); ("element", V.Str "B") ] ()
+  in
+  let s3 =
+    Build.emit_enabled_by b ~by:s2 ~element:Dyngroup.structure_element ~klass:"AddPort"
+      ~params:
+        [ ("group", V.Str "H"); ("element", V.Str "B"); ("class", V.Str "Tick") ]
+      ()
+  in
+  let a = Build.emit_enabled_by b ~by:s3 ~element:"A" ~klass:"Tick" () in
+  let _ = Build.emit_enabled_by b ~by:a ~element:"B" ~klass:"Tick" () in
+  check Alcotest.int "port opens access" 0
+    (List.length (Dyngroup.check_access spec (Build.finish b)))
+
+let test_delete_group_releases () =
+  let spec = base_spec ~groups:[ Group.make "G" [ Group.Elem "B" ] ] () in
+  let b = Build.create () in
+  let s =
+    Build.emit b ~element:Dyngroup.structure_element ~klass:"DeleteGroup"
+      ~params:[ ("name", V.Str "G") ] ()
+  in
+  let a = Build.emit_enabled_by b ~by:s ~element:"A" ~klass:"Tick" () in
+  let _ = Build.emit_enabled_by b ~by:a ~element:"B" ~klass:"Tick" () in
+  check Alcotest.int "orphaned B reachable" 0
+    (List.length (Dyngroup.check_access spec (Build.finish b)))
+
+(* ------------------------------------------------------------------ *)
+(* Relation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module R = Gem_order.Relation.Make (String)
+
+let test_relation_basics () =
+  let r = R.of_list [ ("a", "b"); ("b", "c") ] in
+  check Alcotest.bool "mem" true (R.mem "a" "b" r);
+  check Alcotest.bool "not mem" false (R.mem "a" "c" r);
+  check Alcotest.int "cardinal" 2 (R.cardinal r);
+  check Alcotest.(list string) "domain" [ "a"; "b" ] (R.domain r);
+  check Alcotest.(list string) "range" [ "b"; "c" ] (R.range r);
+  check Alcotest.(list string) "successors" [ "b" ] (R.successors "a" r)
+
+let test_relation_closure () =
+  let r = R.of_list [ ("a", "b"); ("b", "c"); ("c", "d") ] in
+  let c = R.transitive_closure r in
+  check Alcotest.bool "a->d" true (R.mem "a" "d" c);
+  check Alcotest.bool "closure transitive" true (R.is_transitive c);
+  check Alcotest.bool "base not transitive" false (R.is_transitive r);
+  check Alcotest.bool "strict order" true (R.is_strict_order c)
+
+let test_relation_ops () =
+  let r = R.of_list [ ("a", "b"); ("b", "a") ] in
+  check Alcotest.bool "not antisymmetric" false (R.is_antisymmetric r);
+  check Alcotest.bool "irreflexive" true (R.is_irreflexive r);
+  check Alcotest.bool "reflexive pair" false (R.is_irreflexive (R.add "x" "x" r));
+  let inv = R.inverse (R.of_list [ ("a", "b") ]) in
+  check Alcotest.bool "inverse" true (R.mem "b" "a" inv);
+  let comp = R.compose (R.of_list [ ("a", "b") ]) (R.of_list [ ("b", "c") ]) in
+  check Alcotest.(list (pair string string)) "compose" [ ("a", "c") ] (R.to_list comp);
+  let sub = R.restrict (fun x -> x <> "b") (R.of_list [ ("a", "b"); ("a", "c") ]) in
+  check Alcotest.(list (pair string string)) "restrict" [ ("a", "c") ] (R.to_list sub);
+  let mapped = R.map String.uppercase_ascii (R.of_list [ ("a", "b") ]) in
+  check Alcotest.bool "map" true (R.mem "A" "B" mapped);
+  check Alcotest.bool "subrelation" true
+    (R.subrelation (R.of_list [ ("a", "b") ]) (R.of_list [ ("a", "b"); ("c", "d") ]));
+  check Alcotest.(list (pair string string)) "identity" [ ("x", "x") ]
+    (R.to_list (R.reflexive_over [ "x" ]))
+
+let () =
+  Alcotest.run "gem_dyngroup"
+    [
+      ( "dyngroup",
+        [
+          Alcotest.test_case "granted-by-change" `Quick test_access_granted_by_change;
+          Alcotest.test_case "denied-before-change" `Quick test_access_denied_before_change;
+          Alcotest.test_case "revoked-by-removal" `Quick test_access_revoked_by_removal;
+          Alcotest.test_case "new-group-and-port" `Quick test_new_group_and_port;
+          Alcotest.test_case "delete-group" `Quick test_delete_group_releases;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "basics" `Quick test_relation_basics;
+          Alcotest.test_case "closure" `Quick test_relation_closure;
+          Alcotest.test_case "ops" `Quick test_relation_ops;
+        ] );
+    ]

@@ -1,0 +1,300 @@
+(* Unit tests for histories, valid history sequences, and the restriction
+   language evaluator — anchored on the paper's §7 example. *)
+
+module V = Gem_model.Value
+module Build = Gem_model.Build
+module C = Gem_model.Computation
+module History = Gem_logic.History
+module Vhs = Gem_logic.Vhs
+module F = Gem_logic.Formula
+module Eval = Gem_logic.Eval
+module Bitset = Gem_order.Bitset
+
+let check = Alcotest.check
+
+(* The paper's §7 computation: e1 |> e2, e1 |> e3, e2 |> e4, e3 |> e4,
+   each event at its own element (pure enable structure). *)
+let paper_example () =
+  let b = Build.create () in
+  let e1 = Build.emit b ~element:"E1" ~klass:"A" () in
+  let e2 = Build.emit_enabled_by b ~by:e1 ~element:"E2" ~klass:"B" () in
+  let e3 = Build.emit_enabled_by b ~by:e1 ~element:"E3" ~klass:"C" () in
+  let e4 = Build.emit_enabled_by b ~by:e2 ~element:"E4" ~klass:"D" () in
+  Build.enable b e3 e4;
+  (Build.finish b, e1, e2, e3, e4)
+
+(* ------------------------------------------------------------------ *)
+(* Histories                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_history_count_cap () =
+  let comp, _, _, _, _ = paper_example () in
+  check Alcotest.int "cap respected" 3 (History.count ~cap:3 comp);
+  check Alcotest.int "cap above" 6 (History.count ~cap:100 comp)
+
+let test_history_lattice () =
+  let comp, _, _, _, _ = paper_example () in
+  (* empty, {e1}, {e1,e2}, {e1,e3}, {e1,e2,e3}, full — the paper's five
+     plus the empty history. *)
+  check Alcotest.int "6 histories" 6 (List.length (History.all comp));
+  check Alcotest.int "count agrees" 6 (History.count comp)
+
+let test_history_of_set () =
+  let comp, e1, e2, _, e4 = paper_example () in
+  let n = C.n_events comp in
+  check Alcotest.bool "down-closed ok" true
+    (History.of_set comp (Bitset.of_list n [ e1; e2 ]) <> None);
+  check Alcotest.bool "not down-closed" true
+    (History.of_set comp (Bitset.of_list n [ e2 ]) = None);
+  let h = History.down_closure comp (Bitset.of_list n [ e4 ]) in
+  check Alcotest.int "closure is everything" 4 (History.cardinal h)
+
+let test_history_prefix_mem () =
+  let comp, e1, e2, e3, _ = paper_example () in
+  let n = C.n_events comp in
+  let h1 = Option.get (History.of_set comp (Bitset.of_list n [ e1 ])) in
+  let h2 = Option.get (History.of_set comp (Bitset.of_list n [ e1; e2 ])) in
+  check Alcotest.bool "prefix" true (History.prefix h1 h2);
+  check Alcotest.bool "not prefix" false (History.prefix h2 h1);
+  check Alcotest.bool "mem" true (History.mem h2 e2);
+  check Alcotest.bool "not mem" false (History.mem h2 e3);
+  check Alcotest.bool "full is full" true (History.is_full (History.full comp))
+
+let test_history_frontier_potential () =
+  let comp, e1, e2, e3, e4 = paper_example () in
+  let h0 = History.empty comp in
+  check Alcotest.(list int) "frontier of empty" [ e1 ] (History.frontier h0);
+  check Alcotest.bool "e1 potential" true (History.potential h0 e1);
+  check Alcotest.bool "e4 not potential" false (History.potential h0 e4);
+  let n = C.n_events comp in
+  let h = Option.get (History.of_set comp (Bitset.of_list n [ e1; e2; e3 ])) in
+  check Alcotest.(list int) "frontier" [ e4 ] (History.frontier h);
+  check Alcotest.bool "e2 not potential (occurred)" false (History.potential h e2)
+
+let test_history_add_step () =
+  let comp, e1, e2, e3, e4 = paper_example () in
+  let h0 = History.empty comp in
+  let h1 = Option.get (History.add_step h0 [ e1 ]) in
+  (* e2 and e3 are concurrent: a joint step is allowed. *)
+  check Alcotest.bool "joint step" true (History.add_step h1 [ e2; e3 ] <> None);
+  (* e1 and e2 are ordered: never a joint step. *)
+  check Alcotest.bool "ordered step rejected" true (History.add_step h0 [ e1; e2 ] = None);
+  check Alcotest.bool "premature" true (History.add_step h1 [ e4 ] = None);
+  check Alcotest.bool "stale" true (History.add_step h1 [ e1 ] = None);
+  check Alcotest.bool "empty step" true (History.add_step h1 [] = None)
+
+let test_history_new_at () =
+  let comp, e1, e2, e3, _ = paper_example () in
+  let n = C.n_events comp in
+  let h = Option.get (History.of_set comp (Bitset.of_list n [ e1; e2 ])) in
+  check Alcotest.bool "e2 new" true (History.is_new h e2);
+  check Alcotest.bool "e1 not new" false (History.is_new h e1);
+  (* e1 at {e3}: e1 has not yet enabled e3 within this history. *)
+  check Alcotest.bool "at pending" true (History.at h e1 (fun e -> e = e3));
+  check Alcotest.bool "at done" false (History.at h e1 (fun e -> e = e2))
+
+(* ------------------------------------------------------------------ *)
+(* Valid history sequences                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_vhs_counts () =
+  let comp, _, _, _, _ = paper_example () in
+  check Alcotest.int "3 complete runs" 3 (List.length (Vhs.all comp));
+  check Alcotest.int "count agrees" 3 (Vhs.count comp);
+  check Alcotest.int "2 linearizations" 2 (List.length (Vhs.all_linearizations comp))
+
+let test_vhs_structure () =
+  let comp, e1, e2, e3, e4 = paper_example () in
+  let run = Option.get (Vhs.of_steps comp [ [ e1 ]; [ e2; e3 ]; [ e4 ] ]) in
+  check Alcotest.int "4 histories" 4 (Vhs.length run);
+  check Alcotest.int "starts empty" 0 (History.cardinal (Vhs.nth_history run 0));
+  check Alcotest.bool "ends full" true (History.is_full (Vhs.nth_history run 3));
+  check Alcotest.bool "invalid steps" true (Vhs.of_steps comp [ [ e1 ]; [ e4 ] ] = None);
+  check Alcotest.bool "incomplete" true (Vhs.of_steps comp [ [ e1 ] ] = None)
+
+let test_vhs_greedy_and_linearization () =
+  let comp, e1, e2, e3, e4 = paper_example () in
+  let g = Vhs.greedy comp in
+  check Alcotest.int "greedy length" 4 (Vhs.length g);
+  check Alcotest.bool "linearization ok" true
+    (Vhs.of_linearization comp [ e1; e3; e2; e4 ] <> None);
+  check Alcotest.bool "bad linearization" true
+    (Vhs.of_linearization comp [ e2; e1; e3; e4 ] = None)
+
+let test_vhs_limit_and_sample () =
+  let comp, _, _, _, _ = paper_example () in
+  check Alcotest.int "limit" 2 (List.length (Vhs.all ~limit:2 comp));
+  let rng = Random.State.make [| 3 |] in
+  let s = Vhs.sample rng comp in
+  check Alcotest.bool "sample ends full" true
+    (History.is_full (Vhs.nth_history s (Vhs.length s - 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Formula evaluation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Var := 1; Var := 2; read 2 — plus an independent element. *)
+let var_comp () =
+  let b = Build.create () in
+  let a0 = Build.emit b ~element:"Var" ~klass:"Assign" ~params:[ ("newval", V.Int 1) ] () in
+  let a1 = Build.emit_enabled_by b ~by:a0 ~element:"Var" ~klass:"Assign"
+      ~params:[ ("newval", V.Int 2) ] () in
+  let g = Build.emit_enabled_by b ~by:a1 ~element:"Var" ~klass:"Getval"
+      ~params:[ ("oldval", V.Int 2) ] () in
+  let other = Build.emit b ~element:"Other" ~klass:"Tick" () in
+  (Build.finish b, a0, a1, g, other)
+
+let test_eval_quantifiers () =
+  let comp, _, _, _, _ = var_comp () in
+  let open F in
+  check Alcotest.bool "forall assigns" true
+    (Eval.eval_computation comp
+       (forall [ ("a", Cls "Assign") ] (exists [ ("g", Cls "Getval") ] (temp_lt "a" "g"))));
+  check Alcotest.bool "exists unique getval" true
+    (Eval.eval_computation comp (exists1 "g" (Cls "Getval") (occurred "g")));
+  check Alcotest.bool "not unique assign" false
+    (Eval.eval_computation comp (exists1 "a" (Cls "Assign") (occurred "a")));
+  check Alcotest.bool "at most one getval" true
+    (Eval.eval_computation comp (at_most_one "g" (Cls "Getval") (occurred "g")))
+
+let test_eval_domains () =
+  let comp, _, _, _, _ = var_comp () in
+  let open F in
+  check Alcotest.int "Any domain" 4 (List.length (Eval.domain_events comp Any));
+  check Alcotest.int "class" 2 (List.length (Eval.domain_events comp (Cls "Assign")));
+  check Alcotest.int "at element" 3 (List.length (Eval.domain_events comp (At_elem "Var")));
+  check Alcotest.int "class at" 1
+    (List.length (Eval.domain_events comp (Cls_at ("Var", "Getval"))));
+  check Alcotest.int "union" 3
+    (List.length (Eval.domain_events comp (Union [ Cls "Assign"; Cls "Tick" ])))
+
+let test_eval_params () =
+  let comp, _, _, _, _ = var_comp () in
+  let open F in
+  (* The paper's Variable restriction: last assignment's value is read. *)
+  let last_assigned =
+    forall
+      [ ("a", Cls "Assign"); ("g", Cls "Getval") ]
+      (elem_lt "a" "g"
+       &&& neg (exists [ ("a'", Cls "Assign") ] (elem_lt "a" "a'" &&& elem_lt "a'" "g"))
+      ==> (param "a" "newval" =. param "g" "oldval"))
+  in
+  check Alcotest.bool "variable restriction" true (Eval.eval_computation comp last_assigned);
+  check Alcotest.bool "index term" true
+    (Eval.eval_computation comp
+       (forall [ ("g", Cls "Getval") ] (Atom (Cmp (Eq, Index "g", Const (V.Int 2))))));
+  check Alcotest.bool "plus term" true
+    (Eval.eval_computation comp
+       (forall [ ("g", Cls "Getval") ] (Atom (Cmp (Eq, Index "g", Plus (Const (V.Int 1), 1))))))
+
+let test_eval_same_element () =
+  let comp, _, _, _, _ = var_comp () in
+  let open F in
+  check Alcotest.bool "same element" true
+    (Eval.eval_computation comp
+       (forall [ ("a", Cls "Assign"); ("g", Cls "Getval") ] (same_element "a" "g")));
+  check Alcotest.bool "different" false
+    (Eval.eval_computation comp
+       (forall [ ("a", Cls "Assign"); ("t", Cls "Tick") ] (same_element "a" "t")))
+
+let test_eval_history_relative () =
+  let comp, a0, a1, _, _ = var_comp () in
+  let n = C.n_events comp in
+  let h = Option.get (History.of_set comp (Bitset.of_list n [ a0 ])) in
+  let open F in
+  let env = [ ("a0", a0); ("a1", a1) ] in
+  check Alcotest.bool "occurred in history" true (Eval.eval_history h env (occurred "a0"));
+  check Alcotest.bool "not yet occurred" false (Eval.eval_history h env (occurred "a1"));
+  (* Relations are restricted to the history. *)
+  check Alcotest.bool "enable not visible yet" false
+    (Eval.eval_history h env (enables "a0" "a1"));
+  check Alcotest.bool "potential" true (Eval.eval_history h env (potential "a1"));
+  check Alcotest.bool "new" true (Eval.eval_history h env (fresh "a0"))
+
+let test_eval_errors () =
+  let comp, _, _, _, _ = var_comp () in
+  let open F in
+  (try
+     ignore (Eval.eval_computation comp (occurred "zzz"));
+     Alcotest.fail "expected unbound error"
+   with Eval.Error _ -> ());
+  (try
+     ignore (Eval.eval_computation comp (henceforth True));
+     Alcotest.fail "expected temporal-in-immediate error"
+   with Eval.Error _ -> ());
+  try
+    ignore
+      (Eval.eval_computation comp
+         (forall [ ("a", Cls "Assign") ] (param "a" "nope" =. const_int 0)));
+    Alcotest.fail "expected missing-param error"
+  with Eval.Error _ -> ()
+
+let test_eval_temporal () =
+  let comp, e1, e2, e3, e4 = paper_example () in
+  let open F in
+  let run = Option.get (Vhs.of_steps comp [ [ e1 ]; [ e2 ]; [ e3 ]; [ e4 ] ]) in
+  let env = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4) ] in
+  check Alcotest.bool "eventually e4" true (Eval.eval_run ~env run (eventually (occurred "e4")));
+  check Alcotest.bool "not henceforth e1" false
+    (Eval.eval_run ~env run (henceforth (occurred "e1")));
+  check Alcotest.bool "henceforth (e1 -> eventually e4)" true
+    (Eval.eval_run ~env run (henceforth (occurred "e1" ==> eventually (occurred "e4"))));
+  (* e2 at {D-class} holds until e4 occurs, then fails henceforth. *)
+  check Alcotest.bool "at eventually violated" true
+    (Eval.eval_run ~env run (eventually (neg (at_cls "e2" (Cls "D") ||| neg (occurred "e2")))));
+  (* potential then occurred: standard response pattern. *)
+  check Alcotest.bool "potential leads to occurred" true
+    (Eval.eval_run ~env run
+       (henceforth (potential "e4" ==> eventually (occurred "e4"))))
+
+let test_eval_run_order_sensitivity () =
+  let comp, e1, e2, e3, e4 = paper_example () in
+  let open F in
+  let env = [ ("e2", e2); ("e3", e3) ] in
+  let run23 = Option.get (Vhs.of_steps comp [ [ e1 ]; [ e2 ]; [ e3 ]; [ e4 ] ]) in
+  let run32 = Option.get (Vhs.of_steps comp [ [ e1 ]; [ e3 ]; [ e2 ]; [ e4 ] ]) in
+  let e2_first = eventually (occurred "e2" &&& neg (occurred "e3")) in
+  check Alcotest.bool "run23 sees e2 first" true (Eval.eval_run ~env run23 e2_first);
+  check Alcotest.bool "run32 does not" false (Eval.eval_run ~env run32 e2_first)
+
+let test_formula_utilities () =
+  let open F in
+  let f = forall [ ("x", Any) ] (enables "x" "y" &&& occurred "z") in
+  check Alcotest.(list string) "free vars" [ "y"; "z" ] (free_vars f);
+  check Alcotest.bool "immediate" true (is_immediate f);
+  check Alcotest.bool "temporal" false (is_immediate (henceforth f));
+  check Alcotest.bool "prints" true (String.length (to_string f) > 0)
+
+let () =
+  Alcotest.run "gem_logic"
+    [
+      ( "history",
+        [
+          Alcotest.test_case "lattice" `Quick test_history_lattice;
+          Alcotest.test_case "count-cap" `Quick test_history_count_cap;
+          Alcotest.test_case "of-set" `Quick test_history_of_set;
+          Alcotest.test_case "prefix-mem" `Quick test_history_prefix_mem;
+          Alcotest.test_case "frontier-potential" `Quick test_history_frontier_potential;
+          Alcotest.test_case "add-step" `Quick test_history_add_step;
+          Alcotest.test_case "new-at" `Quick test_history_new_at;
+        ] );
+      ( "vhs",
+        [
+          Alcotest.test_case "counts" `Quick test_vhs_counts;
+          Alcotest.test_case "structure" `Quick test_vhs_structure;
+          Alcotest.test_case "greedy-linearization" `Quick test_vhs_greedy_and_linearization;
+          Alcotest.test_case "limit-sample" `Quick test_vhs_limit_and_sample;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "quantifiers" `Quick test_eval_quantifiers;
+          Alcotest.test_case "domains" `Quick test_eval_domains;
+          Alcotest.test_case "params" `Quick test_eval_params;
+          Alcotest.test_case "same-element" `Quick test_eval_same_element;
+          Alcotest.test_case "history-relative" `Quick test_eval_history_relative;
+          Alcotest.test_case "errors" `Quick test_eval_errors;
+          Alcotest.test_case "temporal" `Quick test_eval_temporal;
+          Alcotest.test_case "order-sensitivity" `Quick test_eval_run_order_sensitivity;
+          Alcotest.test_case "utilities" `Quick test_formula_utilities;
+        ] );
+    ]

@@ -1,0 +1,371 @@
+(* Unit tests for the order substrate: bitsets, digraphs, posets, and
+   linear-extension / step-sequence enumeration. *)
+
+module Bitset = Gem_order.Bitset
+module Digraph = Gem_order.Digraph
+module Poset = Gem_order.Poset
+module Linext = Gem_order.Linext
+
+let check = Alcotest.check
+let intlist = Alcotest.(list int)
+let intpairs = Alcotest.(list (pair int int))
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_empty () =
+  let s = Bitset.create 10 in
+  check Alcotest.bool "empty" true (Bitset.is_empty s);
+  check Alcotest.int "cardinal" 0 (Bitset.cardinal s);
+  check Alcotest.(option int) "choose" None (Bitset.choose s)
+
+let test_bitset_add_remove () =
+  let s = Bitset.create 10 in
+  Bitset.add s 3;
+  Bitset.add s 7;
+  Bitset.add s 3;
+  check Alcotest.bool "mem 3" true (Bitset.mem s 3);
+  check Alcotest.bool "mem 4" false (Bitset.mem s 4);
+  check Alcotest.int "cardinal" 2 (Bitset.cardinal s);
+  Bitset.remove s 3;
+  check Alcotest.bool "removed" false (Bitset.mem s 3);
+  check intlist "elements" [ 7 ] (Bitset.elements s)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 8 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.add s 8);
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index out of range")
+    (fun () -> ignore (Bitset.mem s (-1)))
+
+let test_bitset_set_ops () =
+  let a = Bitset.of_list 16 [ 1; 3; 5; 15 ] in
+  let b = Bitset.of_list 16 [ 3; 4; 15 ] in
+  check intlist "union" [ 1; 3; 4; 5; 15 ] (Bitset.elements (Bitset.union a b));
+  check intlist "inter" [ 3; 15 ] (Bitset.elements (Bitset.inter a b));
+  check intlist "diff" [ 1; 5 ] (Bitset.elements (Bitset.diff a b));
+  check Alcotest.bool "subset no" false (Bitset.subset a b);
+  check Alcotest.bool "subset yes" true (Bitset.subset (Bitset.inter a b) a);
+  check Alcotest.bool "disjoint no" false (Bitset.disjoint a b);
+  check Alcotest.bool "disjoint yes" true
+    (Bitset.disjoint (Bitset.diff a b) (Bitset.diff b a))
+
+let test_bitset_union_into () =
+  let a = Bitset.of_list 8 [ 0; 2 ] in
+  let b = Bitset.of_list 8 [ 1; 2 ] in
+  Bitset.union_into a b;
+  check intlist "union_into" [ 0; 1; 2 ] (Bitset.elements a);
+  check intlist "src untouched" [ 1; 2 ] (Bitset.elements b)
+
+let test_bitset_equal_hash () =
+  let a = Bitset.of_list 12 [ 2; 9 ] in
+  let b = Bitset.of_list 12 [ 9; 2 ] in
+  check Alcotest.bool "equal" true (Bitset.equal a b);
+  check Alcotest.int "hash equal" (Bitset.hash a) (Bitset.hash b);
+  check Alcotest.int "compare" 0 (Bitset.compare a b);
+  Bitset.add b 0;
+  check Alcotest.bool "not equal" false (Bitset.equal a b)
+
+let test_bitset_capacity_mismatch () =
+  let a = Bitset.create 8 and b = Bitset.create 9 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Bitset: capacity mismatch")
+    (fun () -> ignore (Bitset.union a b))
+
+let test_bitset_iter_order () =
+  let s = Bitset.of_list 64 [ 63; 0; 31; 32 ] in
+  check intlist "ascending" [ 0; 31; 32; 63 ] (Bitset.elements s);
+  check Alcotest.int "fold" (0 + 31 + 32 + 63) (Bitset.fold (fun i a -> i + a) s 0)
+
+let test_bitset_for_all_exists () =
+  let s = Bitset.of_list 10 [ 2; 4; 6 ] in
+  check Alcotest.bool "all even" true (Bitset.for_all (fun i -> i mod 2 = 0) s);
+  check Alcotest.bool "exists > 5" true (Bitset.exists (fun i -> i > 5) s);
+  check Alcotest.bool "exists > 6" false (Bitset.exists (fun i -> i > 6) s)
+
+let test_bitset_copy_isolated () =
+  let a = Bitset.of_list 8 [ 1 ] in
+  let b = Bitset.copy a in
+  Bitset.add b 2;
+  check Alcotest.bool "copy isolated" false (Bitset.mem a 2)
+
+(* ------------------------------------------------------------------ *)
+(* Digraph                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let diamond () = Digraph.of_edges 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_digraph_edges () =
+  let g = diamond () in
+  check Alcotest.int "size" 4 (Digraph.size g);
+  check Alcotest.int "nb_edges" 4 (Digraph.nb_edges g);
+  check Alcotest.bool "mem" true (Digraph.mem_edge g 0 1);
+  check Alcotest.bool "not mem" false (Digraph.mem_edge g 1 0);
+  check intlist "succs 0" [ 1; 2 ] (Digraph.succs g 0);
+  check intlist "preds 3" [ 1; 2 ] (Digraph.preds g 3);
+  check intpairs "edges" [ (0, 1); (0, 2); (1, 3); (2, 3) ] (Digraph.edges g)
+
+let test_digraph_idempotent_add () =
+  let g = Digraph.create 3 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 0 1;
+  check Alcotest.int "one edge" 1 (Digraph.nb_edges g)
+
+let test_digraph_topo () =
+  check (Alcotest.option intlist) "diamond topo" (Some [ 0; 1; 2; 3 ])
+    (Digraph.topological_sort (diamond ()));
+  let cyc = Digraph.of_edges 3 [ (0, 1); (1, 2); (2, 0) ] in
+  check (Alcotest.option intlist) "cycle" None (Digraph.topological_sort cyc);
+  check Alcotest.bool "has_cycle" true (Digraph.has_cycle cyc);
+  check Alcotest.bool "no cycle" false (Digraph.has_cycle (diamond ()))
+
+let test_digraph_self_loop_is_cycle () =
+  let g = Digraph.of_edges 2 [ (1, 1) ] in
+  check Alcotest.bool "self loop" true (Digraph.has_cycle g)
+
+let test_digraph_closure () =
+  let c = Digraph.transitive_closure (diamond ()) in
+  check Alcotest.bool "0->3" true (Digraph.mem_edge c 0 3);
+  check Alcotest.bool "1->2 absent" false (Digraph.mem_edge c 1 2);
+  check Alcotest.bool "no reflexive" false (Digraph.mem_edge c 0 0);
+  let r = Digraph.transitive_closure ~reflexive:true (diamond ()) in
+  check Alcotest.bool "reflexive" true (Digraph.mem_edge r 0 0)
+
+let test_digraph_closure_cyclic () =
+  let g = Digraph.of_edges 3 [ (0, 1); (1, 0) ] in
+  let c = Digraph.transitive_closure g in
+  check Alcotest.bool "0 reaches 0 via cycle" true (Digraph.mem_edge c 0 0);
+  check Alcotest.bool "2 isolated" false (Digraph.mem_edge c 2 2)
+
+let test_digraph_reduction () =
+  let g = Digraph.of_edges 4 [ (0, 1); (1, 2); (0, 2); (2, 3); (0, 3) ] in
+  let r = Digraph.transitive_reduction g in
+  check intpairs "reduction" [ (0, 1); (1, 2); (2, 3) ] (Digraph.edges r);
+  Alcotest.check_raises "cyclic reduction"
+    (Invalid_argument "Digraph.transitive_reduction: cyclic graph") (fun () ->
+      ignore (Digraph.transitive_reduction (Digraph.of_edges 2 [ (0, 1); (1, 0) ])))
+
+let test_digraph_sources_sinks () =
+  let g = diamond () in
+  check intlist "sources" [ 0 ] (Digraph.sources g);
+  check intlist "sinks" [ 3 ] (Digraph.sinks g)
+
+let test_digraph_transpose () =
+  let t = Digraph.transpose (diamond ()) in
+  check intpairs "transposed" [ (1, 0); (2, 0); (3, 1); (3, 2) ] (Digraph.edges t)
+
+let test_digraph_union_induced () =
+  let a = Digraph.of_edges 3 [ (0, 1) ] in
+  let b = Digraph.of_edges 3 [ (1, 2) ] in
+  check intpairs "union" [ (0, 1); (1, 2) ] (Digraph.edges (Digraph.union a b));
+  let sub = Bitset.of_list 4 [ 0; 1; 3 ] in
+  let i = Digraph.induced (diamond ()) sub in
+  check intpairs "induced" [ (0, 1); (1, 3) ] (Digraph.edges i)
+
+let test_digraph_reachable () =
+  let g = diamond () in
+  check intlist "from 1" [ 3 ] (Bitset.elements (Digraph.reachable g 1));
+  check intlist "from 0" [ 1; 2; 3 ] (Bitset.elements (Digraph.reachable g 0))
+
+(* ------------------------------------------------------------------ *)
+(* Poset                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let diamond_poset () = Poset.of_digraph_exn (diamond ())
+
+let test_poset_rejects_cycle () =
+  check Alcotest.bool "cyclic -> None" true
+    (Poset.of_digraph (Digraph.of_edges 2 [ (0, 1); (1, 0) ]) = None)
+
+let test_poset_order () =
+  let p = diamond_poset () in
+  check Alcotest.bool "0 < 3" true (Poset.lt p 0 3);
+  check Alcotest.bool "3 < 0 no" false (Poset.lt p 3 0);
+  check Alcotest.bool "1 || 2" true (Poset.concurrent p 1 2);
+  check Alcotest.bool "leq refl" true (Poset.leq p 1 1);
+  check Alcotest.bool "comparable" true (Poset.comparable p 0 1)
+
+let test_poset_down_up () =
+  let p = diamond_poset () in
+  check intlist "down 3" [ 0; 1; 2 ] (Bitset.elements (Poset.down_set p 3));
+  check intlist "up 0" [ 1; 2; 3 ] (Bitset.elements (Poset.up_set p 0));
+  let s = Bitset.of_list 4 [ 3 ] in
+  check intlist "closure" [ 0; 1; 2; 3 ] (Bitset.elements (Poset.down_closure p s))
+
+let test_poset_down_closed () =
+  let p = diamond_poset () in
+  check Alcotest.bool "yes" true (Poset.is_down_closed p (Bitset.of_list 4 [ 0; 1 ]));
+  check Alcotest.bool "no" false (Poset.is_down_closed p (Bitset.of_list 4 [ 1 ]))
+
+let test_poset_min_max () =
+  let p = diamond_poset () in
+  let s = Bitset.of_list 4 [ 1; 2; 3 ] in
+  check intlist "minimal" [ 1; 2 ] (Bitset.elements (Poset.minimal_of p s));
+  check intlist "maximal" [ 3 ] (Bitset.elements (Poset.maximal_of p s))
+
+let test_poset_chains_antichains () =
+  let p = diamond_poset () in
+  check Alcotest.bool "antichain {1,2}" true (Poset.is_antichain p (Bitset.of_list 4 [ 1; 2 ]));
+  check Alcotest.bool "not antichain {0,1}" false
+    (Poset.is_antichain p (Bitset.of_list 4 [ 0; 1 ]));
+  check Alcotest.bool "chain {0,1,3}" true (Poset.is_chain p (Bitset.of_list 4 [ 0; 1; 3 ]));
+  check Alcotest.bool "not chain {1,2}" false (Poset.is_chain p (Bitset.of_list 4 [ 1; 2 ]))
+
+let test_poset_height_width () =
+  let p = diamond_poset () in
+  check Alcotest.int "height" 3 (Poset.height p);
+  check Alcotest.int "width >= 2" 2 (Poset.width_lower_bound p);
+  let empty = Poset.of_digraph_exn (Digraph.create 0) in
+  check Alcotest.int "empty height" 0 (Poset.height empty)
+
+let test_poset_exact_width () =
+  let p = diamond_poset () in
+  check Alcotest.int "diamond width" 2 (Poset.width p);
+  check intlist "diamond max antichain" [ 1; 2 ] (Poset.max_antichain p);
+  (* A chain has width 1; an antichain has width n. *)
+  let chain = Poset.of_digraph_exn (Digraph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ]) in
+  check Alcotest.int "chain width" 1 (Poset.width chain);
+  let anti = Poset.of_digraph_exn (Digraph.create 5) in
+  check Alcotest.int "antichain width" 5 (Poset.width anti);
+  check Alcotest.int "antichain witness" 5 (List.length (Poset.max_antichain anti));
+  (* A non-graded poset where the greedy layering underestimates:
+     0<1<2<3 plus 4<3 and 0<5: width is 2. *)
+  let tricky =
+    Poset.of_digraph_exn (Digraph.of_edges 6 [ (0, 1); (1, 2); (2, 3); (4, 3); (0, 5) ])
+  in
+  check Alcotest.int "tricky width" 3 (Poset.width tricky);
+  let witness = Poset.max_antichain tricky in
+  check Alcotest.int "witness size" 3 (List.length witness);
+  check Alcotest.bool "witness is antichain" true
+    (Poset.is_antichain tricky (Bitset.of_list 6 witness));
+  check Alcotest.int "empty width" 0 (Poset.width (Poset.of_digraph_exn (Digraph.create 0)))
+
+let test_poset_covers () =
+  let p = Poset.of_digraph_exn (Digraph.of_edges 3 [ (0, 1); (1, 2); (0, 2) ]) in
+  check intpairs "covers drop transitivity" [ (0, 1); (1, 2) ] (Poset.covers p)
+
+let test_poset_linear_extensions () =
+  let p = diamond_poset () in
+  let exts = Poset.linear_extensions p in
+  check Alcotest.int "2 extensions" 2 (List.length exts);
+  check Alcotest.bool "both valid" true
+    (List.for_all (fun e -> e = [ 0; 1; 2; 3 ] || e = [ 0; 2; 1; 3 ]) exts);
+  check Alcotest.int "count" 2 (Poset.count_linear_extensions p);
+  check Alcotest.int "limit" 1 (List.length (Poset.linear_extensions ~limit:1 p))
+
+let test_poset_count_cap () =
+  (* Antichain of 6: 720 extensions, capped. *)
+  let p = Poset.of_digraph_exn (Digraph.create 6) in
+  check Alcotest.int "capped" 100 (Poset.count_linear_extensions ~cap:100 p);
+  check Alcotest.int "exact" 720 (Poset.count_linear_extensions p)
+
+let test_poset_empty_extensions () =
+  let p = Poset.of_digraph_exn (Digraph.create 0) in
+  check Alcotest.int "one empty extension" 1 (List.length (Poset.linear_extensions p))
+
+(* ------------------------------------------------------------------ *)
+(* Linext: step sequences (= the paper's valid history sequences)      *)
+(* ------------------------------------------------------------------ *)
+
+let test_step_sequences_diamond () =
+  (* The paper's §7 example: e1 |> e2, e1 |> e3, {e2,e3} |> e4. Complete
+     runs: e2 and e3 in either order or simultaneously — exactly 3. *)
+  let p = diamond_poset () in
+  let seqs = Linext.step_sequences p in
+  check Alcotest.int "3 step sequences" 3 (List.length seqs);
+  check Alcotest.bool "simultaneous step present" true
+    (List.exists (fun s -> List.mem [ 1; 2 ] s) seqs);
+  check Alcotest.bool "all valid" true (List.for_all (Linext.is_step_sequence p) seqs)
+
+let test_count_step_sequences () =
+  let p = diamond_poset () in
+  check Alcotest.int "count matches" 3 (Linext.count_step_sequences p);
+  check Alcotest.int "capped" 2 (Linext.count_step_sequences ~cap:2 p);
+  (* Antichain of 3: ordered set partitions of 3 elements = 13. *)
+  let a3 = Poset.of_digraph_exn (Digraph.create 3) in
+  check Alcotest.int "antichain 3" 13 (Linext.count_step_sequences a3)
+
+let test_greedy_levels () =
+  let p = diamond_poset () in
+  check (Alcotest.list intlist) "levels" [ [ 0 ]; [ 1; 2 ]; [ 3 ] ] (Linext.greedy_levels p);
+  check Alcotest.bool "greedy is valid" true
+    (Linext.is_step_sequence p (Linext.greedy_levels p))
+
+let test_singleton_steps () =
+  check (Alcotest.list intlist) "singletons" [ [ 2 ]; [ 0 ] ] (Linext.singleton_steps [ 2; 0 ])
+
+let test_sampled_runs_valid () =
+  let p = diamond_poset () in
+  let rng = Random.State.make [| 11 |] in
+  for _ = 1 to 20 do
+    let ext = Linext.sample_linear_extension rng p in
+    Alcotest.(check bool) "ext valid" true
+      (Linext.is_step_sequence p (Linext.singleton_steps ext));
+    let steps = Linext.sample_step_sequence rng p in
+    Alcotest.(check bool) "steps valid" true (Linext.is_step_sequence p steps)
+  done
+
+let test_is_step_sequence_rejects () =
+  let p = diamond_poset () in
+  check Alcotest.bool "wrong order" false (Linext.is_step_sequence p [ [ 1 ]; [ 0 ]; [ 2 ]; [ 3 ] ]);
+  check Alcotest.bool "non-antichain step" false (Linext.is_step_sequence p [ [ 0 ]; [ 1; 3 ]; [ 2 ] ]);
+  check Alcotest.bool "incomplete" false (Linext.is_step_sequence p [ [ 0 ]; [ 1; 2 ] ]);
+  check Alcotest.bool "duplicate" false
+    (Linext.is_step_sequence p [ [ 0 ]; [ 1 ]; [ 1; 2 ]; [ 3 ] ]);
+  check Alcotest.bool "empty step" false (Linext.is_step_sequence p [ [ 0 ]; []; [ 1; 2 ]; [ 3 ] ])
+
+let () =
+  Alcotest.run "gem_order"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "empty" `Quick test_bitset_empty;
+          Alcotest.test_case "add-remove" `Quick test_bitset_add_remove;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          Alcotest.test_case "set-ops" `Quick test_bitset_set_ops;
+          Alcotest.test_case "union-into" `Quick test_bitset_union_into;
+          Alcotest.test_case "equal-hash" `Quick test_bitset_equal_hash;
+          Alcotest.test_case "capacity-mismatch" `Quick test_bitset_capacity_mismatch;
+          Alcotest.test_case "iter-order" `Quick test_bitset_iter_order;
+          Alcotest.test_case "for-all-exists" `Quick test_bitset_for_all_exists;
+          Alcotest.test_case "copy-isolated" `Quick test_bitset_copy_isolated;
+        ] );
+      ( "digraph",
+        [
+          Alcotest.test_case "edges" `Quick test_digraph_edges;
+          Alcotest.test_case "idempotent-add" `Quick test_digraph_idempotent_add;
+          Alcotest.test_case "topological-sort" `Quick test_digraph_topo;
+          Alcotest.test_case "self-loop" `Quick test_digraph_self_loop_is_cycle;
+          Alcotest.test_case "closure" `Quick test_digraph_closure;
+          Alcotest.test_case "closure-cyclic" `Quick test_digraph_closure_cyclic;
+          Alcotest.test_case "reduction" `Quick test_digraph_reduction;
+          Alcotest.test_case "sources-sinks" `Quick test_digraph_sources_sinks;
+          Alcotest.test_case "transpose" `Quick test_digraph_transpose;
+          Alcotest.test_case "union-induced" `Quick test_digraph_union_induced;
+          Alcotest.test_case "reachable" `Quick test_digraph_reachable;
+        ] );
+      ( "poset",
+        [
+          Alcotest.test_case "rejects-cycle" `Quick test_poset_rejects_cycle;
+          Alcotest.test_case "order" `Quick test_poset_order;
+          Alcotest.test_case "down-up" `Quick test_poset_down_up;
+          Alcotest.test_case "down-closed" `Quick test_poset_down_closed;
+          Alcotest.test_case "min-max" `Quick test_poset_min_max;
+          Alcotest.test_case "chains-antichains" `Quick test_poset_chains_antichains;
+          Alcotest.test_case "height-width" `Quick test_poset_height_width;
+          Alcotest.test_case "exact-width" `Quick test_poset_exact_width;
+          Alcotest.test_case "covers" `Quick test_poset_covers;
+          Alcotest.test_case "linear-extensions" `Quick test_poset_linear_extensions;
+          Alcotest.test_case "count-cap" `Quick test_poset_count_cap;
+          Alcotest.test_case "empty-extensions" `Quick test_poset_empty_extensions;
+        ] );
+      ( "linext",
+        [
+          Alcotest.test_case "diamond-steps" `Quick test_step_sequences_diamond;
+          Alcotest.test_case "count" `Quick test_count_step_sequences;
+          Alcotest.test_case "greedy-levels" `Quick test_greedy_levels;
+          Alcotest.test_case "singleton-steps" `Quick test_singleton_steps;
+          Alcotest.test_case "sampled-valid" `Quick test_sampled_runs_valid;
+          Alcotest.test_case "rejects-invalid" `Quick test_is_step_sequence_rejects;
+        ] );
+    ]

@@ -1,0 +1,370 @@
+(* Property-based tests (qcheck) for the core invariants: closure algebra,
+   extension enumeration, history lattices, evaluator dualities, and
+   bitsets against a reference model. *)
+
+module Bitset = Gem_order.Bitset
+module Digraph = Gem_order.Digraph
+module Poset = Gem_order.Poset
+module Linext = Gem_order.Linext
+module Build = Gem_model.Build
+module C = Gem_model.Computation
+module History = Gem_logic.History
+module Vhs = Gem_logic.Vhs
+module F = Gem_logic.Formula
+module Eval = Gem_logic.Eval
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A random DAG on [n] nodes: edges only from lower to higher index. *)
+let dag_gen =
+  QCheck.Gen.(
+    sized_size (int_range 1 7) (fun n ->
+        let pairs =
+          List.concat
+            (List.init n (fun i -> List.init (n - i - 1) (fun d -> (i, i + d + 1))))
+        in
+        let* picks = flatten_l (List.map (fun e -> pair (return e) bool) pairs) in
+        let edges = List.filter_map (fun (e, keep) -> if keep then Some e else None) picks in
+        return (n, edges)))
+
+let dag_arb =
+  QCheck.make dag_gen ~print:(fun (n, es) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) es)))
+
+(* A random legal computation: events assigned round-robin-randomly to a
+   few elements, enable edges only from earlier-emitted to later-emitted
+   events (so the causal graph is acyclic by construction). *)
+let comp_gen =
+  QCheck.Gen.(
+    sized_size (int_range 1 8) (fun n ->
+        let* n_elements = int_range 1 3 in
+        let* assignment = flatten_l (List.init n (fun _ -> int_range 0 (n_elements - 1))) in
+        let pairs =
+          List.concat
+            (List.init n (fun i -> List.init (n - i - 1) (fun d -> (i, i + d + 1))))
+        in
+        let* picks = flatten_l (List.map (fun e -> pair (return e) (int_range 0 3)) pairs) in
+        let edges = List.filter_map (fun (e, k) -> if k = 0 then Some e else None) picks in
+        return (n, assignment, edges)))
+
+let build_comp (n, assignment, edges) =
+  let b = Build.create () in
+  let handles =
+    List.map
+      (fun el -> Build.emit b ~element:(Printf.sprintf "el%d" el) ~klass:"E" ())
+      assignment
+  in
+  let arr = Array.of_list handles in
+  List.iter (fun (i, j) -> Build.enable b arr.(i) arr.(j)) edges;
+  ignore n;
+  Build.finish b
+
+let comp_arb =
+  QCheck.make comp_gen ~print:(fun (n, a, es) ->
+      Printf.sprintf "n=%d elems=[%s] edges=%d" n
+        (String.concat ";" (List.map string_of_int a))
+        (List.length es))
+
+(* ------------------------------------------------------------------ *)
+(* Closure algebra                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_closure_contains_base =
+  QCheck.Test.make ~name:"closure contains base" ~count:200 dag_arb (fun (n, edges) ->
+      let g = Digraph.of_edges n edges in
+      let c = Digraph.transitive_closure g in
+      List.for_all (fun (a, b) -> Digraph.mem_edge c a b) edges)
+
+let prop_closure_idempotent =
+  QCheck.Test.make ~name:"closure idempotent" ~count:200 dag_arb (fun (n, edges) ->
+      let g = Digraph.of_edges n edges in
+      let c = Digraph.transitive_closure g in
+      Digraph.equal c (Digraph.transitive_closure c))
+
+let prop_closure_transitive =
+  QCheck.Test.make ~name:"closure transitive" ~count:200 dag_arb (fun (n, edges) ->
+      let g = Digraph.of_edges n edges in
+      let c = Digraph.transitive_closure g in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              List.for_all
+                (fun d ->
+                  not (Digraph.mem_edge c a b && Digraph.mem_edge c b d)
+                  || Digraph.mem_edge c a d)
+                (List.init n Fun.id))
+            (List.init n Fun.id))
+        (List.init n Fun.id))
+
+let prop_reduction_preserves_closure =
+  QCheck.Test.make ~name:"reduction preserves closure" ~count:200 dag_arb
+    (fun (n, edges) ->
+      let g = Digraph.of_edges n edges in
+      let r = Digraph.transitive_reduction g in
+      Digraph.equal (Digraph.transitive_closure g) (Digraph.transitive_closure r))
+
+let prop_reduction_minimal =
+  QCheck.Test.make ~name:"reduction edges are covers" ~count:100 dag_arb
+    (fun (n, edges) ->
+      let g = Digraph.of_edges n edges in
+      let r = Digraph.transitive_reduction g in
+      let c = Digraph.transitive_closure g in
+      (* No reduction edge is implied by a two-step path in the closure. *)
+      List.for_all
+        (fun (a, b) ->
+          not
+            (List.exists
+               (fun m -> m <> a && m <> b && Digraph.mem_edge c a m && Digraph.mem_edge c m b)
+               (List.init n Fun.id)))
+        (Digraph.edges r))
+
+(* ------------------------------------------------------------------ *)
+(* Extensions and step sequences                                       *)
+(* ------------------------------------------------------------------ *)
+
+let is_topological_sort g order =
+  let pos = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace pos v i) order;
+  List.length order = Digraph.size g
+  && List.for_all (fun (a, b) -> Hashtbl.find pos a < Hashtbl.find pos b) (Digraph.edges g)
+
+let prop_extensions_are_topo_sorts =
+  QCheck.Test.make ~name:"linear extensions are topological sorts" ~count:100 dag_arb
+    (fun (n, edges) ->
+      let g = Digraph.of_edges n edges in
+      let p = Poset.of_digraph_exn g in
+      let exts = Poset.linear_extensions p in
+      List.for_all (is_topological_sort g) exts
+      && List.length (List.sort_uniq compare exts) = List.length exts
+      && List.length exts = Poset.count_linear_extensions p)
+
+let prop_step_sequences_at_least_extensions =
+  QCheck.Test.make ~name:"#step sequences >= #linear extensions" ~count:100 dag_arb
+    (fun (n, edges) ->
+      let p = Poset.of_digraph_exn (Digraph.of_edges n edges) in
+      Linext.count_step_sequences p >= Poset.count_linear_extensions p)
+
+let prop_step_sequences_valid =
+  QCheck.Test.make ~name:"enumerated step sequences validate" ~count:60 dag_arb
+    (fun (n, edges) ->
+      let p = Poset.of_digraph_exn (Digraph.of_edges n edges) in
+      List.for_all (Linext.is_step_sequence p) (Linext.step_sequences ~limit:200 p))
+
+(* ------------------------------------------------------------------ *)
+(* Computations and histories                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_temporal_is_strict_order =
+  QCheck.Test.make ~name:"temporal order strict" ~count:200 comp_arb (fun spec ->
+      let comp = build_comp spec in
+      match C.temporal comp with
+      | None -> false
+      | Some p ->
+          let n = C.n_events comp in
+          List.for_all
+            (fun a ->
+              (not (Poset.lt p a a))
+              && List.for_all
+                   (fun b ->
+                     List.for_all
+                       (fun c ->
+                         (not (Poset.lt p a b && Poset.lt p b c)) || Poset.lt p a c)
+                       (List.init n Fun.id))
+                   (List.init n Fun.id))
+            (List.init n Fun.id))
+
+let prop_elem_lt_within_temporal =
+  QCheck.Test.make ~name:"element order within temporal order" ~count:200 comp_arb
+    (fun spec ->
+      let comp = build_comp spec in
+      let n = C.n_events comp in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b -> (not (C.elem_lt comp a b)) || C.temp_lt comp a b)
+            (List.init n Fun.id))
+        (List.init n Fun.id))
+
+let prop_histories_down_closed =
+  QCheck.Test.make ~name:"histories are down-closed and distinct" ~count:60 comp_arb
+    (fun spec ->
+      let comp = build_comp spec in
+      let poset = C.temporal_exn comp in
+      let hs = History.all comp in
+      List.for_all (fun h -> Poset.is_down_closed poset (History.members h)) hs
+      &&
+      let keys = List.map (fun h -> Bitset.elements (History.members h)) hs in
+      List.length (List.sort_uniq compare keys) = List.length keys
+      && History.count comp = List.length hs)
+
+let prop_vhs_runs_complete =
+  QCheck.Test.make ~name:"complete runs start empty and end full" ~count:40 comp_arb
+    (fun spec ->
+      let comp = build_comp spec in
+      let runs = Vhs.all ~limit:100 comp in
+      runs <> []
+      && List.for_all
+           (fun run ->
+             History.cardinal (Vhs.nth_history run 0) = 0
+             && History.is_full (Vhs.nth_history run (Vhs.length run - 1)))
+           runs)
+
+let prop_frontier_matches_potential =
+  QCheck.Test.make ~name:"frontier = potential events" ~count:100 comp_arb (fun spec ->
+      let comp = build_comp spec in
+      let hs = History.all comp in
+      List.for_all
+        (fun h ->
+          let f = History.frontier h in
+          List.for_all (History.potential h) f
+          && List.for_all
+               (fun e -> List.mem e f || not (History.potential h e))
+               (C.all_events comp))
+        (List.filteri (fun i _ -> i < 10) hs))
+
+let prop_width_exact =
+  QCheck.Test.make ~name:"width = brute-force max antichain" ~count:100 dag_arb
+    (fun (n, edges) ->
+      let p = Poset.of_digraph_exn (Digraph.of_edges n edges) in
+      (* Brute force over all subsets (n <= 7). *)
+      let best = ref 0 in
+      for mask = 0 to (1 lsl n) - 1 do
+        let members = List.filter (fun v -> mask land (1 lsl v) <> 0) (List.init n Fun.id) in
+        if Poset.is_antichain p (Bitset.of_list n members) then
+          best := max !best (List.length members)
+      done;
+      let w = Poset.width p in
+      let witness = Poset.max_antichain p in
+      w = !best
+      && List.length witness = w
+      && Poset.is_antichain p (Bitset.of_list n witness)
+      && Poset.width_lower_bound p <= w)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluator dualities                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let prop_quantifier_duality =
+  QCheck.Test.make ~name:"forall/exists duality" ~count:100 comp_arb (fun spec ->
+      let comp = build_comp spec in
+      let inner x = F.exists [ ("y", F.Any) ] (F.temp_lt x "y") in
+      let all_form = F.forall [ ("x", F.Any) ] (inner "x") in
+      let dual = F.neg (F.exists [ ("x", F.Any) ] (F.neg (inner "x"))) in
+      Eval.eval_computation comp all_form = Eval.eval_computation comp dual)
+
+let prop_temporal_duality =
+  QCheck.Test.make ~name:"henceforth/eventually duality on runs" ~count:40 comp_arb
+    (fun spec ->
+      let comp = build_comp spec in
+      let p = F.exists [ ("x", F.Any) ] (F.fresh "x") in
+      List.for_all
+        (fun run ->
+          Eval.eval_run run (F.henceforth p)
+          = not (Eval.eval_run run (F.eventually (F.neg p))))
+        (Vhs.all ~limit:20 comp))
+
+let prop_occurred_monotone =
+  QCheck.Test.make ~name:"occurred is monotone along runs" ~count:40 comp_arb
+    (fun spec ->
+      let comp = build_comp spec in
+      List.for_all
+        (fun run ->
+          List.for_all
+            (fun e ->
+              let env = [ ("e", e) ] in
+              (* once occurred, henceforth occurred *)
+              Eval.eval_run ~env run
+                F.(henceforth (occurred "e" ==> henceforth (occurred "e"))))
+            (C.all_events comp))
+        (Vhs.all ~limit:10 comp))
+
+(* ------------------------------------------------------------------ *)
+(* Bitsets against a set model                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Iset = Set.Make (Int)
+
+let ops_gen =
+  QCheck.Gen.(list_size (int_range 0 40) (pair (int_range 0 2) (int_range 0 15)))
+
+let prop_bitset_model =
+  QCheck.Test.make ~name:"bitset matches set model" ~count:300
+    (QCheck.make ops_gen) (fun ops ->
+      let bs = Bitset.create 16 in
+      let model = ref Iset.empty in
+      List.iter
+        (fun (op, x) ->
+          match op with
+          | 0 ->
+              Bitset.add bs x;
+              model := Iset.add x !model
+          | 1 ->
+              Bitset.remove bs x;
+              model := Iset.remove x !model
+          | _ -> ignore (Bitset.mem bs x))
+        ops;
+      Bitset.elements bs = Iset.elements !model
+      && Bitset.cardinal bs = Iset.cardinal !model)
+
+(* ------------------------------------------------------------------ *)
+(* Thread labelling on random chains                                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_thread_chains =
+  QCheck.Test.make ~name:"thread labels follow chains" ~count:60
+    (QCheck.make QCheck.Gen.(int_range 1 5)) (fun k ->
+      (* k disjoint A->B chains; labelling must find k instances with 2
+         events each. *)
+      let b = Build.create () in
+      for i = 0 to k - 1 do
+        let a = Build.emit b ~element:(Printf.sprintf "P%d" i) ~klass:"A" () in
+        ignore (Build.emit_enabled_by b ~by:a ~element:(Printf.sprintf "P%d" i) ~klass:"B" ())
+      done;
+      let def = Gem_spec.Thread.def "t" (Gem_spec.Thread.seq_of_domains [ F.Cls "A"; F.Cls "B" ]) in
+      let comp = Gem_spec.Thread.label (Build.finish b) [ def ] in
+      let instances = Gem_spec.Thread.instances comp "t" in
+      List.length instances = k
+      && List.for_all
+           (fun i -> List.length (Gem_spec.Thread.events_of_instance comp "t" i) = 2)
+           instances)
+
+let () =
+  let to_alc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "gem_properties"
+    [
+      ( "closure",
+        [
+          to_alc prop_closure_contains_base;
+          to_alc prop_closure_idempotent;
+          to_alc prop_closure_transitive;
+          to_alc prop_reduction_preserves_closure;
+          to_alc prop_reduction_minimal;
+        ] );
+      ( "extensions",
+        [
+          to_alc prop_extensions_are_topo_sorts;
+          to_alc prop_step_sequences_at_least_extensions;
+          to_alc prop_step_sequences_valid;
+          to_alc prop_width_exact;
+        ] );
+      ( "computations",
+        [
+          to_alc prop_temporal_is_strict_order;
+          to_alc prop_elem_lt_within_temporal;
+          to_alc prop_histories_down_closed;
+          to_alc prop_vhs_runs_complete;
+          to_alc prop_frontier_matches_potential;
+        ] );
+      ( "evaluator",
+        [
+          to_alc prop_quantifier_duality;
+          to_alc prop_temporal_duality;
+          to_alc prop_occurred_monotone;
+        ] );
+      ("bitset", [ to_alc prop_bitset_model ]);
+      ("threads", [ to_alc prop_thread_chains ]);
+    ]

@@ -1,0 +1,467 @@
+(* Unit tests for the specification layer: element types, group access
+   (against the paper's §4 table), legality, abbreviations and threads. *)
+
+module V = Gem_model.Value
+module Group = Gem_model.Group
+module Build = Gem_model.Build
+module C = Gem_model.Computation
+module Etype = Gem_spec.Etype
+module Access = Gem_spec.Access
+module Legality = Gem_spec.Legality
+module Spec = Gem_spec.Spec
+module Abbrev = Gem_spec.Abbrev
+module Thread = Gem_spec.Thread
+module F = Gem_logic.Formula
+module Eval = Gem_logic.Eval
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Element types                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_etype_decls () =
+  let v = Etype.variable in
+  check Alcotest.bool "declares Assign" true (Etype.declares v "Assign");
+  check Alcotest.bool "declares Getval" true (Etype.declares v "Getval");
+  check Alcotest.bool "no Frobnicate" false (Etype.declares v "Frobnicate")
+
+let test_etype_schema () =
+  let v = Etype.integer_variable in
+  let assign = Option.get (Etype.event_decl v "Assign") in
+  check Alcotest.bool "int ok" true (Etype.schema_ok assign [ ("newval", V.Int 3) ]);
+  check Alcotest.bool "bool rejected" false (Etype.schema_ok assign [ ("newval", V.Bool true) ]);
+  check Alcotest.bool "wrong name" false (Etype.schema_ok assign [ ("value", V.Int 3) ]);
+  check Alcotest.bool "extra param" false
+    (Etype.schema_ok assign [ ("newval", V.Int 3); ("x", V.Int 0) ]);
+  let generic = Option.get (Etype.event_decl Etype.variable "Assign") in
+  check Alcotest.bool "any accepts bool" true (Etype.schema_ok generic [ ("newval", V.Bool true) ])
+
+let test_etype_refine () =
+  let refined =
+    Etype.refine Etype.variable ~name:"Logged"
+      ~add_events:[ { Etype.klass = "Log"; schema = [] } ]
+      ~add_restrictions:[ ("extra", fun _ -> F.True) ]
+      ()
+  in
+  check Alcotest.string "name" "Logged" refined.Etype.type_name;
+  check Alcotest.bool "base events kept" true (Etype.declares refined "Assign");
+  check Alcotest.bool "new event" true (Etype.declares refined "Log");
+  check Alcotest.int "restrictions grow" 2 (List.length refined.Etype.restrictions);
+  Alcotest.check_raises "clash" (Invalid_argument "Etype.refine: event class Assign already declared")
+    (fun () ->
+      ignore
+        (Etype.refine Etype.variable ~name:"Bad"
+           ~add_events:[ { Etype.klass = "Assign"; schema = [] } ]
+           ()))
+
+(* ------------------------------------------------------------------ *)
+(* Access control: the paper's §4 example, exact table                 *)
+(* ------------------------------------------------------------------ *)
+
+let paper_groups () =
+  [
+    Group.make "G1" [ Group.Elem "EL2"; Group.Elem "EL3" ];
+    Group.make "G2" [ Group.Elem "EL4"; Group.Elem "EL5" ];
+    Group.make "G3" [ Group.Elem "EL3"; Group.Elem "EL4" ];
+    Group.make "G4" [ Group.Elem "EL1" ];
+  ]
+
+let paper_table =
+  (* Row: source; columns it may enable — verbatim from the paper. *)
+  [
+    ("EL1", [ "EL1"; "EL6" ]);
+    ("EL2", [ "EL2"; "EL3"; "EL6" ]);
+    ("EL3", [ "EL2"; "EL3"; "EL4"; "EL6" ]);
+    ("EL4", [ "EL3"; "EL4"; "EL5"; "EL6" ]);
+    ("EL5", [ "EL4"; "EL5"; "EL6" ]);
+    ("EL6", [ "EL6" ]);
+  ]
+
+let test_access_paper_table () =
+  let els = [ "EL1"; "EL2"; "EL3"; "EL4"; "EL5"; "EL6" ] in
+  let t = Access.build ~elements:els ~groups:(paper_groups ()) in
+  List.iter
+    (fun (src, allowed) ->
+      List.iter
+        (fun dst ->
+          let expected = List.mem dst allowed in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s |> %s" src dst)
+            expected
+            (Access.may_enable t ~from_element:src ~to_element:dst ~to_class:"K"))
+        els)
+    paper_table
+
+let test_access_ports () =
+  (* The paper's Abstraction example: datum reachable only via the port. *)
+  let groups =
+    [
+      Group.make "Abstraction"
+        [ Group.Elem "Datum"; Group.Elem "Oper" ]
+        ~ports:[ { Group.port_element = "Oper"; port_class = "Start" } ];
+    ]
+  in
+  let t = Access.build ~elements:[ "Datum"; "Oper"; "Client" ] ~groups in
+  check Alcotest.bool "port reachable" true
+    (Access.may_enable t ~from_element:"Client" ~to_element:"Oper" ~to_class:"Start");
+  check Alcotest.bool "non-port class blocked" false
+    (Access.may_enable t ~from_element:"Client" ~to_element:"Oper" ~to_class:"Other");
+  check Alcotest.bool "datum blocked" false
+    (Access.may_enable t ~from_element:"Client" ~to_element:"Datum" ~to_class:"Assign");
+  check Alcotest.bool "inside group fine" true
+    (Access.may_enable t ~from_element:"Oper" ~to_element:"Datum" ~to_class:"Assign");
+  check Alcotest.bool "outward fine" true
+    (Access.may_enable t ~from_element:"Datum" ~to_element:"Client" ~to_class:"K")
+
+let test_access_nested () =
+  let groups =
+    [ Group.make "Outer" [ Group.Grp "Inner"; Group.Elem "o" ];
+      Group.make "Inner" [ Group.Elem "i" ] ]
+  in
+  let t = Access.build ~elements:[ "i"; "o"; "g" ] ~groups in
+  (* inner can reach outward to o and the global g. *)
+  check Alcotest.bool "inner to sibling-of-parent" true
+    (Access.may_enable t ~from_element:"i" ~to_element:"o" ~to_class:"K");
+  check Alcotest.bool "inner to global" true
+    (Access.may_enable t ~from_element:"i" ~to_element:"g" ~to_class:"K");
+  (* o cannot reach into Inner. *)
+  check Alcotest.bool "no reach into nested" false
+    (Access.may_enable t ~from_element:"o" ~to_element:"i" ~to_class:"K")
+
+let test_access_duplicate_group () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Access.build: duplicate group G")
+    (fun () ->
+      ignore (Access.build ~elements:[] ~groups:[ Group.make "G" []; Group.make "G" [] ]))
+
+(* ------------------------------------------------------------------ *)
+(* Legality                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let tick_etype = Etype.make "Tick" ~events:[ { Etype.klass = "Tick"; schema = [] } ] ()
+
+let test_legality_clean () =
+  let spec = Spec.make "s" ~elements:[ ("X", tick_etype) ] () in
+  let b = Build.create () in
+  let t0 = Build.emit b ~element:"X" ~klass:"Tick" () in
+  let _ = Build.emit_enabled_by b ~by:t0 ~element:"X" ~klass:"Tick" () in
+  check Alcotest.bool "legal" true (Legality.is_legal spec (Build.finish b))
+
+let test_legality_undeclared_element () =
+  let spec = Spec.make "s" ~elements:[ ("X", tick_etype) ] () in
+  let b = Build.create () in
+  let _ = Build.emit b ~element:"Y" ~klass:"Tick" () in
+  match Legality.check spec (Build.finish b) with
+  | [ Legality.Undeclared_element "Y" ] -> ()
+  | other -> Alcotest.failf "unexpected: %d violations" (List.length other)
+
+let test_legality_undeclared_class () =
+  let spec = Spec.make "s" ~elements:[ ("X", tick_etype) ] () in
+  let b = Build.create () in
+  let _ = Build.emit b ~element:"X" ~klass:"Boom" () in
+  match Legality.check spec (Build.finish b) with
+  | [ Legality.Undeclared_class 0 ] -> ()
+  | _ -> Alcotest.fail "expected Undeclared_class"
+
+let test_legality_bad_params () =
+  let spec = Spec.make "s" ~elements:[ ("V", Etype.integer_variable) ] () in
+  let b = Build.create () in
+  let _ = Build.emit b ~element:"V" ~klass:"Assign" ~params:[ ("newval", V.Str "x") ] () in
+  match Legality.check spec (Build.finish b) with
+  | [ Legality.Bad_params 0 ] -> ()
+  | _ -> Alcotest.fail "expected Bad_params"
+
+let test_legality_cycle () =
+  let spec = Spec.make "s" ~elements:[ ("X", tick_etype); ("Y", tick_etype) ] () in
+  let b = Build.create () in
+  let x = Build.emit b ~element:"X" ~klass:"Tick" () in
+  let y = Build.emit b ~element:"Y" ~klass:"Tick" () in
+  Build.enable b x y;
+  Build.enable b y x;
+  match Legality.check spec (Build.finish b) with
+  | Legality.Cyclic_causality ws :: _ -> Alcotest.(check bool) "witness" true (List.length ws >= 2)
+  | _ -> Alcotest.fail "expected Cyclic_causality"
+
+let test_legality_access_violation () =
+  let spec =
+    Spec.make "s"
+      ~elements:[ ("X", tick_etype); ("Hidden", tick_etype) ]
+      ~groups:[ Group.make "G" [ Group.Elem "Hidden" ] ]
+      ()
+  in
+  let b = Build.create () in
+  let x = Build.emit b ~element:"X" ~klass:"Tick" () in
+  let _ = Build.emit_enabled_by b ~by:x ~element:"Hidden" ~klass:"Tick" () in
+  match Legality.check spec (Build.finish b) with
+  | [ Legality.Access_violation (0, 1) ] -> ()
+  | _ -> Alcotest.fail "expected Access_violation"
+
+let test_legality_type_restriction_via_check () =
+  (* A Getval returning a stale value is caught by the Variable type's own
+     restriction (via Check, not Legality). *)
+  let spec = Spec.make "s" ~elements:[ ("V", Etype.variable) ] () in
+  let bad = Build.create () in
+  let a = Build.emit bad ~element:"V" ~klass:"Assign" ~params:[ ("newval", V.Int 1) ] () in
+  let _ =
+    Build.emit_enabled_by bad ~by:a ~element:"V" ~klass:"Getval"
+      ~params:[ ("oldval", V.Int 99) ] ()
+  in
+  let verdict = Gem_check.Check.check spec (Build.finish bad) in
+  check Alcotest.bool "stale read rejected" false (Gem_check.Verdict.ok verdict)
+
+(* ------------------------------------------------------------------ *)
+(* Abbreviations                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let chain_comp ?(skip_enable = false) () =
+  let b = Build.create () in
+  let a = Build.emit b ~element:"P" ~klass:"A" () in
+  let x =
+    if skip_enable then Build.emit b ~element:"P" ~klass:"B" ()
+    else Build.emit_enabled_by b ~by:a ~element:"P" ~klass:"B" ()
+  in
+  ignore x;
+  Build.finish b
+
+let test_abbrev_prerequisite () =
+  let f = Abbrev.prerequisite (F.Cls "A") (F.Cls "B") in
+  check Alcotest.bool "holds" true (Eval.eval_computation (chain_comp ()) f);
+  check Alcotest.bool "fails without enable" false
+    (Eval.eval_computation (chain_comp ~skip_enable:true ()) f)
+
+let test_abbrev_prerequisite_double_enable () =
+  (* One A enabling two Bs violates "at most one". *)
+  let b = Build.create () in
+  let a = Build.emit b ~element:"P" ~klass:"A" () in
+  let _ = Build.emit_enabled_by b ~by:a ~element:"P" ~klass:"B" () in
+  let _ = Build.emit_enabled_by b ~by:a ~element:"Q" ~klass:"B" () in
+  check Alcotest.bool "violated" false
+    (Eval.eval_computation (Build.finish b) (Abbrev.prerequisite (F.Cls "A") (F.Cls "B")))
+
+let test_abbrev_nondet_fork_join () =
+  let b = Build.create () in
+  let a = Build.emit b ~element:"P" ~klass:"A" () in
+  let l = Build.emit_enabled_by b ~by:a ~element:"L" ~klass:"B" () in
+  let r = Build.emit_enabled_by b ~by:a ~element:"R" ~klass:"C" () in
+  let j = Build.emit_enabled_by b ~by:l ~element:"J" ~klass:"D" () in
+  Build.enable b r j;
+  let comp = Build.finish b in
+  check Alcotest.bool "fork" true
+    (Eval.eval_computation comp (Abbrev.fork (F.Cls "A") [ F.Cls "B"; F.Cls "C" ]));
+  check Alcotest.bool "join" true
+    (Eval.eval_computation comp (Abbrev.join [ F.Cls "B"; F.Cls "C" ] (F.Cls "D")));
+  (* A join has TWO enablers from the set, so it is NOT a nondeterministic
+     prerequisite (which demands exactly one). *)
+  check Alcotest.bool "join is not nondet-prereq" false
+    (Eval.eval_computation comp (Abbrev.nondet_prerequisite [ F.Cls "B"; F.Cls "C" ] (F.Cls "D")));
+  check Alcotest.bool "chain" true
+    (Eval.eval_computation comp (Abbrev.chain [ F.Cls "A"; F.Cls "B"; F.Cls "D" ]))
+
+let test_abbrev_nondet_prerequisite () =
+  (* Two D events, each enabled by exactly one event of {B, C}. *)
+  let b = Build.create () in
+  let bb = Build.emit b ~element:"P" ~klass:"B" () in
+  let cc = Build.emit b ~element:"Q" ~klass:"C" () in
+  let _ = Build.emit_enabled_by b ~by:bb ~element:"P" ~klass:"D" () in
+  let _ = Build.emit_enabled_by b ~by:cc ~element:"Q" ~klass:"D" () in
+  let comp = Build.finish b in
+  check Alcotest.bool "holds" true
+    (Eval.eval_computation comp (Abbrev.nondet_prerequisite [ F.Cls "B"; F.Cls "C" ] (F.Cls "D")))
+
+let test_abbrev_message_passing () =
+  let mk v_recv =
+    let b = Build.create () in
+    let s = Build.emit b ~element:"S" ~klass:"Send" ~params:[ ("msg", V.Int 5) ] () in
+    let _ =
+      Build.emit_enabled_by b ~by:s ~element:"R" ~klass:"Recv"
+        ~params:[ ("got", V.Int v_recv) ] ()
+    in
+    Build.finish b
+  in
+  let f =
+    Abbrev.message_passing ~send:(F.Cls "Send") ~receive:(F.Cls "Recv") ~send_param:"msg"
+      ~receive_param:"got"
+  in
+  check Alcotest.bool "values equal" true (Eval.eval_computation (mk 5) f);
+  check Alcotest.bool "corrupted" false (Eval.eval_computation (mk 6) f)
+
+let test_abbrev_priority_direct () =
+  (* Two transactions labelled by a thread; the high-priority one pends
+     while the low one starts first: the priority restriction must fail on
+     that run, and pass when the high one is serviced first. *)
+  let build hi_first =
+    let b = Build.create () in
+    let rh = Build.emit b ~element:"P1" ~klass:"ReqHi" () in
+    let rl = Build.emit b ~element:"P2" ~klass:"ReqLo" () in
+    let sh = Build.emit_enabled_by b ~by:rh ~element:"P1" ~klass:"StartHi" () in
+    let sl = Build.emit_enabled_by b ~by:rl ~element:"P2" ~klass:"StartLo" () in
+    (* Serialize the starts at a control element via enables. *)
+    if hi_first then Build.enable b sh sl else Build.enable b sl sh;
+    Build.finish b
+  in
+  let thread_defs =
+    [ Thread.def "pi"
+        (Thread.Alt
+           [ Thread.seq_of_domains [ F.Cls "ReqHi"; F.Cls "StartHi" ];
+             Thread.seq_of_domains [ F.Cls "ReqLo"; F.Cls "StartLo" ] ]) ]
+  in
+  let prio =
+    Abbrev.priority ~thread:"pi" ~req_hi:(F.Cls "ReqHi") ~start_hi:(F.Cls "StartHi")
+      ~req_lo:(F.Cls "ReqLo") ~start_lo:(F.Cls "StartLo")
+  in
+  let holds comp =
+    let comp = Thread.label comp thread_defs in
+    List.for_all (fun run -> Eval.eval_run run prio) (Gem_logic.Vhs.all comp)
+  in
+  check Alcotest.bool "hi first satisfies" true (holds (build true));
+  check Alcotest.bool "lo first violates" false (holds (build false))
+
+(* ------------------------------------------------------------------ *)
+(* Threads                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let thread_comp () =
+  (* Two interleaved transactions A -> B -> C on separate elements, with a
+     shared element ordering the Bs. *)
+  let b = Build.create () in
+  let a1 = Build.emit b ~element:"P1" ~klass:"A" () in
+  let a2 = Build.emit b ~element:"P2" ~klass:"A" () in
+  let b1 = Build.emit_enabled_by b ~by:a1 ~element:"M" ~klass:"B" () in
+  let b2 = Build.emit_enabled_by b ~by:a2 ~element:"M" ~klass:"B" () in
+  let c1 = Build.emit_enabled_by b ~by:b1 ~element:"P1" ~klass:"C" () in
+  let c2 = Build.emit_enabled_by b ~by:b2 ~element:"P2" ~klass:"C" () in
+  (Build.finish b, a1, a2, b1, b2, c1, c2)
+
+let pi = Thread.def "pi" (Thread.seq_of_domains [ F.Cls "A"; F.Cls "B"; F.Cls "C" ])
+
+let test_thread_labelling () =
+  let comp, a1, a2, b1, b2, c1, c2 = thread_comp () in
+  let comp = Thread.label comp [ pi ] in
+  let inst h = Gem_model.Event.thread_instance (C.event comp h) "pi" in
+  check Alcotest.(list int) "two instances" [ 0; 1 ] (Thread.instances comp "pi");
+  check Alcotest.bool "a1-b1-c1 same" true (inst a1 = inst b1 && inst b1 = inst c1);
+  check Alcotest.bool "a2-b2-c2 same" true (inst a2 = inst b2 && inst b2 = inst c2);
+  check Alcotest.bool "distinct" true (inst a1 <> inst a2);
+  let i1 = Option.get (inst a1) in
+  check Alcotest.(list int) "events of instance" [ a1; b1; c1 ]
+    (Thread.events_of_instance comp "pi" i1)
+
+let test_thread_alternation () =
+  let def =
+    Thread.def "t" (Thread.Alt [ Thread.seq_of_domains [ F.Cls "A"; F.Cls "B" ];
+                                 Thread.seq_of_domains [ F.Cls "X"; F.Cls "Y" ] ])
+  in
+  let b = Build.create () in
+  let a = Build.emit b ~element:"P" ~klass:"A" () in
+  let bb = Build.emit_enabled_by b ~by:a ~element:"P" ~klass:"B" () in
+  let x = Build.emit b ~element:"Q" ~klass:"X" () in
+  let y = Build.emit_enabled_by b ~by:x ~element:"Q" ~klass:"Y" () in
+  let comp = Thread.label (Build.finish b) [ def ] in
+  let inst h = Gem_model.Event.thread_instance (C.event comp h) "t" in
+  check Alcotest.bool "A-branch labelled" true (inst a <> None && inst a = inst bb);
+  check Alcotest.bool "X-branch labelled" true (inst x <> None && inst x = inst y);
+  check Alcotest.bool "branches distinct" true (inst a <> inst x)
+
+let test_thread_star_opt () =
+  let def =
+    Thread.def "t"
+      (Thread.Seq [ Thread.Step (F.Cls "A"); Thread.Star (Thread.Step (F.Cls "M"));
+                    Thread.Opt (Thread.Step (F.Cls "O")); Thread.Step (F.Cls "Z") ])
+  in
+  let b = Build.create () in
+  let a = Build.emit b ~element:"P" ~klass:"A" () in
+  let m1 = Build.emit_enabled_by b ~by:a ~element:"P" ~klass:"M" () in
+  let m2 = Build.emit_enabled_by b ~by:m1 ~element:"P" ~klass:"M" () in
+  let z = Build.emit_enabled_by b ~by:m2 ~element:"P" ~klass:"Z" () in
+  let comp = Thread.label (Build.finish b) [ def ] in
+  let inst h = Gem_model.Event.thread_instance (C.event comp h) "t" in
+  check Alcotest.bool "star consumed" true
+    (inst a = inst m1 && inst m1 = inst m2 && inst m2 = inst z && inst a <> None)
+
+let test_thread_chain_breaks () =
+  (* A B with no enable edge: B starts nothing and continues nothing. *)
+  let b = Build.create () in
+  let a = Build.emit b ~element:"P" ~klass:"A" () in
+  let bb = Build.emit b ~element:"Q" ~klass:"B" () in
+  let comp = Thread.label (Build.finish b) [ pi ] in
+  let inst h = Gem_model.Event.thread_instance (C.event comp h) "pi" in
+  check Alcotest.bool "a labelled" true (inst a <> None);
+  check Alcotest.bool "b unlabelled" true (inst bb = None)
+
+(* ------------------------------------------------------------------ *)
+(* Spec assembly                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_merge () =
+  let f1 = Spec.make "f1" ~elements:[ ("X", tick_etype) ] ~restrictions:[ ("r1", F.True) ] () in
+  let f2 = Spec.make "f2" ~elements:[ ("Y", tick_etype); ("X", tick_etype) ]
+      ~restrictions:[ ("r2", F.True) ] () in
+  let m = Spec.merge "m" [ f1; f2 ] in
+  check Alcotest.(list string) "elements dedup" [ "X"; "Y" ] (Spec.declared_elements m);
+  check Alcotest.int "restrictions" 2 (List.length m.Spec.restrictions)
+
+let test_spec_merge_conflicts () =
+  let t2 = Etype.make "Other" ~events:[] () in
+  let f1 = Spec.make "f1" ~elements:[ ("X", tick_etype) ] () in
+  let f2 = Spec.make "f2" ~elements:[ ("X", t2) ] () in
+  Alcotest.check_raises "type clash"
+    (Invalid_argument "Spec.merge: element X declared with two types") (fun () ->
+      ignore (Spec.merge "m" [ f1; f2 ]))
+
+let test_spec_type_restrictions () =
+  let s = Spec.make "s" ~elements:[ ("V", Etype.variable); ("W", Etype.variable) ] () in
+  let rs = Spec.type_restrictions s in
+  check Alcotest.int "one per instance" 2 (List.length rs);
+  check Alcotest.bool "instantiated name" true
+    (List.mem_assoc "V.getval-yields-last-assigned" rs);
+  check Alcotest.int "restriction_count" 2 (Spec.restriction_count s)
+
+let () =
+  Alcotest.run "gem_spec"
+    [
+      ( "etype",
+        [
+          Alcotest.test_case "decls" `Quick test_etype_decls;
+          Alcotest.test_case "schema" `Quick test_etype_schema;
+          Alcotest.test_case "refine" `Quick test_etype_refine;
+        ] );
+      ( "access",
+        [
+          Alcotest.test_case "paper-table" `Quick test_access_paper_table;
+          Alcotest.test_case "ports" `Quick test_access_ports;
+          Alcotest.test_case "nested" `Quick test_access_nested;
+          Alcotest.test_case "duplicate-group" `Quick test_access_duplicate_group;
+        ] );
+      ( "legality",
+        [
+          Alcotest.test_case "clean" `Quick test_legality_clean;
+          Alcotest.test_case "undeclared-element" `Quick test_legality_undeclared_element;
+          Alcotest.test_case "undeclared-class" `Quick test_legality_undeclared_class;
+          Alcotest.test_case "bad-params" `Quick test_legality_bad_params;
+          Alcotest.test_case "cycle" `Quick test_legality_cycle;
+          Alcotest.test_case "access-violation" `Quick test_legality_access_violation;
+          Alcotest.test_case "type-restriction" `Quick test_legality_type_restriction_via_check;
+        ] );
+      ( "abbrev",
+        [
+          Alcotest.test_case "prerequisite" `Quick test_abbrev_prerequisite;
+          Alcotest.test_case "double-enable" `Quick test_abbrev_prerequisite_double_enable;
+          Alcotest.test_case "fork-join-nondet" `Quick test_abbrev_nondet_fork_join;
+          Alcotest.test_case "nondet-prerequisite" `Quick test_abbrev_nondet_prerequisite;
+          Alcotest.test_case "message-passing" `Quick test_abbrev_message_passing;
+          Alcotest.test_case "priority-direct" `Quick test_abbrev_priority_direct;
+        ] );
+      ( "thread",
+        [
+          Alcotest.test_case "labelling" `Quick test_thread_labelling;
+          Alcotest.test_case "alternation" `Quick test_thread_alternation;
+          Alcotest.test_case "star-opt" `Quick test_thread_star_opt;
+          Alcotest.test_case "chain-breaks" `Quick test_thread_chain_breaks;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "merge" `Quick test_spec_merge;
+          Alcotest.test_case "merge-conflicts" `Quick test_spec_merge_conflicts;
+          Alcotest.test_case "type-restrictions" `Quick test_spec_type_restrictions;
+        ] );
+    ]
