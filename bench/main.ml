@@ -4,13 +4,21 @@
    claim-check — workload generation is done up front, the timed kernel is
    the exploration/checking work.
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe
+
+   `dune exec bench/main.exe -- --budget-only` skips the Bechamel suite
+   and only measures budget-accounting overhead (writes BENCH_budget.json
+   in the current directory) — cheap enough for CI. *)
 
 open Bechamel
 open Toolkit
 open Gem
 
-let strategy = Strategy.Linearizations (Some 200)
+(* The bench budget replaces the old hard-coded
+   [Strategy.Linearizations (Some 200)]: the run cap is now a budget knob
+   and the strategy is derived from it. *)
+let bench_budget = Budget.make ~max_runs:200 ()
+let strategy = Strategy.of_budget bench_budget
 
 (* ------------------------------------------------------------------ *)
 (* Pre-built workloads                                                 *)
@@ -225,10 +233,55 @@ let tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Budget-accounting overhead (E14 workload)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Same temporal check as the E14 ablation tests; the budgeted variant
+   carries a live (but never-exhausted) budget so every run goes through
+   the charge/poll path. The delta is the accounting overhead, which the
+   robustness work promises stays under 5%. *)
+
+let e14_check ?budget () =
+  ignore
+    (Check.check_formula ?budget ~strategy:(Strategy.Linearizations (Some 2000))
+       rw11_spec rw_one_comp ~name:"p" finish_write)
+
+let time_iters ~iters f =
+  f ();
+  (* warm-up *)
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int iters
+
+let budget_overhead_report () =
+  let iters = 40 in
+  let bare = time_iters ~iters (fun () -> e14_check ()) in
+  let budgeted =
+    (* A fresh budget per iteration, as the CLI would construct one. *)
+    time_iters ~iters (fun () ->
+        e14_check ~budget:(Budget.make ~timeout:3600.0 ~max_configs:max_int ()) ())
+  in
+  let overhead_pct = (budgeted -. bare) /. bare *. 100.0 in
+  let json =
+    Printf.sprintf
+      {|{"workload":"E14 linearizations-2000 temporal check","iters":%d,"bare_s_per_check":%.6e,"budgeted_s_per_check":%.6e,"overhead_pct":%.2f,"threshold_pct":5.0}|}
+      iters bare budgeted overhead_pct
+  in
+  let oc = open_out "BENCH_budget.json" in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  Printf.printf "budget accounting overhead on E14 workload: %.2f%% (%s)\n"
+    overhead_pct
+    (if overhead_pct < 5.0 then "within 5% target" else "ABOVE 5% target");
+  Printf.printf "wrote BENCH_budget.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let () =
+let run_bechamel () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instance = Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
@@ -254,3 +307,8 @@ let () =
           Printf.printf "%-28s %16s %10.4f\n%!" name pretty r2)
         analyzed)
     tests
+
+let () =
+  let budget_only = Array.exists (String.equal "--budget-only") Sys.argv in
+  if not budget_only then run_bechamel ();
+  budget_overhead_report ()

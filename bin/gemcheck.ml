@@ -6,13 +6,93 @@
      buffer       verify a bounded-buffer solution in a chosen language
      db           explore the distributed database update
      life         check the asynchronous Game of Life
+     parse        parse and echo a GEM specification file
+
+   Every verification subcommand accepts a resource budget (--timeout,
+   --max-configs, --max-runs) and degrades gracefully: exhaustion yields a
+   three-valued INCONCLUSIVE outcome with a reason and coverage stats
+   instead of a crash or a silently truncated "verified".
+
+   Exit codes: 0 verified, 1 falsified, 2 inconclusive, 3 usage or
+   internal error.
 
    Run with: dune exec bin/gemcheck.exe -- <subcommand> ... *)
 
 open Cmdliner
 open Gem
 
-let strategy = Strategy.Linearizations (Some 400)
+(* ------------------------------------------------------------------ *)
+(* Budget flags, shared by every verification subcommand               *)
+(* ------------------------------------------------------------------ *)
+
+let budget_term =
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECS"
+             ~doc:"Wall-clock budget in seconds. Exhaustion degrades to an \
+                   inconclusive verdict (exit 2) instead of running forever.")
+  in
+  let max_configs =
+    Arg.(value & opt (some int) None
+         & info [ "max-configs" ] ~docv:"N"
+             ~doc:"Total interpreter configurations to visit across the run.")
+  in
+  let max_runs =
+    Arg.(value & opt (some int) None
+         & info [ "max-runs" ] ~docv:"N"
+             ~doc:(Printf.sprintf
+                     "Run-enumeration cap per temporal check (default %d)."
+                     Strategy.default_run_cap))
+  in
+  let make timeout max_configs max_runs =
+    Budget.make ?timeout ?max_configs ?max_runs ()
+  in
+  Term.(const make $ timeout $ max_configs $ max_runs)
+
+let json_flag =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"Emit the outcome report as a JSON object.")
+
+(* ------------------------------------------------------------------ *)
+(* Outcome reporting                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A falsifying witness is sound even under truncated exploration, so
+   Falsified wins; otherwise any exploration cut makes the whole claim
+   inconclusive. *)
+let combined_status ~explore_exhausted verdicts =
+  match (Verdict.overall verdicts, explore_exhausted) with
+  | Verdict.Falsified, _ -> Verdict.Falsified
+  | _, Some r -> Verdict.Inconclusive r
+  | s, None -> s
+
+let coverage ~explored ~truncated verdicts =
+  {
+    Budget.configs_explored = explored;
+    branches_truncated = truncated;
+    runs_enumerated =
+      List.fold_left (fun n v -> n + v.Verdict.runs_checked) 0 verdicts;
+    runs_complete = List.for_all (fun v -> v.Verdict.complete) verdicts;
+  }
+
+let report ~json ~command ~detail status cov =
+  if json then
+    Printf.printf
+      {|{"command":"%s","status":"%s","reason":%s,"detail":"%s","coverage":%s}|}
+      command
+      (Verdict.status_keyword status)
+      (match status with
+      | Verdict.Inconclusive r -> Budget.reason_json r
+      | _ -> "null")
+      detail (Budget.coverage_json cov)
+  else begin
+    Printf.printf "%s\n" detail;
+    Format.printf "%a@." Verdict.pp_status status;
+    match status with
+    | Verdict.Inconclusive _ -> Format.printf "  %a@." Budget.pp_coverage cov
+    | _ -> ()
+  end;
+  Verdict.exit_code status
 
 (* ------------------------------------------------------------------ *)
 (* experiments                                                         *)
@@ -31,7 +111,7 @@ let experiments_cmd =
     in
     if selected = [] then (
       Printf.eprintf "no such experiment\n";
-      1)
+      3)
     else begin
       let ok = ref true in
       List.iter
@@ -81,34 +161,66 @@ let rw_cmd =
   in
   let readers = Arg.(value & opt int 2 & info [ "readers" ] ~docv:"N") in
   let writers = Arg.(value & opt int 1 & info [ "writers" ] ~docv:"N") in
-  let run monitor version readers writers =
+  let run monitor version readers writers budget json =
     let program = Readers_writers.program ~monitor ~readers ~writers in
-    let o = Monitor.explore program in
-    Printf.printf "explored: %d distinct computations, %d deadlocks\n"
-      (List.length o.Monitor.computations)
-      (List.length o.Monitor.deadlocks);
+    let o = Monitor.explore ~budget program in
     let problem =
       Readers_writers.spec version ~users:(Readers_writers.user_names ~readers ~writers)
     in
     let results =
-      Refine.sat ~strategy ~edges:Refine.Actor_paths ~problem
-        ~map:Readers_writers.correspondence o.Monitor.computations
+      Refine.sat ~strategy:(Strategy.of_budget budget) ~budget
+        ~edges:Refine.Actor_paths ~problem ~map:Readers_writers.correspondence
+        o.Monitor.computations
     in
+    let verdicts = List.map snd results in
+    let status = combined_status ~explore_exhausted:o.Monitor.exhausted verdicts in
     let failures = List.filter (fun (_, v) -> not (Verdict.ok v)) results in
-    (match failures with
-    | [] -> Printf.printf "SAT: every computation satisfies %s\n" (Readers_writers.version_name version)
-    | (i, v) :: _ ->
-        Printf.printf "VIOLATED on computation %d (of %d failing):\n" i (List.length failures);
-        Format.printf "%a@." (Verdict.pp None) v);
-    if failures = [] then 0 else 1
+    let detail =
+      Printf.sprintf "%d distinct computations, %d deadlocks vs %s: %s"
+        (List.length o.Monitor.computations)
+        (List.length o.Monitor.deadlocks)
+        (Readers_writers.version_name version)
+        (match failures with
+        | [] -> "no violation found"
+        | (i, _) :: _ -> Printf.sprintf "violated on computation %d (of %d failing)" i (List.length failures))
+    in
+    (if not json then
+       match failures with
+       | (_, v) :: _ -> Format.printf "%a@." (Verdict.pp None) v
+       | [] -> ());
+    report ~json ~command:"rw" ~detail status
+      (coverage ~explored:o.Monitor.explored ~truncated:o.Monitor.truncated verdicts)
   in
   Cmd.v
     (Cmd.info "rw" ~doc:"Verify a Readers/Writers monitor against a problem version.")
-    Term.(const run $ monitor $ version $ readers $ writers)
+    Term.(const run $ monitor $ version $ readers $ writers $ budget_term $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* buffer                                                              *)
 (* ------------------------------------------------------------------ *)
+
+let deadlock_verdict ~spec_name n =
+  (* Deadlocked schedules falsify a solution outright; report them through
+     the same three-valued channel as restriction failures. *)
+  if n = 0 then None
+  else
+    Some
+      {
+        Verdict.spec_name;
+        legality = [];
+        failures =
+          [
+            {
+              Verdict.restriction = Printf.sprintf "deadlock-freedom (%d deadlocked schedule(s))" n;
+              formula = Formula.False;
+              witness = None;
+            };
+          ];
+        runs_checked = 0;
+        complete = true;
+        exhaustion = None;
+        coverage = Budget.full_coverage;
+      }
 
 let buffer_cmd =
   let lang =
@@ -119,36 +231,45 @@ let buffer_cmd =
   let producers = Arg.(value & opt int 1 & info [ "producers" ] ~docv:"N") in
   let consumers = Arg.(value & opt int 1 & info [ "consumers" ] ~docv:"N") in
   let items = Arg.(value & opt int 2 & info [ "items" ] ~docv:"N" ~doc:"Items per producer.") in
-  let run lang capacity producers consumers items =
+  let run lang capacity producers consumers items budget json =
     let problem = Buffer_problem.spec ~capacity in
-    let comps, deadlocks, ok =
+    let strategy = Strategy.of_budget budget in
+    let comps, deadlocks, explored, truncated, exhausted, results =
       match lang with
       | `Monitor ->
-          let o = Monitor.explore (Buffer_problem.monitor_solution ~capacity ~producers ~consumers ~items_each:items) in
+          let o = Monitor.explore ~budget (Buffer_problem.monitor_solution ~capacity ~producers ~consumers ~items_each:items) in
           ( List.length o.Monitor.computations,
             List.length o.Monitor.deadlocks,
-            Refine.sat_ok ~strategy ~problem ~map:Buffer_problem.monitor_correspondence
+            o.Monitor.explored, o.Monitor.truncated, o.Monitor.exhausted,
+            Refine.sat ~strategy ~budget ~problem ~map:Buffer_problem.monitor_correspondence
               o.Monitor.computations )
       | `Csp ->
-          let o = Csp.explore (Buffer_problem.csp_solution ~capacity ~producers ~consumers ~items_each:items) in
+          let o = Csp.explore ~budget (Buffer_problem.csp_solution ~capacity ~producers ~consumers ~items_each:items) in
           ( List.length o.Csp.computations,
             List.length o.Csp.deadlocks,
-            Refine.sat_ok ~strategy ~problem ~map:Buffer_problem.csp_correspondence
+            o.Csp.explored, o.Csp.truncated, o.Csp.exhausted,
+            Refine.sat ~strategy ~budget ~problem ~map:Buffer_problem.csp_correspondence
               o.Csp.computations )
       | `Ada ->
-          let o = Ada.explore (Buffer_problem.ada_solution ~capacity ~producers ~consumers ~items_each:items) in
+          let o = Ada.explore ~budget (Buffer_problem.ada_solution ~capacity ~producers ~consumers ~items_each:items) in
           ( List.length o.Ada.computations,
             List.length o.Ada.deadlocks,
-            Refine.sat_ok ~strategy ~problem ~map:Buffer_problem.ada_correspondence
+            o.Ada.explored, o.Ada.truncated, o.Ada.exhausted,
+            Refine.sat ~strategy ~budget ~problem ~map:Buffer_problem.ada_correspondence
               o.Ada.computations )
     in
-    Printf.printf "%d computations, %d deadlocks — %s\n" comps deadlocks
-      (if ok && deadlocks = 0 then "SAT" else "VIOLATED");
-    if ok && deadlocks = 0 then 0 else 1
+    let verdicts =
+      List.map snd results
+      @ Option.to_list (deadlock_verdict ~spec_name:"buffer" deadlocks)
+    in
+    let status = combined_status ~explore_exhausted:exhausted verdicts in
+    let detail = Printf.sprintf "%d computations, %d deadlocks" comps deadlocks in
+    report ~json ~command:"buffer" ~detail status
+      (coverage ~explored ~truncated verdicts)
   in
   Cmd.v
     (Cmd.info "buffer" ~doc:"Verify a bounded-buffer solution.")
-    Term.(const run $ lang $ capacity $ producers $ consumers $ items)
+    Term.(const run $ lang $ capacity $ producers $ consumers $ items $ budget_term $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* rwd: distributed Readers/Writers                                    *)
@@ -164,40 +285,47 @@ let rwd_cmd =
   let broken =
     Arg.(value & flag & info [ "no-priority" ] ~doc:"Use the priority-less mutant.")
   in
-  let run lang readers writers broken =
+  let run lang readers writers broken budget json =
     let rnames, wnames = Rw_distributed.user_names ~readers ~writers in
     let problem = Rw_distributed.spec ~readers:rnames ~writers:wnames in
-    let comps, deadlocks, ok =
+    let strategy = Strategy.of_budget budget in
+    let comps, deadlocks, explored, truncated, exhausted, results =
       match lang with
       | `Csp ->
           let program =
             if broken then Rw_distributed.csp_program_no_priority ~readers ~writers
             else Rw_distributed.csp_program ~readers ~writers
           in
-          let o = Csp.explore ~max_configs:20_000_000 program in
+          let o = Csp.explore ~max_configs:20_000_000 ~budget program in
           ( List.length o.Csp.computations,
             List.length o.Csp.deadlocks,
-            Refine.sat_ok ~strategy ~problem ~map:Rw_distributed.csp_correspondence
+            o.Csp.explored, o.Csp.truncated, o.Csp.exhausted,
+            Refine.sat ~strategy ~budget ~problem ~map:Rw_distributed.csp_correspondence
               o.Csp.computations )
       | `Ada ->
           let program =
             if broken then Rw_distributed.ada_program_no_priority ~readers ~writers
             else Rw_distributed.ada_program ~readers ~writers
           in
-          let o = Ada.explore ~max_configs:20_000_000 program in
+          let o = Ada.explore ~max_configs:20_000_000 ~budget program in
           ( List.length o.Ada.computations,
             List.length o.Ada.deadlocks,
-            Refine.sat_ok ~strategy ~problem ~map:Rw_distributed.ada_correspondence
+            o.Ada.explored, o.Ada.truncated, o.Ada.exhausted,
+            Refine.sat ~strategy ~budget ~problem ~map:Rw_distributed.ada_correspondence
               o.Ada.computations )
     in
-    Printf.printf "%d computations, %d deadlocks — %s\n" comps deadlocks
-      (if ok && deadlocks = 0 then "SAT" else "VIOLATED");
-    if ok && deadlocks = 0 then 0 else 1
+    let verdicts =
+      List.map snd results
+      @ Option.to_list (deadlock_verdict ~spec_name:"rwd" deadlocks)
+    in
+    let status = combined_status ~explore_exhausted:exhausted verdicts in
+    let detail = Printf.sprintf "%d computations, %d deadlocks" comps deadlocks in
+    report ~json ~command:"rwd" ~detail status (coverage ~explored ~truncated verdicts)
   in
   Cmd.v
     (Cmd.info "rwd"
        ~doc:"Verify the distributed (CSP/ADA) Readers/Writers solutions.")
-    Term.(const run $ lang $ readers $ writers $ broken)
+    Term.(const run $ lang $ readers $ writers $ broken $ budget_term $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* parse                                                               *)
@@ -226,7 +354,7 @@ let parse_cmd =
         0
     | Error m ->
         Printf.eprintf "parse error: %s\n" m;
-        1
+        3
   in
   Cmd.v
     (Cmd.info "parse" ~doc:"Parse and echo a GEM specification file.")
@@ -238,37 +366,68 @@ let parse_cmd =
 
 let db_cmd =
   let sites = Arg.(value & opt int 3 & info [ "sites" ] ~docv:"N") in
-  let run sites =
-    let comps, deadlocks, ok = Db_update.check ~sites () in
-    Printf.printf "%d computations, %d deadlocks, convergence: %b\n" comps deadlocks ok;
-    if ok && deadlocks = 0 then 0 else 1
+  let run sites budget json =
+    let r = Db_update.check ~budget ~sites () in
+    let status =
+      if (not r.Db_update.converges) || r.deadlocks > 0 then Verdict.Falsified
+      else
+        match r.exhausted with
+        | Some reason -> Verdict.Inconclusive reason
+        | None -> Verdict.Verified
+    in
+    let detail =
+      Printf.sprintf "%d computations, %d deadlocks, convergence: %b"
+        r.Db_update.computations r.deadlocks r.converges
+    in
+    report ~json ~command:"db" ~detail status
+      { Budget.full_coverage with Budget.runs_complete = r.exhausted = None }
   in
-  Cmd.v (Cmd.info "db" ~doc:"Explore the distributed database update.") Term.(const run $ sites)
+  Cmd.v (Cmd.info "db" ~doc:"Explore the distributed database update.")
+    Term.(const run $ sites $ budget_term $ json_flag)
 
 let life_cmd =
   let width = Arg.(value & opt int 4 & info [ "width" ] ~docv:"N") in
   let height = Arg.(value & opt int 4 & info [ "height" ] ~docv:"N") in
   let generations = Arg.(value & opt int 2 & info [ "generations" ] ~docv:"N") in
-  let run width height generations =
+  let run width height generations budget json =
     let alive = [ (1, 0); (1, 1); (1, 2) ] in
     let comp = Life.build ~width ~height ~generations ~alive in
     let spec = Life.spec ~width ~height in
-    let correct =
-      Check.holds spec comp (Life.matches_reference ~width ~height ~generations ~alive)
+    let v =
+      Check.check_formula ~budget spec comp ~name:"matches-reference"
+        (Life.matches_reference ~width ~height ~generations ~alive)
     in
-    Printf.printf "%d events, correct: %b, asynchrony witness: %b\n"
-      (Computation.n_events comp) correct
-      (Life.asynchrony_witness comp <> None);
-    if correct then 0 else 1
+    let status = Verdict.status v in
+    let detail =
+      Printf.sprintf "%d events, correct: %b, asynchrony witness: %b"
+        (Computation.n_events comp) (Verdict.ok v)
+        (Life.asynchrony_witness comp <> None)
+    in
+    report ~json ~command:"life" ~detail status v.Verdict.coverage
   in
   Cmd.v
     (Cmd.info "life" ~doc:"Check the asynchronous Game of Life.")
-    Term.(const run $ width $ height $ generations)
+    Term.(const run $ width $ height $ generations $ budget_term $ json_flag)
 
 let () =
   let doc = "GEM concurrency specification and verification toolkit" in
-  let info = Cmd.info "gemcheck" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [ experiments_cmd; rw_cmd; rwd_cmd; buffer_cmd; db_cmd; life_cmd; parse_cmd ]))
+  let info =
+    (* No ~version: the rw subcommand claims --version for the problem
+       version, per the paper's terminology. *)
+    Cmd.info "gemcheck" ~doc
+      ~man:
+        [
+          `S Manpage.s_exit_status;
+          `P "0 — verified; 1 — falsified (a violation or deadlock was found); \
+              2 — inconclusive (a resource budget was exhausted before \
+              coverage finished); 3 — usage or internal error.";
+        ]
+  in
+  let code =
+    Cmd.eval'
+      (Cmd.group info
+         [ experiments_cmd; rw_cmd; rwd_cmd; buffer_cmd; db_cmd; life_cmd; parse_cmd ])
+  in
+  (* Cmdliner reports CLI/internal errors with its own codes; fold them
+     into the documented contract (3 = usage/internal). *)
+  exit (if code <= 2 then code else 3)

@@ -1,0 +1,138 @@
+type reason =
+  | Deadline_exceeded
+  | Config_budget
+  | Run_cap of int
+  | Memory_watermark
+
+type coverage = {
+  configs_explored : int;
+  branches_truncated : int;
+  runs_enumerated : int;
+  runs_complete : bool;
+}
+
+type t = {
+  deadline : float option;  (* absolute, Unix.gettimeofday *)
+  max_configs : int option;
+  max_runs : int option;
+  max_heap_words : int option;
+  mutable configs_used : int;
+  mutable runs_used : int;
+  mutable stopped : reason option;
+  mutable until_poll : int;
+}
+
+(* Deadline/watermark probes cost a syscall (or a Gc stat); amortize them
+   over counter charges. Small enough that tiny timeouts still bite. *)
+let poll_interval = 64
+
+let words_per_mb = 1024 * 1024 / (Sys.word_size / 8)
+
+let make ?timeout ?max_configs ?max_runs ?max_heap_mb () =
+  {
+    deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout;
+    max_configs;
+    max_runs;
+    max_heap_words = Option.map (fun mb -> mb * words_per_mb) max_heap_mb;
+    configs_used = 0;
+    runs_used = 0;
+    stopped = None;
+    until_poll = poll_interval;
+  }
+
+let unlimited () = make ()
+
+let is_limited t =
+  t.deadline <> None || t.max_configs <> None || t.max_runs <> None
+  || t.max_heap_words <> None
+
+let max_configs t = t.max_configs
+let max_runs t = t.max_runs
+let configs_used t = t.configs_used
+let runs_used t = t.runs_used
+
+let note t reason = if t.stopped = None then t.stopped <- Some reason
+
+let poll t =
+  (match t.deadline with
+  | Some d when t.stopped = None && Unix.gettimeofday () > d ->
+      t.stopped <- Some Deadline_exceeded
+  | _ -> ());
+  match t.max_heap_words with
+  | Some w when t.stopped = None && (Gc.quick_stat ()).Gc.heap_words > w ->
+      t.stopped <- Some Memory_watermark
+  | _ -> ()
+
+let exhausted t =
+  if t.stopped = None then poll t;
+  t.stopped
+
+let charge t counter limit_reason =
+  (match t.stopped with
+  | Some _ -> ()
+  | None ->
+      t.until_poll <- t.until_poll - 1;
+      if t.until_poll <= 0 then begin
+        t.until_poll <- poll_interval;
+        poll t
+      end;
+      if t.stopped = None then
+        match counter () with
+        | used, Some cap when used > cap -> t.stopped <- Some limit_reason
+        | _ -> ());
+  t.stopped = None
+
+let charge_config t =
+  charge t
+    (fun () ->
+      t.configs_used <- t.configs_used + 1;
+      (t.configs_used, t.max_configs))
+    Config_budget
+
+(* [max_runs] is a per-enumeration cap (it tightens strategy caps in
+   {!Strategy.enumerate}), not a cumulative counter — checking many
+   computations under one budget must not exhaust it. Charging a run
+   still polls the deadline/watermark and feeds coverage stats. *)
+let charge_run t =
+  charge t
+    (fun () ->
+      t.runs_used <- t.runs_used + 1;
+      (t.runs_used, None))
+    Config_budget
+
+let full_coverage =
+  {
+    configs_explored = 0;
+    branches_truncated = 0;
+    runs_enumerated = 0;
+    runs_complete = true;
+  }
+
+let reason_keyword = function
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Config_budget -> "config-budget"
+  | Run_cap _ -> "run-cap"
+  | Memory_watermark -> "memory-watermark"
+
+let pp_reason ppf = function
+  | Deadline_exceeded -> Format.fprintf ppf "wall-clock deadline exceeded"
+  | Config_budget -> Format.fprintf ppf "configuration budget exhausted"
+  | Run_cap n -> Format.fprintf ppf "run enumeration capped at %d" n
+  | Memory_watermark -> Format.fprintf ppf "memory watermark crossed"
+
+let reason_json r =
+  match r with
+  | Run_cap n -> Printf.sprintf {|{"kind":"%s","cap":%d}|} (reason_keyword r) n
+  | _ -> Printf.sprintf {|{"kind":"%s"}|} (reason_keyword r)
+
+let pp_coverage ppf c =
+  Format.fprintf ppf
+    "@[<h>configs explored: %d; branches truncated: %d; runs enumerated: %d; \
+     run coverage: %s@]"
+    c.configs_explored c.branches_truncated c.runs_enumerated
+    (if c.runs_complete then "complete" else "partial")
+
+let coverage_json c =
+  Printf.sprintf
+    {|{"configs_explored":%d,"branches_truncated":%d,"runs_enumerated":%d,"runs_complete":%b}|}
+    c.configs_explored c.branches_truncated c.runs_enumerated c.runs_complete

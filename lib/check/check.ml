@@ -3,7 +3,7 @@ module Eval = Gem_logic.Eval
 module Spec = Gem_spec.Spec
 module Legality = Gem_spec.Legality
 
-let check_restrictions ~strategy ~spec_name comp restrictions =
+let check_restrictions ?budget ~strategy ~spec_name comp restrictions =
   let immediate, temporal = List.partition (fun (_, f) -> F.is_immediate f) restrictions in
   let failures = ref [] in
   List.iter
@@ -12,12 +12,23 @@ let check_restrictions ~strategy ~spec_name comp restrictions =
         failures := { Verdict.restriction = name; formula = f; witness = None } :: !failures)
     immediate;
   let runs_checked = ref 0 in
+  let exhaustion = ref None in
+  let complete = ref true in
   if temporal <> [] then begin
-    let runs = Strategy.runs strategy comp in
+    let enum = Strategy.enumerate ?budget strategy comp in
+    complete := enum.Strategy.complete;
+    (match enum.Strategy.truncated_at with
+    | Some cap -> exhaustion := Some (Budget.Run_cap cap)
+    | None -> ());
     let pending = ref temporal in
     (try
        List.iter
          (fun run ->
+           (match budget with
+           | Some b when not (Budget.charge_run b) ->
+               exhaustion := Budget.exhausted b;
+               raise Exit
+           | _ -> ());
            incr runs_checked;
            pending :=
              List.filter
@@ -31,7 +42,7 @@ let check_restrictions ~strategy ~spec_name comp restrictions =
                  end)
                !pending;
            if !pending = [] then raise Exit)
-         runs
+         enum.Strategy.runs
      with Exit -> ())
   end;
   {
@@ -39,25 +50,32 @@ let check_restrictions ~strategy ~spec_name comp restrictions =
     legality = [];
     failures = List.rev !failures;
     runs_checked = !runs_checked;
-    complete = (temporal = []) || Strategy.is_complete strategy comp;
+    complete = !complete;
+    exhaustion = !exhaustion;
+    coverage =
+      {
+        Budget.full_coverage with
+        Budget.runs_enumerated = !runs_checked;
+        runs_complete = !complete;
+      };
   }
 
-let check ?(strategy = Strategy.default) spec comp =
+let check ?(strategy = Strategy.default) ?budget spec comp =
   let legality = Legality.check spec comp in
   if legality <> [] then Verdict.legal_verdict ~spec_name:spec.Spec.spec_name legality
   else begin
     let comp = Spec.label_threads spec comp in
-    check_restrictions ~strategy ~spec_name:spec.Spec.spec_name comp
+    check_restrictions ?budget ~strategy ~spec_name:spec.Spec.spec_name comp
       (Spec.all_restrictions spec)
   end
 
-let check_formula ?(strategy = Strategy.default) spec comp ~name f =
+let check_formula ?(strategy = Strategy.default) ?budget spec comp ~name f =
   let legality = Legality.check spec comp in
   if legality <> [] then Verdict.legal_verdict ~spec_name:spec.Spec.spec_name legality
   else begin
     let comp = Spec.label_threads spec comp in
-    check_restrictions ~strategy ~spec_name:spec.Spec.spec_name comp [ (name, f) ]
+    check_restrictions ?budget ~strategy ~spec_name:spec.Spec.spec_name comp [ (name, f) ]
   end
 
-let holds ?strategy spec comp f =
-  Verdict.ok (check_formula ?strategy spec comp ~name:"property" f)
+let holds ?strategy ?budget spec comp f =
+  Verdict.ok (check_formula ?strategy ?budget spec comp ~name:"property" f)

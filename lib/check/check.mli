@@ -5,10 +5,18 @@
     of the specification. Immediate restrictions are evaluated once on the
     full history; temporal restrictions are evaluated over the runs
     produced by a {!Strategy}. Thread labels are attached before any
-    restriction is evaluated. *)
+    restriction is evaluated.
+
+    All entry points accept an optional {!Budget.t}. Budget exhaustion
+    never raises: it surfaces as an [Inconclusive] {!Verdict.status} with
+    a machine-readable reason and coverage statistics. *)
 
 val check :
-  ?strategy:Strategy.t -> Gem_spec.Spec.t -> Gem_model.Computation.t -> Verdict.t
+  ?strategy:Strategy.t ->
+  ?budget:Budget.t ->
+  Gem_spec.Spec.t ->
+  Gem_model.Computation.t ->
+  Verdict.t
 (** Stops collecting witnesses at the first failing run per restriction
     (all restrictions are always reported). If legality fails, restriction
     checking is skipped — the orders the formulas quantify over may not
@@ -16,6 +24,7 @@ val check :
 
 val check_formula :
   ?strategy:Strategy.t ->
+  ?budget:Budget.t ->
   Gem_spec.Spec.t ->
   Gem_model.Computation.t ->
   name:string ->
@@ -26,6 +35,7 @@ val check_formula :
 
 val holds :
   ?strategy:Strategy.t ->
+  ?budget:Budget.t ->
   Gem_spec.Spec.t ->
   Gem_model.Computation.t ->
   Gem_logic.Formula.t ->

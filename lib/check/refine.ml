@@ -170,9 +170,11 @@ let failed_projection ~spec_name err =
       ];
     runs_checked = 0;
     complete = true;
+    exhaustion = None;
+    coverage = Budget.full_coverage;
   }
 
-let sat ?strategy ?edges ~problem ~map comps =
+let sat ?strategy ?budget ?edges ~problem ~map comps =
   List.mapi
     (fun i comp ->
       let verdict =
@@ -182,10 +184,13 @@ let sat ?strategy ?edges ~problem ~map comps =
         with
         | Error err ->
             failed_projection ~spec_name:problem.Gem_spec.Spec.spec_name err
-        | Ok projected -> Check.check ?strategy problem projected
+        | Ok projected -> Check.check ?strategy ?budget problem projected
       in
       (i, verdict))
     comps
 
-let sat_ok ?strategy ?edges ~problem ~map comps =
-  List.for_all (fun (_, v) -> Verdict.ok v) (sat ?strategy ?edges ~problem ~map comps)
+let sat_ok ?strategy ?budget ?edges ~problem ~map comps =
+  List.for_all (fun (_, v) -> Verdict.ok v) (sat ?strategy ?budget ?edges ~problem ~map comps)
+
+let sat_status ?strategy ?budget ?edges ~problem ~map comps =
+  Verdict.overall (List.map snd (sat ?strategy ?budget ?edges ~problem ~map comps))

@@ -61,6 +61,7 @@ val project :
 
 val sat :
   ?strategy:Strategy.t ->
+  ?budget:Budget.t ->
   ?edges:edge_rule ->
   problem:Gem_spec.Spec.t ->
   map:correspondence ->
@@ -68,14 +69,26 @@ val sat :
   (int * Verdict.t) list
 (** Check every program computation's projection against the problem spec;
     returns the index of each computation with its verdict. A projection
-    error is reported as a legality-style failed verdict. *)
+    error is reported as a legality-style failed verdict. Budget
+    exhaustion surfaces as [Inconclusive] verdicts, never an exception. *)
 
 val sat_ok :
   ?strategy:Strategy.t ->
+  ?budget:Budget.t ->
   ?edges:edge_rule ->
   problem:Gem_spec.Spec.t ->
   map:correspondence ->
   Gem_model.Computation.t list ->
   bool
+
+val sat_status :
+  ?strategy:Strategy.t ->
+  ?budget:Budget.t ->
+  ?edges:edge_rule ->
+  problem:Gem_spec.Spec.t ->
+  map:correspondence ->
+  Gem_model.Computation.t list ->
+  Verdict.status
+(** Three-valued aggregate over all computations ({!Verdict.overall}). *)
 
 val pp_projection_error : Format.formatter -> projection_error -> unit

@@ -6,19 +6,59 @@ type t =
   | Sampled of { seed : int; count : int }
 
 let default = Exhaustive_vhs (Some 20_000)
+let default_run_cap = 400
 
-let runs t comp =
+let of_budget budget =
+  Linearizations (Some (Option.value ~default:default_run_cap (Budget.max_runs budget)))
+
+type enumeration = {
+  runs : Vhs.t list;
+  truncated_at : int option;
+  complete : bool;
+}
+
+let min_opt a b =
+  match (a, b) with
+  | None, c | c, None -> c
+  | Some a, Some b -> Some (min a b)
+
+(* Enumerate one run past the cap: getting cap+1 runs proves truncation,
+   getting <= cap proves the cap did not drop anything. The enumerators
+   stop lazily at their limit, so the probe costs one extra run. *)
+let capped enum cap comp =
+  match cap with
+  | None -> (enum ?limit:None comp, None)
+  | Some cap -> (
+      match enum ?limit:(Some (cap + 1)) comp with
+      | runs when List.length runs > cap ->
+          (List.filteri (fun i _ -> i < cap) runs, Some cap)
+      | runs -> (runs, None))
+
+let enumerate ?budget t comp =
+  let tighten cap = min_opt cap (Option.bind budget Budget.max_runs) in
   match t with
-  | Exhaustive_vhs limit -> Vhs.all ?limit comp
-  | Linearizations limit -> Vhs.all_linearizations ?limit comp
+  | Exhaustive_vhs limit ->
+      let runs, truncated_at = capped Vhs.all (tighten limit) comp in
+      { runs; truncated_at; complete = truncated_at = None }
+  | Linearizations limit ->
+      let runs, truncated_at = capped Vhs.all_linearizations (tighten limit) comp in
+      { runs; truncated_at; complete = false }
   | Sampled { seed; count } ->
       let rng = Random.State.make [| seed |] in
-      List.init count (fun _ -> Vhs.sample rng comp)
+      let count =
+        match Option.bind budget Budget.max_runs with
+        | Some cap -> min count cap
+        | None -> count
+      in
+      { runs = List.init count (fun _ -> Vhs.sample rng comp); truncated_at = None;
+        complete = false }
+
+let runs t comp = (enumerate t comp).runs
 
 let is_complete t comp =
   match t with
   | Exhaustive_vhs None -> true
-  | Exhaustive_vhs (Some cap) -> Vhs.count ~cap comp < cap
+  | Exhaustive_vhs (Some cap) -> Vhs.count ~cap:(cap + 1) comp <= cap
   | Linearizations _ | Sampled _ -> false
 
 let pp ppf = function

@@ -20,7 +20,34 @@ type t =
 val default : t
 (** [Exhaustive_vhs (Some 20_000)]. *)
 
+val default_run_cap : int
+(** The run cap {!of_budget} falls back to when the budget carries no
+    [max_runs] (400 — the cap the CLI and experiments historically
+    hard-coded). *)
+
+val of_budget : Budget.t -> t
+(** [Linearizations (Some cap)] with the cap taken from the budget's
+    [max_runs] (default {!default_run_cap}) — the one knob the CLI,
+    benches and experiments share. *)
+
+type enumeration = {
+  runs : Gem_logic.Vhs.t list;
+  truncated_at : int option;
+      (** [Some cap] iff the computation has strictly more runs than the
+          effective cap — the enumeration was cut, never silently. *)
+  complete : bool;
+      (** [runs] is every complete run of the computation (exhaustive
+          strategy, cap did not fire). *)
+}
+
+val enumerate : ?budget:Budget.t -> t -> Gem_model.Computation.t -> enumeration
+(** Enumerate under the strategy's own cap tightened by the budget's
+    [max_runs]. Truncation detection is exact: one extra run is probed
+    past the cap, so [truncated_at = None] means nothing was dropped. *)
+
 val runs : t -> Gem_model.Computation.t -> Gem_logic.Vhs.t list
+(** [(enumerate t comp).runs] — kept for callers that don't need
+    truncation provenance. *)
 
 val is_complete : t -> Gem_model.Computation.t -> bool
 (** Whether [runs] covered every complete run of this computation (i.e.

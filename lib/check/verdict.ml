@@ -10,33 +10,113 @@ type t = {
   failures : failure list;
   runs_checked : int;
   complete : bool;
+  exhaustion : Budget.reason option;
+  coverage : Budget.coverage;
 }
+
+type status = Verified | Falsified | Inconclusive of Budget.reason
 
 let ok t = t.legality = [] && t.failures = []
 
+let status t =
+  if not (ok t) then Falsified
+  else match t.exhaustion with Some r -> Inconclusive r | None -> Verified
+
+let overall verdicts =
+  if List.exists (fun v -> not (ok v)) verdicts then Falsified
+  else
+    match List.find_map (fun v -> v.exhaustion) verdicts with
+    | Some r -> Inconclusive r
+    | None -> Verified
+
 let legal_verdict ~spec_name legality =
-  { spec_name; legality; failures = []; runs_checked = 0; complete = true }
+  {
+    spec_name;
+    legality;
+    failures = [];
+    runs_checked = 0;
+    complete = true;
+    exhaustion = None;
+    coverage = Budget.full_coverage;
+  }
+
+let with_exploration ~explored ~truncated t =
+  {
+    t with
+    coverage =
+      {
+        t.coverage with
+        Budget.configs_explored = t.coverage.Budget.configs_explored + explored;
+        branches_truncated = t.coverage.Budget.branches_truncated + truncated;
+      };
+  }
+
+let exit_code = function Verified -> 0 | Falsified -> 1 | Inconclusive _ -> 2
+
+let status_keyword = function
+  | Verified -> "verified"
+  | Falsified -> "falsified"
+  | Inconclusive _ -> "inconclusive"
+
+let pp_status ppf = function
+  | Verified -> Format.fprintf ppf "VERIFIED"
+  | Falsified -> Format.fprintf ppf "FALSIFIED"
+  | Inconclusive r -> Format.fprintf ppf "INCONCLUSIVE (%a)" Budget.pp_reason r
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json t =
+  Printf.sprintf
+    {|{"spec":%s,"status":%s,"reason":%s,"legality_violations":%d,"failed_restrictions":[%s],"runs_checked":%d,"complete":%b,"coverage":%s}|}
+    (json_string t.spec_name)
+    (json_string (status_keyword (status t)))
+    (match t.exhaustion with Some r -> Budget.reason_json r | None -> "null")
+    (List.length t.legality)
+    (String.concat "," (List.map (fun f -> json_string f.restriction) t.failures))
+    t.runs_checked t.complete
+    (Budget.coverage_json t.coverage)
 
 let pp comp ppf t =
-  if ok t then
-    Format.fprintf ppf "@[<v>%s: OK (%d run(s) checked%s)@]" t.spec_name t.runs_checked
-      (if t.complete then ", complete" else ", bounded")
-  else begin
-    Format.fprintf ppf "@[<v>%s: FAILED" t.spec_name;
-    List.iter
-      (fun v ->
-        match comp with
-        | Some c ->
-            Format.fprintf ppf "@,  legality: %a" (Gem_spec.Legality.pp_violation c) v
-        | None -> Format.fprintf ppf "@,  legality violation")
-      t.legality;
-    List.iter
-      (fun f ->
-        Format.fprintf ppf "@,  @[<hov 2>restriction %s:@ %a@]" f.restriction
-          Gem_logic.Formula.pp f.formula;
-        match f.witness with
-        | Some run -> Format.fprintf ppf "@,    on run %a" Gem_logic.Vhs.pp run
-        | None -> ())
-      t.failures;
-    Format.fprintf ppf "@]"
-  end
+  match status t with
+  | Verified | Inconclusive _ when ok t ->
+      Format.fprintf ppf "@[<v>%s: %s (%d run(s) checked%s)" t.spec_name
+        (match status t with Verified -> "OK" | _ -> "OK so far")
+        t.runs_checked
+        (if t.complete then ", complete" else ", bounded");
+      (match t.exhaustion with
+      | Some r -> Format.fprintf ppf "@,  inconclusive: %a@,  %a" Budget.pp_reason r
+            Budget.pp_coverage t.coverage
+      | None -> ());
+      Format.fprintf ppf "@]"
+  | _ ->
+      Format.fprintf ppf "@[<v>%s: FAILED" t.spec_name;
+      List.iter
+        (fun v ->
+          match comp with
+          | Some c ->
+              Format.fprintf ppf "@,  legality: %a" (Gem_spec.Legality.pp_violation c) v
+          | None -> Format.fprintf ppf "@,  legality violation")
+        t.legality;
+      List.iter
+        (fun f ->
+          Format.fprintf ppf "@,  @[<hov 2>restriction %s:@ %a@]" f.restriction
+            Gem_logic.Formula.pp f.formula;
+          match f.witness with
+          | Some run -> Format.fprintf ppf "@,    on run %a" Gem_logic.Vhs.pp run
+          | None -> ())
+        t.failures;
+      Format.fprintf ppf "@]"

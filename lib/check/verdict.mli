@@ -1,4 +1,11 @@
-(** Outcome of checking a computation against a specification. *)
+(** Outcome of checking a computation against a specification.
+
+    Verdicts are three-valued ({!status}): [Verified] (all restrictions
+    hold and the requested run enumeration was not cut), [Falsified] (a
+    legality violation or a failing restriction — sound even under a
+    truncated enumeration), or [Inconclusive] (no violation found but a
+    resource budget or run cap fired before coverage finished, with a
+    machine-readable {!Budget.reason} and {!Budget.coverage} stats). *)
 
 type failure = {
   restriction : string;
@@ -15,13 +22,45 @@ type t = {
   runs_checked : int;
   complete : bool;
       (** True when the temporal check covered every complete run. *)
+  exhaustion : Budget.reason option;
+      (** A budget dimension or run cap fired before the requested
+          coverage finished. *)
+  coverage : Budget.coverage;
 }
 
+type status = Verified | Falsified | Inconclusive of Budget.reason
+
 val ok : t -> bool
-(** Legal and no restriction failed. *)
+(** Legal and no restriction failed — the two-valued view (an
+    [Inconclusive] verdict with no failure found counts as ok). *)
+
+val status : t -> status
+(** [Falsified] wins over exhaustion: a witness found under a truncated
+    enumeration still refutes. *)
+
+val overall : t list -> status
+(** Aggregate: [Falsified] if any verdict falsifies, else [Inconclusive]
+    (first reason) if any is inconclusive, else [Verified]. Empty list is
+    [Verified]. *)
 
 val legal_verdict : spec_name:string -> Gem_spec.Legality.violation list -> t
 (** A verdict that records only legality violations (no runs checked). *)
+
+val with_exploration : explored:int -> truncated:int -> t -> t
+(** Fold interpreter exploration statistics into the coverage stats. *)
+
+val exit_code : status -> int
+(** 0 verified, 1 falsified, 2 inconclusive — the [gemcheck] exit-code
+    contract (3 is reserved for usage/internal errors). *)
+
+val status_keyword : status -> string
+(** ["verified"], ["falsified"] or ["inconclusive"]. *)
+
+val pp_status : Format.formatter -> status -> unit
+
+val to_json : t -> string
+(** Machine-readable degradation report: status, exhaustion reason,
+    coverage, failing restriction names. *)
 
 val pp : Gem_model.Computation.t option -> Format.formatter -> t -> unit
 (** Pass the computation to print legality violations with event detail. *)

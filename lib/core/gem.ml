@@ -12,7 +12,7 @@
     {- the restriction logic: {!Formula}, {!History}, {!Vhs}, {!Eval};}
     {- the specification layer: {!Etype}, {!Access}, {!Abbrev}, {!Thread},
        {!Spec}, {!Legality};}
-    {- checking: {!Strategy}, {!Verdict}, {!Check}, {!Refine};}
+    {- checking: {!Budget}, {!Strategy}, {!Verdict}, {!Check}, {!Refine};}
     {- the concrete syntax: {!Lexer}, {!Parser};}
     {- language substrates: {!Expr}, {!Trace}, {!Explore}, {!Monitor},
        {!Csp}, {!Ada};}
@@ -48,6 +48,7 @@ module Thread = Gem_spec.Thread
 module Spec = Gem_spec.Spec
 module Legality = Gem_spec.Legality
 module Dyngroup = Gem_spec.Dyngroup
+module Budget = Gem_check.Budget
 module Strategy = Gem_check.Strategy
 module Verdict = Gem_check.Verdict
 module Check = Gem_check.Check
@@ -74,8 +75,8 @@ let check_spec spec comp = Verdict.ok (Check.check spec comp)
     explore every schedule of a Monitor program and check every resulting
     computation's projection against the problem specification. Returns
     [(n_computations, n_deadlocks, all_satisfied)]. *)
-let verify_monitor_program ?strategy ?edges ~problem ~map program =
-  let outcome = Monitor.explore program in
+let verify_monitor_program ?strategy ?budget ?edges ~problem ~map program =
+  let outcome = Monitor.explore ?budget program in
   ( List.length outcome.Monitor.computations,
     List.length outcome.Monitor.deadlocks,
-    Refine.sat_ok ?strategy ?edges ~problem ~map outcome.Monitor.computations )
+    Refine.sat_ok ?strategy ?budget ?edges ~problem ~map outcome.Monitor.computations )

@@ -3,7 +3,12 @@ open Gem
 type row = { label : string; pass : bool; detail : string }
 
 let row label pass detail = { label; pass; detail }
-let strategy = Strategy.Linearizations (Some 400)
+
+(* Default experiment budget: the linearization cap every sat check runs
+   under (EXPERIMENTS.md "Budgets"). One knob, shared with the CLI and the
+   benches via Strategy.of_budget. *)
+let default_budget () = Budget.make ~max_runs:400 ()
+let strategy = Strategy.of_budget (default_budget ())
 
 (* ------------------------------------------------------------------ *)
 (* E1: legality                                                        *)
@@ -306,11 +311,12 @@ let e09_readers_priority () =
 let e10_db_update () =
   List.map
     (fun sites ->
-      let comps, deadlocks, ok = Db_update.check ~sites () in
+      let r = Db_update.check ~sites () in
       row
         (Printf.sprintf "db update converges, no deadlock (%d sites)" sites)
-        (ok && deadlocks = 0 && comps > 0)
-        (Printf.sprintf "%d computations" comps))
+        (r.Db_update.converges && r.deadlocks = 0 && r.computations > 0
+        && r.exhausted = None)
+        (Printf.sprintf "%d computations" r.Db_update.computations))
     [ 2; 3 ]
 
 let life_case name ~width ~height ~generations ~alive =

@@ -48,9 +48,15 @@ type outcome = {
   computations : Gem_model.Computation.t list;
   deadlocks : Gem_model.Computation.t list;
   explored : int;
+  truncated : int;  (** Branches cut by [max_steps]. *)
+  exhausted : Gem_check.Budget.reason option;
+      (** [Some _] iff exploration was cut short — the computation set is
+          then a sound but incomplete sample. *)
 }
 
-val explore : ?max_steps:int -> ?max_configs:int -> program -> outcome
+val explore :
+  ?max_steps:int -> ?max_configs:int -> ?budget:Gem_check.Budget.t -> program -> outcome
+(** Resource exhaustion never raises; it is reported in [exhausted]. *)
 
 val run_one : ?seed:int -> program -> Gem_model.Computation.t
 

@@ -270,6 +270,8 @@ type outcome = {
   computations : Gem_model.Computation.t list;
   deadlocks : Gem_model.Computation.t list;
   explored : int;
+  truncated : int;
+  exhausted : Gem_check.Budget.reason option;
 }
 
 let all_elements (program : program) =
@@ -306,15 +308,17 @@ let state_key program cfg =
     cfg.procs;
   Buffer.contents buf
 
-let explore ?max_steps ?max_configs program =
+let explore ?max_steps ?max_configs ?budget program =
   let result =
-    Explore.run ?max_steps ?max_configs ~key:(state_key program) ~moves ~terminated
-      (initial program)
+    Explore.run ?max_steps ?max_configs ?budget ~key:(state_key program) ~moves
+      ~terminated (initial program)
   in
   {
     computations = Explore.dedup_computations (seal program) result.completed;
     deadlocks = Explore.dedup_computations (seal program) result.deadlocked;
     explored = result.explored;
+    truncated = result.truncated;
+    exhausted = result.exhausted;
   }
 
 let run_one ?(seed = 42) program =

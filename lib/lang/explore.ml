@@ -1,15 +1,20 @@
+module Budget = Gem_check.Budget
+
 type 'c result = {
   completed : 'c list;
   deadlocked : 'c list;
   truncated : int;
   explored : int;
+  exhausted : Budget.reason option;
 }
 
-let run ?(max_steps = 10_000) ?(max_configs = 1_000_000) ?key ~moves ~terminated init =
+let run ?(max_steps = 10_000) ?(max_configs = 1_000_000) ?budget ?key ~moves ~terminated
+    init =
   let completed = ref [] in
   let deadlocked = ref [] in
   let truncated = ref 0 in
   let explored = ref 0 in
+  let exhausted = ref None in
   let seen = Hashtbl.create 1024 in
   let fresh config =
     match key with
@@ -22,18 +27,36 @@ let run ?(max_steps = 10_000) ?(max_configs = 1_000_000) ?key ~moves ~terminated
           true
         end
   in
-  let rec dfs depth config =
-    incr explored;
-    if !explored > max_configs then
-      failwith
-        (Printf.sprintf "Explore.run: configuration budget %d exceeded" max_configs);
-    if depth > max_steps then incr truncated
+  (* Sticky stop: once any dimension is exhausted the walk unwinds without
+     visiting further configurations, keeping the leaves found so far. *)
+  let stop () =
+    !exhausted <> None
+    ||
+    if !explored >= max_configs then begin
+      exhausted := Some Budget.Config_budget;
+      true
+    end
     else
-      match moves config with
-      | [] ->
-          if terminated config then completed := config :: !completed
-          else deadlocked := config :: !deadlocked
-      | ms -> List.iter (fun c -> if fresh c then dfs (depth + 1) c) ms
+      match budget with
+      | None -> false
+      | Some b ->
+          if Budget.charge_config b then false
+          else begin
+            exhausted := Budget.exhausted b;
+            true
+          end
+  in
+  let rec dfs depth config =
+    if not (stop ()) then begin
+      incr explored;
+      if depth > max_steps then incr truncated
+      else
+        match moves config with
+        | [] ->
+            if terminated config then completed := config :: !completed
+            else deadlocked := config :: !deadlocked
+        | ms -> List.iter (fun c -> if fresh c then dfs (depth + 1) c) ms
+    end
   in
   dfs 0 init;
   {
@@ -41,6 +64,7 @@ let run ?(max_steps = 10_000) ?(max_configs = 1_000_000) ?key ~moves ~terminated
     deadlocked = List.rev !deadlocked;
     truncated = !truncated;
     explored = !explored;
+    exhausted = !exhausted;
   }
 
 let fingerprint comp =

@@ -4,18 +4,30 @@
     function (all configurations reachable in one scheduler choice); this
     module walks the choice tree depth-first, within bounds, and classifies
     the leaves. Configurations carry their own traces, so a completed leaf
-    can be sealed into a computation by the caller. *)
+    can be sealed into a computation by the caller.
+
+    Exploration never raises on resource exhaustion: exceeding
+    [max_configs], a budget deadline, or a memory watermark stops the walk
+    and is reported as structured truncation provenance in the result, so
+    callers can degrade to an [Inconclusive] verdict instead of crashing
+    or silently under-reporting. *)
 
 type 'c result = {
   completed : 'c list;  (** Leaves with no moves that satisfy [terminated]. *)
   deadlocked : 'c list;  (** Leaves with no moves that do not. *)
   truncated : int;  (** Branches cut by [max_steps]. *)
   explored : int;  (** Configurations visited. *)
+  exhausted : Gem_check.Budget.reason option;
+      (** [Some _] iff the walk stopped early — the completed/deadlocked
+          sets are then a sound but incomplete sample. [Config_budget]
+          covers both the [max_configs] argument and a budget's own
+          configuration counter. *)
 }
 
 val run :
   ?max_steps:int ->
   ?max_configs:int ->
+  ?budget:Gem_check.Budget.t ->
   ?key:('c -> string) ->
   moves:('c -> 'c list) ->
   terminated:('c -> bool) ->
@@ -23,9 +35,11 @@ val run :
   'c result
 (** [max_steps] bounds each branch's depth (default 10_000);
     [max_configs] bounds the total visit budget (default 1_000_000) —
-    exceeding it raises [Failure] rather than silently under-reporting,
-    since an incomplete computation set would make "verified" claims
-    unsound.
+    exceeding it stops the walk with [exhausted = Some Config_budget]
+    rather than raising, since an incomplete computation set makes
+    "verified" claims unsound but is still a sound falsifier. [budget]
+    adds a wall-clock deadline, a cumulative configuration counter and a
+    heap watermark, polled as the walk proceeds.
 
     [key], when given, enables partial-order reduction by memoization: two
     configurations with equal keys generate the same set of future

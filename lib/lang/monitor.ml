@@ -515,6 +515,8 @@ type outcome = {
   computations : Gem_model.Computation.t list;
   deadlocks : Gem_model.Computation.t list;
   explored : int;
+  truncated : int;
+  exhausted : Gem_check.Budget.reason option;
 }
 
 let groups_of_program program =
@@ -584,16 +586,18 @@ let state_key program cfg =
   Buffer.add_string buf (Marshal.to_string cfg.shared_store []);
   Buffer.contents buf
 
-let explore ?(emit_getvals = false) ?max_steps ?max_configs program =
+let explore ?(emit_getvals = false) ?max_steps ?max_configs ?budget program =
   let ctx = { program; emit_getvals } in
   let result =
-    Explore.run ?max_steps ?max_configs ~key:(state_key program) ~moves:(moves ctx)
-      ~terminated (initial ctx)
+    Explore.run ?max_steps ?max_configs ?budget ~key:(state_key program)
+      ~moves:(moves ctx) ~terminated (initial ctx)
   in
   {
     computations = Explore.dedup_computations (seal program) result.completed;
     deadlocks = Explore.dedup_computations (seal program) result.deadlocked;
     explored = result.explored;
+    truncated = result.truncated;
+    exhausted = result.exhausted;
   }
 
 let run_one ?(emit_getvals = false) ?(seed = 42) program =

@@ -90,16 +90,22 @@ type outcome = {
   deadlocks : Gem_model.Computation.t list;
       (** Traces of executions that got stuck. *)
   explored : int;
+  truncated : int;  (** Branches cut by [max_steps]. *)
+  exhausted : Gem_check.Budget.reason option;
+      (** [Some _] iff exploration was cut short — the computation set is
+          then a sound but incomplete sample. *)
 }
 
 val explore :
   ?emit_getvals:bool ->
   ?max_steps:int ->
   ?max_configs:int ->
+  ?budget:Gem_check.Budget.t ->
   program ->
   outcome
-(** Exhaustively explore all schedules; raises [Failure] on budget
-    overrun and [Expr.Eval_error] on runtime type errors. *)
+(** Exhaustively explore all schedules. Resource exhaustion (config
+    budget, deadline, memory watermark) never raises: it is reported in
+    [exhausted]. [Expr.Eval_error] still raises on runtime type errors. *)
 
 val run_one : ?emit_getvals:bool -> ?seed:int -> program -> Gem_model.Computation.t
 (** One (pseudo-randomly scheduled) complete or stuck run — handy for

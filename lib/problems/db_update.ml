@@ -62,11 +62,30 @@ let converges_to ~sites =
   let open F in
   forall [ ("f", Cls "Final") ] (param "f" "p0" =. const_int (100 + sites))
 
-let check ?max_configs ~sites () =
-  let o = Csp.explore ?max_configs (program ~sites) in
+type report = {
+  computations : int;
+  deadlocks : int;
+  converges : bool;
+  exhausted : Gem_check.Budget.reason option;
+}
+
+let check ?max_configs ?budget ~sites () =
+  let o = Csp.explore ?max_configs ?budget (program ~sites) in
   let spec = Csp.language_spec ~name:"db-update" (program ~sites) in
   let prop = F.conj [ convergence; converges_to ~sites ] in
-  let all_ok =
-    List.for_all (fun comp -> Gem_check.Check.holds spec comp prop) o.computations
+  let verdicts =
+    List.map
+      (fun comp -> Gem_check.Check.check_formula ?budget spec comp ~name:"convergence" prop)
+      o.computations
   in
-  (List.length o.computations, List.length o.deadlocks, all_ok)
+  let exhausted =
+    match o.exhausted with
+    | Some r -> Some r
+    | None -> List.find_map (fun v -> v.Gem_check.Verdict.exhaustion) verdicts
+  in
+  {
+    computations = List.length o.computations;
+    deadlocks = List.length o.deadlocks;
+    converges = List.for_all Gem_check.Verdict.ok verdicts;
+    exhausted;
+  }

@@ -27,6 +27,15 @@ val convergence : Gem_logic.Formula.t
 val converges_to : sites:int -> Gem_logic.Formula.t
 (** Every [Final] value is the maximum update ([100 + sites]). *)
 
-val check : ?max_configs:int -> sites:int -> unit -> (int * int * bool)
-(** Explore and check: returns (computations, deadlocks, all runs
-    converge). *)
+type report = {
+  computations : int;
+  deadlocks : int;
+  converges : bool;  (** Every computation's runs converge. *)
+  exhausted : Gem_check.Budget.reason option;
+      (** Exploration or checking was cut short; [converges] then covers
+          only the sample actually examined. *)
+}
+
+val check : ?max_configs:int -> ?budget:Gem_check.Budget.t -> sites:int -> unit -> report
+(** Explore every schedule and check convergence on each computation,
+    within the given budget. Never raises on exhaustion. *)

@@ -1,0 +1,199 @@
+(* Stress/property tests for the resource-budget subsystem: random
+   adversarial computations (wide diamonds with factorially many runs,
+   dense enable graphs) checked under tiny budgets must never raise and
+   must always produce a verdict — Verified, Falsified, or Inconclusive
+   with a reason — well within the deadline. *)
+
+module Build = Gem_model.Build
+module C = Gem_model.Computation
+module Etype = Gem_spec.Etype
+module Spec = Gem_spec.Spec
+module F = Gem_logic.Formula
+module Budget = Gem_check.Budget
+module Strategy = Gem_check.Strategy
+module Check = Gem_check.Check
+module Verdict = Gem_check.Verdict
+module Explore = Gem_lang.Explore
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let e_etype = Etype.make "E" ~events:[ { Etype.klass = "E"; schema = [] } ] ()
+
+let spec_for n_elements =
+  Spec.make "budget-stress"
+    ~elements:(List.init n_elements (fun i -> (Printf.sprintf "el%d" i, e_etype)))
+    ()
+
+(* Adversarial shapes: [`Diamond] puts most events pairwise concurrent
+   (run count grows factorially — the paper's §7 explosion), [`Dense]
+   wires many enables (deep, narrow orders), [`Random] mixes both. *)
+let comp_gen =
+  QCheck.Gen.(
+    let* shape = oneofl [ `Diamond; `Dense; `Random ] in
+    let* n = int_range 2 9 in
+    let* n_elements = int_range 1 3 in
+    let* assignment = flatten_l (List.init n (fun _ -> int_range 0 (n_elements - 1))) in
+    let pairs =
+      List.concat (List.init n (fun i -> List.init (n - i - 1) (fun d -> (i, i + d + 1))))
+    in
+    let* edges =
+      match shape with
+      | `Diamond ->
+          (* Fan out from event 0 only: n-1 mutually concurrent events. *)
+          return (List.init (n - 1) (fun j -> (0, j + 1)))
+      | `Dense ->
+          return pairs
+      | `Random ->
+          let* picks = flatten_l (List.map (fun e -> pair (return e) (int_range 0 3)) pairs) in
+          return (List.filter_map (fun (e, k) -> if k = 0 then Some e else None) picks)
+    in
+    return (n, n_elements, assignment, edges))
+
+let build_comp (_, _, assignment, edges) =
+  let b = Build.create () in
+  let handles =
+    List.map
+      (fun el -> Build.emit b ~element:(Printf.sprintf "el%d" el) ~klass:"E" ())
+      assignment
+  in
+  let arr = Array.of_list handles in
+  List.iter (fun (i, j) -> Build.enable b arr.(i) arr.(j)) edges;
+  Build.finish b
+
+let comp_arb =
+  QCheck.make comp_gen ~print:(fun (n, k, a, es) ->
+      Printf.sprintf "n=%d elements=%d assign=[%s] edges=%d" n k
+        (String.concat ";" (List.map string_of_int a))
+        (List.length es))
+
+let eventually_all =
+  F.(eventually (forall [ ("e", Cls "E") ] (occurred "e")))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Tiny budgets on adversarial computations: no exception, and the
+   three-valued outcome is internally consistent. *)
+let prop_never_raises =
+  QCheck.Test.make ~count:200 ~name:"tiny budget never raises, always a verdict"
+    comp_arb (fun ((_, k, _, _) as input) ->
+      let comp = build_comp input in
+      let budget = Budget.make ~max_runs:2 ~max_configs:3 ()
+      and spec = spec_for k in
+      let v =
+        Check.check_formula ~strategy:(Strategy.Exhaustive_vhs None) ~budget spec comp
+          ~name:"p" eventually_all
+      in
+      match Verdict.status v with
+      | Verdict.Verified -> v.Verdict.exhaustion = None
+      | Verdict.Falsified -> v.Verdict.failures <> [] || v.Verdict.legality <> []
+      | Verdict.Inconclusive _ -> v.Verdict.exhaustion <> None)
+
+(* Unlimited budget + exhaustive strategy is conclusive: never
+   Inconclusive, and the coverage claims completeness. *)
+let prop_unlimited_conclusive =
+  QCheck.Test.make ~count:100 ~name:"unlimited exhaustive budget is conclusive"
+    comp_arb (fun ((_, k, _, _) as input) ->
+      let comp = build_comp input in
+      let v =
+        Check.check_formula ~strategy:(Strategy.Exhaustive_vhs None)
+          ~budget:(Budget.unlimited ()) (spec_for k) comp ~name:"p" eventually_all
+      in
+      match Verdict.status v with
+      | Verdict.Inconclusive _ -> false
+      | Verdict.Verified -> v.Verdict.complete
+      | Verdict.Falsified -> true)
+
+(* Falsification is sound under truncation: a always-false restriction is
+   reported Falsified even when the run cap cuts the enumeration. *)
+let prop_falsified_wins =
+  QCheck.Test.make ~count:100 ~name:"falsification survives run-cap truncation"
+    comp_arb (fun ((_, k, _, _) as input) ->
+      let comp = build_comp input in
+      let budget = Budget.make ~max_runs:1 () in
+      let v =
+        Check.check_formula ~strategy:(Strategy.Exhaustive_vhs None) ~budget
+          (spec_for k) comp ~name:"never" F.(neg (henceforth True))
+      in
+      Verdict.status v = Verdict.Falsified && Verdict.exit_code (Verdict.status v) = 1)
+
+(* A zero deadline degrades to Inconclusive Deadline_exceeded — and does so
+   promptly (the poll interval bounds the slack, not the run space). *)
+let prop_deadline_inconclusive =
+  QCheck.Test.make ~count:50 ~name:"zero deadline yields Inconclusive promptly"
+    comp_arb (fun ((_, k, _, _) as input) ->
+      let comp = build_comp input in
+      let budget = Budget.make ~timeout:0.0 () in
+      let t0 = Unix.gettimeofday () in
+      let v =
+        Check.check_formula ~strategy:(Strategy.Exhaustive_vhs None) ~budget
+          (spec_for k) comp ~name:"p" eventually_all
+      in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      elapsed < 5.0
+      &&
+      match Verdict.status v with
+      | Verdict.Inconclusive Budget.Deadline_exceeded -> true
+      | Verdict.Verified ->
+          (* Small computations can finish inside the first poll window. *)
+          v.Verdict.complete
+      | _ -> false)
+
+(* The non-raising explorer: malformed/adversarial move functions under a
+   config budget never raise, respect the cap exactly, and report it. *)
+let prop_explore_budget =
+  QCheck.Test.make ~count:200 ~name:"Explore.run respects config budgets"
+    QCheck.(pair (int_range 1 20) (int_range 2 5))
+    (fun (max_configs, fanout) ->
+      let moves n = if n > 10_000 then [] else List.init fanout (fun i -> (n * fanout) + i + 1) in
+      let r = Explore.run ~max_configs ~moves ~terminated:(fun _ -> false) 0 in
+      r.Explore.explored <= max_configs
+      &&
+      (* The tree is effectively infinite, so the cap must have fired. *)
+      r.Explore.exhausted = Some Budget.Config_budget)
+
+(* Budget counters are exact and exhaustion is sticky. *)
+let prop_charge_config_exact =
+  QCheck.Test.make ~count:200 ~name:"charge_config grants exactly max_configs"
+    QCheck.(int_range 1 300)
+    (fun cap ->
+      let b = Budget.make ~max_configs:cap () in
+      let granted = ref 0 in
+      for _ = 1 to cap + 50 do
+        if Budget.charge_config b then incr granted
+      done;
+      !granted = cap
+      && Budget.exhausted b = Some Budget.Config_budget
+      && (* sticky: probing again does not clear it *)
+      Budget.exhausted b = Some Budget.Config_budget)
+
+let prop_strategy_truncation_exact =
+  QCheck.Test.make ~count:100 ~name:"enumerate reports truncation exactly"
+    comp_arb (fun input ->
+      let comp = build_comp input in
+      let total = List.length (Strategy.runs (Strategy.Exhaustive_vhs None) comp) in
+      let cap = max 1 (total / 2) in
+      let e = Strategy.enumerate (Strategy.Exhaustive_vhs (Some cap)) comp in
+      if total > cap then
+        e.Strategy.truncated_at = Some cap
+        && List.length e.Strategy.runs = cap
+        && not e.Strategy.complete
+      else e.Strategy.truncated_at = None && e.Strategy.complete)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "gem_budget"
+    [
+      ( "stress",
+        [
+          q prop_never_raises;
+          q prop_unlimited_conclusive;
+          q prop_falsified_wins;
+          q prop_deadline_inconclusive;
+        ] );
+      ( "explore", [ q prop_explore_budget ] );
+      ( "accounting", [ q prop_charge_config_exact; q prop_strategy_truncation_exact ] );
+    ]

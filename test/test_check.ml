@@ -7,6 +7,7 @@ module C = Gem_model.Computation
 module Etype = Gem_spec.Etype
 module Spec = Gem_spec.Spec
 module F = Gem_logic.Formula
+module Budget = Gem_check.Budget
 module Strategy = Gem_check.Strategy
 module Check = Gem_check.Check
 module Verdict = Gem_check.Verdict
@@ -230,6 +231,69 @@ let test_refine_sat_reports_indices () =
   check Alcotest.(list int) "indices" [ 0; 1 ] (List.map fst results);
   check Alcotest.bool "all ok" true (List.for_all (fun (_, v) -> Verdict.ok v) results)
 
+(* ------------------------------------------------------------------ *)
+(* Budgets and three-valued verdicts                                   *)
+(* ------------------------------------------------------------------ *)
+
+let eventually_d = F.(eventually (forall [ ("d", Cls "D") ] (occurred "d")))
+
+let test_enumerate_truncation () =
+  (* The diamond has 3 complete runs and 2 linearizations. *)
+  let comp = diamond () in
+  let e = Strategy.enumerate (Strategy.Exhaustive_vhs (Some 2)) comp in
+  check Alcotest.(option int) "cut at 2" (Some 2) e.Strategy.truncated_at;
+  check Alcotest.int "kept 2 runs" 2 (List.length e.Strategy.runs);
+  check Alcotest.bool "incomplete" false e.Strategy.complete;
+  let e = Strategy.enumerate (Strategy.Exhaustive_vhs (Some 10)) comp in
+  check Alcotest.(option int) "cap above: not cut" None e.Strategy.truncated_at;
+  check Alcotest.bool "complete" true e.Strategy.complete;
+  (* All 2 linearizations fit under the cap: nothing was dropped, but
+     coverage is still strategy-relative, never absolute. *)
+  let e = Strategy.enumerate (Strategy.Linearizations (Some 2)) comp in
+  check Alcotest.(option int) "linearizations not cut" None e.Strategy.truncated_at;
+  check Alcotest.bool "linearizations incomplete" false e.Strategy.complete
+
+let test_enumerate_budget_tightens () =
+  let comp = diamond () in
+  let budget = Budget.make ~max_runs:1 () in
+  let e = Strategy.enumerate ~budget (Strategy.Exhaustive_vhs None) comp in
+  check Alcotest.(option int) "budget cap wins" (Some 1) e.Strategy.truncated_at;
+  check Alcotest.int "one run" 1 (List.length e.Strategy.runs)
+
+let test_verdict_inconclusive_on_run_cap () =
+  let comp = diamond () in
+  let v =
+    Check.check_formula ~strategy:(Strategy.Exhaustive_vhs None)
+      ~budget:(Budget.make ~max_runs:1 ()) diamond_spec comp ~name:"p" eventually_d
+  in
+  (match Verdict.status v with
+  | Verdict.Inconclusive (Budget.Run_cap 1) -> ()
+  | s -> Alcotest.failf "expected Inconclusive (Run_cap 1), got %a" Verdict.pp_status s);
+  check Alcotest.bool "seed ok-meaning unchanged" true (Verdict.ok v);
+  check Alcotest.int "exit code 2" 2 (Verdict.exit_code (Verdict.status v));
+  check Alcotest.bool "coverage partial" false v.Verdict.coverage.Budget.runs_complete
+
+let test_verdict_overall () =
+  let comp = diamond () in
+  let unlimited = Check.check_formula diamond_spec comp ~name:"p" eventually_d in
+  let falsified =
+    Check.check_formula diamond_spec comp ~name:"never" F.(neg (henceforth True))
+  in
+  let inconclusive =
+    Check.check_formula ~strategy:(Strategy.Exhaustive_vhs None)
+      ~budget:(Budget.make ~max_runs:1 ()) diamond_spec comp ~name:"p" eventually_d
+  in
+  check Alcotest.bool "verified" true (Verdict.overall [ unlimited ] = Verdict.Verified);
+  check Alcotest.bool "inconclusive taints" true
+    (match Verdict.overall [ unlimited; inconclusive ] with
+    | Verdict.Inconclusive _ -> true
+    | _ -> false);
+  (* Falsification is sound under truncation: it wins over Inconclusive. *)
+  check Alcotest.bool "falsified wins" true
+    (Verdict.overall [ inconclusive; falsified ] = Verdict.Falsified);
+  check Alcotest.int "exit codes" 0 (Verdict.exit_code Verdict.Verified);
+  check Alcotest.int "exit codes" 1 (Verdict.exit_code (Verdict.status falsified))
+
 let () =
   Alcotest.run "gem_check"
     [
@@ -246,6 +310,13 @@ let () =
           Alcotest.test_case "illegal-skips" `Quick test_check_illegal_skips_restrictions;
           Alcotest.test_case "ablation-soundness" `Quick test_check_strategy_ablation_soundness;
           Alcotest.test_case "simultaneity" `Quick test_check_simultaneity_distinguishes;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "enumerate-truncation" `Quick test_enumerate_truncation;
+          Alcotest.test_case "budget-tightens" `Quick test_enumerate_budget_tightens;
+          Alcotest.test_case "inconclusive-run-cap" `Quick test_verdict_inconclusive_on_run_cap;
+          Alcotest.test_case "overall" `Quick test_verdict_overall;
         ] );
       ( "refine",
         [

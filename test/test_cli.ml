@@ -1,0 +1,71 @@
+(* End-to-end exit-code contract for the gemcheck binary:
+     0 verified, 1 falsified, 2 inconclusive, 3 usage error.
+   The test's cwd is _build/default/test, so the freshly built binary is
+   reachable at ../bin/gemcheck.exe (declared as a dune dep). *)
+
+let check = Alcotest.check
+
+let gemcheck = Filename.concat (Filename.concat ".." "bin") "gemcheck.exe"
+
+let run args =
+  let null = if Sys.win32 then "NUL" else "/dev/null" in
+  match
+    Unix.system (Printf.sprintf "%s %s > %s 2>&1" (Filename.quote gemcheck) args null)
+  with
+  | Unix.WEXITED c -> c
+  | Unix.WSIGNALED s | Unix.WSTOPPED s -> Alcotest.failf "killed by signal %d" s
+
+let run_capture args =
+  let ic = Unix.open_process_in (Printf.sprintf "%s %s 2>/dev/null" (Filename.quote gemcheck) args) in
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (Buffer.contents buf, status)
+
+let test_verified () =
+  check Alcotest.int "small rw verifies" 0 (run "rw --readers 1 --writers 1")
+
+let test_falsified () =
+  check Alcotest.int "broken monitor falsified" 1 (run "rw --monitor no-exclusion")
+
+let test_inconclusive_configs () =
+  check Alcotest.int "undersized config budget" 2 (run "rw --max-configs 50")
+
+let test_inconclusive_timeout () =
+  check Alcotest.int "zero deadline" 2 (run "rw --timeout 0.0")
+
+let test_usage_error () =
+  check Alcotest.int "unknown flag" 3 (run "rw --no-such-flag");
+  check Alcotest.int "unknown subcommand" 3 (run "frobnicate")
+
+let test_json_report () =
+  let out, status = run_capture "rw --json --max-configs 50" in
+  (match status with
+  | Unix.WEXITED 2 -> ()
+  | _ -> Alcotest.fail "expected exit 2");
+  let has needle =
+    let nl = String.length needle and ol = String.length out in
+    let rec go i = i + nl <= ol && (String.sub out i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "status field" true (has {|"status":"inconclusive"|});
+  check Alcotest.bool "reason field" true (has {|"kind":"config-budget"|});
+  check Alcotest.bool "coverage field" true (has {|"configs_explored":50|})
+
+let () =
+  Alcotest.run "gemcheck_cli"
+    [
+      ( "exit-codes",
+        [
+          Alcotest.test_case "verified=0" `Quick test_verified;
+          Alcotest.test_case "falsified=1" `Quick test_falsified;
+          Alcotest.test_case "inconclusive-configs=2" `Quick test_inconclusive_configs;
+          Alcotest.test_case "inconclusive-timeout=2" `Quick test_inconclusive_timeout;
+          Alcotest.test_case "usage=3" `Quick test_usage_error;
+        ] );
+      ("json", [ Alcotest.test_case "degradation report" `Quick test_json_report ]);
+    ]

@@ -140,9 +140,21 @@ let test_explore_classification () =
   check Alcotest.bool "all deadlocked are 5" true (List.for_all (fun n -> n = 5) r.Explore.deadlocked)
 
 let test_explore_budget () =
-  Alcotest.check_raises "budget"
-    (Failure "Explore.run: configuration budget 5 exceeded") (fun () ->
-      ignore (Explore.run ~max_configs:5 ~moves:counter_moves ~terminated:(fun n -> n = 4) 0))
+  (* Exhaustion no longer raises: the result reports the cut and keeps the
+     configurations visited so far. *)
+  let r = Explore.run ~max_configs:5 ~moves:counter_moves ~terminated:(fun n -> n = 4) 0 in
+  check Alcotest.bool "exhausted = Config_budget" true
+    (r.Explore.exhausted = Some Gem_check.Budget.Config_budget);
+  check Alcotest.int "visited exactly the budget" 5 r.Explore.explored
+
+let test_explore_deadline () =
+  (* A deadline of zero is exhausted on the first poll; no exception, and
+     the reason survives into the result. *)
+  let budget = Gem_check.Budget.make ~timeout:0.0 () in
+  let moves n = [ n + 1 ] (* infinite chain; only the budget stops it *) in
+  let r = Explore.run ~budget ~moves ~terminated:(fun _ -> false) 0 in
+  check Alcotest.bool "exhausted = Deadline_exceeded" true
+    (r.Explore.exhausted = Some Gem_check.Budget.Deadline_exceeded)
 
 let test_explore_depth_truncation () =
   let r =
@@ -219,6 +231,7 @@ let () =
         [
           Alcotest.test_case "classification" `Quick test_explore_classification;
           Alcotest.test_case "budget" `Quick test_explore_budget;
+          Alcotest.test_case "deadline" `Quick test_explore_deadline;
           Alcotest.test_case "depth-truncation" `Quick test_explore_depth_truncation;
           Alcotest.test_case "key-dedup" `Quick test_explore_key_dedup;
           Alcotest.test_case "fingerprint" `Quick test_fingerprint_order_independent;

@@ -137,16 +137,17 @@ let test_rw_threads_label_transactions () =
 (* ------------------------------------------------------------------ *)
 
 let test_db_update_converges () =
-  let comps, deadlocks, ok = Gem_problems.Db_update.check ~sites:3 () in
-  check Alcotest.bool "computations exist" true (comps > 0);
-  check Alcotest.int "no deadlock" 0 deadlocks;
-  check Alcotest.bool "all converge to max" true ok
+  let r = Gem_problems.Db_update.check ~sites:3 () in
+  check Alcotest.bool "computations exist" true (r.Gem_problems.Db_update.computations > 0);
+  check Alcotest.int "no deadlock" 0 r.deadlocks;
+  check Alcotest.bool "all converge to max" true r.converges;
+  check Alcotest.bool "not exhausted" true (r.exhausted = None)
 
 let test_db_update_two_sites () =
-  let comps, deadlocks, ok = Gem_problems.Db_update.check ~sites:2 () in
-  check Alcotest.bool "computations exist" true (comps > 0);
-  check Alcotest.int "no deadlock" 0 deadlocks;
-  check Alcotest.bool "converges" true ok
+  let r = Gem_problems.Db_update.check ~sites:2 () in
+  check Alcotest.bool "computations exist" true (r.Gem_problems.Db_update.computations > 0);
+  check Alcotest.int "no deadlock" 0 r.deadlocks;
+  check Alcotest.bool "converges" true r.converges
 
 (* ------------------------------------------------------------------ *)
 (* Asynchronous Game of Life (E11)                                     *)
