@@ -8,7 +8,10 @@
 
    `dune exec bench/main.exe -- --budget-only` skips the Bechamel suite
    and only measures budget-accounting overhead (writes BENCH_budget.json
-   in the current directory) — cheap enough for CI. *)
+   in the current directory) — cheap enough for CI.
+
+   `dune exec bench/main.exe -- --por-only` only compares states explored
+   with and without partial-order reduction (writes BENCH_por.json). *)
 
 open Bechamel
 open Toolkit
@@ -278,6 +281,76 @@ let budget_overhead_report () =
   Printf.printf "wrote BENCH_budget.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* Partial-order reduction: states explored with and without POR       *)
+(* ------------------------------------------------------------------ *)
+
+(* Each workload is explored twice — reduced search vs plain DFS — and
+   the comparison lands in BENCH_por.json. The full search is capped:
+   cyclic workloads (e.g. the distributed ADA Readers/Writers server
+   loops) are intractable without reduction, which is the point; a
+   capped row reports [full_complete:false]. *)
+let por_workloads =
+  [
+    ( "rw-monitor-1r1w",
+      fun por max_configs ->
+        let o = Monitor.explore ~por ~max_configs (rw_program 1 1) in
+        (o.Monitor.explored, o.Monitor.reduced, List.length o.Monitor.computations, o.Monitor.exhausted = None) );
+    ( "rw-monitor-2r1w",
+      fun por max_configs ->
+        let o = Monitor.explore ~por ~max_configs (rw_program 2 1) in
+        (o.Monitor.explored, o.Monitor.reduced, List.length o.Monitor.computations, o.Monitor.exhausted = None) );
+    ( "buffer-monitor-1p1c2i",
+      fun por max_configs ->
+        let o = Monitor.explore ~por ~max_configs buffer_monitor_program in
+        (o.Monitor.explored, o.Monitor.reduced, List.length o.Monitor.computations, o.Monitor.exhausted = None) );
+    ( "buffer-csp-1p1c2i",
+      fun por max_configs ->
+        let o = Csp.explore ~por ~max_configs buffer_csp_program in
+        (o.Csp.explored, o.Csp.reduced, List.length o.Csp.computations, o.Csp.exhausted = None) );
+    ( "buffer-ada-1p1c2i",
+      fun por max_configs ->
+        let o = Ada.explore ~por ~max_configs buffer_ada_program in
+        (o.Ada.explored, o.Ada.reduced, List.length o.Ada.computations, o.Ada.exhausted = None) );
+    ( "rwd-csp-1r1w",
+      fun por max_configs ->
+        let o = Csp.explore ~por ~max_configs rwd_csp in
+        (o.Csp.explored, o.Csp.reduced, List.length o.Csp.computations, o.Csp.exhausted = None) );
+    ( "rwd-ada-1r1w",
+      fun por max_configs ->
+        let o = Ada.explore ~por ~max_configs rwd_ada in
+        (o.Ada.explored, o.Ada.reduced, List.length o.Ada.computations, o.Ada.exhausted = None) );
+    ( "db-update-2-sites",
+      fun por max_configs ->
+        let r = Db_update.check ~por ~max_configs ~sites:2 () in
+        (r.Db_update.explored, r.Db_update.reduced, r.Db_update.computations, r.Db_update.exhausted = None) );
+  ]
+
+let por_report () =
+  let full_cap = 200_000 in
+  let rows =
+    List.map
+      (fun (name, run) ->
+        let por_explored, por_reduced, por_comps, por_complete = run true max_int in
+        let full_explored, _, full_comps, full_complete = run false full_cap in
+        let ratio = float_of_int full_explored /. float_of_int (max 1 por_explored) in
+        Printf.printf
+          "%-24s POR: %7d explored (%d pruned, %d computations)  full: %7d explored%s  %.1fx\n%!"
+          name por_explored por_reduced por_comps full_explored
+          (if full_complete then "" else " [capped]")
+          ratio;
+        ignore full_comps;
+        Printf.sprintf
+          {|{"workload":"%s","por_explored":%d,"por_reduced":%d,"por_computations":%d,"por_complete":%b,"full_explored":%d,"full_computations":%d,"full_complete":%b,"reduction_ratio":%.2f}|}
+          name por_explored por_reduced por_comps por_complete full_explored
+          full_comps full_complete ratio)
+      por_workloads
+  in
+  let oc = open_out "BENCH_por.json" in
+  output_string oc ("[\n  " ^ String.concat ",\n  " rows ^ "\n]\n");
+  close_out oc;
+  Printf.printf "wrote BENCH_por.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -310,5 +383,11 @@ let run_bechamel () =
 
 let () =
   let budget_only = Array.exists (String.equal "--budget-only") Sys.argv in
-  if not budget_only then run_bechamel ();
-  budget_overhead_report ()
+  let por_only = Array.exists (String.equal "--por-only") Sys.argv in
+  if por_only then por_report ()
+  else if budget_only then budget_overhead_report ()
+  else begin
+    run_bechamel ();
+    budget_overhead_report ();
+    por_report ()
+  end

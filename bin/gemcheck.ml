@@ -53,6 +53,20 @@ let json_flag =
   Arg.(value & flag
        & info [ "json" ] ~doc:"Emit the outcome report as a JSON object.")
 
+(* --no-por forces the plain exhaustive DFS; the default honors the
+   GEM_NO_POR environment variable (see Explore.por_default). Passing
+   [None] down keeps the interpreters' own defaulting in charge. *)
+let por_term =
+  let no_por =
+    Arg.(value & flag
+         & info [ "no-por" ]
+             ~doc:"Disable partial-order reduction: explore every \
+                   interleaving with a plain depth-first search. The \
+                   verdict is unchanged; only the configuration counts \
+                   (and runtime) differ.")
+  in
+  Term.(const (fun no_por -> if no_por then Some false else None) $ no_por)
+
 (* ------------------------------------------------------------------ *)
 (* Outcome reporting                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -66,9 +80,10 @@ let combined_status ~explore_exhausted verdicts =
   | _, Some r -> Verdict.Inconclusive r
   | s, None -> s
 
-let coverage ~explored ~truncated verdicts =
+let coverage ~explored ~reduced ~truncated verdicts =
   {
     Budget.configs_explored = explored;
+    configs_reduced = reduced;
     branches_truncated = truncated;
     runs_enumerated =
       List.fold_left (fun n v -> n + v.Verdict.runs_checked) 0 verdicts;
@@ -161,9 +176,9 @@ let rw_cmd =
   in
   let readers = Arg.(value & opt int 2 & info [ "readers" ] ~docv:"N") in
   let writers = Arg.(value & opt int 1 & info [ "writers" ] ~docv:"N") in
-  let run monitor version readers writers budget json =
+  let run monitor version readers writers por budget json =
     let program = Readers_writers.program ~monitor ~readers ~writers in
-    let o = Monitor.explore ~budget program in
+    let o = Monitor.explore ?por ~budget program in
     let problem =
       Readers_writers.spec version ~users:(Readers_writers.user_names ~readers ~writers)
     in
@@ -189,11 +204,12 @@ let rw_cmd =
        | (_, v) :: _ -> Format.printf "%a@." (Verdict.pp None) v
        | [] -> ());
     report ~json ~command:"rw" ~detail status
-      (coverage ~explored:o.Monitor.explored ~truncated:o.Monitor.truncated verdicts)
+      (coverage ~explored:o.Monitor.explored ~reduced:o.Monitor.reduced
+         ~truncated:o.Monitor.truncated verdicts)
   in
   Cmd.v
     (Cmd.info "rw" ~doc:"Verify a Readers/Writers monitor against a problem version.")
-    Term.(const run $ monitor $ version $ readers $ writers $ budget_term $ json_flag)
+    Term.(const run $ monitor $ version $ readers $ writers $ por_term $ budget_term $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* buffer                                                              *)
@@ -231,30 +247,30 @@ let buffer_cmd =
   let producers = Arg.(value & opt int 1 & info [ "producers" ] ~docv:"N") in
   let consumers = Arg.(value & opt int 1 & info [ "consumers" ] ~docv:"N") in
   let items = Arg.(value & opt int 2 & info [ "items" ] ~docv:"N" ~doc:"Items per producer.") in
-  let run lang capacity producers consumers items budget json =
+  let run lang capacity producers consumers items por budget json =
     let problem = Buffer_problem.spec ~capacity in
     let strategy = Strategy.of_budget budget in
-    let comps, deadlocks, explored, truncated, exhausted, results =
+    let comps, deadlocks, explored, reduced, truncated, exhausted, results =
       match lang with
       | `Monitor ->
-          let o = Monitor.explore ~budget (Buffer_problem.monitor_solution ~capacity ~producers ~consumers ~items_each:items) in
+          let o = Monitor.explore ?por ~budget (Buffer_problem.monitor_solution ~capacity ~producers ~consumers ~items_each:items) in
           ( List.length o.Monitor.computations,
             List.length o.Monitor.deadlocks,
-            o.Monitor.explored, o.Monitor.truncated, o.Monitor.exhausted,
+            o.Monitor.explored, o.Monitor.reduced, o.Monitor.truncated, o.Monitor.exhausted,
             Refine.sat ~strategy ~budget ~problem ~map:Buffer_problem.monitor_correspondence
               o.Monitor.computations )
       | `Csp ->
-          let o = Csp.explore ~budget (Buffer_problem.csp_solution ~capacity ~producers ~consumers ~items_each:items) in
+          let o = Csp.explore ?por ~budget (Buffer_problem.csp_solution ~capacity ~producers ~consumers ~items_each:items) in
           ( List.length o.Csp.computations,
             List.length o.Csp.deadlocks,
-            o.Csp.explored, o.Csp.truncated, o.Csp.exhausted,
+            o.Csp.explored, o.Csp.reduced, o.Csp.truncated, o.Csp.exhausted,
             Refine.sat ~strategy ~budget ~problem ~map:Buffer_problem.csp_correspondence
               o.Csp.computations )
       | `Ada ->
-          let o = Ada.explore ~budget (Buffer_problem.ada_solution ~capacity ~producers ~consumers ~items_each:items) in
+          let o = Ada.explore ?por ~budget (Buffer_problem.ada_solution ~capacity ~producers ~consumers ~items_each:items) in
           ( List.length o.Ada.computations,
             List.length o.Ada.deadlocks,
-            o.Ada.explored, o.Ada.truncated, o.Ada.exhausted,
+            o.Ada.explored, o.Ada.reduced, o.Ada.truncated, o.Ada.exhausted,
             Refine.sat ~strategy ~budget ~problem ~map:Buffer_problem.ada_correspondence
               o.Ada.computations )
     in
@@ -265,11 +281,11 @@ let buffer_cmd =
     let status = combined_status ~explore_exhausted:exhausted verdicts in
     let detail = Printf.sprintf "%d computations, %d deadlocks" comps deadlocks in
     report ~json ~command:"buffer" ~detail status
-      (coverage ~explored ~truncated verdicts)
+      (coverage ~explored ~reduced ~truncated verdicts)
   in
   Cmd.v
     (Cmd.info "buffer" ~doc:"Verify a bounded-buffer solution.")
-    Term.(const run $ lang $ capacity $ producers $ consumers $ items $ budget_term $ json_flag)
+    Term.(const run $ lang $ capacity $ producers $ consumers $ items $ por_term $ budget_term $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* rwd: distributed Readers/Writers                                    *)
@@ -285,21 +301,21 @@ let rwd_cmd =
   let broken =
     Arg.(value & flag & info [ "no-priority" ] ~doc:"Use the priority-less mutant.")
   in
-  let run lang readers writers broken budget json =
+  let run lang readers writers broken por budget json =
     let rnames, wnames = Rw_distributed.user_names ~readers ~writers in
     let problem = Rw_distributed.spec ~readers:rnames ~writers:wnames in
     let strategy = Strategy.of_budget budget in
-    let comps, deadlocks, explored, truncated, exhausted, results =
+    let comps, deadlocks, explored, reduced, truncated, exhausted, results =
       match lang with
       | `Csp ->
           let program =
             if broken then Rw_distributed.csp_program_no_priority ~readers ~writers
             else Rw_distributed.csp_program ~readers ~writers
           in
-          let o = Csp.explore ~max_configs:20_000_000 ~budget program in
+          let o = Csp.explore ?por ~max_configs:20_000_000 ~budget program in
           ( List.length o.Csp.computations,
             List.length o.Csp.deadlocks,
-            o.Csp.explored, o.Csp.truncated, o.Csp.exhausted,
+            o.Csp.explored, o.Csp.reduced, o.Csp.truncated, o.Csp.exhausted,
             Refine.sat ~strategy ~budget ~problem ~map:Rw_distributed.csp_correspondence
               o.Csp.computations )
       | `Ada ->
@@ -307,10 +323,10 @@ let rwd_cmd =
             if broken then Rw_distributed.ada_program_no_priority ~readers ~writers
             else Rw_distributed.ada_program ~readers ~writers
           in
-          let o = Ada.explore ~max_configs:20_000_000 ~budget program in
+          let o = Ada.explore ?por ~max_configs:20_000_000 ~budget program in
           ( List.length o.Ada.computations,
             List.length o.Ada.deadlocks,
-            o.Ada.explored, o.Ada.truncated, o.Ada.exhausted,
+            o.Ada.explored, o.Ada.reduced, o.Ada.truncated, o.Ada.exhausted,
             Refine.sat ~strategy ~budget ~problem ~map:Rw_distributed.ada_correspondence
               o.Ada.computations )
     in
@@ -320,12 +336,13 @@ let rwd_cmd =
     in
     let status = combined_status ~explore_exhausted:exhausted verdicts in
     let detail = Printf.sprintf "%d computations, %d deadlocks" comps deadlocks in
-    report ~json ~command:"rwd" ~detail status (coverage ~explored ~truncated verdicts)
+    report ~json ~command:"rwd" ~detail status
+      (coverage ~explored ~reduced ~truncated verdicts)
   in
   Cmd.v
     (Cmd.info "rwd"
        ~doc:"Verify the distributed (CSP/ADA) Readers/Writers solutions.")
-    Term.(const run $ lang $ readers $ writers $ broken $ budget_term $ json_flag)
+    Term.(const run $ lang $ readers $ writers $ broken $ por_term $ budget_term $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* parse                                                               *)
@@ -366,8 +383,8 @@ let parse_cmd =
 
 let db_cmd =
   let sites = Arg.(value & opt int 3 & info [ "sites" ] ~docv:"N") in
-  let run sites budget json =
-    let r = Db_update.check ~budget ~sites () in
+  let run sites por budget json =
+    let r = Db_update.check ?por ~budget ~sites () in
     let status =
       if (not r.Db_update.converges) || r.deadlocks > 0 then Verdict.Falsified
       else
@@ -380,10 +397,15 @@ let db_cmd =
         r.Db_update.computations r.deadlocks r.converges
     in
     report ~json ~command:"db" ~detail status
-      { Budget.full_coverage with Budget.runs_complete = r.exhausted = None }
+      {
+        Budget.full_coverage with
+        Budget.configs_explored = r.explored;
+        configs_reduced = r.reduced;
+        runs_complete = r.exhausted = None;
+      }
   in
   Cmd.v (Cmd.info "db" ~doc:"Explore the distributed database update.")
-    Term.(const run $ sites $ budget_term $ json_flag)
+    Term.(const run $ sites $ por_term $ budget_term $ json_flag)
 
 let life_cmd =
   let width = Arg.(value & opt int 4 & info [ "width" ] ~docv:"N") in

@@ -6,6 +6,7 @@ type reason =
 
 type coverage = {
   configs_explored : int;
+  configs_reduced : int;
   branches_truncated : int;
   runs_enumerated : int;
   runs_complete : bool;
@@ -103,6 +104,7 @@ let charge_run t =
 let full_coverage =
   {
     configs_explored = 0;
+    configs_reduced = 0;
     branches_truncated = 0;
     runs_enumerated = 0;
     runs_complete = true;
@@ -127,12 +129,13 @@ let reason_json r =
 
 let pp_coverage ppf c =
   Format.fprintf ppf
-    "@[<h>configs explored: %d; branches truncated: %d; runs enumerated: %d; \
-     run coverage: %s@]"
-    c.configs_explored c.branches_truncated c.runs_enumerated
+    "@[<h>configs explored: %d; configs reduced: %d; branches truncated: %d; \
+     runs enumerated: %d; run coverage: %s@]"
+    c.configs_explored c.configs_reduced c.branches_truncated c.runs_enumerated
     (if c.runs_complete then "complete" else "partial")
 
 let coverage_json c =
   Printf.sprintf
-    {|{"configs_explored":%d,"branches_truncated":%d,"runs_enumerated":%d,"runs_complete":%b}|}
-    c.configs_explored c.branches_truncated c.runs_enumerated c.runs_complete
+    {|{"configs_explored":%d,"configs_reduced":%d,"branches_truncated":%d,"runs_enumerated":%d,"runs_complete":%b}|}
+    c.configs_explored c.configs_reduced c.branches_truncated c.runs_enumerated
+    c.runs_complete

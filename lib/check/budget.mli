@@ -22,6 +22,9 @@ type reason =
 
 type coverage = {
   configs_explored : int;  (** Interpreter configurations visited. *)
+  configs_reduced : int;
+      (** Configurations pruned by partial-order reduction (sleep sets
+          and canonical-key memoization). *)
   branches_truncated : int;  (** Exploration branches cut short. *)
   runs_enumerated : int;  (** Runs the temporal check consumed. *)
   runs_complete : bool;

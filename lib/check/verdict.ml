@@ -40,13 +40,14 @@ let legal_verdict ~spec_name legality =
     coverage = Budget.full_coverage;
   }
 
-let with_exploration ~explored ~truncated t =
+let with_exploration ?(reduced = 0) ~explored ~truncated t =
   {
     t with
     coverage =
       {
         t.coverage with
         Budget.configs_explored = t.coverage.Budget.configs_explored + explored;
+        configs_reduced = t.coverage.Budget.configs_reduced + reduced;
         branches_truncated = t.coverage.Budget.branches_truncated + truncated;
       };
   }

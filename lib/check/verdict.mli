@@ -46,8 +46,9 @@ val overall : t list -> status
 val legal_verdict : spec_name:string -> Gem_spec.Legality.violation list -> t
 (** A verdict that records only legality violations (no runs checked). *)
 
-val with_exploration : explored:int -> truncated:int -> t -> t
-(** Fold interpreter exploration statistics into the coverage stats. *)
+val with_exploration : ?reduced:int -> explored:int -> truncated:int -> t -> t
+(** Fold interpreter exploration statistics into the coverage stats;
+    [reduced] counts configurations pruned by partial-order reduction. *)
 
 val exit_code : status -> int
 (** 0 verified, 1 falsified, 2 inconclusive — the [gemcheck] exit-code

@@ -226,34 +226,70 @@ let step_task cfg tname =
 (* Moves and exploration                                               *)
 (* ------------------------------------------------------------------ *)
 
-let moves cfg =
+(* Element footprint of the step from [before] to [after]: elements of
+   the emitted events, the element of every task whose runtime changed
+   ([set_task] keeps unchanged runtimes physically identical), and the
+   callee's element for every entry queue that changed — queues are
+   callee-side state (select guards read only the selecting task's own
+   queues via ['Count]), so the callee element is their representative. *)
+let footprint before after =
+  let touches = Trace.touched_elements ~before:before.trace after.trace in
+  let touches =
+    List.fold_left2
+      (fun acc (n, r) (_, r') -> if r == r' then acc else element_of_task n :: acc)
+      touches before.tasks after.tasks
+  in
+  let touches =
+    if before.queues == after.queues then touches
+    else
+      List.fold_left
+        (fun acc ((callee, entry), q) ->
+          if queue before callee entry = q then acc
+          else element_of_task callee :: acc)
+        (List.fold_left
+           (fun acc ((callee, entry), q) ->
+             if queue after callee entry = q then acc
+             else element_of_task callee :: acc)
+           touches before.queues)
+        after.queues
+  in
+  List.sort_uniq String.compare touches
+
+let moves_fp cfg =
   let ms = ref [] in
+  let push label cfg' =
+    ms := ({ Explore.label; touches = footprint cfg cfg' }, cfg') :: !ms
+  in
   List.iter
     (fun (tname, rt) ->
       match rt.t_state with
       | Active _ -> (
-          match step_task cfg tname with Some cfg' -> ms := cfg' :: !ms | None -> ())
+          match step_task cfg tname with Some cfg' -> push tname cfg' | None -> ())
       | Blocked_accept (acc, rest) -> (
           match queue cfg tname acc.acc_entry with
           | p :: q ->
               let cfg' = set_queue cfg tname acc.acc_entry q in
-              ms := begin_rendezvous cfg' tname acc p rest :: !ms
+              push (tname ^ "?" ^ acc.acc_entry) (begin_rendezvous cfg' tname acc p rest)
           | [] -> ())
       | Blocked_select (branches, rest) ->
           let queue_len entry = List.length (queue cfg tname entry) in
           let queue_test entry = queue cfg tname entry <> [] in
-          List.iter
-            (fun b ->
+          List.iteri
+            (fun i b ->
               if Expr.eval_bool ~queue_test ~queue_len rt.t_locals b.when_ then
                 match queue cfg tname b.accept.acc_entry with
                 | p :: q ->
                     let cfg' = set_queue cfg tname b.accept.acc_entry q in
-                    ms := begin_rendezvous cfg' tname b.accept p rest :: !ms
+                    push
+                      (Printf.sprintf "%s?%s#%d" tname b.accept.acc_entry i)
+                      (begin_rendezvous cfg' tname b.accept p rest)
                 | [] -> ())
             branches
       | Blocked_call | Tdone -> ())
     cfg.tasks;
   List.rev !ms
+
+let moves cfg = List.map snd (moves_fp cfg)
 
 let terminated cfg =
   List.for_all
@@ -286,6 +322,7 @@ type outcome = {
   deadlocks : Gem_model.Computation.t list;
   explored : int;
   truncated : int;
+  reduced : int;
   exhausted : Gem_check.Budget.reason option;
 }
 
@@ -294,7 +331,16 @@ let all_elements (program : program) =
 
 let seal program cfg = Trace.to_computation ~extra_elements:(all_elements program) cfg.trace
 
-(* Canonical state key for partial-order reduction (see Explore.run). *)
+(* Canonical state key for partial-order reduction (see Explore.run).
+   Local stores are sorted ([Expr.update] prepends), queues are listed in
+   key order with empty queues elided, and marshalling disables sharing —
+   so interleavings of commuting moves that converge on structurally
+   equal states yield byte-equal keys. *)
+let sorted_store (s : Expr.store) =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) s
+
+let canon x = Marshal.to_string x [ Marshal.No_sharing ]
+
 let state_key program cfg =
   let comp = seal program cfg in
   let id h =
@@ -310,42 +356,56 @@ let state_key program cfg =
       (match rt.t_state with
       | Active items ->
           Buffer.add_char buf 'A';
-          Buffer.add_string buf (Marshal.to_string items [])
+          Buffer.add_string buf (canon items)
       | Blocked_call -> Buffer.add_char buf 'B'
       | Blocked_accept (acc, rest) ->
           Buffer.add_char buf 'W';
-          Buffer.add_string buf (Marshal.to_string (acc, rest) [])
+          Buffer.add_string buf (canon (acc, rest))
       | Blocked_select (branches, rest) ->
           Buffer.add_char buf 'S';
-          Buffer.add_string buf (Marshal.to_string (branches, rest) [])
+          Buffer.add_string buf (canon (branches, rest))
       | Tdone -> Buffer.add_char buf 'D');
-      Buffer.add_string buf (Marshal.to_string rt.t_locals []))
+      Buffer.add_string buf (canon (sorted_store rt.t_locals)))
     cfg.tasks;
   List.iter
     (fun (qkey, pendings) ->
-      Buffer.add_string buf (Marshal.to_string qkey []);
-      List.iter
-        (fun p ->
-          Buffer.add_string buf
-            (Marshal.to_string (p.q_caller, p.q_args, p.q_bind, p.q_cont) []);
-          Buffer.add_string buf (id p.q_call_event);
-          Buffer.add_string buf (id p.q_enqueue_event))
-        pendings)
-    (List.sort compare cfg.queues);
+      if pendings <> [] then begin
+        Buffer.add_string buf (canon qkey);
+        List.iter
+          (fun p ->
+            Buffer.add_string buf
+              (canon (p.q_caller, p.q_args, p.q_bind, p.q_cont));
+            Buffer.add_string buf (id p.q_call_event);
+            Buffer.add_string buf (id p.q_enqueue_event))
+          pendings
+      end)
+    (List.sort (fun (a, _) (b, _) -> compare a b) cfg.queues);
   Buffer.contents buf
 
-let explore ?max_steps ?max_configs ?budget program =
+let explore ?por ?max_steps ?max_configs ?budget program =
+  let por = match por with Some p -> p | None -> Explore.por_default () in
   let result =
-    Explore.run ?max_steps ?max_configs ?budget ~key:(state_key program) ~moves
-      ~terminated (initial program)
+    if por then
+      Explore.run ?max_steps ?max_configs ?budget ~key:(state_key program)
+        ~footprint:moves_fp ~moves ~terminated (initial program)
+    else
+      Explore.run ?max_steps ?max_configs ?budget ~moves ~terminated
+        (initial program)
   in
   {
     computations = Explore.dedup_computations (seal program) result.completed;
     deadlocks = Explore.dedup_computations (seal program) result.deadlocked;
     explored = result.explored;
     truncated = result.truncated;
+    reduced = result.reduced;
     exhausted = result.exhausted;
   }
+
+(* Small-step interface for the POR differential harness. *)
+let initial_config program = initial program
+let config_moves cfg = moves_fp cfg
+let config_key = state_key
+let config_terminated = terminated
 
 let run_one ?(seed = 42) program =
   let rng = Random.State.make [| seed |] in

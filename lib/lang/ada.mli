@@ -49,16 +49,42 @@ type outcome = {
   deadlocks : Gem_model.Computation.t list;
   explored : int;
   truncated : int;  (** Branches cut by [max_steps]. *)
+  reduced : int;  (** Configurations pruned by partial-order reduction. *)
   exhausted : Gem_check.Budget.reason option;
       (** [Some _] iff exploration was cut short — the computation set is
           then a sound but incomplete sample. *)
 }
 
 val explore :
-  ?max_steps:int -> ?max_configs:int -> ?budget:Gem_check.Budget.t -> program -> outcome
-(** Resource exhaustion never raises; it is reported in [exhausted]. *)
+  ?por:bool ->
+  ?max_steps:int ->
+  ?max_configs:int ->
+  ?budget:Gem_check.Budget.t ->
+  program ->
+  outcome
+(** Resource exhaustion never raises; it is reported in [exhausted].
+    [por] (default {!Explore.por_default}) switches between the sleep-set
+    + canonical-key reduced search and a plain exhaustive DFS. *)
 
 val run_one : ?seed:int -> program -> Gem_model.Computation.t
+
+(** {1 Small-step interface}
+
+    Exposed for the POR differential harness. *)
+
+type config
+
+val initial_config : program -> config
+
+val config_moves : config -> (Explore.move * config) list
+(** Every scheduler choice, labeled (acting task, entry, branch index)
+    and carrying its element footprint. *)
+
+val config_key : program -> config -> string
+(** Canonical state key: byte-equal for configurations reached by
+    different interleavings of commuting moves. *)
+
+val config_terminated : config -> bool
 
 val language_spec : ?name:string -> program -> Gem_spec.Spec.t
 (** The GEM description of ADA tasking applied to this program:

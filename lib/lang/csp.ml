@@ -163,46 +163,67 @@ let communicate cfg ~sender ~value ~s_req ~s_next ~receiver ~bind ~r_req ~r_next
   in
   normalize cfg
 
-let moves cfg =
-  let cfg = cfg in
+(* Element footprint of the step from [before] to [after]: elements of
+   the emitted events plus the element of every process whose runtime
+   changed ([set_proc] keeps unchanged runtimes physically identical).
+   Choice guards read only the choosing process's locals, and a partner's
+   transition to [Cdone] (the one remote input to distributed
+   termination) can enable a termination move but never disable it, so
+   disjoint footprints guarantee commutation. *)
+let footprint before after =
+  let touches = Trace.touched_elements ~before:before.trace after.trace in
+  let touches =
+    List.fold_left2
+      (fun acc (n, r) (_, r') -> if r == r' then acc else element_of_process n :: acc)
+      touches before.procs after.procs
+  in
+  List.sort_uniq String.compare touches
+
+let moves_fp cfg =
   let procs = List.map fst cfg.procs in
   let ms = ref [] in
-  (* Boolean-only choice branches. *)
+  let push label cfg' =
+    ms := ({ Explore.label; touches = footprint cfg cfg' }, cfg') :: !ms
+  in
+  (* Boolean-only choice branches. Labels index the source branch list, so
+     they are stable for as long as the process stays parked here. *)
   List.iter
     (fun pname ->
       match (proc_rt cfg pname).p_state with
       | At_choice { branches; cont; loop } ->
           let rt = proc_rt cfg pname in
-          List.iter
-            (fun b ->
+          List.iteri
+            (fun i b ->
               match b.comm with
               | None when Expr.eval_bool rt.p_locals b.guard ->
                   let back = if loop then [ CDo branches ] @ cont else cont in
                   let cfg' = set_proc cfg pname { rt with p_state = Active (b.body @ back) } in
-                  ms := normalize cfg' :: !ms
+                  push (pname ^ "#" ^ string_of_int i) (normalize cfg')
               | None | Some _ -> ())
             branches
       | Active _ | At_comm _ | Cdone -> ())
     procs;
-  (* Matched communications. *)
+  (* Matched communications, labeled by the pair of offer indices — stable
+     while both parties stay parked, since offers only depend on their own
+     states. *)
   List.iter
     (fun sender ->
       List.iter
         (fun receiver ->
           if not (String.equal sender receiver) then
-            List.iter
-              (fun so ->
+            List.iteri
+              (fun i so ->
                 match so.o_comm with
                 | Send { to_; value } when String.equal to_ receiver ->
-                    List.iter
-                      (fun ro ->
+                    List.iteri
+                      (fun j ro ->
                         match ro.o_comm with
                         | Recv { from_; bind } when String.equal from_ sender ->
-                            ms :=
-                              communicate cfg ~sender ~value ~s_req:so.o_req
-                                ~s_next:so.o_next ~receiver ~bind ~r_req:ro.o_req
-                                ~r_next:ro.o_next
-                              :: !ms
+                            push
+                              (Printf.sprintf "%s>%s#%d#%d" sender receiver i j)
+                              (communicate cfg ~sender ~value ~s_req:so.o_req
+                                 ~s_next:so.o_next ~receiver ~bind ~r_req:ro.o_req
+                                 ~r_next:ro.o_next)
                         | Recv _ | Send _ -> ())
                       (offers cfg receiver)
                 | Send _ | Recv _ -> ())
@@ -235,11 +256,13 @@ let moves cfg =
           in
           if (not bool_live) && not io_live then begin
             let cfg' = set_proc cfg pname { rt with p_state = Active cont } in
-            ms := normalize cfg' :: !ms
+            push (pname ^ "!done") (normalize cfg')
           end
       | Active _ | At_comm _ | At_choice _ | Cdone -> ())
     procs;
   List.rev !ms
+
+let moves cfg = List.map snd (moves_fp cfg)
 
 let terminated cfg =
   List.for_all
@@ -271,6 +294,7 @@ type outcome = {
   deadlocks : Gem_model.Computation.t list;
   explored : int;
   truncated : int;
+  reduced : int;
   exhausted : Gem_check.Budget.reason option;
 }
 
@@ -279,7 +303,15 @@ let all_elements (program : program) =
 
 let seal program cfg = Trace.to_computation ~extra_elements:(all_elements program) cfg.trace
 
-(* Canonical state key for partial-order reduction (see Explore.run). *)
+(* Canonical state key for partial-order reduction (see Explore.run).
+   Local stores are sorted ([Expr.update] prepends) and marshalling
+   disables sharing, so interleavings of commuting moves that converge on
+   structurally equal states yield byte-equal keys. *)
+let sorted_store (s : Expr.store) =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) s
+
+let canon x = Marshal.to_string x [ Marshal.No_sharing ]
+
 let state_key program cfg =
   let comp = seal program cfg in
   let id h =
@@ -295,31 +327,43 @@ let state_key program cfg =
       (match rt.p_state with
       | Active stmts ->
           Buffer.add_char buf 'A';
-          Buffer.add_string buf (Marshal.to_string stmts [])
+          Buffer.add_string buf (canon stmts)
       | At_comm { comm; cont; req } ->
           Buffer.add_char buf 'P';
-          Buffer.add_string buf (Marshal.to_string (comm, cont) []);
+          Buffer.add_string buf (canon (comm, cont));
           Buffer.add_string buf (id req)
       | At_choice { branches; cont; loop } ->
           Buffer.add_char buf 'C';
-          Buffer.add_string buf (Marshal.to_string (branches, cont, loop) [])
+          Buffer.add_string buf (canon (branches, cont, loop))
       | Cdone -> Buffer.add_char buf 'D');
-      Buffer.add_string buf (Marshal.to_string rt.p_locals []))
+      Buffer.add_string buf (canon (sorted_store rt.p_locals)))
     cfg.procs;
   Buffer.contents buf
 
-let explore ?max_steps ?max_configs ?budget program =
+let explore ?por ?max_steps ?max_configs ?budget program =
+  let por = match por with Some p -> p | None -> Explore.por_default () in
   let result =
-    Explore.run ?max_steps ?max_configs ?budget ~key:(state_key program) ~moves
-      ~terminated (initial program)
+    if por then
+      Explore.run ?max_steps ?max_configs ?budget ~key:(state_key program)
+        ~footprint:moves_fp ~moves ~terminated (initial program)
+    else
+      Explore.run ?max_steps ?max_configs ?budget ~moves ~terminated
+        (initial program)
   in
   {
     computations = Explore.dedup_computations (seal program) result.completed;
     deadlocks = Explore.dedup_computations (seal program) result.deadlocked;
     explored = result.explored;
     truncated = result.truncated;
+    reduced = result.reduced;
     exhausted = result.exhausted;
   }
+
+(* Small-step interface for the POR differential harness. *)
+let initial_config program = initial program
+let config_moves cfg = moves_fp cfg
+let config_key = state_key
+let config_terminated = terminated
 
 let run_one ?(seed = 42) program =
   let rng = Random.State.make [| seed |] in

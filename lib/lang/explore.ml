@@ -1,71 +1,196 @@
 module Budget = Gem_check.Budget
+module Smap = Map.Make (String)
+
+type move = { label : string; touches : string list }
+
+let independent m1 m2 =
+  not (List.exists (fun e -> List.mem e m2.touches) m1.touches)
 
 type 'c result = {
   completed : 'c list;
   deadlocked : 'c list;
   truncated : int;
   explored : int;
+  reduced : int;
   exhausted : Budget.reason option;
 }
 
-let run ?(max_steps = 10_000) ?(max_configs = 1_000_000) ?budget ?key ~moves ~terminated
-    init =
-  let completed = ref [] in
-  let deadlocked = ref [] in
-  let truncated = ref 0 in
-  let explored = ref 0 in
-  let exhausted = ref None in
+let por_default () =
+  match Sys.getenv_opt "GEM_NO_POR" with
+  | Some ("1" | "true" | "yes") -> false
+  | Some _ | None -> true
+
+(* Mutable walk state shared by both search strategies. *)
+type 'c walk = {
+  mutable w_completed : 'c list;
+  mutable w_deadlocked : 'c list;
+  mutable w_truncated : int;
+  mutable w_explored : int;
+  mutable w_reduced : int;
+  mutable w_exhausted : Budget.reason option;
+}
+
+let new_walk () =
+  {
+    w_completed = [];
+    w_deadlocked = [];
+    w_truncated = 0;
+    w_explored = 0;
+    w_reduced = 0;
+    w_exhausted = None;
+  }
+
+(* Sticky stop: once any dimension is exhausted the walk unwinds without
+   visiting further configurations, keeping the leaves found so far. *)
+let stop w ~max_configs ~budget () =
+  w.w_exhausted <> None
+  ||
+  if w.w_explored >= max_configs then begin
+    w.w_exhausted <- Some Budget.Config_budget;
+    true
+  end
+  else
+    match budget with
+    | None -> false
+    | Some b ->
+        if Budget.charge_config b then false
+        else begin
+          w.w_exhausted <- Budget.exhausted b;
+          true
+        end
+
+let finish w =
+  {
+    completed = List.rev w.w_completed;
+    deadlocked = List.rev w.w_deadlocked;
+    truncated = w.w_truncated;
+    explored = w.w_explored;
+    reduced = w.w_reduced;
+    exhausted = w.w_exhausted;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Plain bounded DFS (no reduction beyond optional key memoization)     *)
+(* ------------------------------------------------------------------ *)
+
+let run_plain ~max_steps ~max_configs ~budget ~key ~moves ~terminated init =
+  let w = new_walk () in
   let seen = Hashtbl.create 1024 in
   let fresh config =
     match key with
     | None -> true
     | Some k ->
-        let d = Digest.string (k config) in
+        let d = k config in
         if Hashtbl.mem seen d then false
         else begin
           Hashtbl.add seen d ();
           true
         end
   in
-  (* Sticky stop: once any dimension is exhausted the walk unwinds without
-     visiting further configurations, keeping the leaves found so far. *)
-  let stop () =
-    !exhausted <> None
-    ||
-    if !explored >= max_configs then begin
-      exhausted := Some Budget.Config_budget;
-      true
-    end
-    else
-      match budget with
-      | None -> false
-      | Some b ->
-          if Budget.charge_config b then false
-          else begin
-            exhausted := Budget.exhausted b;
-            true
-          end
-  in
+  let stop = stop w ~max_configs ~budget in
   let rec dfs depth config =
     if not (stop ()) then begin
-      incr explored;
-      if depth > max_steps then incr truncated
+      w.w_explored <- w.w_explored + 1;
+      if depth > max_steps then w.w_truncated <- w.w_truncated + 1
       else
         match moves config with
         | [] ->
-            if terminated config then completed := config :: !completed
-            else deadlocked := config :: !deadlocked
-        | ms -> List.iter (fun c -> if fresh c then dfs (depth + 1) c) ms
+            if terminated config then w.w_completed <- config :: w.w_completed
+            else w.w_deadlocked <- config :: w.w_deadlocked
+        | ms ->
+            List.iter
+              (fun c ->
+                if fresh c then dfs (depth + 1) c
+                else w.w_reduced <- w.w_reduced + 1)
+              ms
     end
   in
+  (* The initial configuration belongs in the seen table too: a cycle back
+     to the root must not re-explore it. *)
+  ignore (fresh init);
   dfs 0 init;
-  {
-    completed = List.rev !completed;
-    deadlocked = List.rev !deadlocked;
-    truncated = !truncated;
-    explored = !explored;
-    exhausted = !exhausted;
-  }
+  finish w
+
+(* ------------------------------------------------------------------ *)
+(* Sleep-set DFS over footprinted moves                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A sleeping move is kept with the footprint it had when put to sleep;
+   by independence it stays enabled (same label, same footprint) until a
+   dependent move fires and wakes it. *)
+
+let subset z1 z2 = Smap.for_all (fun l _ -> Smap.mem l z2) z1
+
+(* Has this state already been explored under a sleep set at least as
+   permissive (i.e. a subset of [sleep])? If so, every continuation awake
+   now was awake then, and the subtree is covered. Otherwise record
+   [sleep] (dropping any recorded supersets it refines). *)
+let covered seen k sleep =
+  let olds = Option.value ~default:[] (Hashtbl.find_opt seen k) in
+  if List.exists (fun z -> subset z sleep) olds then true
+  else begin
+    let olds = List.filter (fun z -> not (subset sleep z)) olds in
+    Hashtbl.replace seen k (sleep :: olds);
+    false
+  end
+
+let run_sleep ~max_steps ~max_configs ~budget ~key ~footprint ~terminated init =
+  let w = new_walk () in
+  let seen = Hashtbl.create 1024 in
+  let stop = stop w ~max_configs ~budget in
+  let rec dfs depth config sleep =
+    if not (stop ()) then begin
+      w.w_explored <- w.w_explored + 1;
+      if depth > max_steps then w.w_truncated <- w.w_truncated + 1
+      else
+        match footprint config with
+        | [] ->
+            if terminated config then w.w_completed <- config :: w.w_completed
+            else w.w_deadlocked <- config :: w.w_deadlocked
+        | succs ->
+            let awake, asleep =
+              List.partition (fun (m, _) -> not (Smap.mem m.label sleep)) succs
+            in
+            (* Sleeping successors are covered by an earlier sibling branch
+               that fired the same move before this configuration's
+               distinguishing step. *)
+            w.w_reduced <- w.w_reduced + List.length asleep;
+            ignore
+              (List.fold_left
+                 (fun sleep (m, c') ->
+                   (* The child may keep sleeping only the moves that
+                      commute with [m]; a dependent move wakes up. *)
+                   let child_sleep =
+                     Smap.filter (fun _ z -> independent z m) sleep
+                   in
+                   visit depth c' child_sleep;
+                   Smap.add m.label m sleep)
+                 sleep awake)
+    end
+  and visit depth c' child_sleep =
+    match key with
+    | None -> dfs (depth + 1) c' child_sleep
+    | Some k ->
+        if covered seen (k c') child_sleep then w.w_reduced <- w.w_reduced + 1
+        else dfs (depth + 1) c' child_sleep
+  in
+  (match key with
+  | Some k -> ignore (covered seen (k init) Smap.empty)
+  | None -> ());
+  dfs 0 init Smap.empty;
+  finish w
+
+let run ?(max_steps = 10_000) ?(max_configs = 1_000_000) ?budget ?key ?footprint
+    ~moves ~terminated init =
+  match footprint with
+  | Some footprint ->
+      ignore moves;
+      run_sleep ~max_steps ~max_configs ~budget ~key ~footprint ~terminated init
+  | None -> run_plain ~max_steps ~max_configs ~budget ~key ~moves ~terminated init
+
+(* ------------------------------------------------------------------ *)
+(* Canonical computation fingerprints                                   *)
+(* ------------------------------------------------------------------ *)
 
 let fingerprint comp =
   let module C = Gem_model.Computation in

@@ -12,11 +12,28 @@
     callers can degrade to an [Inconclusive] verdict instead of crashing
     or silently under-reporting. *)
 
+type move = { label : string; touches : string list }
+(** A scheduler choice as the independence oracle sees it: [label] names
+    the choice stably across configurations (e.g. the acting process, or
+    process plus branch index), and [touches] lists every element the move
+    reads or writes — the elements of the events it emits plus a
+    representative element for each runtime component it changes or whose
+    state its enabledness depends on. Two moves with disjoint [touches]
+    commute and can neither enable nor disable one another. *)
+
+val independent : move -> move -> bool
+(** Element-footprint disjointness — the independence relation used by the
+    sleep-set search. *)
+
 type 'c result = {
   completed : 'c list;  (** Leaves with no moves that satisfy [terminated]. *)
   deadlocked : 'c list;  (** Leaves with no moves that do not. *)
   truncated : int;  (** Branches cut by [max_steps]. *)
   explored : int;  (** Configurations visited. *)
+  reduced : int;
+      (** Configurations pruned as redundant — already-seen keys, and
+          successors skipped by the sleep-set rule because an equivalent
+          interleaving was already explored. *)
   exhausted : Gem_check.Budget.reason option;
       (** [Some _] iff the walk stopped early — the completed/deadlocked
           sets are then a sound but incomplete sample. [Config_budget]
@@ -24,11 +41,18 @@ type 'c result = {
           configuration counter. *)
 }
 
+val por_default : unit -> bool
+(** Whether partial-order reduction should be on by default: [true] unless
+    the [GEM_NO_POR] environment variable is set to [1], [true] or [yes].
+    Interpreters consult this when the caller passes no explicit [~por]
+    argument, so one environment switch flips every test and tool. *)
+
 val run :
   ?max_steps:int ->
   ?max_configs:int ->
   ?budget:Gem_check.Budget.t ->
-  ?key:('c -> string) ->
+  ?key:('c -> 'k) ->
+  ?footprint:('c -> (move * 'c) list) ->
   moves:('c -> 'c list) ->
   terminated:('c -> bool) ->
   'c ->
@@ -44,10 +68,20 @@ val run :
     [key], when given, enables partial-order reduction by memoization: two
     configurations with equal keys generate the same set of future
     computations (up to emission order), so the second subtree is skipped.
-    Language interpreters build the key from the trace's canonical
-    fingerprint plus the runtime state with event handles replaced by
-    stable event identities — interleavings of commuting moves then
-    converge to one key. *)
+    Language interpreters build a canonical structural key from the
+    runtime state with event handles replaced by stable event identities —
+    interleavings of commuting moves then converge to one key.
+
+    [footprint], when given, supersedes [moves] (which is ignored) and
+    switches the walk to a sleep-set DFS: after a branch explores move
+    [m] from a state, sibling branches put [m] to sleep and prune any
+    successor reached by a sleeping move, since the interleaving that
+    fires the sleeping move first was already covered; a move wakes when
+    a dependent move (per {!independent}) fires. With [key] also given,
+    a state is skipped only when it was previously visited under a sleep
+    set no larger than the current one, which keeps the combination
+    sound. The successor configurations of [footprint] must enumerate
+    exactly [moves config], in the same order. *)
 
 val fingerprint : Gem_model.Computation.t -> string
 (** Canonical string of a computation's events (identity, class, params)

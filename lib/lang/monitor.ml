@@ -418,13 +418,50 @@ let step_proc ctx cfg pname =
   | Active stmts -> Some (go cfg stmts)
   | In_monitor | Proc_done -> None
 
-let moves ctx cfg =
+(* Element footprint of the step that took [before] to [after]: elements
+   of the events emitted, plus a representative element for every runtime
+   component that changed — the process element for a process runtime, the
+   monitor's lock element for a monitor runtime (queue membership, busy
+   flag and store all live under the lock), and the variable's own element
+   for the shared store. [set_proc]/[set_mon] keep unchanged runtimes
+   physically identical, so a pointer comparison detects the changes. *)
+let footprint before after =
+  let touches = Trace.touched_elements ~before:before.trace after.trace in
+  let touches =
+    List.fold_left2
+      (fun acc (n, r) (_, r') -> if r == r' then acc else element_of_process n :: acc)
+      touches before.procs after.procs
+  in
+  let touches =
+    List.fold_left2
+      (fun acc (n, m) (_, m') -> if m == m' then acc else element_of_lock n :: acc)
+      touches before.mons after.mons
+  in
+  let touches =
+    if before.shared_store == after.shared_store then touches
+    else
+      List.fold_left
+        (fun acc (v, value) ->
+          match List.assoc_opt v before.shared_store with
+          | Some old when old == value -> acc
+          | _ -> v :: acc)
+        touches after.shared_store
+  in
+  List.sort_uniq String.compare touches
+
+let moves_fp ctx cfg =
   List.filter_map
     (fun (pname, rt) ->
       match rt.p_state with
-      | Active _ -> step_proc ctx cfg pname
+      | Active _ ->
+          Option.map
+            (fun cfg' ->
+              ({ Explore.label = pname; touches = footprint cfg cfg' }, cfg'))
+            (step_proc ctx cfg pname)
       | In_monitor | Proc_done -> None)
     cfg.procs
+
+let moves ctx cfg = List.map snd (moves_fp ctx cfg)
 
 let terminated cfg =
   List.for_all
@@ -516,6 +553,7 @@ type outcome = {
   deadlocks : Gem_model.Computation.t list;
   explored : int;
   truncated : int;
+  reduced : int;
   exhausted : Gem_check.Budget.reason option;
 }
 
@@ -555,7 +593,17 @@ let seal program cfg =
 
 (* Canonical state key for partial-order reduction: the trace's
    emission-order-independent fingerprint plus the runtime state with
-   event handles replaced by stable event identities. *)
+   event handles replaced by stable event identities. Association lists
+   whose insertion order varies across interleavings ([Expr.update]
+   prepends, [set_cond_queue] reorders) are sorted by name, and
+   marshalling disables sharing, so structurally equal states — in
+   particular those reached by different interleavings of commuting moves
+   — serialize to byte-equal keys. *)
+let sorted_store (s : Expr.store) =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) s
+
+let canon x = Marshal.to_string x [ Marshal.No_sharing ]
+
 let state_key program cfg =
   let comp = seal program cfg in
   let id h =
@@ -571,34 +619,51 @@ let state_key program cfg =
       (match rt.p_state with
       | Active stmts ->
           Buffer.add_char buf 'A';
-          Buffer.add_string buf (Marshal.to_string stmts [])
+          Buffer.add_string buf (canon stmts)
       | In_monitor -> Buffer.add_char buf 'M'
       | Proc_done -> Buffer.add_char buf 'D');
-      Buffer.add_string buf (Marshal.to_string rt.p_locals []))
+      Buffer.add_string buf (canon (sorted_store rt.p_locals)))
     cfg.procs;
   List.iter
     (fun (n, m) ->
       Buffer.add_string buf n;
+      let conds = List.sort (fun (a, _) (b, _) -> String.compare a b) m.m_conds in
       Buffer.add_string buf
-        (Marshal.to_string (m.m_store, m.m_conds, m.m_urgent, m.m_entryq, m.m_busy) []);
+        (canon (sorted_store m.m_store, conds, m.m_urgent, m.m_entryq, m.m_busy));
       Buffer.add_string buf (match m.m_last_rel with Some h -> id h | None -> "-"))
     cfg.mons;
-  Buffer.add_string buf (Marshal.to_string cfg.shared_store []);
+  Buffer.add_string buf (canon (sorted_store cfg.shared_store));
   Buffer.contents buf
 
-let explore ?(emit_getvals = false) ?max_steps ?max_configs ?budget program =
+let explore ?(emit_getvals = false) ?por ?max_steps ?max_configs ?budget program =
+  let por = match por with Some p -> p | None -> Explore.por_default () in
   let ctx = { program; emit_getvals } in
   let result =
-    Explore.run ?max_steps ?max_configs ?budget ~key:(state_key program)
-      ~moves:(moves ctx) ~terminated (initial ctx)
+    if por then
+      Explore.run ?max_steps ?max_configs ?budget ~key:(state_key program)
+        ~footprint:(moves_fp ctx) ~moves:(moves ctx) ~terminated (initial ctx)
+    else
+      Explore.run ?max_steps ?max_configs ?budget ~moves:(moves ctx) ~terminated
+        (initial ctx)
   in
   {
     computations = Explore.dedup_computations (seal program) result.completed;
     deadlocks = Explore.dedup_computations (seal program) result.deadlocked;
     explored = result.explored;
     truncated = result.truncated;
+    reduced = result.reduced;
     exhausted = result.exhausted;
   }
+
+(* Small-step interface for the POR differential harness. *)
+let initial_config ?(emit_getvals = false) program =
+  initial { program; emit_getvals }
+
+let config_moves ?(emit_getvals = false) program cfg =
+  moves_fp { program; emit_getvals } cfg
+
+let config_key = state_key
+let config_terminated = terminated
 
 let run_one ?(emit_getvals = false) ?(seed = 42) program =
   let ctx = { program; emit_getvals } in

@@ -91,6 +91,7 @@ type outcome = {
       (** Traces of executions that got stuck. *)
   explored : int;
   truncated : int;  (** Branches cut by [max_steps]. *)
+  reduced : int;  (** Configurations pruned by partial-order reduction. *)
   exhausted : Gem_check.Budget.reason option;
       (** [Some _] iff exploration was cut short — the computation set is
           then a sound but incomplete sample. *)
@@ -98,6 +99,7 @@ type outcome = {
 
 val explore :
   ?emit_getvals:bool ->
+  ?por:bool ->
   ?max_steps:int ->
   ?max_configs:int ->
   ?budget:Gem_check.Budget.t ->
@@ -105,11 +107,34 @@ val explore :
   outcome
 (** Exhaustively explore all schedules. Resource exhaustion (config
     budget, deadline, memory watermark) never raises: it is reported in
-    [exhausted]. [Expr.Eval_error] still raises on runtime type errors. *)
+    [exhausted]. [Expr.Eval_error] still raises on runtime type errors.
+    [por] (default {!Explore.por_default}) switches between the sleep-set
+    + canonical-key reduced search and a plain exhaustive DFS; both reach
+    the same completed/deadlocked computation sets. *)
 
 val run_one : ?emit_getvals:bool -> ?seed:int -> program -> Gem_model.Computation.t
 (** One (pseudo-randomly scheduled) complete or stuck run — handy for
     examples and smoke tests. *)
+
+(** {1 Small-step interface}
+
+    Exposed for the POR differential harness: single configurations,
+    labeled moves with element footprints, and the canonical state key. *)
+
+type config
+
+val initial_config : ?emit_getvals:bool -> program -> config
+
+val config_moves :
+  ?emit_getvals:bool -> program -> config -> (Explore.move * config) list
+(** Every scheduler choice from [config], labeled by the acting process
+    and carrying its element footprint. *)
+
+val config_key : program -> config -> string
+(** Canonical state key: byte-equal for configurations reached by
+    different interleavings of commuting moves. *)
+
+val config_terminated : config -> bool
 
 (** {1 Mechanical GEM translation (paper §9: "simple and mechanical enough
     to lend itself to automation")} *)

@@ -33,6 +33,16 @@ let emit_after t ?actor ~after ~element ~klass ?params () =
 
 let n_events t = t.n
 
+let touched_elements ~before after =
+  (* Traces are persistent and only ever extended, so the elements touched
+     by a step are exactly those whose occurrence count grew. *)
+  Smap.fold
+    (fun element count acc ->
+      match Smap.find_opt element before.counts with
+      | Some c when c = count -> acc
+      | _ -> element :: acc)
+    after.counts []
+
 let to_computation ?(extra_elements = []) ?(groups = []) t =
   let events = Array.of_list (List.rev t.rev_events) in
   let enable = Gem_order.Digraph.of_edges t.n (List.rev t.rev_edges) in

@@ -38,6 +38,11 @@ val emit_after :
 
 val n_events : t -> int
 
+val touched_elements : before:t -> t -> string list
+(** Elements that gained at least one event between [before] and the
+    (extended) trace — the event-footprint of the step that produced it.
+    Only meaningful when the second trace extends [before]. *)
+
 val to_computation :
   ?extra_elements:string list ->
   ?groups:Gem_model.Group.t list ->

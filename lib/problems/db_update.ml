@@ -66,11 +66,13 @@ type report = {
   computations : int;
   deadlocks : int;
   converges : bool;
+  explored : int;
+  reduced : int;
   exhausted : Gem_check.Budget.reason option;
 }
 
-let check ?max_configs ?budget ~sites () =
-  let o = Csp.explore ?max_configs ?budget (program ~sites) in
+let check ?por ?max_configs ?budget ~sites () =
+  let o = Csp.explore ?por ?max_configs ?budget (program ~sites) in
   let spec = Csp.language_spec ~name:"db-update" (program ~sites) in
   let prop = F.conj [ convergence; converges_to ~sites ] in
   let verdicts =
@@ -87,5 +89,7 @@ let check ?max_configs ?budget ~sites () =
     computations = List.length o.computations;
     deadlocks = List.length o.deadlocks;
     converges = List.for_all Gem_check.Verdict.ok verdicts;
+    explored = o.explored;
+    reduced = o.reduced;
     exhausted;
   }

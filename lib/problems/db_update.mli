@@ -31,11 +31,20 @@ type report = {
   computations : int;
   deadlocks : int;
   converges : bool;  (** Every computation's runs converge. *)
+  explored : int;  (** Interpreter configurations visited. *)
+  reduced : int;  (** Configurations pruned by partial-order reduction. *)
   exhausted : Gem_check.Budget.reason option;
       (** Exploration or checking was cut short; [converges] then covers
           only the sample actually examined. *)
 }
 
-val check : ?max_configs:int -> ?budget:Gem_check.Budget.t -> sites:int -> unit -> report
+val check :
+  ?por:bool ->
+  ?max_configs:int ->
+  ?budget:Gem_check.Budget.t ->
+  sites:int ->
+  unit ->
+  report
 (** Explore every schedule and check convergence on each computation,
-    within the given budget. Never raises on exhaustion. *)
+    within the given budget. Never raises on exhaustion. [por] selects
+    the reduced search (default {!Gem_lang.Explore.por_default}). *)

@@ -47,6 +47,32 @@ let test_strategy_counts () =
   check Alcotest.int "sampled = count" 5
     (List.length (Strategy.runs (Strategy.Sampled { seed = 1; count = 5 }) comp))
 
+let test_sampled_deterministic () =
+  (* Sampling is a function of the seed: repeating a check must repeat its
+     exact run sample, and distinct seeds on a wide computation (a
+     6-antichain, 720 linear extensions) must actually vary the sample. *)
+  let render runs =
+    String.concat "|" (List.map (Format.asprintf "%a" Gem_logic.Vhs.pp) runs)
+  in
+  let comp = diamond () in
+  let sample seed =
+    render (Strategy.runs (Strategy.Sampled { seed; count = 5 }) comp)
+  in
+  check Alcotest.string "same seed, same runs" (sample 7) (sample 7);
+  let wide =
+    let b = Build.create () in
+    for i = 0 to 5 do
+      ignore (Build.emit b ~element:(Printf.sprintf "E%d" i) ~klass:"A" ())
+    done;
+    Build.finish b
+  in
+  let wide_sample seed =
+    render (Strategy.runs (Strategy.Sampled { seed; count = 4 }) wide)
+  in
+  check Alcotest.string "wide: same seed, same runs" (wide_sample 1) (wide_sample 1);
+  check Alcotest.bool "wide: different seeds, different samples" false
+    (String.equal (wide_sample 1) (wide_sample 2))
+
 let test_strategy_completeness () =
   let comp = diamond () in
   check Alcotest.bool "exhaustive complete" true
@@ -300,6 +326,7 @@ let () =
       ( "strategy",
         [
           Alcotest.test_case "counts" `Quick test_strategy_counts;
+          Alcotest.test_case "sampled-deterministic" `Quick test_sampled_deterministic;
           Alcotest.test_case "completeness" `Quick test_strategy_completeness;
         ] );
       ( "check",

@@ -42,6 +42,22 @@ let test_usage_error () =
   check Alcotest.int "unknown flag" 3 (run "rw --no-such-flag");
   check Alcotest.int "unknown subcommand" 3 (run "frobnicate")
 
+let test_no_por_parity () =
+  (* Disabling the partial-order reduction must not change any verdict:
+     one verified, one falsified and one budget-truncated workload exit
+     with the same code POR on and off. *)
+  let parity name args =
+    check Alcotest.int name (run args) (run (args ^ " --no-por"))
+  in
+  parity "verified unchanged" "rw --readers 1 --writers 1";
+  parity "falsified unchanged" "rw --monitor no-exclusion --readers 1 --writers 1";
+  parity "truncated unchanged" "rw --readers 1 --writers 1 --max-configs 30";
+  check Alcotest.int "--no-por verified=0" 0 (run "rw --readers 1 --writers 1 --no-por");
+  check Alcotest.int "--no-por falsified=1" 1
+    (run "rw --monitor no-exclusion --readers 1 --writers 1 --no-por");
+  check Alcotest.int "--no-por truncated=2" 2
+    (run "rw --readers 1 --writers 1 --max-configs 30 --no-por")
+
 let test_json_report () =
   let out, status = run_capture "rw --json --max-configs 50" in
   (match status with
@@ -66,6 +82,7 @@ let () =
           Alcotest.test_case "inconclusive-configs=2" `Quick test_inconclusive_configs;
           Alcotest.test_case "inconclusive-timeout=2" `Quick test_inconclusive_timeout;
           Alcotest.test_case "usage=3" `Quick test_usage_error;
+          Alcotest.test_case "no-por-parity" `Quick test_no_por_parity;
         ] );
       ("json", [ Alcotest.test_case "degradation report" `Quick test_json_report ]);
     ]

@@ -173,6 +173,38 @@ let test_explore_key_dedup () =
     (keyed.Explore.explored < no_key.Explore.explored);
   check Alcotest.int "one completed leaf" 1 (List.length keyed.Explore.completed)
 
+let test_explore_initial_seen () =
+  (* Regression: the initial configuration must be inserted into the seen
+     set before expansion, so a move mapping the start state to itself is
+     pruned rather than re-expanded. *)
+  let moves n = if n = 0 then [ 0 ] else [] in
+  let r = Explore.run ~key:string_of_int ~moves ~terminated:(fun _ -> false) 0 in
+  check Alcotest.int "expanded exactly once" 1 r.Explore.explored;
+  check Alcotest.int "self-loop pruned" 1 r.Explore.reduced
+
+let test_explore_sleep_sets () =
+  (* Two independent moves a/b from (0,0): the sleep set prunes one of the
+     two interleavings, and the one completed leaf survives. *)
+  let footprint (a, b) =
+    (if a < 1 then [ ({ Explore.label = "a"; touches = [ "A" ] }, (a + 1, b)) ] else [])
+    @ if b < 1 then [ ({ Explore.label = "b"; touches = [ "B" ] }, (a, b + 1)) ] else []
+  in
+  let moves c = List.map snd (footprint c) in
+  let key (a, b) = Printf.sprintf "%d,%d" a b in
+  let r =
+    Explore.run ~key ~footprint ~moves ~terminated:(fun c -> c = (1, 1)) (0, 0)
+  in
+  check Alcotest.(list (pair int int)) "one completed leaf" [ (1, 1) ] r.Explore.completed;
+  check Alcotest.(list (pair int int)) "no deadlocks" [] r.Explore.deadlocked;
+  check Alcotest.bool "a branch was pruned" true (r.Explore.reduced > 0)
+
+let test_move_independence () =
+  let m touches = { Explore.label = "m"; touches } in
+  check Alcotest.bool "disjoint" true (Explore.independent (m [ "A" ]) (m [ "B" ]));
+  check Alcotest.bool "overlap" false
+    (Explore.independent (m [ "A"; "C" ]) (m [ "C"; "B" ]));
+  check Alcotest.bool "empty footprint" true (Explore.independent (m []) (m [ "A" ]))
+
 let test_fingerprint_order_independent () =
   let build order =
     let t = Trace.empty in
@@ -234,6 +266,9 @@ let () =
           Alcotest.test_case "deadline" `Quick test_explore_deadline;
           Alcotest.test_case "depth-truncation" `Quick test_explore_depth_truncation;
           Alcotest.test_case "key-dedup" `Quick test_explore_key_dedup;
+          Alcotest.test_case "initial-seen" `Quick test_explore_initial_seen;
+          Alcotest.test_case "sleep-sets" `Quick test_explore_sleep_sets;
+          Alcotest.test_case "independence" `Quick test_move_independence;
           Alcotest.test_case "fingerprint" `Quick test_fingerprint_order_independent;
           Alcotest.test_case "dedup-computations" `Quick test_dedup_computations;
         ] );

@@ -1,0 +1,355 @@
+(* Differential harness proving the sleep-set partial-order reduction
+   sound. Every lib/problems workload is explored with POR on and off and
+   must produce identical completed/deadlocked computation multisets up to
+   commuting-step equivalence (equal partial-order fingerprints — two
+   interleavings that differ only in the order of independent steps yield
+   the same computation, hence the same fingerprint) and byte-identical
+   verdicts. qcheck properties extend the evidence to random loop-free CSP
+   programs, and check the commutation fact the reduction rests on: firing
+   two footprint-disjoint moves in either order reaches configurations
+   with equal canonical keys.
+
+   The one workload excluded from the uncapped differential is rwd-ada:
+   its state space is cyclic, and without POR (no memoization) the plain
+   DFS enumerates paths, which is intractable; it is compared under a
+   shared configuration cap instead. *)
+
+module Explore = Gem_lang.Explore
+module Monitor = Gem_lang.Monitor
+module Csp = Gem_lang.Csp
+module Ada = Gem_lang.Ada
+module E = Gem_lang.Expr
+module V = Gem_model.Value
+module RW = Gem_problems.Readers_writers
+module Buffer = Gem_problems.Buffer
+module Rwd = Gem_problems.Rw_distributed
+module Db = Gem_problems.Db_update
+module Budget = Gem_check.Budget
+module Refine = Gem_check.Refine
+module Verdict = Gem_check.Verdict
+module Strategy = Gem_check.Strategy
+
+let check = Alcotest.check
+let strategy = Strategy.Linearizations (Some 200)
+
+(* Sorted fingerprint multiset of a list of computations. *)
+let fps comps = List.sort compare (List.map Explore.fingerprint comps)
+
+let reason_opt = Option.map Budget.reason_keyword
+
+(* ------------------------------------------------------------------ *)
+(* Workload differentials: POR on vs off                               *)
+(* ------------------------------------------------------------------ *)
+
+let assert_same_outcomes name (c1, d1, x1) (c2, d2, x2) =
+  check Alcotest.(list string) (name ^ ": completed multiset") (fps c1) (fps c2);
+  check Alcotest.(list string) (name ^ ": deadlock multiset") (fps d1) (fps d2);
+  check
+    Alcotest.(option string)
+    (name ^ ": exhaustion") (reason_opt x1) (reason_opt x2)
+
+let mon_diff name prog =
+  let run por =
+    let o = Monitor.explore ~por prog in
+    (o.Monitor.computations, o.Monitor.deadlocks, o.Monitor.exhausted)
+  in
+  assert_same_outcomes name (run true) (run false)
+
+let csp_diff name prog =
+  let run por =
+    let o = Csp.explore ~por prog in
+    (o.Csp.computations, o.Csp.deadlocks, o.Csp.exhausted)
+  in
+  assert_same_outcomes name (run true) (run false)
+
+let ada_diff name prog =
+  let run por =
+    let o = Ada.explore ~por prog in
+    (o.Ada.computations, o.Ada.deadlocks, o.Ada.exhausted)
+  in
+  assert_same_outcomes name (run true) (run false)
+
+let test_rw_monitor_workloads () =
+  mon_diff "rw-paper-1r1w" (RW.program ~monitor:RW.paper_monitor ~readers:1 ~writers:1);
+  mon_diff "rw-paper-2r1w" (RW.program ~monitor:RW.paper_monitor ~readers:2 ~writers:1);
+  mon_diff "rw-no-exclusion-2r1w"
+    (RW.program ~monitor:RW.no_exclusion_monitor ~readers:2 ~writers:1);
+  mon_diff "rw-buggy-1r2w" (RW.program ~monitor:RW.buggy_monitor ~readers:1 ~writers:2)
+
+let test_buffer_workloads () =
+  mon_diff "buffer-monitor-1p1c2i"
+    (Buffer.monitor_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2);
+  mon_diff "buffer-buggy-monitor-1p1c2i"
+    (Buffer.buggy_monitor_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2);
+  csp_diff "buffer-csp-1p1c2i"
+    (Buffer.csp_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2);
+  ada_diff "buffer-ada-1p1c2i"
+    (Buffer.ada_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2)
+
+let test_distributed_workloads () =
+  csp_diff "rwd-csp-1r1w" (Rwd.csp_program ~readers:1 ~writers:1);
+  csp_diff "rwd-csp-no-priority-1r1w" (Rwd.csp_program_no_priority ~readers:1 ~writers:1);
+  csp_diff "db-update-2-sites" (Db.program ~sites:2)
+
+let test_db_report_agrees () =
+  let on = Db.check ~por:true ~sites:2 ()
+  and off = Db.check ~por:false ~sites:2 () in
+  check Alcotest.int "computations" on.Db.computations off.Db.computations;
+  check Alcotest.int "deadlocks" on.Db.deadlocks off.Db.deadlocks;
+  check Alcotest.bool "converges" on.Db.converges off.Db.converges;
+  check Alcotest.bool "both complete" true
+    (on.Db.exhausted = None && off.Db.exhausted = None)
+
+(* rwd-ada's cyclic state space is only tractable with POR; compare the
+   two modes under a shared cap: both must degrade to the same reason. *)
+let test_rwd_ada_capped () =
+  let prog = Rwd.ada_program ~readers:1 ~writers:1 in
+  let run por = (Ada.explore ~por ~max_configs:500 prog).Ada.exhausted in
+  check
+    Alcotest.(option string)
+    "both report config-budget" (Some "config-budget") (reason_opt (run true));
+  check
+    Alcotest.(option string)
+    "POR off agrees" (reason_opt (run true)) (reason_opt (run false))
+
+(* A cap too small for either mode: the degradation status must be the
+   same three-valued outcome POR on and off. *)
+let test_budget_truncation_agrees () =
+  let prog = RW.program ~monitor:RW.paper_monitor ~readers:1 ~writers:1 in
+  let run por = (Monitor.explore ~por ~max_configs:30 prog).Monitor.exhausted in
+  check
+    Alcotest.(option string)
+    "POR on truncates" (Some "config-budget") (reason_opt (run true));
+  check
+    Alcotest.(option string)
+    "POR off matches" (reason_opt (run true)) (reason_opt (run false))
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identical verdicts                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Render the whole verdict list against the problem spec, computations
+   sorted canonically so discovery order cannot leak into the text. *)
+let render_sat ?edges ~problem ~map comps =
+  let sorted =
+    List.sort
+      (fun a b -> compare (Explore.fingerprint a) (Explore.fingerprint b))
+      comps
+  in
+  let verdicts = Refine.sat ~strategy ?edges ~problem ~map sorted in
+  String.concat "\n"
+    (List.map
+       (fun (i, v) ->
+         Printf.sprintf "%d %s %s" i
+           (Verdict.status_keyword (Verdict.status v))
+           (Format.asprintf "%a" (Verdict.pp None) v))
+       verdicts)
+
+let test_verdicts_byte_identical () =
+  let rw_case name monitor version ~readers ~writers =
+    let prog = RW.program ~monitor ~readers ~writers in
+    let problem = RW.spec version ~users:(RW.user_names ~readers ~writers) in
+    let render por =
+      let o = Monitor.explore ~por prog in
+      render_sat ~edges:Refine.Actor_paths ~problem ~map:RW.correspondence
+        o.Monitor.computations
+    in
+    check Alcotest.string (name ^ ": verdicts byte-identical") (render true)
+      (render false)
+  in
+  rw_case "rw-paper-verified" RW.paper_monitor RW.Readers_priority ~readers:1
+    ~writers:1;
+  rw_case "rw-no-exclusion-falsified" RW.no_exclusion_monitor RW.Free_for_all
+    ~readers:2 ~writers:1;
+  let buffer_render por =
+    let o =
+      Csp.explore ~por
+        (Buffer.csp_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2)
+    in
+    render_sat ~problem:(Buffer.spec ~capacity:1) ~map:Buffer.csp_correspondence
+      o.Csp.computations
+  in
+  check Alcotest.string "buffer-csp: verdicts byte-identical" (buffer_render true)
+    (buffer_render false)
+
+(* ------------------------------------------------------------------ *)
+(* Reduction factor: the optimisation must actually optimise           *)
+(* ------------------------------------------------------------------ *)
+
+let test_reduction_at_least_2x () =
+  let p = RW.program ~monitor:RW.paper_monitor ~readers:2 ~writers:1 in
+  let on = Monitor.explore ~por:true p and off = Monitor.explore ~por:false p in
+  check Alcotest.bool "rw-2r1w reduced >= 2x" true
+    (off.Monitor.explored >= 2 * on.Monitor.explored);
+  check Alcotest.bool "rw-2r1w reports pruning" true (on.Monitor.reduced > 0);
+  let b = Buffer.ada_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2 in
+  let on = Ada.explore ~por:true b and off = Ada.explore ~por:false b in
+  check Alcotest.bool "buffer-ada reduced >= 2x" true
+    (off.Ada.explored >= 2 * on.Ada.explored);
+  check Alcotest.bool "buffer-ada reports pruning" true (on.Ada.reduced > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Random loop-free CSP programs (qcheck)                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec stmt_to_string = function
+  | Csp.CLocal (x, _) -> x ^ ":=e"
+  | Csp.CMark _ -> "mark"
+  | Csp.CComm (Csp.Send { to_; _ }) -> to_ ^ "!x"
+  | Csp.CComm (Csp.Recv { from_; _ }) -> from_ ^ "?m"
+  | Csp.CIfb (_, a, b) ->
+      Printf.sprintf "if[%s][%s]"
+        (String.concat ";" (List.map stmt_to_string a))
+        (String.concat ";" (List.map stmt_to_string b))
+  | _ -> "?"
+
+let prog_to_string prog =
+  String.concat " || "
+    (List.map
+       (fun p ->
+         Printf.sprintf "%s:[%s]" p.Csp.proc_name
+           (String.concat ";" (List.map stmt_to_string p.Csp.code)))
+       prog)
+
+(* Straight-line statements: local arithmetic, markers, point-to-point
+   sends/receives. No loops, so every program terminates (possibly in a
+   deadlock leaf when communications mismatch — the differential compares
+   those too). *)
+let base_stmt_gen others =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun k -> Csp.CLocal ("x", E.Add (E.Var "x", E.Int k))) (int_range 0 3);
+        return (Csp.CMark { klass = "M"; params = [ E.Var "x" ] });
+        map (fun o -> Csp.CComm (Csp.Send { to_ = o; value = E.Var "x" })) (oneofl others);
+        map (fun o -> Csp.CComm (Csp.Recv { from_ = o; bind = "m" })) (oneofl others);
+      ])
+
+let stmt_gen others =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, base_stmt_gen others);
+        ( 1,
+          map3
+            (fun t a b -> Csp.CIfb (E.Lt (E.Var "x", E.Int t), a, b))
+            (int_range 0 3)
+            (list_size (int_range 0 2) (base_stmt_gen others))
+            (list_size (int_range 0 2) (base_stmt_gen others)) );
+      ])
+
+let prog_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 3 in
+    let names = List.init n (Printf.sprintf "P%d") in
+    (* Three processes explode the unreduced path count; keep them short. *)
+    let code_size = if n = 3 then int_range 1 2 else int_range 1 3 in
+    flatten_l
+      (List.map
+         (fun me ->
+           let others = List.filter (fun o -> o <> me) names in
+           let* code = list_size code_size (stmt_gen others) in
+           return
+             { Csp.proc_name = me; locals = [ ("x", V.Int 1); ("m", V.Int 0) ]; code })
+         names))
+
+let prog_arb = QCheck.make prog_gen ~print:prog_to_string
+
+let prop_csp_random_differential =
+  QCheck.Test.make ~name:"random CSP: POR on/off agree" ~count:60 prog_arb
+    (fun prog ->
+      let on = Csp.explore ~por:true prog and off = Csp.explore ~por:false prog in
+      fps on.Csp.computations = fps off.Csp.computations
+      && fps on.Csp.deadlocks = fps off.Csp.deadlocks
+      && on.Csp.exhausted = None
+      && off.Csp.exhausted = None)
+
+(* ------------------------------------------------------------------ *)
+(* Commutation of independent moves (qcheck)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Random walk; at every visited configuration, any two enabled moves with
+   disjoint footprints must (a) stay enabled after the other fires and
+   (b) commute: firing them in either order reaches configurations with
+   equal canonical keys. This is exactly the soundness obligation of the
+   independence oracle the sleep sets consume. *)
+let check_swaps ~name ~moves ~key ~max_steps rng init =
+  let find_label l c lost =
+    match List.find_opt (fun (m, _) -> String.equal m.Explore.label l) (moves c) with
+    | Some (_, c') -> c'
+    | None -> Alcotest.failf "%s: move %s disabled by an independent move" name lost
+  in
+  let rec go c steps =
+    if steps > 0 then
+      match moves c with
+      | [] -> ()
+      | succs ->
+          List.iteri
+            (fun i (mi, ci) ->
+              List.iteri
+                (fun j (mj, cj) ->
+                  if j > i && Explore.independent mi mj then begin
+                    let cij = find_label mj.Explore.label ci mj.Explore.label in
+                    let cji = find_label mi.Explore.label cj mi.Explore.label in
+                    if not (String.equal (key cij) (key cji)) then
+                      Alcotest.failf "%s: swapping %s and %s changes the state" name
+                        mi.Explore.label mj.Explore.label
+                  end)
+                succs)
+            succs;
+          let _, c' = List.nth succs (Random.State.int rng (List.length succs)) in
+          go c' (steps - 1)
+  in
+  go init max_steps
+
+let seed_arb = QCheck.make QCheck.Gen.(int_range 0 99_999) ~print:string_of_int
+
+let prop_monitor_swap =
+  let prog = RW.program ~monitor:RW.paper_monitor ~readers:1 ~writers:1 in
+  QCheck.Test.make ~name:"monitor: independent moves commute" ~count:50 seed_arb
+    (fun seed ->
+      check_swaps ~name:"monitor"
+        ~moves:(Monitor.config_moves prog)
+        ~key:(Monitor.config_key prog) ~max_steps:40
+        (Random.State.make [| seed |])
+        (Monitor.initial_config prog);
+      true)
+
+let prop_ada_swap =
+  let prog = Buffer.ada_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2 in
+  QCheck.Test.make ~name:"ada: independent moves commute" ~count:50 seed_arb
+    (fun seed ->
+      check_swaps ~name:"ada" ~moves:Ada.config_moves ~key:(Ada.config_key prog)
+        ~max_steps:40
+        (Random.State.make [| seed |])
+        (Ada.initial_config prog);
+      true)
+
+let prop_csp_random_swap =
+  QCheck.Test.make ~name:"random CSP: independent moves commute" ~count:60
+    (QCheck.pair prog_arb seed_arb) (fun (prog, seed) ->
+      check_swaps ~name:"csp" ~moves:Csp.config_moves ~key:(Csp.config_key prog)
+        ~max_steps:25
+        (Random.State.make [| seed |])
+        (Csp.initial_config prog);
+      true)
+
+let () =
+  let to_alc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "gem_por"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "rw-monitor workloads" `Quick test_rw_monitor_workloads;
+          Alcotest.test_case "buffer workloads" `Quick test_buffer_workloads;
+          Alcotest.test_case "distributed workloads" `Quick test_distributed_workloads;
+          Alcotest.test_case "db-update report" `Quick test_db_report_agrees;
+          Alcotest.test_case "rwd-ada capped" `Quick test_rwd_ada_capped;
+          Alcotest.test_case "budget truncation" `Quick test_budget_truncation_agrees;
+          Alcotest.test_case "verdicts byte-identical" `Quick test_verdicts_byte_identical;
+          Alcotest.test_case "reduction >= 2x" `Quick test_reduction_at_least_2x;
+        ] );
+      ( "random-programs",
+        [ to_alc prop_csp_random_differential; to_alc prop_csp_random_swap ] );
+      ( "commutation", [ to_alc prop_monitor_swap; to_alc prop_ada_swap ] );
+    ]

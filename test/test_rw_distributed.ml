@@ -18,7 +18,11 @@ let sat_csp program ~readers ~writers =
     List.length o.Gem_lang.Csp.deadlocks )
 
 let sat_ada program ~readers ~writers =
-  let o = Gem_lang.Ada.explore ~max_configs:10_000_000 program in
+  (* POR pinned on: the server tasks loop, so the state space is cyclic
+     and the unreduced DFS (no memoization) enumerates paths without
+     bound. test_por compares the two modes on this workload under a
+     shared configuration cap instead. *)
+  let o = Gem_lang.Ada.explore ~por:true ~max_configs:10_000_000 program in
   let rnames, wnames = RWD.user_names ~readers ~writers in
   let problem = RWD.spec ~readers:rnames ~writers:wnames in
   ( Refine.sat_ok ~strategy ~problem ~map:RWD.ada_correspondence o.Gem_lang.Ada.computations,
