@@ -11,7 +11,11 @@
    in the current directory) — cheap enough for CI.
 
    `dune exec bench/main.exe -- --por-only` only compares states explored
-   with and without partial-order reduction (writes BENCH_por.json). *)
+   with and without partial-order reduction (writes BENCH_por.json).
+
+   `dune exec bench/main.exe -- --parallel-only` only measures wall-clock
+   scaling of domain-parallel exploration at --jobs 1/2/4, POR on and
+   off (writes BENCH_parallel.json). *)
 
 open Bechamel
 open Toolkit
@@ -351,6 +355,101 @@ let por_report () =
   Printf.printf "wrote BENCH_por.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* Parallel exploration: wall-clock scaling at jobs in {1,2,4}         *)
+(* ------------------------------------------------------------------ *)
+
+(* Each workload is explored at jobs = 1/2/4, with POR on and off, and
+   the scaling lands in BENCH_parallel.json. Besides wall time and
+   speedup over the sequential run, every row records whether the
+   parallel run produced the exact same computation-fingerprint multiset
+   as jobs=1 — the determinism contract, checked on real workloads, not
+   just the test programs. The "cores" field records how many hardware
+   threads the host actually offers: speedups are only physically
+   possible up to that number, so a single-core container honestly
+   reports ~1.0x. *)
+(* Only workloads whose exploration terminates without a budget cut:
+   the fingerprint-identity contract applies to complete exploration (a
+   truncated sample is inherently traversal-order-dependent), so capped
+   workloads like the plain-DFS distributed ADA servers belong in
+   por_report, not here. *)
+let parallel_workloads =
+  [
+    ( "rw-monitor-2r1w",
+      fun por jobs ->
+        let o = Monitor.explore ~por ~jobs (rw_program 2 1) in
+        (o.Monitor.explored, o.Monitor.exhausted = None,
+         List.map Explore.fingerprint o.Monitor.computations) );
+    ( "buffer-monitor-1p1c2i",
+      fun por jobs ->
+        let o = Monitor.explore ~por ~jobs buffer_monitor_program in
+        (o.Monitor.explored, o.Monitor.exhausted = None,
+         List.map Explore.fingerprint o.Monitor.computations) );
+    ( "buffer-ada-1p1c2i",
+      fun por jobs ->
+        let o = Ada.explore ~por ~jobs buffer_ada_program in
+        (o.Ada.explored, o.Ada.exhausted = None,
+         List.map Explore.fingerprint o.Ada.computations) );
+    ( "rwd-csp-1r1w",
+      fun por jobs ->
+        let o = Csp.explore ~por ~jobs rwd_csp in
+        (o.Csp.explored, o.Csp.exhausted = None,
+         List.map Explore.fingerprint o.Csp.computations) );
+    ( "db-update-3-sites",
+      fun por jobs ->
+        let o = Csp.explore ~por ~jobs (Db_update.program ~sites:3) in
+        (o.Csp.explored, o.Csp.exhausted = None,
+         List.map Explore.fingerprint o.Csp.computations) );
+  ]
+
+let parallel_report () =
+  let cores = Domain.recommended_domain_count () in
+  let time_run f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let rows =
+    List.concat_map
+      (fun (name, run) ->
+        List.map
+          (fun por ->
+            let base_s, (base_explored, base_complete, base_fps) =
+              time_run (fun () -> run por 1)
+            in
+            let legs =
+              List.map
+                (fun jobs ->
+                  let s, (explored, complete, fps) = time_run (fun () -> run por jobs) in
+                  let speedup = base_s /. Float.max 1e-9 s in
+                  let identical = List.sort compare fps = List.sort compare base_fps in
+                  Printf.printf
+                    "%-22s por=%-5b jobs=%d  %8.3fs  %5.2fx vs jobs=1  explored=%-7d %s\n%!"
+                    name por jobs s speedup explored
+                    (if identical then "verdict-identical"
+                     else if complete && base_complete then "VERDICT-MISMATCH"
+                     else "sample-differs [exhausted]");
+                  Printf.sprintf
+                    {|{"jobs":%d,"wall_s":%.4f,"speedup_vs_1":%.3f,"explored":%d,"complete":%b,"fingerprints_identical":%b}|}
+                    jobs s speedup explored complete identical)
+                [ 2; 4 ]
+            in
+            Printf.printf "%-22s por=%-5b jobs=1  %8.3fs  (baseline, explored=%d)\n%!"
+              name por base_s base_explored;
+            Printf.sprintf
+              {|{"workload":"%s","por":%b,"computations":%d,"baseline":{"jobs":1,"wall_s":%.4f,"explored":%d,"complete":%b},"parallel":[%s]}|}
+              name por (List.length base_fps) base_s base_explored base_complete
+              (String.concat "," legs))
+          [ true; false ])
+      parallel_workloads
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc
+    (Printf.sprintf {|{"cores":%d,"rows":[%s  %s%s]}%s|} cores "\n"
+       (String.concat ",\n  " rows) "\n" "\n");
+  close_out oc;
+  Printf.printf "wrote BENCH_parallel.json (host offers %d hardware thread(s))\n%!" cores
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -384,10 +483,13 @@ let run_bechamel () =
 let () =
   let budget_only = Array.exists (String.equal "--budget-only") Sys.argv in
   let por_only = Array.exists (String.equal "--por-only") Sys.argv in
-  if por_only then por_report ()
+  let parallel_only = Array.exists (String.equal "--parallel-only") Sys.argv in
+  if parallel_only then parallel_report ()
+  else if por_only then por_report ()
   else if budget_only then budget_overhead_report ()
   else begin
     run_bechamel ();
     budget_overhead_report ();
-    por_report ()
+    por_report ();
+    parallel_report ()
   end

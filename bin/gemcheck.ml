@@ -53,6 +53,29 @@ let json_flag =
   Arg.(value & flag
        & info [ "json" ] ~doc:"Emit the outcome report as a JSON object.")
 
+(* --jobs must be a positive integer: 0 domains cannot make progress and
+   negative counts are meaningless, so both are usage errors (exit 3),
+   not silently clamped. The GEM_JOBS environment variable goes through
+   the same parser, keeping flag and env behavior identical. *)
+let jobs_term =
+  let jobs_conv =
+    let parse s =
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Ok n
+      | Some n -> Error (`Msg (Printf.sprintf "%d is not a valid job count (must be at least 1)" n))
+      | None -> Error (`Msg (Printf.sprintf "%S is not a valid job count (expected a positive integer)" s))
+    in
+    Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt jobs_conv 1
+       & info [ "jobs" ] ~docv:"N"
+           ~env:(Cmd.Env.info "GEM_JOBS"
+                   ~doc:"Default job count when $(b,--jobs) is absent.")
+           ~doc:"Explore schedules and check computations on $(docv) \
+                 domains. Results and exit codes are identical for every \
+                 value; only wall-clock time (and, under partial-order \
+                 reduction, the configuration counters) may differ.")
+
 (* --no-por forces the plain exhaustive DFS; the default honors the
    GEM_NO_POR environment variable (see Explore.por_default). Passing
    [None] down keeps the interpreters' own defaulting in charge. *)
@@ -176,14 +199,14 @@ let rw_cmd =
   in
   let readers = Arg.(value & opt int 2 & info [ "readers" ] ~docv:"N") in
   let writers = Arg.(value & opt int 1 & info [ "writers" ] ~docv:"N") in
-  let run monitor version readers writers por budget json =
+  let run monitor version readers writers por jobs budget json =
     let program = Readers_writers.program ~monitor ~readers ~writers in
-    let o = Monitor.explore ?por ~budget program in
+    let o = Monitor.explore ?por ~budget ~jobs program in
     let problem =
       Readers_writers.spec version ~users:(Readers_writers.user_names ~readers ~writers)
     in
     let results =
-      Refine.sat ~strategy:(Strategy.of_budget budget) ~budget
+      Refine.sat ~strategy:(Strategy.of_budget budget) ~budget ~jobs
         ~edges:Refine.Actor_paths ~problem ~map:Readers_writers.correspondence
         o.Monitor.computations
     in
@@ -209,7 +232,7 @@ let rw_cmd =
   in
   Cmd.v
     (Cmd.info "rw" ~doc:"Verify a Readers/Writers monitor against a problem version.")
-    Term.(const run $ monitor $ version $ readers $ writers $ por_term $ budget_term $ json_flag)
+    Term.(const run $ monitor $ version $ readers $ writers $ por_term $ jobs_term $ budget_term $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* buffer                                                              *)
@@ -247,31 +270,31 @@ let buffer_cmd =
   let producers = Arg.(value & opt int 1 & info [ "producers" ] ~docv:"N") in
   let consumers = Arg.(value & opt int 1 & info [ "consumers" ] ~docv:"N") in
   let items = Arg.(value & opt int 2 & info [ "items" ] ~docv:"N" ~doc:"Items per producer.") in
-  let run lang capacity producers consumers items por budget json =
+  let run lang capacity producers consumers items por jobs budget json =
     let problem = Buffer_problem.spec ~capacity in
     let strategy = Strategy.of_budget budget in
     let comps, deadlocks, explored, reduced, truncated, exhausted, results =
       match lang with
       | `Monitor ->
-          let o = Monitor.explore ?por ~budget (Buffer_problem.monitor_solution ~capacity ~producers ~consumers ~items_each:items) in
+          let o = Monitor.explore ?por ~budget ~jobs (Buffer_problem.monitor_solution ~capacity ~producers ~consumers ~items_each:items) in
           ( List.length o.Monitor.computations,
             List.length o.Monitor.deadlocks,
             o.Monitor.explored, o.Monitor.reduced, o.Monitor.truncated, o.Monitor.exhausted,
-            Refine.sat ~strategy ~budget ~problem ~map:Buffer_problem.monitor_correspondence
+            Refine.sat ~strategy ~budget ~jobs ~problem ~map:Buffer_problem.monitor_correspondence
               o.Monitor.computations )
       | `Csp ->
-          let o = Csp.explore ?por ~budget (Buffer_problem.csp_solution ~capacity ~producers ~consumers ~items_each:items) in
+          let o = Csp.explore ?por ~budget ~jobs (Buffer_problem.csp_solution ~capacity ~producers ~consumers ~items_each:items) in
           ( List.length o.Csp.computations,
             List.length o.Csp.deadlocks,
             o.Csp.explored, o.Csp.reduced, o.Csp.truncated, o.Csp.exhausted,
-            Refine.sat ~strategy ~budget ~problem ~map:Buffer_problem.csp_correspondence
+            Refine.sat ~strategy ~budget ~jobs ~problem ~map:Buffer_problem.csp_correspondence
               o.Csp.computations )
       | `Ada ->
-          let o = Ada.explore ?por ~budget (Buffer_problem.ada_solution ~capacity ~producers ~consumers ~items_each:items) in
+          let o = Ada.explore ?por ~budget ~jobs (Buffer_problem.ada_solution ~capacity ~producers ~consumers ~items_each:items) in
           ( List.length o.Ada.computations,
             List.length o.Ada.deadlocks,
             o.Ada.explored, o.Ada.reduced, o.Ada.truncated, o.Ada.exhausted,
-            Refine.sat ~strategy ~budget ~problem ~map:Buffer_problem.ada_correspondence
+            Refine.sat ~strategy ~budget ~jobs ~problem ~map:Buffer_problem.ada_correspondence
               o.Ada.computations )
     in
     let verdicts =
@@ -285,7 +308,7 @@ let buffer_cmd =
   in
   Cmd.v
     (Cmd.info "buffer" ~doc:"Verify a bounded-buffer solution.")
-    Term.(const run $ lang $ capacity $ producers $ consumers $ items $ por_term $ budget_term $ json_flag)
+    Term.(const run $ lang $ capacity $ producers $ consumers $ items $ por_term $ jobs_term $ budget_term $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* rwd: distributed Readers/Writers                                    *)
@@ -301,7 +324,7 @@ let rwd_cmd =
   let broken =
     Arg.(value & flag & info [ "no-priority" ] ~doc:"Use the priority-less mutant.")
   in
-  let run lang readers writers broken por budget json =
+  let run lang readers writers broken por jobs budget json =
     let rnames, wnames = Rw_distributed.user_names ~readers ~writers in
     let problem = Rw_distributed.spec ~readers:rnames ~writers:wnames in
     let strategy = Strategy.of_budget budget in
@@ -312,22 +335,22 @@ let rwd_cmd =
             if broken then Rw_distributed.csp_program_no_priority ~readers ~writers
             else Rw_distributed.csp_program ~readers ~writers
           in
-          let o = Csp.explore ?por ~max_configs:20_000_000 ~budget program in
+          let o = Csp.explore ?por ~max_configs:20_000_000 ~budget ~jobs program in
           ( List.length o.Csp.computations,
             List.length o.Csp.deadlocks,
             o.Csp.explored, o.Csp.reduced, o.Csp.truncated, o.Csp.exhausted,
-            Refine.sat ~strategy ~budget ~problem ~map:Rw_distributed.csp_correspondence
+            Refine.sat ~strategy ~budget ~jobs ~problem ~map:Rw_distributed.csp_correspondence
               o.Csp.computations )
       | `Ada ->
           let program =
             if broken then Rw_distributed.ada_program_no_priority ~readers ~writers
             else Rw_distributed.ada_program ~readers ~writers
           in
-          let o = Ada.explore ?por ~max_configs:20_000_000 ~budget program in
+          let o = Ada.explore ?por ~max_configs:20_000_000 ~budget ~jobs program in
           ( List.length o.Ada.computations,
             List.length o.Ada.deadlocks,
             o.Ada.explored, o.Ada.reduced, o.Ada.truncated, o.Ada.exhausted,
-            Refine.sat ~strategy ~budget ~problem ~map:Rw_distributed.ada_correspondence
+            Refine.sat ~strategy ~budget ~jobs ~problem ~map:Rw_distributed.ada_correspondence
               o.Ada.computations )
     in
     let verdicts =
@@ -342,7 +365,7 @@ let rwd_cmd =
   Cmd.v
     (Cmd.info "rwd"
        ~doc:"Verify the distributed (CSP/ADA) Readers/Writers solutions.")
-    Term.(const run $ lang $ readers $ writers $ broken $ por_term $ budget_term $ json_flag)
+    Term.(const run $ lang $ readers $ writers $ broken $ por_term $ jobs_term $ budget_term $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* parse                                                               *)
@@ -383,8 +406,8 @@ let parse_cmd =
 
 let db_cmd =
   let sites = Arg.(value & opt int 3 & info [ "sites" ] ~docv:"N") in
-  let run sites por budget json =
-    let r = Db_update.check ?por ~budget ~sites () in
+  let run sites por jobs budget json =
+    let r = Db_update.check ?por ~budget ~jobs ~sites () in
     let status =
       if (not r.Db_update.converges) || r.deadlocks > 0 then Verdict.Falsified
       else
@@ -405,7 +428,7 @@ let db_cmd =
       }
   in
   Cmd.v (Cmd.info "db" ~doc:"Explore the distributed database update.")
-    Term.(const run $ sites $ por_term $ budget_term $ json_flag)
+    Term.(const run $ sites $ por_term $ jobs_term $ budget_term $ json_flag)
 
 let life_cmd =
   let width = Arg.(value & opt int 4 & info [ "width" ] ~docv:"N") in

@@ -12,15 +12,20 @@ type coverage = {
   runs_complete : bool;
 }
 
+(* All mutable cells are atomics: one budget is shared by every domain of
+   a parallel exploration, so charges race. Counters tolerate the benign
+   interleaving (fetch-and-add); [stopped] is first-reason-wins via
+   compare-and-set, so the merged result carries exactly one reason no
+   matter how many domains observe exhaustion simultaneously. *)
 type t = {
   deadline : float option;  (* absolute, Unix.gettimeofday *)
   max_configs : int option;
   max_runs : int option;
   max_heap_words : int option;
-  mutable configs_used : int;
-  mutable runs_used : int;
-  mutable stopped : reason option;
-  mutable until_poll : int;
+  configs_used : int Atomic.t;
+  runs_used : int Atomic.t;
+  stopped : reason option Atomic.t;
+  until_poll : int Atomic.t;
 }
 
 (* Deadline/watermark probes cost a syscall (or a Gc stat); amortize them
@@ -35,10 +40,10 @@ let make ?timeout ?max_configs ?max_runs ?max_heap_mb () =
     max_configs;
     max_runs;
     max_heap_words = Option.map (fun mb -> mb * words_per_mb) max_heap_mb;
-    configs_used = 0;
-    runs_used = 0;
-    stopped = None;
-    until_poll = poll_interval;
+    configs_used = Atomic.make 0;
+    runs_used = Atomic.make 0;
+    stopped = Atomic.make None;
+    until_poll = Atomic.make poll_interval;
   }
 
 let unlimited () = make ()
@@ -49,45 +54,45 @@ let is_limited t =
 
 let max_configs t = t.max_configs
 let max_runs t = t.max_runs
-let configs_used t = t.configs_used
-let runs_used t = t.runs_used
+let configs_used t = Atomic.get t.configs_used
+let runs_used t = Atomic.get t.runs_used
 
-let note t reason = if t.stopped = None then t.stopped <- Some reason
+let note t reason =
+  ignore (Atomic.compare_and_set t.stopped None (Some reason))
 
 let poll t =
   (match t.deadline with
-  | Some d when t.stopped = None && Unix.gettimeofday () > d ->
-      t.stopped <- Some Deadline_exceeded
+  | Some d when Atomic.get t.stopped = None && Unix.gettimeofday () > d ->
+      note t Deadline_exceeded
   | _ -> ());
   match t.max_heap_words with
-  | Some w when t.stopped = None && (Gc.quick_stat ()).Gc.heap_words > w ->
-      t.stopped <- Some Memory_watermark
+  | Some w
+    when Atomic.get t.stopped = None && (Gc.quick_stat ()).Gc.heap_words > w ->
+      note t Memory_watermark
   | _ -> ()
 
 let exhausted t =
-  if t.stopped = None then poll t;
-  t.stopped
+  if Atomic.get t.stopped = None then poll t;
+  Atomic.get t.stopped
 
 let charge t counter limit_reason =
-  (match t.stopped with
+  (match Atomic.get t.stopped with
   | Some _ -> ()
   | None ->
-      t.until_poll <- t.until_poll - 1;
-      if t.until_poll <= 0 then begin
-        t.until_poll <- poll_interval;
+      let remaining = Atomic.fetch_and_add t.until_poll (-1) - 1 in
+      if remaining <= 0 then begin
+        Atomic.set t.until_poll poll_interval;
         poll t
       end;
-      if t.stopped = None then
+      if Atomic.get t.stopped = None then
         match counter () with
-        | used, Some cap when used > cap -> t.stopped <- Some limit_reason
+        | used, Some cap when used > cap -> note t limit_reason
         | _ -> ());
-  t.stopped = None
+  Atomic.get t.stopped = None
 
 let charge_config t =
   charge t
-    (fun () ->
-      t.configs_used <- t.configs_used + 1;
-      (t.configs_used, t.max_configs))
+    (fun () -> (Atomic.fetch_and_add t.configs_used 1 + 1, t.max_configs))
     Config_budget
 
 (* [max_runs] is a per-enumeration cap (it tightens strategy caps in
@@ -96,9 +101,7 @@ let charge_config t =
    still polls the deadline/watermark and feeds coverage stats. *)
 let charge_run t =
   charge t
-    (fun () ->
-      t.runs_used <- t.runs_used + 1;
-      (t.runs_used, None))
+    (fun () -> (Atomic.fetch_and_add t.runs_used 1 + 1, None))
     Config_budget
 
 let full_coverage =

@@ -33,7 +33,15 @@ type coverage = {
 
 type t
 (** Mutable: counters accumulate across every phase the budget is
-    threaded through, so one budget bounds an entire pipeline. *)
+    threaded through, so one budget bounds an entire pipeline.
+
+    Domain-safe: all mutable cells are atomics, so one budget may be
+    shared by every domain of a parallel exploration
+    ({!Gem_lang.Explore} with [jobs > 1]). Counters use fetch-and-add;
+    the exhaustion verdict is set with a first-reason-wins
+    compare-and-set, so concurrent observers agree on a single
+    {!reason} and cancellation propagates to all domains through the
+    shared cell. *)
 
 val make :
   ?timeout:float ->

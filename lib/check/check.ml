@@ -69,6 +69,9 @@ let check ?(strategy = Strategy.default) ?budget spec comp =
       (Spec.all_restrictions spec)
   end
 
+let check_all ?strategy ?budget ?jobs spec comps =
+  Par.map ?jobs (fun comp -> check ?strategy ?budget spec comp) comps
+
 let check_formula ?(strategy = Strategy.default) ?budget spec comp ~name f =
   let legality = Legality.check spec comp in
   if legality <> [] then Verdict.legal_verdict ~spec_name:spec.Spec.spec_name legality

@@ -22,6 +22,18 @@ val check :
     checking is skipped — the orders the formulas quantify over may not
     exist. *)
 
+val check_all :
+  ?strategy:Strategy.t ->
+  ?budget:Budget.t ->
+  ?jobs:int ->
+  Gem_spec.Spec.t ->
+  Gem_model.Computation.t list ->
+  Verdict.t list
+(** {!check} over a batch of computations, order-preserving. [jobs]
+    (default 1) checks computations on that many domains via {!Par.map};
+    a shared [budget]'s counters are atomic, so exhaustion observed by
+    one domain stops the others. *)
+
 val check_formula :
   ?strategy:Strategy.t ->
   ?budget:Budget.t ->

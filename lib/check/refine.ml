@@ -174,23 +174,25 @@ let failed_projection ~spec_name err =
     coverage = Budget.full_coverage;
   }
 
-let sat ?strategy ?budget ?edges ~problem ~map comps =
-  List.mapi
-    (fun i comp ->
-      let verdict =
+let sat ?strategy ?budget ?jobs ?edges ~problem ~map comps =
+  let verdicts =
+    Par.map ?jobs
+      (fun comp ->
         match
           project ?edges map comp ~elements:problem.Gem_spec.Spec.elements
             ~groups:problem.Gem_spec.Spec.groups
         with
         | Error err ->
             failed_projection ~spec_name:problem.Gem_spec.Spec.spec_name err
-        | Ok projected -> Check.check ?strategy ?budget problem projected
-      in
-      (i, verdict))
-    comps
+        | Ok projected -> Check.check ?strategy ?budget problem projected)
+      comps
+  in
+  List.mapi (fun i verdict -> (i, verdict)) verdicts
 
-let sat_ok ?strategy ?budget ?edges ~problem ~map comps =
-  List.for_all (fun (_, v) -> Verdict.ok v) (sat ?strategy ?budget ?edges ~problem ~map comps)
+let sat_ok ?strategy ?budget ?jobs ?edges ~problem ~map comps =
+  List.for_all
+    (fun (_, v) -> Verdict.ok v)
+    (sat ?strategy ?budget ?jobs ?edges ~problem ~map comps)
 
-let sat_status ?strategy ?budget ?edges ~problem ~map comps =
-  Verdict.overall (List.map snd (sat ?strategy ?budget ?edges ~problem ~map comps))
+let sat_status ?strategy ?budget ?jobs ?edges ~problem ~map comps =
+  Verdict.overall (List.map snd (sat ?strategy ?budget ?jobs ?edges ~problem ~map comps))

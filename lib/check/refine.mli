@@ -62,6 +62,7 @@ val project :
 val sat :
   ?strategy:Strategy.t ->
   ?budget:Budget.t ->
+  ?jobs:int ->
   ?edges:edge_rule ->
   problem:Gem_spec.Spec.t ->
   map:correspondence ->
@@ -70,11 +71,14 @@ val sat :
 (** Check every program computation's projection against the problem spec;
     returns the index of each computation with its verdict. A projection
     error is reported as a legality-style failed verdict. Budget
-    exhaustion surfaces as [Inconclusive] verdicts, never an exception. *)
+    exhaustion surfaces as [Inconclusive] verdicts, never an exception.
+    [jobs] (default 1) projects and checks computations on that many
+    domains via {!Par.map}; indices and order are preserved regardless. *)
 
 val sat_ok :
   ?strategy:Strategy.t ->
   ?budget:Budget.t ->
+  ?jobs:int ->
   ?edges:edge_rule ->
   problem:Gem_spec.Spec.t ->
   map:correspondence ->
@@ -84,6 +88,7 @@ val sat_ok :
 val sat_status :
   ?strategy:Strategy.t ->
   ?budget:Budget.t ->
+  ?jobs:int ->
   ?edges:edge_rule ->
   problem:Gem_spec.Spec.t ->
   map:correspondence ->

@@ -10,7 +10,14 @@
       (complete for properties insensitive to simultaneous occurrence;
       every vhs's history set is a subset of the union of linearization
       history sets... not in general — see EXPERIMENTS.md E14 discussion);
-    - sample random runs (sound for falsification only). *)
+    - sample random runs (sound for falsification only).
+
+    {b Domain safety.} Enumeration is pure per call: [Sampled] draws from
+    a [Random.State] seeded inside the call (no global generator), and no
+    strategy touches module-level mutable state, so concurrent
+    {!enumerate} calls from different domains (e.g. under
+    {!Check.check_all} or {!Refine.sat} with [~jobs]) never interfere and
+    stay per-call deterministic. *)
 
 type t =
   | Exhaustive_vhs of int option  (** Optional cap on the number of runs. *)

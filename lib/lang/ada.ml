@@ -382,14 +382,17 @@ let state_key program cfg =
     (List.sort (fun (a, _) (b, _) -> compare a b) cfg.queues);
   Buffer.contents buf
 
-let explore ?por ?max_steps ?max_configs ?budget program =
+let explore ?por ?max_steps ?max_configs ?budget ?jobs program =
   let por = match por with Some p -> p | None -> Explore.por_default () in
+  let jobs =
+    match jobs with Some j -> j | None -> Gem_check.Par.jobs_default ()
+  in
   let result =
     if por then
       Explore.run ?max_steps ?max_configs ?budget ~key:(state_key program)
-        ~footprint:moves_fp ~moves ~terminated (initial program)
+        ~footprint:moves_fp ~jobs ~moves ~terminated (initial program)
     else
-      Explore.run ?max_steps ?max_configs ?budget ~moves ~terminated
+      Explore.run ?max_steps ?max_configs ?budget ~jobs ~moves ~terminated
         (initial program)
   in
   {

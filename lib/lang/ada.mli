@@ -60,11 +60,15 @@ val explore :
   ?max_steps:int ->
   ?max_configs:int ->
   ?budget:Gem_check.Budget.t ->
+  ?jobs:int ->
   program ->
   outcome
 (** Resource exhaustion never raises; it is reported in [exhausted].
     [por] (default {!Explore.por_default}) switches between the sleep-set
-    + canonical-key reduced search and a plain exhaustive DFS. *)
+    + canonical-key reduced search and a plain exhaustive DFS. [jobs]
+    (default {!Gem_check.Par.jobs_default}) spreads the walk over that
+    many domains; the canonically ordered [computations]/[deadlocks] are
+    identical for every job count. *)
 
 val run_one : ?seed:int -> program -> Gem_model.Computation.t
 

@@ -59,10 +59,26 @@ let stop w ~max_configs ~budget () =
           true
         end
 
-let finish w =
+(* Canonical leaf order: sort by state key so the result never depends on
+   traversal order — sequential DFS, re-runs, and parallel schedules all
+   assemble the same list. Decorate-sort-undecorate, since keys are
+   expensive (they seal and marshal the configuration). Without a key
+   function the discovery order is kept (sequential runs are
+   deterministic; parallel plain runs are canonicalized downstream by
+   {!dedup_computations}). *)
+let canonical_leaves key leaves =
+  match key with
+  | None -> leaves
+  | Some k ->
+      List.map snd
+        (List.sort
+           (fun (a, _) (b, _) -> compare a b)
+           (List.map (fun c -> (k c, c)) leaves))
+
+let finish ~key w =
   {
-    completed = List.rev w.w_completed;
-    deadlocked = List.rev w.w_deadlocked;
+    completed = canonical_leaves key (List.rev w.w_completed);
+    deadlocked = canonical_leaves key (List.rev w.w_deadlocked);
     truncated = w.w_truncated;
     explored = w.w_explored;
     reduced = w.w_reduced;
@@ -109,7 +125,7 @@ let run_plain ~max_steps ~max_configs ~budget ~key ~moves ~terminated init =
      to the root must not re-explore it. *)
   ignore (fresh init);
   dfs 0 init;
-  finish w
+  finish ~key w
 
 (* ------------------------------------------------------------------ *)
 (* Sleep-set DFS over footprinted moves                                 *)
@@ -178,15 +194,234 @@ let run_sleep ~max_steps ~max_configs ~budget ~key ~footprint ~terminated init =
   | Some k -> ignore (covered seen (k init) Smap.empty)
   | None -> ());
   dfs 0 init Smap.empty;
-  finish w
+  finish ~key w
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel work-stealing exploration                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The parallel walk reuses the sequential semantics wholesale: a task is
+   a (depth, configuration, sleep set) triple, expanding a task applies
+   exactly the sequential successor/sleep-set computation, and the
+   seen-table discipline is the same subset rule — only behind a sharded
+   lock, since domains race to record coverage. The subset rule's
+   soundness argument is order-free (a pruned visit is covered by
+   whichever visit recorded the smaller sleep set, and every recorded
+   visit is fully expanded), so racing traversals can change how much is
+   explored but never which computations exist; downstream deduplication
+   and the canonical leaf order make the rendered results byte-identical
+   to a sequential run's. *)
+
+type 'c ptask = { pt_depth : int; pt_config : 'c; pt_sleep : move Smap.t }
+
+type 'c par_mode =
+  | Par_plain of ('c -> 'c list)
+  | Par_sleep of ('c -> (move * 'c) list)
+
+(* One deque per domain: the owner pushes and pops at the head (keeping
+   the walk depth-first-ish, which bounds frontier memory); an idle
+   domain steals from the head of a victim's deque. A plain mutex per
+   deque is plenty — each task does a macro-step plus a canonical-key
+   marshal, so queue traffic is far from the bottleneck. *)
+type 'c deque = { mutable dq_items : 'c ptask list; dq_lock : Mutex.t }
+
+let deque_push dq t =
+  Mutex.protect dq.dq_lock (fun () -> dq.dq_items <- t :: dq.dq_items)
+
+let deque_pop dq =
+  Mutex.protect dq.dq_lock (fun () ->
+      match dq.dq_items with
+      | [] -> None
+      | t :: rest ->
+          dq.dq_items <- rest;
+          Some t)
+
+(* Sharded seen table. Both search modes use the sleep-set [covered]
+   subset rule: the plain search passes empty sleep sets, for which the
+   rule degenerates to exactly the add-if-absent memoization of
+   [run_plain]. Shard count is a power of two well above any sane domain
+   count, so two domains rarely contend on one lock. *)
+let n_shards = 64
+
+type 'k shards = { sh_tables : (('k, move Smap.t list) Hashtbl.t * Mutex.t) array }
+
+let make_shards () =
+  {
+    sh_tables =
+      Array.init n_shards (fun _ -> (Hashtbl.create 256, Mutex.create ()));
+  }
+
+let shard_covered sh k sleep =
+  let table, lock = sh.sh_tables.(Hashtbl.hash k land (n_shards - 1)) in
+  Mutex.protect lock (fun () -> covered table k sleep)
+
+let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~mode ~terminated init =
+  let explored = Atomic.make 0
+  and truncated = Atomic.make 0
+  and reduced = Atomic.make 0
+  and exhausted = Atomic.make None
+  and in_flight = Atomic.make 0
+  and failure = Atomic.make None in
+  let add counter n = ignore (Atomic.fetch_and_add counter n) in
+  let stop reason = ignore (Atomic.compare_and_set exhausted None (Some reason)) in
+  let seen = make_shards () in
+  let deques =
+    Array.init jobs (fun _ -> { dq_items = []; dq_lock = Mutex.create () })
+  in
+  (* The root frontier is dealt round-robin across the per-domain queues
+     until every domain has had a few tasks; after that each domain feeds
+     itself and imbalance is corrected by stealing. *)
+  let rr = Atomic.make 0 in
+  let push owner task =
+    Atomic.incr in_flight;
+    let target =
+      let n = Atomic.get rr in
+      if n < 4 * jobs then Atomic.fetch_and_add rr 1 mod jobs else owner
+    in
+    deque_push deques.(target) task
+  in
+  (* Mirrors the sequential [stop]: claim the visit before doing it, and
+     surrender the claim (so [explored <= max_configs] holds in the final
+     tally) when a cap or the budget refuses it. *)
+  let claim_visit () =
+    Atomic.get exhausted = None
+    &&
+    let n = Atomic.fetch_and_add explored 1 in
+    if n >= max_configs then begin
+      Atomic.decr explored;
+      stop Budget.Config_budget;
+      false
+    end
+    else
+      match budget with
+      | None -> true
+      | Some b ->
+          if Budget.charge_config b then true
+          else begin
+            Atomic.decr explored;
+            (match Budget.exhausted b with
+            | Some r -> stop r
+            | None -> stop Budget.Config_budget);
+            false
+          end
+  in
+  (* Seen-filtering happens at push time (the sequential searches check a
+     child's key just before descending into it): the key is recorded
+     before the task is queued, so a racing domain that arrives at the
+     same state prunes and relies on this task, which is guaranteed to be
+     processed unless the whole walk degrades to Inconclusive. *)
+  let push_child owner depth (config, sleep) =
+    match key with
+    | Some k when shard_covered seen (k config) sleep -> Atomic.incr reduced
+    | _ -> push owner { pt_depth = depth; pt_config = config; pt_sleep = sleep }
+  in
+  let completed = Array.init jobs (fun _ -> ref [])
+  and deadlocked = Array.init jobs (fun _ -> ref []) in
+  let classify owner config =
+    if terminated config then
+      completed.(owner) := config :: !(completed.(owner))
+    else deadlocked.(owner) := config :: !(deadlocked.(owner))
+  in
+  let process owner task =
+    if claim_visit () then
+      if task.pt_depth > max_steps then Atomic.incr truncated
+      else
+        match mode with
+        | Par_plain moves -> (
+            match moves task.pt_config with
+            | [] -> classify owner task.pt_config
+            | cs ->
+                List.iter
+                  (fun c -> push_child owner (task.pt_depth + 1) (c, Smap.empty))
+                  cs)
+        | Par_sleep footprint -> (
+            match footprint task.pt_config with
+            | [] -> classify owner task.pt_config
+            | succs ->
+                let awake, asleep =
+                  List.partition
+                    (fun (m, _) -> not (Smap.mem m.label task.pt_sleep))
+                    succs
+                in
+                add reduced (List.length asleep);
+                let _, rev_children =
+                  List.fold_left
+                    (fun (sleep, acc) (m, c') ->
+                      let child_sleep =
+                        Smap.filter (fun _ z -> independent z m) sleep
+                      in
+                      (Smap.add m.label m sleep, (c', child_sleep) :: acc))
+                    (task.pt_sleep, []) awake
+                in
+                List.iter
+                  (push_child owner (task.pt_depth + 1))
+                  (List.rev rev_children))
+  in
+  let rec worker i =
+    if Atomic.get exhausted = None && Atomic.get failure = None then
+      match take i with
+      | Some task ->
+          (try process i task
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          Atomic.decr in_flight;
+          worker i
+      | None ->
+          if Atomic.get in_flight > 0 then begin
+            Domain.cpu_relax ();
+            worker i
+          end
+  and take i =
+    match deque_pop deques.(i) with
+    | Some _ as t -> t
+    | None ->
+        let rec steal d =
+          if d >= jobs then None
+          else
+            match deque_pop deques.((i + d) mod jobs) with
+            | Some _ as t -> t
+            | None -> steal (d + 1)
+        in
+        steal 1
+  in
+  (match key with
+  | Some k -> ignore (shard_covered seen (k init) Smap.empty)
+  | None -> ());
+  push 0 { pt_depth = 0; pt_config = init; pt_sleep = Smap.empty };
+  let domains = List.init (jobs - 1) (fun d -> Domain.spawn (fun () -> worker (d + 1))) in
+  worker 0;
+  List.iter Domain.join domains;
+  (match Atomic.get failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  let merged arr = List.concat_map (fun r -> List.rev !r) (Array.to_list arr) in
+  {
+    completed = canonical_leaves key (merged completed);
+    deadlocked = canonical_leaves key (merged deadlocked);
+    truncated = Atomic.get truncated;
+    explored = Atomic.get explored;
+    reduced = Atomic.get reduced;
+    exhausted = Atomic.get exhausted;
+  }
 
 let run ?(max_steps = 10_000) ?(max_configs = 1_000_000) ?budget ?key ?footprint
-    ~moves ~terminated init =
+    ?(jobs = 1) ~moves ~terminated init =
+  let jobs = max 1 jobs in
   match footprint with
   | Some footprint ->
       ignore moves;
-      run_sleep ~max_steps ~max_configs ~budget ~key ~footprint ~terminated init
-  | None -> run_plain ~max_steps ~max_configs ~budget ~key ~moves ~terminated init
+      if jobs = 1 then
+        run_sleep ~max_steps ~max_configs ~budget ~key ~footprint ~terminated init
+      else
+        run_par ~jobs ~max_steps ~max_configs ~budget ~key
+          ~mode:(Par_sleep footprint) ~terminated init
+  | None ->
+      if jobs = 1 then
+        run_plain ~max_steps ~max_configs ~budget ~key ~moves ~terminated init
+      else
+        run_par ~jobs ~max_steps ~max_configs ~budget ~key ~mode:(Par_plain moves)
+          ~terminated init
 
 (* ------------------------------------------------------------------ *)
 (* Canonical computation fingerprints                                   *)
@@ -218,13 +453,20 @@ let fingerprint comp =
 
 let dedup_computations seal leaves =
   let seen = Hashtbl.create 64 in
-  List.filter_map
-    (fun leaf ->
-      let comp = seal leaf in
-      let key = fingerprint comp in
-      if Hashtbl.mem seen key then None
-      else begin
-        Hashtbl.add seen key ();
-        Some comp
-      end)
-    leaves
+  let distinct =
+    List.filter_map
+      (fun leaf ->
+        let comp = seal leaf in
+        let key = fingerprint comp in
+        if Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.add seen key ();
+          Some (key, comp)
+        end)
+      leaves
+  in
+  (* Canonical order: interpreters hand these straight to verdict
+     rendering, so the fingerprint sort is what makes reports independent
+     of traversal order — sequential, re-run, or parallel. *)
+  List.map snd
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) distinct)

@@ -53,6 +53,7 @@ val run :
   ?budget:Gem_check.Budget.t ->
   ?key:('c -> 'k) ->
   ?footprint:('c -> (move * 'c) list) ->
+  ?jobs:int ->
   moves:('c -> 'c list) ->
   terminated:('c -> bool) ->
   'c ->
@@ -81,7 +82,21 @@ val run :
     a state is skipped only when it was previously visited under a sleep
     set no larger than the current one, which keeps the combination
     sound. The successor configurations of [footprint] must enumerate
-    exactly [moves config], in the same order. *)
+    exactly [moves config], in the same order.
+
+    [jobs], when [> 1], runs the walk across that many domains with
+    per-domain work-stealing deques, a sharded seen table and the same
+    sleep-set/memoization discipline; [moves], [footprint], [key] and
+    [terminated] must then be safe to call from multiple domains (the
+    interpreters' are: configurations are immutable and flow to exactly
+    one domain at a time). Counters ([explored]/[reduced]) may differ
+    from a sequential walk's — racing traversals prune differently — but
+    the completed/deadlocked leaves cover the same computations, and with
+    [key] given they are returned sorted by key, so results are
+    deterministic. A shared [budget] cancels all domains: its cells are
+    atomic, the first exhaustion reason wins, and the merged result
+    carries exactly that reason. Defaults to [1] (the sequential walks,
+    byte-for-byte unchanged). *)
 
 val fingerprint : Gem_model.Computation.t -> string
 (** Canonical string of a computation's events (identity, class, params)
@@ -92,4 +107,7 @@ val dedup_computations :
 (** Seal each leaf and drop partial-order duplicates: different
     interleavings of commuting steps produce the same computation (same
     event identities, parameters and enable edges), and are collapsed by a
-    canonical fingerprint. *)
+    canonical fingerprint. The survivors are returned sorted by
+    fingerprint, so the list is identical however the leaves were
+    discovered — the anchor for byte-identical verdicts across POR
+    on/off, re-runs, and parallel schedules. *)

@@ -635,16 +635,21 @@ let state_key program cfg =
   Buffer.add_string buf (canon (sorted_store cfg.shared_store));
   Buffer.contents buf
 
-let explore ?(emit_getvals = false) ?por ?max_steps ?max_configs ?budget program =
+let explore ?(emit_getvals = false) ?por ?max_steps ?max_configs ?budget ?jobs
+    program =
   let por = match por with Some p -> p | None -> Explore.por_default () in
+  let jobs =
+    match jobs with Some j -> j | None -> Gem_check.Par.jobs_default ()
+  in
   let ctx = { program; emit_getvals } in
   let result =
     if por then
       Explore.run ?max_steps ?max_configs ?budget ~key:(state_key program)
-        ~footprint:(moves_fp ctx) ~moves:(moves ctx) ~terminated (initial ctx)
-    else
-      Explore.run ?max_steps ?max_configs ?budget ~moves:(moves ctx) ~terminated
+        ~footprint:(moves_fp ctx) ~jobs ~moves:(moves ctx) ~terminated
         (initial ctx)
+    else
+      Explore.run ?max_steps ?max_configs ?budget ~jobs ~moves:(moves ctx)
+        ~terminated (initial ctx)
   in
   {
     computations = Explore.dedup_computations (seal program) result.completed;

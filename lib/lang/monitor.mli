@@ -103,6 +103,7 @@ val explore :
   ?max_steps:int ->
   ?max_configs:int ->
   ?budget:Gem_check.Budget.t ->
+  ?jobs:int ->
   program ->
   outcome
 (** Exhaustively explore all schedules. Resource exhaustion (config
@@ -110,7 +111,11 @@ val explore :
     [exhausted]. [Expr.Eval_error] still raises on runtime type errors.
     [por] (default {!Explore.por_default}) switches between the sleep-set
     + canonical-key reduced search and a plain exhaustive DFS; both reach
-    the same completed/deadlocked computation sets. *)
+    the same completed/deadlocked computation sets. [jobs] (default
+    {!Gem_check.Par.jobs_default}) spreads the walk over that many
+    domains; [computations]/[deadlocks] are canonically ordered, so the
+    outcome's verdict-relevant content is identical for every job
+    count. *)
 
 val run_one : ?emit_getvals:bool -> ?seed:int -> program -> Gem_model.Computation.t
 (** One (pseudo-randomly scheduled) complete or stuck run — handy for

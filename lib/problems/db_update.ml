@@ -71,12 +71,12 @@ type report = {
   exhausted : Gem_check.Budget.reason option;
 }
 
-let check ?por ?max_configs ?budget ~sites () =
-  let o = Csp.explore ?por ?max_configs ?budget (program ~sites) in
+let check ?por ?max_configs ?budget ?jobs ~sites () =
+  let o = Csp.explore ?por ?max_configs ?budget ?jobs (program ~sites) in
   let spec = Csp.language_spec ~name:"db-update" (program ~sites) in
   let prop = F.conj [ convergence; converges_to ~sites ] in
   let verdicts =
-    List.map
+    Gem_check.Par.map ?jobs
       (fun comp -> Gem_check.Check.check_formula ?budget spec comp ~name:"convergence" prop)
       o.computations
   in

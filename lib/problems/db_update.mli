@@ -42,9 +42,14 @@ val check :
   ?por:bool ->
   ?max_configs:int ->
   ?budget:Gem_check.Budget.t ->
+  ?jobs:int ->
   sites:int ->
   unit ->
   report
 (** Explore every schedule and check convergence on each computation,
     within the given budget. Never raises on exhaustion. [por] selects
-    the reduced search (default {!Gem_lang.Explore.por_default}). *)
+    the reduced search (default {!Gem_lang.Explore.por_default}). [jobs]
+    parallelizes both exploration and per-computation checking over that
+    many domains (default {!Gem_check.Par.jobs_default} for exploration);
+    the report is identical for every job count unless the budget bites,
+    in which case only the counters may differ. *)

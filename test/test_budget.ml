@@ -143,17 +143,87 @@ let prop_deadline_inconclusive =
       | _ -> false)
 
 (* The non-raising explorer: malformed/adversarial move functions under a
-   config budget never raise, respect the cap exactly, and report it. *)
+   config budget never raise, respect the cap exactly, and report it —
+   on one domain and on several. The parallel engine's claim_visit
+   decrements on refusal, so even racing domains never overrun the cap. *)
 let prop_explore_budget =
   QCheck.Test.make ~count:200 ~name:"Explore.run respects config budgets"
-    QCheck.(pair (int_range 1 20) (int_range 2 5))
-    (fun (max_configs, fanout) ->
+    QCheck.(triple (int_range 1 20) (int_range 2 5) (oneofl [ 1; 2; 8 ]))
+    (fun (max_configs, fanout, jobs) ->
       let moves n = if n > 10_000 then [] else List.init fanout (fun i -> (n * fanout) + i + 1) in
-      let r = Explore.run ~max_configs ~moves ~terminated:(fun _ -> false) 0 in
+      let r = Explore.run ~max_configs ~jobs ~moves ~terminated:(fun _ -> false) 0 in
       r.Explore.explored <= max_configs
       &&
       (* The tree is effectively infinite, so the cap must have fired. *)
       r.Explore.exhausted = Some Budget.Config_budget)
+
+(* Work conservation across the merge: on the DAG over 0..cap with moves
+   n -> {n+1, n+2}, every arrival at a state is accounted exactly once —
+   first arrival as explored, every later one as reduced — whether the
+   arrivals happen on one domain or race across eight. Arrivals = one
+   root + one per edge, and the edge count is structural (2*cap - 1), so
+   explored + reduced is an invariant of the graph, not the schedule. *)
+let prop_explore_conservation =
+  QCheck.Test.make ~count:100 ~name:"explored + reduced conserved across merge"
+    QCheck.(pair (int_range 1 60) (oneofl [ 1; 2; 8 ]))
+    (fun (cap, jobs) ->
+      let moves n = List.filter (fun m -> m <= cap) [ n + 1; n + 2 ] in
+      let edges = List.init (cap + 1) (fun n -> List.length (moves n)) in
+      let arrivals = 1 + List.fold_left ( + ) 0 edges in
+      let r =
+        Explore.run ~jobs ~key:Fun.id ~moves ~terminated:(fun n -> n = cap) 0
+      in
+      r.Explore.exhausted = None
+      && r.Explore.explored + r.Explore.reduced = arrivals
+      && r.Explore.explored = cap + 1 (* each state claimed exactly once *)
+      && r.Explore.completed = [ cap ]
+      && r.Explore.deadlocked = [])
+
+(* An expiring deadline must stop every domain promptly: the budget's
+   cells are shared atomics, so the first domain to observe the deadline
+   publishes the reason and the others drain. The merged result carries
+   exactly that one reason, and the walk returns well within the 5s
+   bound even though the state space is unbounded. *)
+let test_parallel_deadline_stops_all_domains () =
+  List.iter
+    (fun jobs ->
+      let budget = Budget.make ~timeout:0.05 () in
+      let moves n = [ (2 * n) + 1; (2 * n) + 2 ] in
+      let t0 = Unix.gettimeofday () in
+      let r = Explore.run ~jobs ~budget ~max_configs:max_int ~moves ~terminated:(fun _ -> false) 0 in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.check Alcotest.bool
+        (Printf.sprintf "jobs=%d returns promptly (%.2fs)" jobs elapsed)
+        true (elapsed < 5.0);
+      Alcotest.check Alcotest.(option string)
+        (Printf.sprintf "jobs=%d reports the deadline" jobs)
+        (Some "deadline-exceeded")
+        (Option.map Budget.reason_keyword r.Explore.exhausted);
+      Alcotest.check Alcotest.(option string)
+        (Printf.sprintf "jobs=%d budget agrees" jobs)
+        (Some "deadline-exceeded")
+        (Option.map Budget.reason_keyword (Budget.exhausted budget)))
+    [ 1; 2; 8 ]
+
+(* Concurrent charging from many domains grants exactly the cap in
+   total: the counters are fetch-and-add atomics, not read-modify-write
+   races. *)
+let test_charge_config_across_domains () =
+  let cap = 5_000 in
+  let b = Budget.make ~max_configs:cap () in
+  let counts =
+    Gem_check.Par.map ~jobs:8
+      (fun _ ->
+        let granted = ref 0 in
+        for _ = 1 to cap do
+          if Budget.charge_config b then incr granted
+        done;
+        !granted)
+      (List.init 8 Fun.id)
+  in
+  Alcotest.check Alcotest.int "total grants = cap" cap (List.fold_left ( + ) 0 counts);
+  Alcotest.check Alcotest.(option string) "config-budget reason" (Some "config-budget")
+    (Option.map Budget.reason_keyword (Budget.exhausted b))
 
 (* Budget counters are exact and exhaustion is sticky. *)
 let prop_charge_config_exact =
@@ -194,6 +264,13 @@ let () =
           q prop_falsified_wins;
           q prop_deadline_inconclusive;
         ] );
-      ( "explore", [ q prop_explore_budget ] );
+      ( "explore", [ q prop_explore_budget; q prop_explore_conservation ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "deadline stops all domains" `Quick
+            test_parallel_deadline_stops_all_domains;
+          Alcotest.test_case "charge_config across domains" `Quick
+            test_charge_config_across_domains;
+        ] );
       ( "accounting", [ q prop_charge_config_exact; q prop_strategy_truncation_exact ] );
     ]

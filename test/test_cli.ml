@@ -7,10 +7,14 @@ let check = Alcotest.check
 
 let gemcheck = Filename.concat (Filename.concat ".." "bin") "gemcheck.exe"
 
-let run args =
+(* [env] is a shell-syntax variable binding prefix (e.g. "GEM_JOBS=2");
+   setting it on the command line keeps the test runner's own
+   environment untouched, so tests cannot leak into one another. *)
+let run ?(env = "") args =
   let null = if Sys.win32 then "NUL" else "/dev/null" in
   match
-    Unix.system (Printf.sprintf "%s %s > %s 2>&1" (Filename.quote gemcheck) args null)
+    Unix.system
+      (Printf.sprintf "%s %s %s > %s 2>&1" env (Filename.quote gemcheck) args null)
   with
   | Unix.WEXITED c -> c
   | Unix.WSIGNALED s | Unix.WSTOPPED s -> Alcotest.failf "killed by signal %d" s
@@ -58,6 +62,66 @@ let test_no_por_parity () =
   check Alcotest.int "--no-por truncated=2" 2
     (run "rw --readers 1 --writers 1 --max-configs 30 --no-por")
 
+(* --jobs contract: parallel exploration must never change a verdict or
+   exit code, bad job counts are usage errors (the repo-wide contract
+   maps every usage error to exit 3), and the GEM_JOBS environment
+   variable is an exact alias for the flag — including its validation. *)
+let test_jobs_parity () =
+  let parity name args =
+    check Alcotest.int name (run args) (run (args ^ " --jobs 4"))
+  in
+  parity "verified unchanged" "rw --readers 1 --writers 1";
+  parity "falsified unchanged" "rw --monitor no-exclusion --readers 1 --writers 1";
+  check Alcotest.int "--jobs 4 verified=0" 0 (run "rw --readers 1 --writers 1 --jobs 4");
+  check Alcotest.int "--jobs 4 falsified=1" 1
+    (run "rw --monitor no-exclusion --readers 1 --writers 1 --jobs 4");
+  check Alcotest.int "--jobs 4 --no-por composes" 0
+    (run "rw --readers 1 --writers 1 --jobs 4 --no-por");
+  check Alcotest.int "--jobs 4 --no-por falsified=1" 1
+    (run "rw --monitor no-exclusion --readers 1 --writers 1 --jobs 4 --no-por")
+
+let test_jobs_env () =
+  (* GEM_JOBS reaches cmdliner through the flag's ~env, so values and
+     validation behave exactly like --jobs. *)
+  check Alcotest.int "GEM_JOBS=2 verified" 0
+    (run ~env:"GEM_JOBS=2" "rw --readers 1 --writers 1");
+  check Alcotest.int "GEM_JOBS=2 falsified" 1
+    (run ~env:"GEM_JOBS=2" "rw --monitor no-exclusion");
+  check Alcotest.int "--jobs 1 overrides env" 0
+    (run ~env:"GEM_JOBS=4" "rw --readers 1 --writers 1 --jobs 1");
+  check Alcotest.int "GEM_JOBS=0 is a usage error" 3
+    (run ~env:"GEM_JOBS=0" "rw --readers 1 --writers 1");
+  check Alcotest.int "non-numeric GEM_JOBS is a usage error" 3
+    (run ~env:"GEM_JOBS=three" "rw --readers 1 --writers 1")
+
+let test_jobs_rejected () =
+  (* Exit 3 per the repo's documented contract (3 = usage error; 2 is
+     reserved for inconclusive verdicts). *)
+  check Alcotest.int "--jobs 0 rejected" 3 (run "rw --jobs 0");
+  check Alcotest.int "--jobs -2 rejected" 3 (run "rw --jobs=-2");
+  check Alcotest.int "--jobs banana rejected" 3 (run "rw --jobs banana");
+  (* And the rejection must come with a usage message on stderr. *)
+  let null = if Sys.win32 then "NUL" else "/dev/null" in
+  let ic =
+    Unix.open_process_in
+      (Printf.sprintf "%s rw --jobs 0 2>&1 > %s" (Filename.quote gemcheck) null)
+  in
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  ignore (Unix.close_process_in ic);
+  let err = Buffer.contents buf in
+  let has needle =
+    let nl = String.length needle and ol = String.length err in
+    let rec go i = i + nl <= ol && (String.sub err i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "mentions usage" true (has "Usage");
+  check Alcotest.bool "names the offending option" true (has "--jobs")
+
 let test_json_report () =
   let out, status = run_capture "rw --json --max-configs 50" in
   (match status with
@@ -83,6 +147,12 @@ let () =
           Alcotest.test_case "inconclusive-timeout=2" `Quick test_inconclusive_timeout;
           Alcotest.test_case "usage=3" `Quick test_usage_error;
           Alcotest.test_case "no-por-parity" `Quick test_no_por_parity;
+        ] );
+      ( "jobs",
+        [
+          Alcotest.test_case "jobs-parity" `Quick test_jobs_parity;
+          Alcotest.test_case "GEM_JOBS env" `Quick test_jobs_env;
+          Alcotest.test_case "bad values rejected" `Quick test_jobs_rejected;
         ] );
       ("json", [ Alcotest.test_case "degradation report" `Quick test_json_report ]);
     ]

@@ -1,0 +1,284 @@
+(* Differential parity suite for domain-parallel exploration: every
+   lib/problems workload explored at jobs in {1, 2, 8} must produce
+   identical completed/deadlocked fingerprint multisets, the same
+   exhaustion status, and byte-identical rendered verdicts as the
+   sequential walk — with POR on and with it off. Parallel traversal
+   order is scheduler-dependent, so these assertions are exactly the
+   determinism contract of Explore.run's canonical merge: sorted leaves
+   (canonical key) and fingerprint-sorted deduplication make the
+   verdict-relevant outcome independent of who explored what.
+
+   qcheck extends the evidence to random loop-free CSP programs, reusing
+   the generators of the POR harness (gen_csp.ml).
+
+   The explored/reduced counters are NOT compared across job counts:
+   domains race to claim states, so duplicate claims (counted in
+   explored) and prune opportunities (counted in reduced) legitimately
+   differ from run to run. Only the verdict-relevant content is stable. *)
+
+module Explore = Gem_lang.Explore
+module Monitor = Gem_lang.Monitor
+module Csp = Gem_lang.Csp
+module Ada = Gem_lang.Ada
+module RW = Gem_problems.Readers_writers
+module Buffer = Gem_problems.Buffer
+module Rwd = Gem_problems.Rw_distributed
+module Db = Gem_problems.Db_update
+module Budget = Gem_check.Budget
+module Par = Gem_check.Par
+module Refine = Gem_check.Refine
+module Verdict = Gem_check.Verdict
+module Strategy = Gem_check.Strategy
+
+let check = Alcotest.check
+let strategy = Strategy.Linearizations (Some 200)
+let job_counts = [ 2; 8 ]
+
+(* Sorted fingerprint multiset of a list of computations. *)
+let fps comps = List.sort compare (List.map Explore.fingerprint comps)
+let reason_opt = Option.map Budget.reason_keyword
+
+(* ------------------------------------------------------------------ *)
+(* Workload parity: jobs in {2, 8} vs sequential, POR on and off       *)
+(* ------------------------------------------------------------------ *)
+
+let assert_parity name run =
+  List.iter
+    (fun por ->
+      let c1, d1, x1 = run ~por ~jobs:1 in
+      List.iter
+        (fun jobs ->
+          let cn, dn, xn = run ~por ~jobs in
+          let tag =
+            Printf.sprintf "%s por=%b jobs=%d" name por jobs
+          in
+          check Alcotest.(list string) (tag ^ ": completed multiset") (fps c1) (fps cn);
+          check Alcotest.(list string) (tag ^ ": deadlock multiset") (fps d1) (fps dn);
+          check
+            Alcotest.(option string)
+            (tag ^ ": exhaustion") (reason_opt x1) (reason_opt xn))
+        job_counts)
+    [ true; false ]
+
+let mon_parity name prog =
+  assert_parity name (fun ~por ~jobs ->
+      let o = Monitor.explore ~por ~jobs prog in
+      (o.Monitor.computations, o.Monitor.deadlocks, o.Monitor.exhausted))
+
+let csp_parity name prog =
+  assert_parity name (fun ~por ~jobs ->
+      let o = Csp.explore ~por ~jobs prog in
+      (o.Csp.computations, o.Csp.deadlocks, o.Csp.exhausted))
+
+let ada_parity name prog =
+  assert_parity name (fun ~por ~jobs ->
+      let o = Ada.explore ~por ~jobs prog in
+      (o.Ada.computations, o.Ada.deadlocks, o.Ada.exhausted))
+
+let test_rw_monitor_workloads () =
+  mon_parity "rw-paper-1r1w" (RW.program ~monitor:RW.paper_monitor ~readers:1 ~writers:1);
+  mon_parity "rw-no-exclusion-2r1w"
+    (RW.program ~monitor:RW.no_exclusion_monitor ~readers:2 ~writers:1);
+  mon_parity "rw-buggy-1r2w" (RW.program ~monitor:RW.buggy_monitor ~readers:1 ~writers:2)
+
+let test_buffer_workloads () =
+  mon_parity "buffer-monitor-1p1c2i"
+    (Buffer.monitor_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2);
+  mon_parity "buffer-buggy-monitor-1p1c2i"
+    (Buffer.buggy_monitor_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2);
+  csp_parity "buffer-csp-1p1c2i"
+    (Buffer.csp_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2);
+  ada_parity "buffer-ada-1p1c2i"
+    (Buffer.ada_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2)
+
+let test_distributed_workloads () =
+  csp_parity "rwd-csp-1r1w" (Rwd.csp_program ~readers:1 ~writers:1);
+  csp_parity "rwd-csp-no-priority-1r1w"
+    (Rwd.csp_program_no_priority ~readers:1 ~writers:1);
+  csp_parity "db-update-2-sites" (Db.program ~sites:2)
+
+(* The Db_update report aggregates exploration and parallel per-computation
+   checking; the whole record must be jobs-independent. *)
+let test_db_report_parity () =
+  let base = Db.check ~jobs:1 ~sites:2 () in
+  List.iter
+    (fun jobs ->
+      let r = Db.check ~jobs ~sites:2 () in
+      let tag = Printf.sprintf "db jobs=%d" jobs in
+      check Alcotest.int (tag ^ ": computations") base.Db.computations r.Db.computations;
+      check Alcotest.int (tag ^ ": deadlocks") base.Db.deadlocks r.Db.deadlocks;
+      check Alcotest.bool (tag ^ ": converges") base.Db.converges r.Db.converges;
+      check
+        Alcotest.(option string)
+        (tag ^ ": exhaustion") (reason_opt base.Db.exhausted) (reason_opt r.Db.exhausted))
+    job_counts
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identical rendered verdicts                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Render verdicts in the order the interpreter returned the computations:
+   unlike test_por's harness this does NOT re-sort, so it checks the
+   canonical-ordering guarantee of the outcome itself, and it also runs
+   the checking stage parallel (Refine.sat ~jobs) to cover Par.map's
+   order preservation. *)
+let render ~jobs ~problem ~map ?edges comps =
+  let verdicts = Refine.sat ~strategy ~jobs ?edges ~problem ~map comps in
+  String.concat "\n"
+    (List.map
+       (fun (i, v) ->
+         Printf.sprintf "%d %s %s" i
+           (Verdict.status_keyword (Verdict.status v))
+           (Format.asprintf "%a" (Verdict.pp None) v))
+       verdicts)
+
+let test_verdicts_byte_identical () =
+  let rw_case name monitor version ~readers ~writers =
+    let prog = RW.program ~monitor ~readers ~writers in
+    let problem = RW.spec version ~users:(RW.user_names ~readers ~writers) in
+    let rendered jobs =
+      let o = Monitor.explore ~jobs prog in
+      render ~jobs ~edges:Refine.Actor_paths ~problem ~map:RW.correspondence
+        o.Monitor.computations
+    in
+    let base = rendered 1 in
+    List.iter
+      (fun jobs ->
+        check Alcotest.string
+          (Printf.sprintf "%s: verdicts byte-identical at jobs=%d" name jobs)
+          base (rendered jobs))
+      job_counts
+  in
+  rw_case "rw-paper-verified" RW.paper_monitor RW.Readers_priority ~readers:1
+    ~writers:1;
+  rw_case "rw-no-exclusion-falsified" RW.no_exclusion_monitor RW.Free_for_all
+    ~readers:2 ~writers:1;
+  let buffer_rendered jobs =
+    let o =
+      Csp.explore ~jobs
+        (Buffer.csp_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2)
+    in
+    render ~jobs ~problem:(Buffer.spec ~capacity:1) ~map:Buffer.csp_correspondence
+      o.Csp.computations
+  in
+  let base = buffer_rendered 1 in
+  List.iter
+    (fun jobs ->
+      check Alcotest.string
+        (Printf.sprintf "buffer-csp: verdicts byte-identical at jobs=%d" jobs)
+        base (buffer_rendered jobs))
+    job_counts
+
+(* Regression for the latent nondeterminism the canonical merge fixed:
+   two runs of the SAME configuration (sequential included) must render
+   the same bytes — completed/deadlocked leaves are sorted by canonical
+   key and deduplication is fingerprint-sorted, so nothing about
+   traversal order can leak into reports. *)
+let test_sequential_runs_identical () =
+  let prog = RW.program ~monitor:RW.paper_monitor ~readers:2 ~writers:1 in
+  let problem = RW.spec RW.Readers_priority ~users:(RW.user_names ~readers:2 ~writers:1) in
+  let rendered () =
+    let o = Monitor.explore ~jobs:1 prog in
+    render ~jobs:1 ~edges:Refine.Actor_paths ~problem ~map:RW.correspondence
+      o.Monitor.computations
+  in
+  check Alcotest.string "two sequential runs render identically" (rendered ())
+    (rendered ());
+  let par () =
+    let o = Monitor.explore ~jobs:8 prog in
+    render ~jobs:1 ~edges:Refine.Actor_paths ~problem ~map:RW.correspondence
+      o.Monitor.computations
+  in
+  check Alcotest.string "two jobs=8 runs render identically" (par ()) (par ())
+
+(* ------------------------------------------------------------------ *)
+(* Par.map: ordering, failure propagation, job-count defaulting        *)
+(* ------------------------------------------------------------------ *)
+
+let test_par_map_preserves_order () =
+  List.iter
+    (fun jobs ->
+      let xs = List.init 97 Fun.id in
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "map id at jobs=%d" jobs)
+        (List.map (fun x -> x * x) xs)
+        (Par.map ~jobs (fun x -> x * x) xs);
+      check Alcotest.(list int) "empty input" [] (Par.map ~jobs (fun x -> x) []))
+    [ 1; 2; 8 ]
+
+exception Boom
+
+let test_par_map_reraises () =
+  List.iter
+    (fun jobs ->
+      check Alcotest.bool
+        (Printf.sprintf "exception propagates at jobs=%d" jobs)
+        true
+        (try
+           ignore (Par.map ~jobs (fun x -> if x = 41 then raise Boom else x) (List.init 64 Fun.id));
+           false
+         with Boom -> true))
+    [ 1; 2; 8 ]
+
+let test_jobs_default_env () =
+  (* jobs_default reads GEM_JOBS leniently: unset/garbage/non-positive all
+     fall back to 1 — library callers never fail on a bad environment;
+     strict validation is the CLI's job. *)
+  let saved = Option.value ~default:"" (Sys.getenv_opt "GEM_JOBS") in
+  let with_env v f =
+    (match v with None -> Unix.putenv "GEM_JOBS" "" | Some s -> Unix.putenv "GEM_JOBS" s);
+    Fun.protect ~finally:(fun () -> Unix.putenv "GEM_JOBS" saved) f
+  in
+  with_env (Some "3") (fun () ->
+      check Alcotest.int "GEM_JOBS=3" 3 (Par.jobs_default ()));
+  with_env (Some "not-a-number") (fun () ->
+      check Alcotest.int "garbage falls back to 1" 1 (Par.jobs_default ()));
+  with_env (Some "0") (fun () ->
+      check Alcotest.int "zero falls back to 1" 1 (Par.jobs_default ()));
+  with_env None (fun () -> check Alcotest.int "unset means 1" 1 (Par.jobs_default ()))
+
+(* ------------------------------------------------------------------ *)
+(* Random loop-free CSP programs (qcheck)                              *)
+(* ------------------------------------------------------------------ *)
+
+let prop_csp_random_parallel_parity =
+  QCheck.Test.make ~name:"random CSP: jobs in {2,8} agree with sequential"
+    ~count:40 Gen_csp.prog_arb (fun prog ->
+      List.for_all
+        (fun por ->
+          let base = Csp.explore ~por ~jobs:1 prog in
+          List.for_all
+            (fun jobs ->
+              let o = Csp.explore ~por ~jobs prog in
+              fps o.Csp.computations = fps base.Csp.computations
+              && fps o.Csp.deadlocks = fps base.Csp.deadlocks
+              && o.Csp.exhausted = None
+              && base.Csp.exhausted = None)
+            job_counts)
+        [ true; false ])
+
+let () =
+  let to_alc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "gem_parallel"
+    [
+      ( "workload-parity",
+        [
+          Alcotest.test_case "rw-monitor workloads" `Quick test_rw_monitor_workloads;
+          Alcotest.test_case "buffer workloads" `Quick test_buffer_workloads;
+          Alcotest.test_case "distributed workloads" `Quick test_distributed_workloads;
+          Alcotest.test_case "db-update report" `Quick test_db_report_parity;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "verdicts byte-identical" `Quick test_verdicts_byte_identical;
+          Alcotest.test_case "repeated runs identical" `Quick test_sequential_runs_identical;
+        ] );
+      ( "par-map",
+        [
+          Alcotest.test_case "order preserved" `Quick test_par_map_preserves_order;
+          Alcotest.test_case "failure re-raised" `Quick test_par_map_reraises;
+          Alcotest.test_case "GEM_JOBS defaulting" `Quick test_jobs_default_env;
+        ] );
+      ("random-programs", [ to_alc prop_csp_random_parallel_parity ]);
+    ]

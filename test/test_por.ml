@@ -192,68 +192,8 @@ let test_reduction_at_least_2x () =
 (* Random loop-free CSP programs (qcheck)                              *)
 (* ------------------------------------------------------------------ *)
 
-let rec stmt_to_string = function
-  | Csp.CLocal (x, _) -> x ^ ":=e"
-  | Csp.CMark _ -> "mark"
-  | Csp.CComm (Csp.Send { to_; _ }) -> to_ ^ "!x"
-  | Csp.CComm (Csp.Recv { from_; _ }) -> from_ ^ "?m"
-  | Csp.CIfb (_, a, b) ->
-      Printf.sprintf "if[%s][%s]"
-        (String.concat ";" (List.map stmt_to_string a))
-        (String.concat ";" (List.map stmt_to_string b))
-  | _ -> "?"
-
-let prog_to_string prog =
-  String.concat " || "
-    (List.map
-       (fun p ->
-         Printf.sprintf "%s:[%s]" p.Csp.proc_name
-           (String.concat ";" (List.map stmt_to_string p.Csp.code)))
-       prog)
-
-(* Straight-line statements: local arithmetic, markers, point-to-point
-   sends/receives. No loops, so every program terminates (possibly in a
-   deadlock leaf when communications mismatch — the differential compares
-   those too). *)
-let base_stmt_gen others =
-  QCheck.Gen.(
-    oneof
-      [
-        map (fun k -> Csp.CLocal ("x", E.Add (E.Var "x", E.Int k))) (int_range 0 3);
-        return (Csp.CMark { klass = "M"; params = [ E.Var "x" ] });
-        map (fun o -> Csp.CComm (Csp.Send { to_ = o; value = E.Var "x" })) (oneofl others);
-        map (fun o -> Csp.CComm (Csp.Recv { from_ = o; bind = "m" })) (oneofl others);
-      ])
-
-let stmt_gen others =
-  QCheck.Gen.(
-    frequency
-      [
-        (4, base_stmt_gen others);
-        ( 1,
-          map3
-            (fun t a b -> Csp.CIfb (E.Lt (E.Var "x", E.Int t), a, b))
-            (int_range 0 3)
-            (list_size (int_range 0 2) (base_stmt_gen others))
-            (list_size (int_range 0 2) (base_stmt_gen others)) );
-      ])
-
-let prog_gen =
-  QCheck.Gen.(
-    let* n = int_range 2 3 in
-    let names = List.init n (Printf.sprintf "P%d") in
-    (* Three processes explode the unreduced path count; keep them short. *)
-    let code_size = if n = 3 then int_range 1 2 else int_range 1 3 in
-    flatten_l
-      (List.map
-         (fun me ->
-           let others = List.filter (fun o -> o <> me) names in
-           let* code = list_size code_size (stmt_gen others) in
-           return
-             { Csp.proc_name = me; locals = [ ("x", V.Int 1); ("m", V.Int 0) ]; code })
-         names))
-
-let prog_arb = QCheck.make prog_gen ~print:prog_to_string
+(* Generators live in gen_csp.ml, shared with test_parallel.ml. *)
+let prog_arb = Gen_csp.prog_arb
 
 let prop_csp_random_differential =
   QCheck.Test.make ~name:"random CSP: POR on/off agree" ~count:60 prog_arb
