@@ -76,6 +76,75 @@ let jobs_term =
                  value; only wall-clock time (and, under partial-order \
                  reduction, the configuration counters) may differ.")
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry flags, shared by every verification subcommand            *)
+(* ------------------------------------------------------------------ *)
+
+(* --stats prints one JSON line of telemetry after the report;
+   --stats-deterministic restricts it to the schedule-independent
+   counters so the whole stdout is byte-identical for every --jobs
+   value; --trace FILE writes a Chrome-trace-event timeline. GEM_STATS
+   follows the GEM_JOBS pattern: the env alias goes through the same
+   (cmdliner boolean) validation as the flag, so a malformed value is a
+   usage error (exit 3), never silently ignored. *)
+
+type obs = { stats : bool; stats_det : bool; trace : string option }
+
+let obs_term =
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~env:(Cmd.Env.info "GEM_STATS"
+                     ~doc:"Enable $(b,--stats) when set to true.")
+             ~doc:"Collect telemetry (counters and phase timings) and \
+                   print it as one JSON line after the report.")
+  in
+  let stats_det =
+    Arg.(value & flag
+         & info [ "stats-deterministic" ]
+             ~doc:"Like $(b,--stats), but restricted to the \
+                   schedule-independent counters, so the output is \
+                   byte-identical for every $(b,--jobs) value.")
+  in
+  let trace =
+    let file_conv =
+      let parse s =
+        if String.trim s = "" then
+          Error (`Msg "trace output must be a non-empty file path")
+        else Ok s
+      in
+      Arg.conv ~docv:"FILE" (parse, Format.pp_print_string)
+    in
+    Arg.(value & opt (some file_conv) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome-trace-event timeline (one JSON event \
+                   per line; per-domain tids) to $(docv). Load it in \
+                   Perfetto or chrome://tracing.")
+  in
+  Term.(const (fun stats stats_det trace ->
+          { stats = stats || stats_det; stats_det; trace })
+        $ stats $ stats_det $ trace)
+
+let obs_init o =
+  if o.stats then Telemetry.enable ();
+  Option.iter Telemetry.trace_to o.trace
+
+(* Runs after the report so the stats line is the last line of output;
+   a trace that cannot be written is an internal error (exit 3). *)
+let obs_finish ~json o code =
+  let code =
+    match (try Telemetry.flush_trace (); None with Sys_error m -> Some m) with
+    | None -> code
+    | Some m ->
+        Printf.eprintf "cannot write trace: %s\n" m;
+        3
+  in
+  if o.stats then begin
+    if json then print_newline ();
+    print_endline (Telemetry.stats_json ~deterministic:o.stats_det ())
+  end;
+  code
+
 (* --no-por forces the plain exhaustive DFS; the default honors the
    GEM_NO_POR environment variable (see Explore.por_default). Passing
    [None] down keeps the interpreters' own defaulting in charge. *)
@@ -199,7 +268,8 @@ let rw_cmd =
   in
   let readers = Arg.(value & opt int 2 & info [ "readers" ] ~docv:"N") in
   let writers = Arg.(value & opt int 1 & info [ "writers" ] ~docv:"N") in
-  let run monitor version readers writers por jobs budget json =
+  let run monitor version readers writers por jobs budget json obs =
+    obs_init obs;
     let program = Readers_writers.program ~monitor ~readers ~writers in
     let o = Monitor.explore ?por ~budget ~jobs program in
     let problem =
@@ -226,13 +296,14 @@ let rw_cmd =
        match failures with
        | (_, v) :: _ -> Format.printf "%a@." (Verdict.pp None) v
        | [] -> ());
-    report ~json ~command:"rw" ~detail status
-      (coverage ~explored:o.Monitor.explored ~reduced:o.Monitor.reduced
-         ~truncated:o.Monitor.truncated verdicts)
+    obs_finish ~json obs
+      (report ~json ~command:"rw" ~detail status
+         (coverage ~explored:o.Monitor.explored ~reduced:o.Monitor.reduced
+            ~truncated:o.Monitor.truncated verdicts))
   in
   Cmd.v
     (Cmd.info "rw" ~doc:"Verify a Readers/Writers monitor against a problem version.")
-    Term.(const run $ monitor $ version $ readers $ writers $ por_term $ jobs_term $ budget_term $ json_flag)
+    Term.(const run $ monitor $ version $ readers $ writers $ por_term $ jobs_term $ budget_term $ json_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* buffer                                                              *)
@@ -270,7 +341,8 @@ let buffer_cmd =
   let producers = Arg.(value & opt int 1 & info [ "producers" ] ~docv:"N") in
   let consumers = Arg.(value & opt int 1 & info [ "consumers" ] ~docv:"N") in
   let items = Arg.(value & opt int 2 & info [ "items" ] ~docv:"N" ~doc:"Items per producer.") in
-  let run lang capacity producers consumers items por jobs budget json =
+  let run lang capacity producers consumers items por jobs budget json obs =
+    obs_init obs;
     let problem = Buffer_problem.spec ~capacity in
     let strategy = Strategy.of_budget budget in
     let comps, deadlocks, explored, reduced, truncated, exhausted, results =
@@ -303,12 +375,13 @@ let buffer_cmd =
     in
     let status = combined_status ~explore_exhausted:exhausted verdicts in
     let detail = Printf.sprintf "%d computations, %d deadlocks" comps deadlocks in
-    report ~json ~command:"buffer" ~detail status
-      (coverage ~explored ~reduced ~truncated verdicts)
+    obs_finish ~json obs
+      (report ~json ~command:"buffer" ~detail status
+         (coverage ~explored ~reduced ~truncated verdicts))
   in
   Cmd.v
     (Cmd.info "buffer" ~doc:"Verify a bounded-buffer solution.")
-    Term.(const run $ lang $ capacity $ producers $ consumers $ items $ por_term $ jobs_term $ budget_term $ json_flag)
+    Term.(const run $ lang $ capacity $ producers $ consumers $ items $ por_term $ jobs_term $ budget_term $ json_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* rwd: distributed Readers/Writers                                    *)
@@ -324,7 +397,8 @@ let rwd_cmd =
   let broken =
     Arg.(value & flag & info [ "no-priority" ] ~doc:"Use the priority-less mutant.")
   in
-  let run lang readers writers broken por jobs budget json =
+  let run lang readers writers broken por jobs budget json obs =
+    obs_init obs;
     let rnames, wnames = Rw_distributed.user_names ~readers ~writers in
     let problem = Rw_distributed.spec ~readers:rnames ~writers:wnames in
     let strategy = Strategy.of_budget budget in
@@ -359,13 +433,14 @@ let rwd_cmd =
     in
     let status = combined_status ~explore_exhausted:exhausted verdicts in
     let detail = Printf.sprintf "%d computations, %d deadlocks" comps deadlocks in
-    report ~json ~command:"rwd" ~detail status
-      (coverage ~explored ~reduced ~truncated verdicts)
+    obs_finish ~json obs
+      (report ~json ~command:"rwd" ~detail status
+         (coverage ~explored ~reduced ~truncated verdicts))
   in
   Cmd.v
     (Cmd.info "rwd"
        ~doc:"Verify the distributed (CSP/ADA) Readers/Writers solutions.")
-    Term.(const run $ lang $ readers $ writers $ broken $ por_term $ jobs_term $ budget_term $ json_flag)
+    Term.(const run $ lang $ readers $ writers $ broken $ por_term $ jobs_term $ budget_term $ json_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* parse                                                               *)
@@ -406,7 +481,8 @@ let parse_cmd =
 
 let db_cmd =
   let sites = Arg.(value & opt int 3 & info [ "sites" ] ~docv:"N") in
-  let run sites por jobs budget json =
+  let run sites por jobs budget json obs =
+    obs_init obs;
     let r = Db_update.check ?por ~budget ~jobs ~sites () in
     let status =
       if (not r.Db_update.converges) || r.deadlocks > 0 then Verdict.Falsified
@@ -419,22 +495,24 @@ let db_cmd =
       Printf.sprintf "%d computations, %d deadlocks, convergence: %b"
         r.Db_update.computations r.deadlocks r.converges
     in
-    report ~json ~command:"db" ~detail status
-      {
-        Budget.full_coverage with
-        Budget.configs_explored = r.explored;
-        configs_reduced = r.reduced;
-        runs_complete = r.exhausted = None;
-      }
+    obs_finish ~json obs
+      (report ~json ~command:"db" ~detail status
+         {
+           Budget.full_coverage with
+           Budget.configs_explored = r.explored;
+           configs_reduced = r.reduced;
+           runs_complete = r.exhausted = None;
+         })
   in
   Cmd.v (Cmd.info "db" ~doc:"Explore the distributed database update.")
-    Term.(const run $ sites $ por_term $ jobs_term $ budget_term $ json_flag)
+    Term.(const run $ sites $ por_term $ jobs_term $ budget_term $ json_flag $ obs_term)
 
 let life_cmd =
   let width = Arg.(value & opt int 4 & info [ "width" ] ~docv:"N") in
   let height = Arg.(value & opt int 4 & info [ "height" ] ~docv:"N") in
   let generations = Arg.(value & opt int 2 & info [ "generations" ] ~docv:"N") in
-  let run width height generations budget json =
+  let run width height generations budget json obs =
+    obs_init obs;
     let alive = [ (1, 0); (1, 1); (1, 2) ] in
     let comp = Life.build ~width ~height ~generations ~alive in
     let spec = Life.spec ~width ~height in
@@ -448,11 +526,12 @@ let life_cmd =
         (Computation.n_events comp) (Verdict.ok v)
         (Life.asynchrony_witness comp <> None)
     in
-    report ~json ~command:"life" ~detail status v.Verdict.coverage
+    obs_finish ~json obs
+      (report ~json ~command:"life" ~detail status v.Verdict.coverage)
   in
   Cmd.v
     (Cmd.info "life" ~doc:"Check the asynchronous Game of Life.")
-    Term.(const run $ width $ height $ generations $ budget_term $ json_flag)
+    Term.(const run $ width $ height $ generations $ budget_term $ json_flag $ obs_term)
 
 let () =
   let doc = "GEM concurrency specification and verification toolkit" in

@@ -57,8 +57,17 @@ let max_runs t = t.max_runs
 let configs_used t = Atomic.get t.configs_used
 let runs_used t = Atomic.get t.runs_used
 
+(* The stop counter records only the winning CAS, so "budget stops by
+   reason" counts decisions, not the many racing observers of one. *)
+let stop_counter = function
+  | Deadline_exceeded -> Gem_obs.Telemetry.Budget_stop_deadline
+  | Config_budget -> Gem_obs.Telemetry.Budget_stop_configs
+  | Run_cap _ -> Gem_obs.Telemetry.Budget_stop_runs
+  | Memory_watermark -> Gem_obs.Telemetry.Budget_stop_memory
+
 let note t reason =
-  ignore (Atomic.compare_and_set t.stopped None (Some reason))
+  if Atomic.compare_and_set t.stopped None (Some reason) then
+    Gem_obs.Telemetry.hit (stop_counter reason)
 
 let poll t =
   (match t.deadline with

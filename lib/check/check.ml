@@ -30,6 +30,7 @@ let check_restrictions ?budget ~strategy ~spec_name comp restrictions =
                raise Exit
            | _ -> ());
            incr runs_checked;
+           Gem_obs.Telemetry.(hit Runs_enumerated);
            pending :=
              List.filter
                (fun (name, f) ->

@@ -25,6 +25,7 @@ let pp_projection_error ppf = function
   | Cyclic_program -> Format.fprintf ppf "projection: program computation is cyclic"
 
 let project ?(edges = Causal_paths) corr comp ~elements ~groups =
+  Gem_obs.Telemetry.(time Project) @@ fun () ->
   match Computation.temporal comp with
   | None -> Error Cyclic_program
   | Some poset -> (

@@ -13,6 +13,7 @@
     {- the specification layer: {!Etype}, {!Access}, {!Abbrev}, {!Thread},
        {!Spec}, {!Legality};}
     {- checking: {!Budget}, {!Strategy}, {!Verdict}, {!Check}, {!Refine};}
+    {- observability: {!Telemetry} (counters, spans, trace export);}
     {- the concrete syntax: {!Lexer}, {!Parser};}
     {- language substrates: {!Expr}, {!Trace}, {!Explore}, {!Monitor},
        {!Csp}, {!Ada};}
@@ -48,6 +49,7 @@ module Thread = Gem_spec.Thread
 module Spec = Gem_spec.Spec
 module Legality = Gem_spec.Legality
 module Dyngroup = Gem_spec.Dyngroup
+module Telemetry = Gem_obs.Telemetry
 module Budget = Gem_check.Budget
 module Strategy = Gem_check.Strategy
 module Verdict = Gem_check.Verdict

@@ -313,6 +313,7 @@ let sorted_store (s : Expr.store) =
 let canon x = Marshal.to_string x [ Marshal.No_sharing ]
 
 let state_key program cfg =
+  let span = Gem_obs.Telemetry.(span_begin Canon_key) in
   let comp = seal program cfg in
   let id h =
     Format.asprintf "%a" Gem_model.Event.pp_id
@@ -338,7 +339,9 @@ let state_key program cfg =
       | Cdone -> Buffer.add_char buf 'D');
       Buffer.add_string buf (canon (sorted_store rt.p_locals)))
     cfg.procs;
-  Buffer.contents buf
+  let key = Buffer.contents buf in
+  Gem_obs.Telemetry.(span_end Canon_key) span;
+  key
 
 let explore ?por ?max_steps ?max_configs ?budget ?jobs program =
   let por = match por with Some p -> p | None -> Explore.por_default () in

@@ -1,4 +1,5 @@
 module Budget = Gem_check.Budget
+module T = Gem_obs.Telemetry
 module Smap = Map.Make (String)
 
 type move = { label : string; touches : string list }
@@ -70,10 +71,15 @@ let canonical_leaves key leaves =
   match key with
   | None -> leaves
   | Some k ->
-      List.map snd
-        (List.sort
-           (fun (a, _) (b, _) -> compare a b)
-           (List.map (fun c -> (k c, c)) leaves))
+      let t = T.span_begin T.Merge in
+      let sorted =
+        List.map snd
+          (List.sort
+             (fun (a, _) (b, _) -> compare a b)
+             (List.map (fun c -> (k c, c)) leaves))
+      in
+      T.span_end T.Merge t;
+      sorted
 
 let finish ~key w =
   {
@@ -97,19 +103,32 @@ let run_plain ~max_steps ~max_configs ~budget ~key ~moves ~terminated init =
     | None -> true
     | Some k ->
         let d = k config in
-        if Hashtbl.mem seen d then false
-        else begin
-          Hashtbl.add seen d ();
-          true
-        end
+        let t = T.span_begin T.Seen_table in
+        let novel =
+          if Hashtbl.mem seen d then begin
+            T.hit T.Memo_hits;
+            false
+          end
+          else begin
+            Hashtbl.add seen d ();
+            T.hit T.Memo_misses;
+            true
+          end
+        in
+        T.span_end T.Seen_table t;
+        novel
   in
   let stop = stop w ~max_configs ~budget in
   let rec dfs depth config =
     if not (stop ()) then begin
       w.w_explored <- w.w_explored + 1;
+      T.hit T.Configs_explored;
       if depth > max_steps then w.w_truncated <- w.w_truncated + 1
-      else
-        match moves config with
+      else begin
+        let t = T.span_begin T.Interp_step in
+        let ms = moves config in
+        T.span_end T.Interp_step t;
+        match ms with
         | [] ->
             if terminated config then w.w_completed <- config :: w.w_completed
             else w.w_deadlocked <- config :: w.w_deadlocked
@@ -117,8 +136,12 @@ let run_plain ~max_steps ~max_configs ~budget ~key ~moves ~terminated init =
             List.iter
               (fun c ->
                 if fresh c then dfs (depth + 1) c
-                else w.w_reduced <- w.w_reduced + 1)
+                else begin
+                  w.w_reduced <- w.w_reduced + 1;
+                  T.hit T.Configs_reduced
+                end)
               ms
+      end
     end
   in
   (* The initial configuration belongs in the seen table too: a cycle back
@@ -142,13 +165,22 @@ let subset z1 z2 = Smap.for_all (fun l _ -> Smap.mem l z2) z1
    now was awake then, and the subtree is covered. Otherwise record
    [sleep] (dropping any recorded supersets it refines). *)
 let covered seen k sleep =
+  let t = T.span_begin T.Seen_table in
   let olds = Option.value ~default:[] (Hashtbl.find_opt seen k) in
-  if List.exists (fun z -> subset z sleep) olds then true
-  else begin
-    let olds = List.filter (fun z -> not (subset sleep z)) olds in
-    Hashtbl.replace seen k (sleep :: olds);
-    false
-  end
+  let hit =
+    if List.exists (fun z -> subset z sleep) olds then begin
+      T.hit T.Memo_hits;
+      true
+    end
+    else begin
+      let olds = List.filter (fun z -> not (subset sleep z)) olds in
+      Hashtbl.replace seen k (sleep :: olds);
+      T.hit T.Memo_misses;
+      false
+    end
+  in
+  T.span_end T.Seen_table t;
+  hit
 
 let run_sleep ~max_steps ~max_configs ~budget ~key ~footprint ~terminated init =
   let w = new_walk () in
@@ -157,9 +189,13 @@ let run_sleep ~max_steps ~max_configs ~budget ~key ~footprint ~terminated init =
   let rec dfs depth config sleep =
     if not (stop ()) then begin
       w.w_explored <- w.w_explored + 1;
+      T.hit T.Configs_explored;
       if depth > max_steps then w.w_truncated <- w.w_truncated + 1
-      else
-        match footprint config with
+      else begin
+        let t = T.span_begin T.Interp_step in
+        let succs = footprint config in
+        T.span_end T.Interp_step t;
+        match succs with
         | [] ->
             if terminated config then w.w_completed <- config :: w.w_completed
             else w.w_deadlocked <- config :: w.w_deadlocked
@@ -171,6 +207,8 @@ let run_sleep ~max_steps ~max_configs ~budget ~key ~footprint ~terminated init =
                that fired the same move before this configuration's
                distinguishing step. *)
             w.w_reduced <- w.w_reduced + List.length asleep;
+            T.add T.Sleep_prunes (List.length asleep);
+            T.add T.Configs_reduced (List.length asleep);
             ignore
               (List.fold_left
                  (fun sleep (m, c') ->
@@ -182,12 +220,16 @@ let run_sleep ~max_steps ~max_configs ~budget ~key ~footprint ~terminated init =
                    visit depth c' child_sleep;
                    Smap.add m.label m sleep)
                  sleep awake)
+      end
     end
   and visit depth c' child_sleep =
     match key with
     | None -> dfs (depth + 1) c' child_sleep
     | Some k ->
-        if covered seen (k c') child_sleep then w.w_reduced <- w.w_reduced + 1
+        if covered seen (k c') child_sleep then begin
+          w.w_reduced <- w.w_reduced + 1;
+          T.hit T.Configs_reduced
+        end
         else dfs (depth + 1) c' child_sleep
   in
   (match key with
@@ -251,9 +293,18 @@ let make_shards () =
       Array.init n_shards (fun _ -> (Hashtbl.create 256, Mutex.create ()));
   }
 
+(* [try_lock]-then-[lock] rather than [Mutex.protect]: a failed try is a
+   real contention event worth counting (two domains racing for one
+   shard), and [covered] cannot raise, so manual unlock is safe. *)
 let shard_covered sh k sleep =
   let table, lock = sh.sh_tables.(Hashtbl.hash k land (n_shards - 1)) in
-  Mutex.protect lock (fun () -> covered table k sleep)
+  if not (Mutex.try_lock lock) then begin
+    T.hit T.Shard_collisions;
+    Mutex.lock lock
+  end;
+  let hit = covered table k sleep in
+  Mutex.unlock lock;
+  hit
 
 let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~mode ~terminated init =
   let explored = Atomic.make 0
@@ -294,9 +345,14 @@ let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~mode ~terminated init =
     end
     else
       match budget with
-      | None -> true
+      | None ->
+          T.hit T.Configs_explored;
+          true
       | Some b ->
-          if Budget.charge_config b then true
+          if Budget.charge_config b then begin
+            T.hit T.Configs_explored;
+            true
+          end
           else begin
             Atomic.decr explored;
             (match Budget.exhausted b with
@@ -312,7 +368,9 @@ let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~mode ~terminated init =
      processed unless the whole walk degrades to Inconclusive. *)
   let push_child owner depth (config, sleep) =
     match key with
-    | Some k when shard_covered seen (k config) sleep -> Atomic.incr reduced
+    | Some k when shard_covered seen (k config) sleep ->
+        Atomic.incr reduced;
+        T.hit T.Configs_reduced
     | _ -> push owner { pt_depth = depth; pt_config = config; pt_sleep = sleep }
   in
   let completed = Array.init jobs (fun _ -> ref [])
@@ -328,14 +386,20 @@ let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~mode ~terminated init =
       else
         match mode with
         | Par_plain moves -> (
-            match moves task.pt_config with
+            let t = T.span_begin T.Interp_step in
+            let cs = moves task.pt_config in
+            T.span_end T.Interp_step t;
+            match cs with
             | [] -> classify owner task.pt_config
             | cs ->
                 List.iter
                   (fun c -> push_child owner (task.pt_depth + 1) (c, Smap.empty))
                   cs)
         | Par_sleep footprint -> (
-            match footprint task.pt_config with
+            let t = T.span_begin T.Interp_step in
+            let succs = footprint task.pt_config in
+            T.span_end T.Interp_step t;
+            match succs with
             | [] -> classify owner task.pt_config
             | succs ->
                 let awake, asleep =
@@ -344,6 +408,8 @@ let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~mode ~terminated init =
                     succs
                 in
                 add reduced (List.length asleep);
+                T.add T.Sleep_prunes (List.length asleep);
+                T.add T.Configs_reduced (List.length asleep);
                 let _, rev_children =
                   List.fold_left
                     (fun (sleep, acc) (m, c') ->
@@ -380,7 +446,9 @@ let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~mode ~terminated init =
           if d >= jobs then None
           else
             match deque_pop deques.((i + d) mod jobs) with
-            | Some _ as t -> t
+            | Some _ as t ->
+                T.hit T.Deque_steals;
+                t
             | None -> steal (d + 1)
         in
         steal 1
@@ -452,6 +520,7 @@ let fingerprint comp =
   Buffer.contents buf
 
 let dedup_computations seal leaves =
+  let span = T.span_begin T.Merge in
   let seen = Hashtbl.create 64 in
   let distinct =
     List.filter_map
@@ -468,5 +537,9 @@ let dedup_computations seal leaves =
   (* Canonical order: interpreters hand these straight to verdict
      rendering, so the fingerprint sort is what makes reports independent
      of traversal order — sequential, re-run, or parallel. *)
-  List.map snd
-    (List.sort (fun (a, _) (b, _) -> String.compare a b) distinct)
+  let sorted =
+    List.map snd
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) distinct)
+  in
+  T.span_end T.Merge span;
+  sorted

@@ -604,7 +604,10 @@ let sorted_store (s : Expr.store) =
 
 let canon x = Marshal.to_string x [ Marshal.No_sharing ]
 
+(* Canonical keys dominate POR cost (they seal and marshal the whole
+   configuration), so the construction is a telemetry span of its own. *)
 let state_key program cfg =
+  let span = Gem_obs.Telemetry.(span_begin Canon_key) in
   let comp = seal program cfg in
   let id h =
     Format.asprintf "%a" Gem_model.Event.pp_id
@@ -633,7 +636,9 @@ let state_key program cfg =
       Buffer.add_string buf (match m.m_last_rel with Some h -> id h | None -> "-"))
     cfg.mons;
   Buffer.add_string buf (canon (sorted_store cfg.shared_store));
-  Buffer.contents buf
+  let key = Buffer.contents buf in
+  Gem_obs.Telemetry.(span_end Canon_key) span;
+  key
 
 let explore ?(emit_getvals = false) ?por ?max_steps ?max_configs ?budget ?jobs
     program =

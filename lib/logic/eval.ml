@@ -117,9 +117,16 @@ let rec eval_history hist env f =
   | Henceforth _ | Eventually _ ->
       raise (Error "temporal operator in immediate context")
 
-let eval_computation ?(env = []) comp f = eval_history (History.full comp) env f
+let eval_computation ?(env = []) comp f =
+  Gem_obs.Telemetry.(hit Formula_evals);
+  let span = Gem_obs.Telemetry.(span_begin Formula_eval) in
+  let v = eval_history (History.full comp) env f in
+  Gem_obs.Telemetry.(span_end Formula_eval) span;
+  v
 
 let eval_run ?(env = []) run f =
+  Gem_obs.Telemetry.(hit Formula_evals);
+  let span = Gem_obs.Telemetry.(span_begin Formula_eval) in
   let len = Vhs.length run in
   let comp = Vhs.computation run in
   let rec at i env f =
@@ -147,4 +154,6 @@ let eval_run ?(env = []) run f =
         let rec some j = j < len && (at j env body || some (j + 1)) in
         some i
   in
-  at 0 env f
+  let v = at 0 env f in
+  Gem_obs.Telemetry.(span_end Formula_eval) span;
+  v

@@ -50,19 +50,34 @@ let of_linearization comp ext = of_steps comp (Linext.singleton_steps ext)
 
 let poset comp = Computation.temporal_exn comp
 
+(* Enumeration entry points carry the [Run_enum] telemetry span and the
+   materialized-history counter: every vhs handed to a temporal check is
+   accounted here, whichever enumerator produced it. *)
+let counted runs =
+  Gem_obs.Telemetry.(add Vhs_histories) (List.length runs);
+  runs
+
 let all ?limit comp =
-  List.map (of_steps_trusted comp) (Linext.step_sequences ?limit (poset comp))
+  Gem_obs.Telemetry.(time Run_enum) @@ fun () ->
+  counted (List.map (of_steps_trusted comp) (Linext.step_sequences ?limit (poset comp)))
 
 let all_linearizations ?limit comp =
-  List.map
-    (fun ext -> of_steps_trusted comp (Linext.singleton_steps ext))
-    (Gem_order.Poset.linear_extensions ?limit (poset comp))
+  Gem_obs.Telemetry.(time Run_enum) @@ fun () ->
+  counted
+    (List.map
+       (fun ext -> of_steps_trusted comp (Linext.singleton_steps ext))
+       (Gem_order.Poset.linear_extensions ?limit (poset comp)))
 
 let greedy comp = of_steps_trusted comp (Linext.greedy_levels (poset comp))
 
-let sample rng comp = of_steps_trusted comp (Linext.sample_step_sequence rng (poset comp))
+let sample rng comp =
+  Gem_obs.Telemetry.(time Run_enum) @@ fun () ->
+  Gem_obs.Telemetry.(hit Vhs_histories);
+  of_steps_trusted comp (Linext.sample_step_sequence rng (poset comp))
 
-let count ?cap comp = Linext.count_step_sequences ?cap (poset comp)
+let count ?cap comp =
+  Gem_obs.Telemetry.(time Run_enum) @@ fun () ->
+  Linext.count_step_sequences ?cap (poset comp)
 
 let pp ppf s =
   Format.fprintf ppf "@[<hov 2>vhs:";

@@ -1,0 +1,225 @@
+(* The whole sink is pre-allocated at load time: a fixed array of
+   atomics for counters, another for span aggregates. Recording is
+   [if Atomic.get on then Atomic.incr cell] — when disabled that is one
+   load and a branch, which is what keeps the instrumented hot paths
+   within the <2% overhead budget (BENCH_telemetry.json measures it).
+   Nothing here allocates on the hot path. *)
+
+type counter =
+  | Configs_explored
+  | Configs_reduced
+  | Memo_hits
+  | Memo_misses
+  | Sleep_prunes
+  | Deque_steals
+  | Shard_collisions
+  | Runs_enumerated
+  | Formula_evals
+  | Vhs_histories
+  | Budget_stop_deadline
+  | Budget_stop_configs
+  | Budget_stop_runs
+  | Budget_stop_memory
+
+let counter_idx = function
+  | Configs_explored -> 0
+  | Configs_reduced -> 1
+  | Memo_hits -> 2
+  | Memo_misses -> 3
+  | Sleep_prunes -> 4
+  | Deque_steals -> 5
+  | Shard_collisions -> 6
+  | Runs_enumerated -> 7
+  | Formula_evals -> 8
+  | Vhs_histories -> 9
+  | Budget_stop_deadline -> 10
+  | Budget_stop_configs -> 11
+  | Budget_stop_runs -> 12
+  | Budget_stop_memory -> 13
+
+let n_counters = 14
+
+let counter_name = function
+  | Configs_explored -> "configs_explored"
+  | Configs_reduced -> "configs_reduced"
+  | Memo_hits -> "memo_hits"
+  | Memo_misses -> "memo_misses"
+  | Sleep_prunes -> "sleep_prunes"
+  | Deque_steals -> "deque_steals"
+  | Shard_collisions -> "shard_collisions"
+  | Runs_enumerated -> "runs_enumerated"
+  | Formula_evals -> "formula_evals"
+  | Vhs_histories -> "vhs_histories"
+  | Budget_stop_deadline -> "deadline-exceeded"
+  | Budget_stop_configs -> "config-budget"
+  | Budget_stop_runs -> "run-cap"
+  | Budget_stop_memory -> "memory-watermark"
+
+type phase =
+  | Interp_step
+  | Canon_key
+  | Seen_table
+  | Run_enum
+  | Formula_eval
+  | Project
+  | Merge
+
+let phase_idx = function
+  | Interp_step -> 0
+  | Canon_key -> 1
+  | Seen_table -> 2
+  | Run_enum -> 3
+  | Formula_eval -> 4
+  | Project -> 5
+  | Merge -> 6
+
+let n_phases = 7
+let phases = [ Interp_step; Canon_key; Seen_table; Run_enum; Formula_eval; Project; Merge ]
+
+let phase_name = function
+  | Interp_step -> "interp_step"
+  | Canon_key -> "canon_key"
+  | Seen_table -> "seen_table"
+  | Run_enum -> "run_enum"
+  | Formula_eval -> "formula_eval"
+  | Project -> "project"
+  | Merge -> "merge"
+
+let on = Atomic.make false
+let trace_on = Atomic.make false
+let counters = Array.init n_counters (fun _ -> Atomic.make 0)
+let span_totals = Array.init n_phases (fun _ -> Atomic.make 0)
+let span_counts = Array.init n_phases (fun _ -> Atomic.make 0)
+
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+(* gettimeofday is the only wall clock the stdlib offers portably; spans
+   clamp negative deltas to zero so an NTP step cannot produce nonsense
+   aggregates. Resolution (~1us) is fine for the phases timed here. *)
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let hit c = if Atomic.get on then Atomic.incr counters.(counter_idx c)
+
+let add c n =
+  if Atomic.get on then ignore (Atomic.fetch_and_add counters.(counter_idx c) n)
+
+let read c = Atomic.get counters.(counter_idx c)
+
+(* ------------------------------------------------------------------ *)
+(* Trace buffers (domain-local, registered globally)                   *)
+(* ------------------------------------------------------------------ *)
+
+type trace_sink = { mutable t_file : string option; mutable t_epoch : int }
+
+let sink = { t_file = None; t_epoch = 0 }
+let trace_mutex = Mutex.create ()
+let trace_bufs : Buffer.t list ref = ref []
+
+let trace_key =
+  Domain.DLS.new_key (fun () ->
+      let b = Buffer.create 4096 in
+      Mutex.protect trace_mutex (fun () -> trace_bufs := b :: !trace_bufs);
+      b)
+
+let emit_trace p t0 dur_ns =
+  let b = Domain.DLS.get trace_key in
+  Buffer.add_string b
+    (Printf.sprintf
+       {|{"name":"%s","cat":"gem","ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d}|}
+       (phase_name p)
+       (float_of_int (t0 - sink.t_epoch) /. 1e3)
+       (float_of_int dur_ns /. 1e3)
+       (Domain.self () :> int));
+  Buffer.add_char b '\n'
+
+let trace_to file =
+  Mutex.protect trace_mutex (fun () ->
+      sink.t_file <- Some file;
+      sink.t_epoch <- now_ns ());
+  Atomic.set trace_on true;
+  enable ()
+
+let tracing () = Atomic.get trace_on
+
+let flush_trace () =
+  match sink.t_file with
+  | None -> ()
+  | Some file ->
+      let bufs = Mutex.protect trace_mutex (fun () -> !trace_bufs) in
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> List.iter (fun b -> Buffer.output_buffer oc b) bufs)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let span_begin _p = if Atomic.get on then now_ns () else 0
+
+let span_end p t0 =
+  if t0 <> 0 then begin
+    let dt = now_ns () - t0 in
+    let dt = if dt < 0 then 0 else dt in
+    let i = phase_idx p in
+    ignore (Atomic.fetch_and_add span_totals.(i) dt);
+    Atomic.incr span_counts.(i);
+    if Atomic.get trace_on then emit_trace p t0 dt
+  end
+
+let span_count p = Atomic.get span_counts.(phase_idx p)
+let span_ns p = Atomic.get span_totals.(phase_idx p)
+
+let time p f =
+  let t0 = span_begin p in
+  Fun.protect ~finally:(fun () -> span_end p t0) f
+
+let reset () =
+  Array.iter (fun c -> Atomic.set c 0) counters;
+  Array.iter (fun c -> Atomic.set c 0) span_totals;
+  Array.iter (fun c -> Atomic.set c 0) span_counts;
+  Mutex.protect trace_mutex (fun () ->
+      List.iter Buffer.clear !trace_bufs;
+      sink.t_epoch <- now_ns ())
+
+(* ------------------------------------------------------------------ *)
+(* Stats snapshot                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Field order is fixed by construction, so equal counter values render
+   to byte-equal JSON — the property the CLI's --stats-deterministic
+   mode and the bench golden gate rely on. *)
+
+let stats_json ?(deterministic = false) () =
+  let c name = Printf.sprintf {|"%s":%d|} (counter_name name) (read name) in
+  let invariant =
+    Printf.sprintf {|"invariant":{%s,%s,%s}|} (c Runs_enumerated)
+      (c Formula_evals) (c Vhs_histories)
+  in
+  if deterministic then Printf.sprintf {|{"schema_version":1,%s}|} invariant
+  else begin
+    let schedule =
+      Printf.sprintf
+        {|"schedule":{%s,%s,%s,%s,%s,%s,%s,"budget_stops":{%s,%s,%s,%s}}|}
+        (c Configs_explored) (c Configs_reduced) (c Memo_hits) (c Memo_misses)
+        (c Sleep_prunes) (c Deque_steals) (c Shard_collisions)
+        (c Budget_stop_deadline) (c Budget_stop_configs) (c Budget_stop_runs)
+        (c Budget_stop_memory)
+    in
+    let timings =
+      Printf.sprintf {|"timings":{%s}|}
+        (String.concat ","
+           (List.map
+              (fun p ->
+                Printf.sprintf {|"%s":{"count":%d,"total_ns":%d}|}
+                  (phase_name p) (span_count p) (span_ns p))
+              phases))
+    in
+    Printf.sprintf {|{"schema_version":1,%s,%s,%s}|} invariant schedule timings
+  end

@@ -19,8 +19,11 @@ let run ?(env = "") args =
   | Unix.WEXITED c -> c
   | Unix.WSIGNALED s | Unix.WSTOPPED s -> Alcotest.failf "killed by signal %d" s
 
-let run_capture args =
-  let ic = Unix.open_process_in (Printf.sprintf "%s %s 2>/dev/null" (Filename.quote gemcheck) args) in
+let run_capture ?(env = "") args =
+  let ic =
+    Unix.open_process_in
+      (Printf.sprintf "%s %s %s 2>/dev/null" env (Filename.quote gemcheck) args)
+  in
   let buf = Buffer.create 256 in
   (try
      while true do
@@ -29,6 +32,11 @@ let run_capture args =
    with End_of_file -> ());
   let status = Unix.close_process_in ic in
   (Buffer.contents buf, status)
+
+let contains hay needle =
+  let nl = String.length needle and ol = String.length hay in
+  let rec go i = i + nl <= ol && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
 
 let test_verified () =
   check Alcotest.int "small rw verifies" 0 (run "rw --readers 1 --writers 1")
@@ -127,14 +135,87 @@ let test_json_report () =
   (match status with
   | Unix.WEXITED 2 -> ()
   | _ -> Alcotest.fail "expected exit 2");
-  let has needle =
-    let nl = String.length needle and ol = String.length out in
-    let rec go i = i + nl <= ol && (String.sub out i nl = needle || go (i + 1)) in
-    go 0
-  in
+  let has = contains out in
   check Alcotest.bool "status field" true (has {|"status":"inconclusive"|});
   check Alcotest.bool "reason field" true (has {|"kind":"config-budget"|});
   check Alcotest.bool "coverage field" true (has {|"configs_explored":50|})
+
+(* --stats contract: a stats block on stdout after the verdict, carrying
+   the schema version and both counter sections; the verdict and exit
+   code are untouched. *)
+let test_stats_output () =
+  let out, status = run_capture "rw --readers 1 --writers 1 --stats" in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "expected exit 0 with --stats");
+  let has = contains out in
+  check Alcotest.bool "schema version" true (has {|"schema_version":1|});
+  check Alcotest.bool "invariant section" true (has {|"invariant":{|});
+  check Alcotest.bool "schedule section" true (has {|"schedule":{|});
+  check Alcotest.bool "timings section" true (has {|"timings":{|});
+  check Alcotest.bool "explored counter present" true (has {|"configs_explored":|})
+
+let test_stats_env () =
+  (* GEM_STATS is an exact alias for --stats, validation included. *)
+  let out, status = run_capture ~env:"GEM_STATS=true" "rw --readers 1 --writers 1" in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "expected exit 0 with GEM_STATS=true");
+  check Alcotest.bool "env enables stats" true (contains out {|"schema_version":1|});
+  check Alcotest.int "bogus GEM_STATS is a usage error" 3
+    (run ~env:"GEM_STATS=bogus" "rw --readers 1 --writers 1");
+  let quiet, qstatus = run_capture "rw --readers 1 --writers 1" in
+  (match qstatus with Unix.WEXITED 0 -> () | _ -> Alcotest.fail "expected exit 0");
+  check Alcotest.bool "no stats without opt-in" false
+    (contains quiet {|"schema_version"|})
+
+(* --stats-deterministic: the snapshot must be byte-identical whatever
+   --jobs is, on every subcommand that explores. *)
+let test_stats_deterministic () =
+  let snapshot args jobs =
+    let out, status =
+      run_capture (Printf.sprintf "%s --stats-deterministic --jobs %d" args jobs)
+    in
+    (match status with
+    | Unix.WEXITED c when c <= 2 -> ()
+    | _ -> Alcotest.failf "unexpected exit for %s --jobs %d" args jobs);
+    (* The stats block is the last line of stdout. *)
+    match List.rev (String.split_on_char '\n' (String.trim out)) with
+    | last :: _ -> last
+    | [] -> Alcotest.failf "no output for %s" args
+  in
+  List.iter
+    (fun args ->
+      let s1 = snapshot args 1 in
+      check Alcotest.bool "snapshot looks deterministic" true
+        (contains s1 {|"invariant":{|} && not (contains s1 {|"schedule"|}));
+      check Alcotest.string (args ^ " jobs=2") s1 (snapshot args 2);
+      check Alcotest.string (args ^ " jobs=8") s1 (snapshot args 8))
+    [
+      "rw --readers 1 --writers 1";
+      "buffer --lang monitor --items 2";
+      "buffer --lang csp --items 2";
+      "buffer --lang ada --items 2";
+      "rwd --lang csp";
+      "db --sites 2";
+    ]
+
+(* --trace contract: a well-formed JSONL trace lands at the given path;
+   the empty path is a usage error. *)
+let test_trace_output () =
+  let file = Filename.temp_file "gemcheck_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      check Alcotest.int "verdict unchanged with --trace" 0
+        (run (Printf.sprintf "rw --readers 1 --writers 1 --trace %s" (Filename.quote file)));
+      let ic = open_in file in
+      let first = try input_line ic with End_of_file -> "" in
+      close_in ic;
+      check Alcotest.bool "trace file has events" true (String.length first > 0);
+      check Alcotest.bool "event is a chrome trace object" true
+        (contains first {|"ph":"X"|} && contains first {|"cat":"gem"|}));
+  check Alcotest.int "empty --trace path is a usage error" 3 (run "rw --trace \"\"")
 
 let () =
   Alcotest.run "gemcheck_cli"
@@ -155,4 +236,12 @@ let () =
           Alcotest.test_case "bad values rejected" `Quick test_jobs_rejected;
         ] );
       ("json", [ Alcotest.test_case "degradation report" `Quick test_json_report ]);
+      ( "stats",
+        [
+          Alcotest.test_case "--stats output" `Quick test_stats_output;
+          Alcotest.test_case "GEM_STATS env" `Quick test_stats_env;
+          Alcotest.test_case "deterministic across jobs" `Quick
+            test_stats_deterministic;
+          Alcotest.test_case "--trace export" `Quick test_trace_output;
+        ] );
     ]
