@@ -136,6 +136,12 @@ let blinker = [ (1, 0); (1, 1); (1, 2) ]
 let rwd_csp = Rw_distributed.csp_program ~readers:1 ~writers:1
 let rwd_ada = Rw_distributed.ada_program ~readers:1 ~writers:1
 
+(* A representative footprint-disjointness check: two moves with
+   interleaved (sorted, non-overlapping) element footprints, the shape
+   the merge walk has to scan to the end. *)
+let fp_move_a = { Explore.label = "a"; touches = [ "A"; "C"; "E"; "G" ] }
+let fp_move_b = { Explore.label = "b"; touches = [ "B"; "D"; "F"; "H" ] }
+
 let rwd_problem =
   let rnames, wnames = Rw_distributed.user_names ~readers:1 ~writers:1 in
   Rw_distributed.spec ~readers:rnames ~writers:wnames
@@ -256,6 +262,9 @@ let tests =
         | Error m -> failwith m);
     (* order substrate *)
     t "order/width-life-4x4x2" (fun () -> ignore (Poset.width life_poset));
+    (* search-key substrate *)
+    t "explore/footprint-checks" (fun () ->
+        ignore (Explore.independent fp_move_a fp_move_b));
     (* E14 *)
     t "ablate/exhaustive-vhs" (fun () ->
         ignore
@@ -491,6 +500,136 @@ let parallel_report () =
   Printf.printf "wrote BENCH_parallel.json (host offers %d hardware thread(s))\n%!" cores
 
 (* ------------------------------------------------------------------ *)
+(* Search keys: exact canonical strings vs incremental fingerprints    *)
+(* ------------------------------------------------------------------ *)
+
+(* Each workload is explored twice per measurement — once keyed on exact
+   marshal-string canonical keys (--exact-keys), once on incremental
+   126-bit fingerprints (the default) — POR on, jobs=1, so the only
+   difference is key construction. Besides wall time and speedup, every
+   row records whether the two key modes produced the same
+   computation-fingerprint multiset (the byte-identical-verdict
+   contract) and, from a separate untimed audited leg, the number of
+   fingerprint collisions the exact-key oracle detected (must be 0).
+   A microbenchmark of the sorted-footprint disjointness walk
+   (Explore.independent) rides along as footprint_check_ns. *)
+
+module T = Telemetry
+
+let keys_workloads =
+  [
+    ( "rw-monitor-2r1w",
+      fun ~exact ~audit ->
+        let o =
+          Monitor.explore ~por:true ~jobs:1 ~exact_keys:exact ~audit_keys:audit
+            (rw_program 2 1)
+        in
+        (o.Monitor.explored, o.Monitor.exhausted = None,
+         List.map Explore.fingerprint o.Monitor.computations
+         @ List.map Explore.fingerprint o.Monitor.deadlocks) );
+    ( "buffer-ada-1p1c2i",
+      fun ~exact ~audit ->
+        let o =
+          Ada.explore ~por:true ~jobs:1 ~exact_keys:exact ~audit_keys:audit
+            buffer_ada_program
+        in
+        (o.Ada.explored, o.Ada.exhausted = None,
+         List.map Explore.fingerprint o.Ada.computations
+         @ List.map Explore.fingerprint o.Ada.deadlocks) );
+    ( "rwd-ada-1r1w",
+      fun ~exact ~audit ->
+        let o =
+          Ada.explore ~por:true ~jobs:1 ~exact_keys:exact ~audit_keys:audit
+            rwd_ada
+        in
+        (o.Ada.explored, o.Ada.exhausted = None,
+         List.map Explore.fingerprint o.Ada.computations
+         @ List.map Explore.fingerprint o.Ada.deadlocks) );
+    ( "buffer-csp-1p1c2i",
+      fun ~exact ~audit ->
+        let o =
+          Csp.explore ~por:true ~jobs:1 ~exact_keys:exact ~audit_keys:audit
+            buffer_csp_program
+        in
+        (o.Csp.explored, o.Csp.exhausted = None,
+         List.map Explore.fingerprint o.Csp.computations
+         @ List.map Explore.fingerprint o.Csp.deadlocks) );
+  ]
+
+let keys_report () =
+  let iters = 5 in
+  (* One warm-up run, then the average of [iters] timed runs; the two key
+     modes are interleaved so process-lifetime drift (heap growth, cache
+     state) does not land entirely on one of them. *)
+  let rows =
+    List.map
+      (fun (name, run) ->
+        let time1 f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (Unix.gettimeofday () -. t0, r)
+        in
+        ignore (run ~exact:true ~audit:false);
+        ignore (run ~exact:false ~audit:false);
+        let exact_total = ref 0.0 and fp_total = ref 0.0 in
+        let exact_r = ref (0, false, []) and fp_r = ref (0, false, []) in
+        for _ = 1 to iters do
+          let s, r = time1 (fun () -> run ~exact:true ~audit:false) in
+          exact_total := !exact_total +. s;
+          exact_r := r;
+          let s, r = time1 (fun () -> run ~exact:false ~audit:false) in
+          fp_total := !fp_total +. s;
+          fp_r := r
+        done;
+        let exact_s = !exact_total /. float_of_int iters in
+        let fp_s = !fp_total /. float_of_int iters in
+        let speedup = exact_s /. Float.max 1e-9 fp_s in
+        let exact_explored, exact_complete, exact_fps = !exact_r in
+        let fp_explored, fp_complete, fp_fps = !fp_r in
+        let identical =
+          List.sort compare fp_fps = List.sort compare exact_fps
+          && exact_complete && fp_complete
+        in
+        (* Untimed audited leg: fingerprint keys with the exact key as a
+           collision oracle on every seen-table arrival. *)
+        T.reset ();
+        T.enable ();
+        ignore (run ~exact:false ~audit:true);
+        T.disable ();
+        let collisions = T.read T.Fingerprint_collisions in
+        Printf.printf
+          "%-22s exact %8.4fs  fp %8.4fs  %5.2fx  explored=%-7d %s  collisions=%d\n%!"
+          name exact_s fp_s speedup fp_explored
+          (if identical then "verdict-identical" else "VERDICT-MISMATCH")
+          collisions;
+        ( speedup,
+          Printf.sprintf
+            {|{"workload":"%s","exact_s":%.6f,"fp_s":%.6f,"speedup":%.3f,"exact_explored":%d,"fp_explored":%d,"verdicts_identical":%b,"fingerprint_collisions":%d}|}
+            name exact_s fp_s speedup exact_explored fp_explored identical
+            collisions ))
+      keys_workloads
+  in
+  let footprint_check_ns =
+    let ops = 2_000_000 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to ops do
+      ignore (Explore.independent fp_move_a fp_move_b)
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int ops *. 1e9
+  in
+  let fast = List.length (List.filter (fun (s, _) -> s >= 2.0) rows) in
+  Printf.printf "footprint disjointness check: %.1f ns/op\n%!" footprint_check_ns;
+  Printf.printf "%d/%d workloads at >= 2x\n%!" fast (List.length rows);
+  let oc = open_out "BENCH_keys.json" in
+  output_string oc
+    (Printf.sprintf
+       "{%s,\"footprint_check_ns\":%.2f,\"rows\":[\n  %s\n]}\n"
+       provenance_fields footprint_check_ns
+       (String.concat ",\n  " (List.map snd rows)));
+  close_out oc;
+  Printf.printf "wrote BENCH_keys.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Telemetry counters: deterministic golden values                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -501,8 +640,6 @@ let parallel_report () =
    BENCH_stats_golden.json (schema_version + workloads only, no
    git_rev), which CI diffs byte-for-byte against bench/golden/stats.json
    to catch silent search-space or enumeration drift. *)
-
-module T = Telemetry
 
 let stats_workloads =
   [
@@ -592,8 +729,8 @@ let telemetry_counters =
   T.
     [
       Configs_explored; Configs_reduced; Memo_hits; Memo_misses; Sleep_prunes;
-      Deque_steals; Shard_collisions; Runs_enumerated; Formula_evals;
-      Vhs_histories;
+      Deque_steals; Shard_collisions; Fingerprint_collisions; Footprint_checks;
+      Runs_enumerated; Formula_evals; Vhs_histories;
     ]
 
 let telemetry_phases =
@@ -707,12 +844,14 @@ let () =
     stats_report ()
   else if has "--parallel-only" then parallel_report ()
   else if has "--por-only" then por_report ()
+  else if has "--keys-only" then keys_report ()
   else if has "--budget-only" then budget_overhead_report ()
   else begin
     run_bechamel ();
     budget_overhead_report ();
     por_report ();
     parallel_report ();
+    keys_report ();
     stats_report ();
     telemetry_overhead_report ()
   end

@@ -159,6 +159,33 @@ let por_term =
   in
   Term.(const (fun no_por -> if no_por then Some false else None) $ no_por)
 
+(* --exact-keys / --audit-keys pick the search-key mode of the reduced
+   search; like --no-por, passing [None] down defers to the interpreters'
+   environment-aware defaults (GEM_EXACT_KEYS / GEM_AUDIT_KEYS, see
+   Explore.exact_keys_default / audit_keys_default). *)
+let keys_term =
+  let exact =
+    Arg.(value & flag
+         & info [ "exact-keys" ]
+             ~doc:"Key the reduced search on exact canonical state keys \
+                   instead of incremental 128-bit fingerprints: slower, \
+                   but immune to fingerprint collisions. The default \
+                   honors the GEM_EXACT_KEYS environment variable.")
+  in
+  let audit =
+    Arg.(value & flag
+         & info [ "audit-keys" ]
+             ~doc:"Keep fingerprint keys but compute the exact key \
+                   alongside as a collision oracle (forfeiting the \
+                   speedup); mismatches are counted under the \
+                   fingerprint_collisions telemetry counter — see \
+                   $(b,--stats). The default honors the GEM_AUDIT_KEYS \
+                   environment variable.")
+  in
+  Term.(const (fun e a ->
+          ((if e then Some true else None), (if a then Some true else None)))
+        $ exact $ audit)
+
 (* ------------------------------------------------------------------ *)
 (* Outcome reporting                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -268,10 +295,10 @@ let rw_cmd =
   in
   let readers = Arg.(value & opt int 2 & info [ "readers" ] ~docv:"N") in
   let writers = Arg.(value & opt int 1 & info [ "writers" ] ~docv:"N") in
-  let run monitor version readers writers por jobs budget json obs =
+  let run monitor version readers writers por (exact_keys, audit_keys) jobs budget json obs =
     obs_init obs;
     let program = Readers_writers.program ~monitor ~readers ~writers in
-    let o = Monitor.explore ?por ~budget ~jobs program in
+    let o = Monitor.explore ?por ?exact_keys ?audit_keys ~budget ~jobs program in
     let problem =
       Readers_writers.spec version ~users:(Readers_writers.user_names ~readers ~writers)
     in
@@ -303,7 +330,7 @@ let rw_cmd =
   in
   Cmd.v
     (Cmd.info "rw" ~doc:"Verify a Readers/Writers monitor against a problem version.")
-    Term.(const run $ monitor $ version $ readers $ writers $ por_term $ jobs_term $ budget_term $ json_flag $ obs_term)
+    Term.(const run $ monitor $ version $ readers $ writers $ por_term $ keys_term $ jobs_term $ budget_term $ json_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* buffer                                                              *)
@@ -341,28 +368,28 @@ let buffer_cmd =
   let producers = Arg.(value & opt int 1 & info [ "producers" ] ~docv:"N") in
   let consumers = Arg.(value & opt int 1 & info [ "consumers" ] ~docv:"N") in
   let items = Arg.(value & opt int 2 & info [ "items" ] ~docv:"N" ~doc:"Items per producer.") in
-  let run lang capacity producers consumers items por jobs budget json obs =
+  let run lang capacity producers consumers items por (exact_keys, audit_keys) jobs budget json obs =
     obs_init obs;
     let problem = Buffer_problem.spec ~capacity in
     let strategy = Strategy.of_budget budget in
     let comps, deadlocks, explored, reduced, truncated, exhausted, results =
       match lang with
       | `Monitor ->
-          let o = Monitor.explore ?por ~budget ~jobs (Buffer_problem.monitor_solution ~capacity ~producers ~consumers ~items_each:items) in
+          let o = Monitor.explore ?por ?exact_keys ?audit_keys ~budget ~jobs (Buffer_problem.monitor_solution ~capacity ~producers ~consumers ~items_each:items) in
           ( List.length o.Monitor.computations,
             List.length o.Monitor.deadlocks,
             o.Monitor.explored, o.Monitor.reduced, o.Monitor.truncated, o.Monitor.exhausted,
             Refine.sat ~strategy ~budget ~jobs ~problem ~map:Buffer_problem.monitor_correspondence
               o.Monitor.computations )
       | `Csp ->
-          let o = Csp.explore ?por ~budget ~jobs (Buffer_problem.csp_solution ~capacity ~producers ~consumers ~items_each:items) in
+          let o = Csp.explore ?por ?exact_keys ?audit_keys ~budget ~jobs (Buffer_problem.csp_solution ~capacity ~producers ~consumers ~items_each:items) in
           ( List.length o.Csp.computations,
             List.length o.Csp.deadlocks,
             o.Csp.explored, o.Csp.reduced, o.Csp.truncated, o.Csp.exhausted,
             Refine.sat ~strategy ~budget ~jobs ~problem ~map:Buffer_problem.csp_correspondence
               o.Csp.computations )
       | `Ada ->
-          let o = Ada.explore ?por ~budget ~jobs (Buffer_problem.ada_solution ~capacity ~producers ~consumers ~items_each:items) in
+          let o = Ada.explore ?por ?exact_keys ?audit_keys ~budget ~jobs (Buffer_problem.ada_solution ~capacity ~producers ~consumers ~items_each:items) in
           ( List.length o.Ada.computations,
             List.length o.Ada.deadlocks,
             o.Ada.explored, o.Ada.reduced, o.Ada.truncated, o.Ada.exhausted,
@@ -381,7 +408,7 @@ let buffer_cmd =
   in
   Cmd.v
     (Cmd.info "buffer" ~doc:"Verify a bounded-buffer solution.")
-    Term.(const run $ lang $ capacity $ producers $ consumers $ items $ por_term $ jobs_term $ budget_term $ json_flag $ obs_term)
+    Term.(const run $ lang $ capacity $ producers $ consumers $ items $ por_term $ keys_term $ jobs_term $ budget_term $ json_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* rwd: distributed Readers/Writers                                    *)
@@ -397,7 +424,7 @@ let rwd_cmd =
   let broken =
     Arg.(value & flag & info [ "no-priority" ] ~doc:"Use the priority-less mutant.")
   in
-  let run lang readers writers broken por jobs budget json obs =
+  let run lang readers writers broken por (exact_keys, audit_keys) jobs budget json obs =
     obs_init obs;
     let rnames, wnames = Rw_distributed.user_names ~readers ~writers in
     let problem = Rw_distributed.spec ~readers:rnames ~writers:wnames in
@@ -409,7 +436,7 @@ let rwd_cmd =
             if broken then Rw_distributed.csp_program_no_priority ~readers ~writers
             else Rw_distributed.csp_program ~readers ~writers
           in
-          let o = Csp.explore ?por ~max_configs:20_000_000 ~budget ~jobs program in
+          let o = Csp.explore ?por ?exact_keys ?audit_keys ~max_configs:20_000_000 ~budget ~jobs program in
           ( List.length o.Csp.computations,
             List.length o.Csp.deadlocks,
             o.Csp.explored, o.Csp.reduced, o.Csp.truncated, o.Csp.exhausted,
@@ -420,7 +447,7 @@ let rwd_cmd =
             if broken then Rw_distributed.ada_program_no_priority ~readers ~writers
             else Rw_distributed.ada_program ~readers ~writers
           in
-          let o = Ada.explore ?por ~max_configs:20_000_000 ~budget ~jobs program in
+          let o = Ada.explore ?por ?exact_keys ?audit_keys ~max_configs:20_000_000 ~budget ~jobs program in
           ( List.length o.Ada.computations,
             List.length o.Ada.deadlocks,
             o.Ada.explored, o.Ada.reduced, o.Ada.truncated, o.Ada.exhausted,
@@ -440,7 +467,7 @@ let rwd_cmd =
   Cmd.v
     (Cmd.info "rwd"
        ~doc:"Verify the distributed (CSP/ADA) Readers/Writers solutions.")
-    Term.(const run $ lang $ readers $ writers $ broken $ por_term $ jobs_term $ budget_term $ json_flag $ obs_term)
+    Term.(const run $ lang $ readers $ writers $ broken $ por_term $ keys_term $ jobs_term $ budget_term $ json_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* parse                                                               *)
@@ -481,9 +508,9 @@ let parse_cmd =
 
 let db_cmd =
   let sites = Arg.(value & opt int 3 & info [ "sites" ] ~docv:"N") in
-  let run sites por jobs budget json obs =
+  let run sites por (exact_keys, audit_keys) jobs budget json obs =
     obs_init obs;
-    let r = Db_update.check ?por ~budget ~jobs ~sites () in
+    let r = Db_update.check ?por ?exact_keys ?audit_keys ~budget ~jobs ~sites () in
     let status =
       if (not r.Db_update.converges) || r.deadlocks > 0 then Verdict.Falsified
       else
@@ -505,7 +532,7 @@ let db_cmd =
          })
   in
   Cmd.v (Cmd.info "db" ~doc:"Explore the distributed database update.")
-    Term.(const run $ sites $ por_term $ jobs_term $ budget_term $ json_flag $ obs_term)
+    Term.(const run $ sites $ por_term $ keys_term $ jobs_term $ budget_term $ json_flag $ obs_term)
 
 let life_cmd =
   let width = Arg.(value & opt int 4 & info [ "width" ] ~docv:"N") in

@@ -6,7 +6,7 @@
 
     {ul
     {- order substrate: {!Bitset}, {!Digraph}, {!Poset}, {!Linext},
-       {!Relation};}
+       {!Relation}, {!Fingerprint};}
     {- the model of execution: {!Value}, {!Event}, {!Group},
        {!Computation}, {!Build}, {!Dot};}
     {- the restriction logic: {!Formula}, {!History}, {!Vhs}, {!Eval};}
@@ -32,6 +32,7 @@ module Digraph = Gem_order.Digraph
 module Poset = Gem_order.Poset
 module Linext = Gem_order.Linext
 module Relation = Gem_order.Relation
+module Fingerprint = Gem_order.Fingerprint
 module Value = Gem_model.Value
 module Event = Gem_model.Event
 module Group = Gem_model.Group

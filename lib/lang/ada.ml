@@ -1,5 +1,6 @@
 module Value = Gem_model.Value
 module F = Gem_logic.Formula
+module Fp = Gem_order.Fingerprint
 
 type stmt =
   | ALocal of string * Expr.t
@@ -344,16 +345,15 @@ let canon x = Marshal.to_string x [ Marshal.No_sharing ]
 let state_key program cfg =
   let span = Gem_obs.Telemetry.(span_begin Canon_key) in
   let comp = seal program cfg in
-  let id h =
-    Format.asprintf "%a" Gem_model.Event.pp_id
-      (Gem_model.Computation.event comp h).Gem_model.Event.id
-  in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf (Explore.fingerprint comp);
+  let id h =
+    Explore.add_id buf (Gem_model.Computation.event comp h).Gem_model.Event.id
+  in
+  Explore.fingerprint_into buf comp;
   List.iter
     (fun (n, rt) ->
       Buffer.add_string buf n;
-      Buffer.add_string buf (id rt.t_last);
+      id rt.t_last;
       (match rt.t_state with
       | Active items ->
           Buffer.add_char buf 'A';
@@ -376,8 +376,8 @@ let state_key program cfg =
           (fun p ->
             Buffer.add_string buf
               (canon (p.q_caller, p.q_args, p.q_bind, p.q_cont));
-            Buffer.add_string buf (id p.q_call_event);
-            Buffer.add_string buf (id p.q_enqueue_event))
+            id p.q_call_event;
+            id p.q_enqueue_event)
           pendings
       end)
     (List.sort (fun (a, _) (b, _) -> compare a b) cfg.queues);
@@ -385,15 +385,76 @@ let state_key program cfg =
   Gem_obs.Telemetry.(span_end Canon_key) span;
   key
 
-let explore ?por ?max_steps ?max_configs ?budget ?jobs program =
+(* Incremental fingerprint mirroring [state_key] — see Monitor.fp_key for
+   the construction rationale. Local stores and the queue association
+   list are folded commutatively (their insertion orders vary across
+   interleavings; variable names and (callee, entry) keys are unique, and
+   empty queues contribute nothing — matching the exact key's sorted
+   rendering with empty queues elided); each queue's pendings are FIFO
+   and hashed in order. Event handles are replaced by their stable
+   identity fingerprints. *)
+let store_fp s =
+  List.fold_left
+    (fun acc (x, v) -> Fp.cadd acc (Fp.combine (Fp.of_string x) (Fp.of_struct v)))
+    (Fp.of_int 0x57) s
+
+let fp_key cfg =
+  let span = Gem_obs.Telemetry.(span_begin Canon_key) in
+  let idf = Trace.id_fp cfg.trace in
+  let acc = ref (Trace.fp cfg.trace) in
+  let mix x = acc := Fp.combine !acc x in
+  List.iter
+    (fun (n, rt) ->
+      mix (Fp.of_string n);
+      mix (idf rt.t_last);
+      (match rt.t_state with
+      | Active items -> mix (Fp.combine (Fp.of_int 1) (Fp.of_struct items))
+      | Blocked_call -> mix (Fp.of_int 2)
+      | Blocked_accept (a, rest) ->
+          mix (Fp.combine (Fp.of_int 3) (Fp.of_struct (a, rest)))
+      | Blocked_select (branches, rest) ->
+          mix (Fp.combine (Fp.of_int 4) (Fp.of_struct (branches, rest)))
+      | Tdone -> mix (Fp.of_int 5));
+      mix (store_fp rt.t_locals))
+    cfg.tasks;
+  mix
+    (List.fold_left
+       (fun a (qkey, pendings) ->
+         if pendings = [] then a
+         else
+           Fp.cadd a
+             (List.fold_left
+                (fun q p ->
+                  Fp.combine q
+                    (Fp.combine
+                       (Fp.of_struct (p.q_caller, p.q_args, p.q_bind, p.q_cont))
+                       (Fp.combine (idf p.q_call_event) (idf p.q_enqueue_event))))
+                (Fp.of_struct qkey) pendings))
+       (Fp.of_int 0x9e) cfg.queues);
+  Gem_obs.Telemetry.(span_end Canon_key) span;
+  !acc
+
+let explore ?por ?exact_keys ?audit_keys ?max_steps ?max_configs ?budget ?jobs
+    program =
   let por = match por with Some p -> p | None -> Explore.por_default () in
+  let exact =
+    match exact_keys with Some b -> b | None -> Explore.exact_keys_default ()
+  in
+  let auditing =
+    match audit_keys with Some b -> b | None -> Explore.audit_keys_default ()
+  in
   let jobs =
     match jobs with Some j -> j | None -> Gem_check.Par.jobs_default ()
   in
   let result =
     if por then
-      Explore.run ?max_steps ?max_configs ?budget ~key:(state_key program)
-        ~footprint:moves_fp ~jobs ~moves ~terminated (initial program)
+      let key =
+        if exact then fun c -> Explore.Exact (state_key program c)
+        else fun c -> Explore.Fp (fp_key c)
+      in
+      let audit = if auditing && not exact then Some (state_key program) else None in
+      Explore.run ?max_steps ?max_configs ?budget ~key ?audit ~footprint:moves_fp
+        ~jobs ~moves ~terminated (initial program)
     else
       Explore.run ?max_steps ?max_configs ?budget ~jobs ~moves ~terminated
         (initial program)
@@ -411,6 +472,7 @@ let explore ?por ?max_steps ?max_configs ?budget ?jobs program =
 let initial_config program = initial program
 let config_moves cfg = moves_fp cfg
 let config_key = state_key
+let config_fp _program cfg = fp_key cfg
 let config_terminated = terminated
 
 let run_one ?(seed = 42) program =

@@ -57,6 +57,8 @@ type outcome = {
 
 val explore :
   ?por:bool ->
+  ?exact_keys:bool ->
+  ?audit_keys:bool ->
   ?max_steps:int ->
   ?max_configs:int ->
   ?budget:Gem_check.Budget.t ->
@@ -65,10 +67,14 @@ val explore :
   outcome
 (** Resource exhaustion never raises; it is reported in [exhausted].
     [por] (default {!Explore.por_default}) switches between the sleep-set
-    + canonical-key reduced search and a plain exhaustive DFS. [jobs]
+    + canonical-key reduced search and a plain exhaustive DFS.
+    [exact_keys] (default {!Explore.exact_keys_default}) keys the reduced
+    search on exact canonical strings instead of incremental
+    fingerprints; [audit_keys] (default {!Explore.audit_keys_default})
+    runs fingerprint keys with the exact key as a collision oracle. [jobs]
     (default {!Gem_check.Par.jobs_default}) spreads the walk over that
     many domains; the canonically ordered [computations]/[deadlocks] are
-    identical for every job count. *)
+    identical for every job count and either key mode. *)
 
 val run_one : ?seed:int -> program -> Gem_model.Computation.t
 
@@ -87,6 +93,11 @@ val config_moves : config -> (Explore.move * config) list
 val config_key : program -> config -> string
 (** Canonical state key: byte-equal for configurations reached by
     different interleavings of commuting moves. *)
+
+val config_fp : program -> config -> Gem_order.Fingerprint.t
+(** Incremental fingerprint of the configuration — equal whenever
+    {!config_key} is byte-equal; distinct keys collide with negligible
+    probability. *)
 
 val config_terminated : config -> bool
 

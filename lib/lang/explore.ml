@@ -1,11 +1,67 @@
 module Budget = Gem_check.Budget
 module T = Gem_obs.Telemetry
+module Fp = Gem_order.Fingerprint
 module Smap = Map.Make (String)
 
 type move = { label : string; touches : string list }
 
+(* [touches] lists are sorted and duplicate-free (the interpreters build
+   them with [List.sort_uniq]), so disjointness is one merge walk — the
+   sleep-set filter calls this for every (sleeping, fired) move pair, and
+   the old nested [List.mem] scan was quadratic in footprint size. *)
 let independent m1 m2 =
-  not (List.exists (fun e -> List.mem e m2.touches) m1.touches)
+  T.hit T.Footprint_checks;
+  let rec disjoint xs ys =
+    match (xs, ys) with
+    | [], _ | _, [] -> true
+    | x :: xs', y :: ys' ->
+        let c = String.compare x y in
+        if c = 0 then false else if c < 0 then disjoint xs' ys else disjoint xs ys'
+  in
+  disjoint m1.touches m2.touches
+
+(* ------------------------------------------------------------------ *)
+(* Search keys                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The seen tables are keyed either by a 126-bit state fingerprint
+   (default: O(1) to extend per step, collision-bounded) or by the exact
+   marshal-string canonical key (the [--exact-keys] fallback, and the
+   audit oracle). The constructors are kept distinct so a single run can
+   never confuse the two key spaces. *)
+type skey = Fp of Fp.t | Exact of string
+
+let skey_equal a b =
+  match (a, b) with
+  | Fp x, Fp y -> Fp.equal x y
+  | Exact x, Exact y -> String.equal x y
+  | Fp _, Exact _ | Exact _, Fp _ -> false
+
+let skey_compare a b =
+  match (a, b) with
+  | Fp x, Fp y -> Fp.compare x y
+  | Exact x, Exact y -> String.compare x y
+  | Fp _, Exact _ -> -1
+  | Exact _, Fp _ -> 1
+
+let skey_hash = function Fp x -> Fp.hash x | Exact s -> Hashtbl.hash s
+
+module Ktbl = Hashtbl.Make (struct
+  type t = skey
+
+  let equal = skey_equal
+  let hash = skey_hash
+end)
+
+let exact_keys_default () =
+  match Sys.getenv_opt "GEM_EXACT_KEYS" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let audit_keys_default () =
+  match Sys.getenv_opt "GEM_AUDIT_KEYS" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
 
 type 'c result = {
   completed : 'c list;
@@ -21,10 +77,12 @@ let por_default () =
   | Some ("1" | "true" | "yes") -> false
   | Some _ | None -> true
 
-(* Mutable walk state shared by both search strategies. *)
+(* Mutable walk state shared by both search strategies. Leaves are kept
+   decorated with the search key computed when the configuration was
+   admitted, so the canonical sort never recomputes a key. *)
 type 'c walk = {
-  mutable w_completed : 'c list;
-  mutable w_deadlocked : 'c list;
+  mutable w_completed : (skey option * 'c) list;
+  mutable w_deadlocked : (skey option * 'c) list;
   mutable w_truncated : int;
   mutable w_explored : int;
   mutable w_reduced : int;
@@ -60,31 +118,41 @@ let stop w ~max_configs ~budget () =
           true
         end
 
-(* Canonical leaf order: sort by state key so the result never depends on
-   traversal order — sequential DFS, re-runs, and parallel schedules all
-   assemble the same list. Decorate-sort-undecorate, since keys are
-   expensive (they seal and marshal the configuration). Without a key
-   function the discovery order is kept (sequential runs are
-   deterministic; parallel plain runs are canonicalized downstream by
-   {!dedup_computations}). *)
-let canonical_leaves key leaves =
-  match key with
-  | None -> leaves
-  | Some k ->
-      let t = T.span_begin T.Merge in
-      let sorted =
-        List.map snd
-          (List.sort
-             (fun (a, _) (b, _) -> compare a b)
-             (List.map (fun c -> (k c, c)) leaves))
-      in
-      T.span_end T.Merge t;
-      sorted
+(* Audit support: when an exact-key oracle is given, the seen tables store
+   the oracle key recorded at first insert next to each entry; a hit whose
+   oracle key differs is a fingerprint collision — a lossy merge that
+   would silently prune a distinct state — and is counted. *)
+let audit_mismatch prior exact =
+  match (prior, exact) with
+  | Some p, Some e when not (String.equal p e) -> T.hit T.Fingerprint_collisions
+  | _ -> ()
 
-let finish ~key w =
+(* Canonical leaf order: sort by the (already computed) search key so the
+   result never depends on traversal order — sequential DFS, re-runs, and
+   parallel schedules all assemble the same list. Without a key function
+   the discovery order is kept (sequential runs are deterministic;
+   parallel plain runs are canonicalized downstream by
+   {!dedup_computations}). *)
+let canonical_leaves ~keyed leaves =
+  if not keyed then List.map snd leaves
+  else begin
+    let t = T.span_begin T.Merge in
+    let cmp (a, _) (b, _) =
+      match (a, b) with
+      | Some a, Some b -> skey_compare a b
+      | Some _, None -> -1
+      | None, Some _ -> 1
+      | None, None -> 0
+    in
+    let sorted = List.map snd (List.sort cmp leaves) in
+    T.span_end T.Merge t;
+    sorted
+  end
+
+let finish ~keyed w =
   {
-    completed = canonical_leaves key (List.rev w.w_completed);
-    deadlocked = canonical_leaves key (List.rev w.w_deadlocked);
+    completed = canonical_leaves ~keyed (List.rev w.w_completed);
+    deadlocked = canonical_leaves ~keyed (List.rev w.w_deadlocked);
     truncated = w.w_truncated;
     explored = w.w_explored;
     reduced = w.w_reduced;
@@ -95,31 +163,30 @@ let finish ~key w =
 (* Plain bounded DFS (no reduction beyond optional key memoization)     *)
 (* ------------------------------------------------------------------ *)
 
-let run_plain ~max_steps ~max_configs ~budget ~key ~moves ~terminated init =
+let run_plain ~max_steps ~max_configs ~budget ~key ~audit ~moves ~terminated init =
   let w = new_walk () in
-  let seen = Hashtbl.create 1024 in
-  let fresh config =
-    match key with
-    | None -> true
-    | Some k ->
-        let d = k config in
-        let t = T.span_begin T.Seen_table in
-        let novel =
-          if Hashtbl.mem seen d then begin
-            T.hit T.Memo_hits;
-            false
-          end
-          else begin
-            Hashtbl.add seen d ();
-            T.hit T.Memo_misses;
-            true
-          end
-        in
-        T.span_end T.Seen_table t;
-        novel
+  let seen : string option Ktbl.t = Ktbl.create 1024 in
+  let exact_of c = match audit with None -> None | Some a -> Some (a c) in
+  (* Returns the admitted configuration's key so the visit (and a leaf
+     classification) can reuse it instead of keying again. *)
+  let fresh d exact =
+    let t = T.span_begin T.Seen_table in
+    let novel =
+      match Ktbl.find_opt seen d with
+      | Some prior ->
+          audit_mismatch prior exact;
+          T.hit T.Memo_hits;
+          false
+      | None ->
+          Ktbl.add seen d exact;
+          T.hit T.Memo_misses;
+          true
+    in
+    T.span_end T.Seen_table t;
+    novel
   in
   let stop = stop w ~max_configs ~budget in
-  let rec dfs depth config =
+  let rec dfs depth kc config =
     if not (stop ()) then begin
       w.w_explored <- w.w_explored + 1;
       T.hit T.Configs_explored;
@@ -130,25 +197,36 @@ let run_plain ~max_steps ~max_configs ~budget ~key ~moves ~terminated init =
         T.span_end T.Interp_step t;
         match ms with
         | [] ->
-            if terminated config then w.w_completed <- config :: w.w_completed
-            else w.w_deadlocked <- config :: w.w_deadlocked
+            if terminated config then w.w_completed <- (kc, config) :: w.w_completed
+            else w.w_deadlocked <- (kc, config) :: w.w_deadlocked
         | ms ->
             List.iter
               (fun c ->
-                if fresh c then dfs (depth + 1) c
-                else begin
-                  w.w_reduced <- w.w_reduced + 1;
-                  T.hit T.Configs_reduced
-                end)
+                match key with
+                | None -> dfs (depth + 1) None c
+                | Some k ->
+                    let d = k c in
+                    if fresh d (exact_of c) then dfs (depth + 1) (Some d) c
+                    else begin
+                      w.w_reduced <- w.w_reduced + 1;
+                      T.hit T.Configs_reduced
+                    end)
               ms
       end
     end
   in
   (* The initial configuration belongs in the seen table too: a cycle back
      to the root must not re-explore it. *)
-  ignore (fresh init);
-  dfs 0 init;
-  finish ~key w
+  let k0 =
+    match key with
+    | None -> None
+    | Some k ->
+        let d = k init in
+        ignore (fresh d (exact_of init));
+        Some d
+  in
+  dfs 0 k0 init;
+  finish ~keyed:(key <> None) w
 
 (* ------------------------------------------------------------------ *)
 (* Sleep-set DFS over footprinted moves                                 *)
@@ -163,10 +241,17 @@ let subset z1 z2 = Smap.for_all (fun l _ -> Smap.mem l z2) z1
 (* Has this state already been explored under a sleep set at least as
    permissive (i.e. a subset of [sleep])? If so, every continuation awake
    now was awake then, and the subtree is covered. Otherwise record
-   [sleep] (dropping any recorded supersets it refines). *)
-let covered seen k sleep =
+   [sleep] (dropping any recorded supersets it refines). The exact-key
+   audit oracle, when present, rides along: recorded at first insert,
+   compared on every arrival. *)
+let covered seen k exact sleep =
   let t = T.span_begin T.Seen_table in
-  let olds = Option.value ~default:[] (Hashtbl.find_opt seen k) in
+  let prior, olds =
+    match Ktbl.find_opt seen k with
+    | Some (prior, olds) -> (prior, olds)
+    | None -> (None, [])
+  in
+  audit_mismatch prior exact;
   let hit =
     if List.exists (fun z -> subset z sleep) olds then begin
       T.hit T.Memo_hits;
@@ -174,7 +259,8 @@ let covered seen k sleep =
     end
     else begin
       let olds = List.filter (fun z -> not (subset sleep z)) olds in
-      Hashtbl.replace seen k (sleep :: olds);
+      let prior = if olds = [] && prior = None then exact else prior in
+      Ktbl.replace seen k (prior, sleep :: olds);
       T.hit T.Memo_misses;
       false
     end
@@ -182,11 +268,13 @@ let covered seen k sleep =
   T.span_end T.Seen_table t;
   hit
 
-let run_sleep ~max_steps ~max_configs ~budget ~key ~footprint ~terminated init =
+let run_sleep ~max_steps ~max_configs ~budget ~key ~audit ~footprint ~terminated
+    init =
   let w = new_walk () in
-  let seen = Hashtbl.create 1024 in
+  let seen : (string option * move Smap.t list) Ktbl.t = Ktbl.create 1024 in
+  let exact_of c = match audit with None -> None | Some a -> Some (a c) in
   let stop = stop w ~max_configs ~budget in
-  let rec dfs depth config sleep =
+  let rec dfs depth kc config sleep =
     if not (stop ()) then begin
       w.w_explored <- w.w_explored + 1;
       T.hit T.Configs_explored;
@@ -197,8 +285,8 @@ let run_sleep ~max_steps ~max_configs ~budget ~key ~footprint ~terminated init =
         T.span_end T.Interp_step t;
         match succs with
         | [] ->
-            if terminated config then w.w_completed <- config :: w.w_completed
-            else w.w_deadlocked <- config :: w.w_deadlocked
+            if terminated config then w.w_completed <- (kc, config) :: w.w_completed
+            else w.w_deadlocked <- (kc, config) :: w.w_deadlocked
         | succs ->
             let awake, asleep =
               List.partition (fun (m, _) -> not (Smap.mem m.label sleep)) succs
@@ -224,29 +312,35 @@ let run_sleep ~max_steps ~max_configs ~budget ~key ~footprint ~terminated init =
     end
   and visit depth c' child_sleep =
     match key with
-    | None -> dfs (depth + 1) c' child_sleep
+    | None -> dfs (depth + 1) None c' child_sleep
     | Some k ->
-        if covered seen (k c') child_sleep then begin
+        let d = k c' in
+        if covered seen d (exact_of c') child_sleep then begin
           w.w_reduced <- w.w_reduced + 1;
           T.hit T.Configs_reduced
         end
-        else dfs (depth + 1) c' child_sleep
+        else dfs (depth + 1) (Some d) c' child_sleep
   in
-  (match key with
-  | Some k -> ignore (covered seen (k init) Smap.empty)
-  | None -> ());
-  dfs 0 init Smap.empty;
-  finish ~key w
+  let k0 =
+    match key with
+    | None -> None
+    | Some k ->
+        let d = k init in
+        ignore (covered seen d (exact_of init) Smap.empty);
+        Some d
+  in
+  dfs 0 k0 init Smap.empty;
+  finish ~keyed:(key <> None) w
 
 (* ------------------------------------------------------------------ *)
 (* Domain-parallel work-stealing exploration                            *)
 (* ------------------------------------------------------------------ *)
 
 (* The parallel walk reuses the sequential semantics wholesale: a task is
-   a (depth, configuration, sleep set) triple, expanding a task applies
-   exactly the sequential successor/sleep-set computation, and the
-   seen-table discipline is the same subset rule — only behind a sharded
-   lock, since domains race to record coverage. The subset rule's
+   a (depth, configuration, key, sleep set) tuple, expanding a task
+   applies exactly the sequential successor/sleep-set computation, and
+   the seen-table discipline is the same subset rule — only behind a
+   sharded lock, since domains race to record coverage. The subset rule's
    soundness argument is order-free (a pruned visit is covered by
    whichever visit recorded the smaller sleep set, and every recorded
    visit is fully expanded), so racing traversals can change how much is
@@ -254,7 +348,12 @@ let run_sleep ~max_steps ~max_configs ~budget ~key ~footprint ~terminated init =
    and the canonical leaf order make the rendered results byte-identical
    to a sequential run's. *)
 
-type 'c ptask = { pt_depth : int; pt_config : 'c; pt_sleep : move Smap.t }
+type 'c ptask = {
+  pt_depth : int;
+  pt_config : 'c;
+  pt_key : skey option;
+  pt_sleep : move Smap.t;
+}
 
 type 'c par_mode =
   | Par_plain of ('c -> 'c list)
@@ -264,7 +363,7 @@ type 'c par_mode =
    the walk depth-first-ish, which bounds frontier memory); an idle
    domain steals from the head of a victim's deque. A plain mutex per
    deque is plenty — each task does a macro-step plus a canonical-key
-   marshal, so queue traffic is far from the bottleneck. *)
+   construction, so queue traffic is far from the bottleneck. *)
 type 'c deque = { mutable dq_items : 'c ptask list; dq_lock : Mutex.t }
 
 let deque_push dq t =
@@ -285,28 +384,34 @@ let deque_pop dq =
    count, so two domains rarely contend on one lock. *)
 let n_shards = 64
 
-type 'k shards = { sh_tables : (('k, move Smap.t list) Hashtbl.t * Mutex.t) array }
+type shards = {
+  sh_tables : ((string option * move Smap.t list) Ktbl.t * Mutex.t) array;
+}
 
 let make_shards () =
-  {
-    sh_tables =
-      Array.init n_shards (fun _ -> (Hashtbl.create 256, Mutex.create ()));
-  }
+  { sh_tables = Array.init n_shards (fun _ -> (Ktbl.create 256, Mutex.create ())) }
+
+(* Shard index straight from the fingerprint's (already well-mixed) low
+   bits — no rehash of the key on this path. *)
+let shard_index = function
+  | Fp f -> Fp.to_int f land (n_shards - 1)
+  | Exact s -> Hashtbl.hash s land (n_shards - 1)
 
 (* [try_lock]-then-[lock] rather than [Mutex.protect]: a failed try is a
    real contention event worth counting (two domains racing for one
    shard), and [covered] cannot raise, so manual unlock is safe. *)
-let shard_covered sh k sleep =
-  let table, lock = sh.sh_tables.(Hashtbl.hash k land (n_shards - 1)) in
+let shard_covered sh k exact sleep =
+  let table, lock = sh.sh_tables.(shard_index k) in
   if not (Mutex.try_lock lock) then begin
     T.hit T.Shard_collisions;
     Mutex.lock lock
   end;
-  let hit = covered table k sleep in
+  let hit = covered table k exact sleep in
   Mutex.unlock lock;
   hit
 
-let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~mode ~terminated init =
+let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~audit ~mode ~terminated
+    init =
   let explored = Atomic.make 0
   and truncated = Atomic.make 0
   and reduced = Atomic.make 0
@@ -316,6 +421,7 @@ let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~mode ~terminated init =
   let add counter n = ignore (Atomic.fetch_and_add counter n) in
   let stop reason = ignore (Atomic.compare_and_set exhausted None (Some reason)) in
   let seen = make_shards () in
+  let exact_of c = match audit with None -> None | Some a -> Some (a c) in
   let deques =
     Array.init jobs (fun _ -> { dq_items = []; dq_lock = Mutex.create () })
   in
@@ -365,20 +471,29 @@ let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~mode ~terminated init =
      child's key just before descending into it): the key is recorded
      before the task is queued, so a racing domain that arrives at the
      same state prunes and relies on this task, which is guaranteed to be
-     processed unless the whole walk degrades to Inconclusive. *)
+     processed unless the whole walk degrades to Inconclusive. The key
+     travels with the task, so the leaf sort reuses it. *)
   let push_child owner depth (config, sleep) =
     match key with
-    | Some k when shard_covered seen (k config) sleep ->
-        Atomic.incr reduced;
-        T.hit T.Configs_reduced
-    | _ -> push owner { pt_depth = depth; pt_config = config; pt_sleep = sleep }
+    | Some k ->
+        let d = k config in
+        if shard_covered seen d (exact_of config) sleep then begin
+          Atomic.incr reduced;
+          T.hit T.Configs_reduced
+        end
+        else
+          push owner
+            { pt_depth = depth; pt_config = config; pt_key = Some d; pt_sleep = sleep }
+    | None ->
+        push owner
+          { pt_depth = depth; pt_config = config; pt_key = None; pt_sleep = sleep }
   in
   let completed = Array.init jobs (fun _ -> ref [])
   and deadlocked = Array.init jobs (fun _ -> ref []) in
-  let classify owner config =
-    if terminated config then
-      completed.(owner) := config :: !(completed.(owner))
-    else deadlocked.(owner) := config :: !(deadlocked.(owner))
+  let classify owner task =
+    if terminated task.pt_config then
+      completed.(owner) := (task.pt_key, task.pt_config) :: !(completed.(owner))
+    else deadlocked.(owner) := (task.pt_key, task.pt_config) :: !(deadlocked.(owner))
   in
   let process owner task =
     if claim_visit () then
@@ -390,7 +505,7 @@ let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~mode ~terminated init =
             let cs = moves task.pt_config in
             T.span_end T.Interp_step t;
             match cs with
-            | [] -> classify owner task.pt_config
+            | [] -> classify owner task
             | cs ->
                 List.iter
                   (fun c -> push_child owner (task.pt_depth + 1) (c, Smap.empty))
@@ -400,7 +515,7 @@ let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~mode ~terminated init =
             let succs = footprint task.pt_config in
             T.span_end T.Interp_step t;
             match succs with
-            | [] -> classify owner task.pt_config
+            | [] -> classify owner task
             | succs ->
                 let awake, asleep =
                   List.partition
@@ -453,10 +568,15 @@ let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~mode ~terminated init =
         in
         steal 1
   in
-  (match key with
-  | Some k -> ignore (shard_covered seen (k init) Smap.empty)
-  | None -> ());
-  push 0 { pt_depth = 0; pt_config = init; pt_sleep = Smap.empty };
+  let k0 =
+    match key with
+    | None -> None
+    | Some k ->
+        let d = k init in
+        ignore (shard_covered seen d (exact_of init) Smap.empty);
+        Some d
+  in
+  push 0 { pt_depth = 0; pt_config = init; pt_key = k0; pt_sleep = Smap.empty };
   let domains = List.init (jobs - 1) (fun d -> Domain.spawn (fun () -> worker (d + 1))) in
   worker 0;
   List.iter Domain.join domains;
@@ -465,40 +585,91 @@ let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~mode ~terminated init =
   | None -> ());
   let merged arr = List.concat_map (fun r -> List.rev !r) (Array.to_list arr) in
   {
-    completed = canonical_leaves key (merged completed);
-    deadlocked = canonical_leaves key (merged deadlocked);
+    completed = canonical_leaves ~keyed:(key <> None) (merged completed);
+    deadlocked = canonical_leaves ~keyed:(key <> None) (merged deadlocked);
     truncated = Atomic.get truncated;
     explored = Atomic.get explored;
     reduced = Atomic.get reduced;
     exhausted = Atomic.get exhausted;
   }
 
-let run ?(max_steps = 10_000) ?(max_configs = 1_000_000) ?budget ?key ?footprint
-    ?(jobs = 1) ~moves ~terminated init =
+let run ?(max_steps = 10_000) ?(max_configs = 1_000_000) ?budget ?key ?audit
+    ?footprint ?(jobs = 1) ~moves ~terminated init =
   let jobs = max 1 jobs in
   match footprint with
   | Some footprint ->
       ignore moves;
       if jobs = 1 then
-        run_sleep ~max_steps ~max_configs ~budget ~key ~footprint ~terminated init
+        run_sleep ~max_steps ~max_configs ~budget ~key ~audit ~footprint
+          ~terminated init
       else
-        run_par ~jobs ~max_steps ~max_configs ~budget ~key
+        run_par ~jobs ~max_steps ~max_configs ~budget ~key ~audit
           ~mode:(Par_sleep footprint) ~terminated init
   | None ->
       if jobs = 1 then
-        run_plain ~max_steps ~max_configs ~budget ~key ~moves ~terminated init
+        run_plain ~max_steps ~max_configs ~budget ~key ~audit ~moves ~terminated
+          init
       else
-        run_par ~jobs ~max_steps ~max_configs ~budget ~key ~mode:(Par_plain moves)
-          ~terminated init
+        run_par ~jobs ~max_steps ~max_configs ~budget ~key ~audit
+          ~mode:(Par_plain moves) ~terminated init
 
 (* ------------------------------------------------------------------ *)
 (* Canonical computation fingerprints                                   *)
 (* ------------------------------------------------------------------ *)
 
-let fingerprint comp =
+(* Byte-identical to rendering each event with [Event.pp] (threads
+   stripped) and each id with [Event.pp_id], but writing straight into
+   the buffer: the [Format.asprintf] per event/per id dominated the
+   dedup and exact-key hot paths. *)
+
+let add_value buf v =
+  let module V = Gem_model.Value in
+  let rec go = function
+    | V.Unit -> Buffer.add_string buf "()"
+    | V.Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | V.Int n -> Buffer.add_string buf (string_of_int n)
+    | V.Str s -> Buffer.add_string buf (Printf.sprintf "%S" s)
+    | V.Pair (a, b) ->
+        Buffer.add_char buf '(';
+        go a;
+        Buffer.add_string buf ", ";
+        go b;
+        Buffer.add_char buf ')'
+    | V.List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_string buf "; ";
+            go x)
+          xs;
+        Buffer.add_char buf ']'
+  in
+  go v
+
+let add_id buf (id : Gem_model.Event.id) =
+  Buffer.add_string buf id.element;
+  Buffer.add_char buf '^';
+  Buffer.add_string buf (string_of_int id.index)
+
+let add_event buf (e : Gem_model.Event.t) =
+  add_id buf e.id;
+  Buffer.add_char buf ':';
+  Buffer.add_string buf e.klass;
+  if e.params <> [] then begin
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf k;
+        Buffer.add_char buf '=';
+        add_value buf v)
+      e.params;
+    Buffer.add_char buf ')'
+  end
+
+let fingerprint_into buf comp =
   let module C = Gem_model.Computation in
   let module E = Gem_model.Event in
-  let buf = Buffer.create 256 in
   let evs =
     List.sort
       (fun a b -> E.id_compare (C.event comp a).E.id (C.event comp b).E.id)
@@ -506,17 +677,23 @@ let fingerprint comp =
   in
   List.iter
     (fun h ->
-      let e = C.event comp h in
-      Buffer.add_string buf (Format.asprintf "%a;" E.pp { e with E.threads = [] });
+      add_event buf (C.event comp h);
+      Buffer.add_char buf ';';
       let succs =
         List.sort E.id_compare
           (List.map (fun s -> (C.event comp s).E.id) (C.enable_succs comp h))
       in
       List.iter
-        (fun id -> Buffer.add_string buf (Format.asprintf ">%a" E.pp_id id))
+        (fun id ->
+          Buffer.add_char buf '>';
+          add_id buf id)
         succs;
       Buffer.add_char buf '|')
-    evs;
+    evs
+
+let fingerprint comp =
+  let buf = Buffer.create 256 in
+  fingerprint_into buf comp;
   Buffer.contents buf
 
 let dedup_computations seal leaves =

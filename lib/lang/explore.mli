@@ -18,12 +18,46 @@ type move = { label : string; touches : string list }
     process plus branch index), and [touches] lists every element the move
     reads or writes — the elements of the events it emits plus a
     representative element for each runtime component it changes or whose
-    state its enabledness depends on. Two moves with disjoint [touches]
-    commute and can neither enable nor disable one another. *)
+    state its enabledness depends on. [touches] {b must be sorted
+    (ascending [String.compare]) and duplicate-free} — the interpreters
+    build it with [List.sort_uniq] — so {!independent} can intersect
+    footprints in one linear merge walk. Two moves with disjoint
+    [touches] commute and can neither enable nor disable one another. *)
 
 val independent : move -> move -> bool
 (** Element-footprint disjointness — the independence relation used by the
-    sleep-set search. *)
+    sleep-set search. O(|touches|) over the pre-sorted footprints; each
+    call is counted under the [Footprint_checks] telemetry counter. *)
+
+(** {1 Search keys}
+
+    The memoizing searches key their seen tables on one of two key
+    spaces: [Fp], a 126-bit incremental state fingerprint (the default —
+    O(1) to extend per interpreter step, collisions possible but
+    negligibly likely and detectable), or [Exact], the exact
+    marshal-string canonical key (the [--exact-keys]/[GEM_EXACT_KEYS]
+    fallback, byte-equal iff the states are structurally equal). Verdict
+    ordering and deduplication always use exact computation fingerprints
+    ({!dedup_computations}), so the key-space choice can never change a
+    rendered verdict — only, on a fingerprint collision, silently prune a
+    distinct state, which the [audit] oracle detects. *)
+
+type skey = Fp of Gem_order.Fingerprint.t | Exact of string
+
+val skey_equal : skey -> skey -> bool
+val skey_compare : skey -> skey -> int
+val skey_hash : skey -> int
+
+val exact_keys_default : unit -> bool
+(** [true] iff the [GEM_EXACT_KEYS] environment variable is [1], [true]
+    or [yes]: interpreters then key exploration on exact canonical
+    strings instead of fingerprints when the caller passes no explicit
+    argument. *)
+
+val audit_keys_default : unit -> bool
+(** Same reading of [GEM_AUDIT_KEYS]: run fingerprint-keyed exploration
+    with the exact key recorded at first insert and compared on every
+    hit, counting mismatches under [Fingerprint_collisions]. *)
 
 type 'c result = {
   completed : 'c list;  (** Leaves with no moves that satisfy [terminated]. *)
@@ -51,7 +85,8 @@ val run :
   ?max_steps:int ->
   ?max_configs:int ->
   ?budget:Gem_check.Budget.t ->
-  ?key:('c -> 'k) ->
+  ?key:('c -> skey) ->
+  ?audit:('c -> string) ->
   ?footprint:('c -> (move * 'c) list) ->
   ?jobs:int ->
   moves:('c -> 'c list) ->
@@ -69,9 +104,18 @@ val run :
     [key], when given, enables partial-order reduction by memoization: two
     configurations with equal keys generate the same set of future
     computations (up to emission order), so the second subtree is skipped.
-    Language interpreters build a canonical structural key from the
-    runtime state with event handles replaced by stable event identities —
-    interleavings of commuting moves then converge to one key.
+    Language interpreters build the key from the runtime state with event
+    handles replaced by stable event identities — interleavings of
+    commuting moves then converge to one key. Each admitted
+    configuration's key is computed exactly once: it is reused for the
+    seen-table check, carried to the leaf, and reused again by the
+    canonical leaf sort.
+
+    [audit], when given alongside a [key], supplies the exact structural
+    key as a collision oracle: it is computed per visited configuration
+    (forfeiting the fingerprint speedup — a diagnostic mode), stored at
+    first insert, and compared on every seen-table arrival; mismatches
+    are counted under the [Fingerprint_collisions] telemetry counter.
 
     [footprint], when given, supersedes [moves] (which is ignored) and
     switches the walk to a sleep-set DFS: after a branch explores move
@@ -101,6 +145,15 @@ val run :
 val fingerprint : Gem_model.Computation.t -> string
 (** Canonical string of a computation's events (identity, class, params)
     and enable edges — emission-order independent. *)
+
+val fingerprint_into : Buffer.t -> Gem_model.Computation.t -> unit
+(** {!fingerprint}, appended to an existing buffer — the exact-key
+    builders use this to avoid an intermediate string. *)
+
+val add_id : Buffer.t -> Gem_model.Event.id -> unit
+(** Append an event identity in its canonical [element^index] rendering
+    (byte-identical to {!Gem_model.Event.pp_id}) without going through a
+    formatter. *)
 
 val dedup_computations :
   ('c -> Gem_model.Computation.t) -> 'c list -> Gem_model.Computation.t list

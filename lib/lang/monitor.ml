@@ -1,5 +1,6 @@
 module Value = Gem_model.Value
 module F = Gem_logic.Formula
+module Fp = Gem_order.Fingerprint
 
 type mstmt =
   | MAssign of { var : string; value : Expr.t; site : string option }
@@ -604,21 +605,22 @@ let sorted_store (s : Expr.store) =
 
 let canon x = Marshal.to_string x [ Marshal.No_sharing ]
 
-(* Canonical keys dominate POR cost (they seal and marshal the whole
-   configuration), so the construction is a telemetry span of its own. *)
+(* Exact canonical keys seal and marshal the whole configuration — the
+   [--exact-keys] fallback path and the collision-audit oracle; the hot
+   default is the incremental [fp_key] below. Both constructions share
+   the Canon_key telemetry span. *)
 let state_key program cfg =
   let span = Gem_obs.Telemetry.(span_begin Canon_key) in
   let comp = seal program cfg in
-  let id h =
-    Format.asprintf "%a" Gem_model.Event.pp_id
-      (Gem_model.Computation.event comp h).Gem_model.Event.id
-  in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf (Explore.fingerprint comp);
+  let id h =
+    Explore.add_id buf (Gem_model.Computation.event comp h).Gem_model.Event.id
+  in
+  Explore.fingerprint_into buf comp;
   List.iter
     (fun (n, rt) ->
       Buffer.add_string buf n;
-      Buffer.add_string buf (id rt.p_last);
+      id rt.p_last;
       (match rt.p_state with
       | Active stmts ->
           Buffer.add_char buf 'A';
@@ -633,23 +635,78 @@ let state_key program cfg =
       let conds = List.sort (fun (a, _) (b, _) -> String.compare a b) m.m_conds in
       Buffer.add_string buf
         (canon (sorted_store m.m_store, conds, m.m_urgent, m.m_entryq, m.m_busy));
-      Buffer.add_string buf (match m.m_last_rel with Some h -> id h | None -> "-"))
+      match m.m_last_rel with Some h -> id h | None -> Buffer.add_char buf '-')
     cfg.mons;
   Buffer.add_string buf (canon (sorted_store cfg.shared_store));
   let key = Buffer.contents buf in
   Gem_obs.Telemetry.(span_end Canon_key) span;
   key
 
-let explore ?(emit_getvals = false) ?por ?max_steps ?max_configs ?budget ?jobs
-    program =
+(* Incremental 126-bit state fingerprint — same equivalence classes as
+   [state_key] up to hash collisions, built without sealing or
+   marshalling: the trace contributes its running history fingerprint
+   (O(1) to read), event handles contribute their stable identity
+   fingerprints, and runtime components are hashed structurally. Stores
+   and condition-queue lists, whose insertion order varies across
+   interleavings, are folded commutatively ([Fp.cadd]); binding and
+   condition names are unique within one store/monitor, so multiset
+   equality coincides with sorted-list equality. *)
+let store_fp s =
+  List.fold_left
+    (fun acc (x, v) -> Fp.cadd acc (Fp.combine (Fp.of_string x) (Fp.of_struct v)))
+    (Fp.of_int 0x57) s
+
+let fp_key cfg =
+  let span = Gem_obs.Telemetry.(span_begin Canon_key) in
+  let idf = Trace.id_fp cfg.trace in
+  let acc = ref (Trace.fp cfg.trace) in
+  let mix x = acc := Fp.combine !acc x in
+  List.iter
+    (fun (n, rt) ->
+      mix (Fp.of_string n);
+      mix (idf rt.p_last);
+      (match rt.p_state with
+      | Active stmts -> mix (Fp.combine (Fp.of_int 1) (Fp.of_struct stmts))
+      | In_monitor -> mix (Fp.of_int 2)
+      | Proc_done -> mix (Fp.of_int 3));
+      mix (store_fp rt.p_locals))
+    cfg.procs;
+  List.iter
+    (fun (n, m) ->
+      mix (Fp.of_string n);
+      mix
+        (List.fold_left
+           (fun a (c, q) -> Fp.cadd a (Fp.combine (Fp.of_string c) (Fp.of_struct q)))
+           (Fp.of_int 0xc0) m.m_conds);
+      mix (Fp.of_struct (m.m_urgent, m.m_entryq, m.m_busy));
+      mix (match m.m_last_rel with Some h -> idf h | None -> Fp.of_int 0x4e);
+      mix (store_fp m.m_store))
+    cfg.mons;
+  mix (store_fp cfg.shared_store);
+  Gem_obs.Telemetry.(span_end Canon_key) span;
+  !acc
+
+let explore ?(emit_getvals = false) ?por ?exact_keys ?audit_keys ?max_steps
+    ?max_configs ?budget ?jobs program =
   let por = match por with Some p -> p | None -> Explore.por_default () in
+  let exact =
+    match exact_keys with Some b -> b | None -> Explore.exact_keys_default ()
+  in
+  let auditing =
+    match audit_keys with Some b -> b | None -> Explore.audit_keys_default ()
+  in
   let jobs =
     match jobs with Some j -> j | None -> Gem_check.Par.jobs_default ()
   in
   let ctx = { program; emit_getvals } in
   let result =
     if por then
-      Explore.run ?max_steps ?max_configs ?budget ~key:(state_key program)
+      let key =
+        if exact then fun c -> Explore.Exact (state_key program c)
+        else fun c -> Explore.Fp (fp_key c)
+      in
+      let audit = if auditing && not exact then Some (state_key program) else None in
+      Explore.run ?max_steps ?max_configs ?budget ~key ?audit
         ~footprint:(moves_fp ctx) ~jobs ~moves:(moves ctx) ~terminated
         (initial ctx)
     else
@@ -673,6 +730,7 @@ let config_moves ?(emit_getvals = false) program cfg =
   moves_fp { program; emit_getvals } cfg
 
 let config_key = state_key
+let config_fp _program cfg = fp_key cfg
 let config_terminated = terminated
 
 let run_one ?(emit_getvals = false) ?(seed = 42) program =

@@ -100,6 +100,8 @@ type outcome = {
 val explore :
   ?emit_getvals:bool ->
   ?por:bool ->
+  ?exact_keys:bool ->
+  ?audit_keys:bool ->
   ?max_steps:int ->
   ?max_configs:int ->
   ?budget:Gem_check.Budget.t ->
@@ -111,11 +113,17 @@ val explore :
     [exhausted]. [Expr.Eval_error] still raises on runtime type errors.
     [por] (default {!Explore.por_default}) switches between the sleep-set
     + canonical-key reduced search and a plain exhaustive DFS; both reach
-    the same completed/deadlocked computation sets. [jobs] (default
+    the same completed/deadlocked computation sets. [exact_keys] (default
+    {!Explore.exact_keys_default}) keys the reduced search on exact
+    marshal-string canonical keys instead of incremental 126-bit
+    fingerprints; [audit_keys] (default {!Explore.audit_keys_default})
+    keeps fingerprint keys but computes the exact key alongside as a
+    collision oracle, counting mismatches under the
+    [Fingerprint_collisions] telemetry counter. [jobs] (default
     {!Gem_check.Par.jobs_default}) spreads the walk over that many
     domains; [computations]/[deadlocks] are canonically ordered, so the
-    outcome's verdict-relevant content is identical for every job
-    count. *)
+    outcome's verdict-relevant content is identical for every job count
+    and either key mode. *)
 
 val run_one : ?emit_getvals:bool -> ?seed:int -> program -> Gem_model.Computation.t
 (** One (pseudo-randomly scheduled) complete or stuck run — handy for
@@ -138,6 +146,12 @@ val config_moves :
 val config_key : program -> config -> string
 (** Canonical state key: byte-equal for configurations reached by
     different interleavings of commuting moves. *)
+
+val config_fp : program -> config -> Gem_order.Fingerprint.t
+(** Incremental fingerprint of the configuration — equal whenever
+    {!config_key} is byte-equal; distinct keys collide with negligible
+    probability. This is what the default (fingerprint-keyed) search keys
+    its seen tables on. *)
 
 val config_terminated : config -> bool
 

@@ -1,30 +1,67 @@
 module Smap = Map.Make (String)
+module Imap = Map.Make (Int)
 module Event = Gem_model.Event
+module Fp = Gem_order.Fingerprint
+
+(* The running fingerprint hashes the same information the canonical
+   computation rendering ([Explore.fingerprint]) exposes — event identity
+   (element + occurrence index), class, params, and enable edges between
+   identities — as a commutative multiset, so it is emission-order
+   independent without ever walking the history. Actors and threads are
+   deliberately excluded, exactly as the rendering excludes them: the
+   fingerprint partitions configurations into the same classes as the
+   exact key (up to hash collisions), which keeps memo hit counts
+   identical between the two key modes. *)
+let event_tag = Fp.of_int 0x3e7
+let edge_tag = Fp.of_int 0xed6e
 
 type t = {
   rev_events : Event.t list;
   counts : int Smap.t;
   rev_edges : (int * int) list;
   n : int;
+  fp : Fp.t;  (** Commutative hash of the event and edge multisets. *)
+  id_fps : Fp.t Imap.t;  (** Handle -> fingerprint of its stable identity. *)
 }
 
-let empty = { rev_events = []; counts = Smap.empty; rev_edges = []; n = 0 }
+let empty =
+  {
+    rev_events = [];
+    counts = Smap.empty;
+    rev_edges = [];
+    n = 0;
+    fp = Fp.zero;
+    id_fps = Imap.empty;
+  }
+
+let fp t = t.fp
+let id_fp t h = Imap.find h t.id_fps
 
 let emit t ?actor ~element ~klass ?(params = []) () =
   let index = Option.value ~default:0 (Smap.find_opt element t.counts) in
   let e = Event.make ?actor ~element ~index ~klass params in
+  let idf = Fp.combine (Fp.of_string element) (Fp.of_int index) in
+  let contrib =
+    Fp.combine event_tag
+      (Fp.combine idf (Fp.combine (Fp.of_string klass) (Fp.of_struct params)))
+  in
   ( t.n,
     {
       rev_events = e :: t.rev_events;
       counts = Smap.add element (index + 1) t.counts;
       rev_edges = t.rev_edges;
       n = t.n + 1;
+      fp = Fp.cadd t.fp contrib;
+      id_fps = Imap.add t.n idf t.id_fps;
     } )
 
 let enable t a b =
   if a = b then invalid_arg "Trace.enable: self-enable";
   if a < 0 || a >= t.n || b < 0 || b >= t.n then invalid_arg "Trace.enable: bad handle";
-  { t with rev_edges = (a, b) :: t.rev_edges }
+  let contrib =
+    Fp.combine edge_tag (Fp.combine (Imap.find a t.id_fps) (Imap.find b t.id_fps))
+  in
+  { t with rev_edges = (a, b) :: t.rev_edges; fp = Fp.cadd t.fp contrib }
 
 let emit_after t ?actor ~after ~element ~klass ?params () =
   let h, t = emit t ?actor ~element ~klass ?params () in

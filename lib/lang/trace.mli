@@ -38,6 +38,21 @@ val emit_after :
 
 val n_events : t -> int
 
+val fp : t -> Gem_order.Fingerprint.t
+(** Running history fingerprint: a commutative (emission-order
+    independent) hash of the event multiset — identity, class, params;
+    actors/threads excluded, mirroring [Explore.fingerprint] — and the
+    enable-edge multiset over event identities. Maintained incrementally
+    by {!emit}/{!enable}, so reading it is O(1); two traces sealing to
+    the same canonical computation have equal fingerprints, and distinct
+    computations collide with negligible probability. *)
+
+val id_fp : t -> int -> Gem_order.Fingerprint.t
+(** Fingerprint of a handle's stable event identity (element +
+    occurrence index) — what interpreters hash instead of the raw handle,
+    which is an emission-order-dependent global index. Raises [Not_found]
+    on an unknown handle. *)
+
 val touched_elements : before:t -> t -> string list
 (** Elements that gained at least one event between [before] and the
     (extended) trace — the event-footprint of the step that produced it.

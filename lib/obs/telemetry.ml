@@ -20,6 +20,8 @@ type counter =
   | Budget_stop_configs
   | Budget_stop_runs
   | Budget_stop_memory
+  | Fingerprint_collisions
+  | Footprint_checks
 
 let counter_idx = function
   | Configs_explored -> 0
@@ -36,8 +38,10 @@ let counter_idx = function
   | Budget_stop_configs -> 11
   | Budget_stop_runs -> 12
   | Budget_stop_memory -> 13
+  | Fingerprint_collisions -> 14
+  | Footprint_checks -> 15
 
-let n_counters = 14
+let n_counters = 16
 
 let counter_name = function
   | Configs_explored -> "configs_explored"
@@ -54,6 +58,8 @@ let counter_name = function
   | Budget_stop_configs -> "config-budget"
   | Budget_stop_runs -> "run-cap"
   | Budget_stop_memory -> "memory-watermark"
+  | Fingerprint_collisions -> "fingerprint_collisions"
+  | Footprint_checks -> "footprint_checks"
 
 type phase =
   | Interp_step
@@ -206,9 +212,10 @@ let stats_json ?(deterministic = false) () =
   else begin
     let schedule =
       Printf.sprintf
-        {|"schedule":{%s,%s,%s,%s,%s,%s,%s,"budget_stops":{%s,%s,%s,%s}}|}
+        {|"schedule":{%s,%s,%s,%s,%s,%s,%s,%s,%s,"budget_stops":{%s,%s,%s,%s}}|}
         (c Configs_explored) (c Configs_reduced) (c Memo_hits) (c Memo_misses)
         (c Sleep_prunes) (c Deque_steals) (c Shard_collisions)
+        (c Fingerprint_collisions) (c Footprint_checks)
         (c Budget_stop_deadline) (c Budget_stop_configs) (c Budget_stop_runs)
         (c Budget_stop_memory)
     in

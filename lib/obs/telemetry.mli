@@ -45,6 +45,11 @@ type counter =
   | Budget_stop_configs  (** Budget stops: configuration budget. *)
   | Budget_stop_runs  (** Budget stops: run cap. *)
   | Budget_stop_memory  (** Budget stops: heap watermark. *)
+  | Fingerprint_collisions
+      (** Audit mode only: seen-table hits whose exact structural key
+          differs from the one recorded at first insert — a lossy
+          fingerprint merge that would silently prune a distinct state. *)
+  | Footprint_checks  (** Move-independence (footprint disjointness) tests. *)
 
 type phase =
   | Interp_step  (** One interpreter successor computation. *)

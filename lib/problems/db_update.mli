@@ -40,6 +40,8 @@ type report = {
 
 val check :
   ?por:bool ->
+  ?exact_keys:bool ->
+  ?audit_keys:bool ->
   ?max_configs:int ->
   ?budget:Gem_check.Budget.t ->
   ?jobs:int ->
@@ -48,7 +50,10 @@ val check :
   report
 (** Explore every schedule and check convergence on each computation,
     within the given budget. Never raises on exhaustion. [por] selects
-    the reduced search (default {!Gem_lang.Explore.por_default}). [jobs]
+    the reduced search (default {!Gem_lang.Explore.por_default});
+    [exact_keys]/[audit_keys] select the search-key mode (defaults
+    {!Gem_lang.Explore.exact_keys_default} /
+    {!Gem_lang.Explore.audit_keys_default}). [jobs]
     parallelizes both exploration and per-computation checking over that
     many domains (default {!Gem_check.Par.jobs_default} for exploration);
     the report is identical for every job count unless the budget bites,

@@ -171,7 +171,9 @@ let prop_explore_conservation =
       let edges = List.init (cap + 1) (fun n -> List.length (moves n)) in
       let arrivals = 1 + List.fold_left ( + ) 0 edges in
       let r =
-        Explore.run ~jobs ~key:Fun.id ~moves ~terminated:(fun n -> n = cap) 0
+        Explore.run ~jobs
+          ~key:(fun n -> Explore.Exact (string_of_int n))
+          ~moves ~terminated:(fun n -> n = cap) 0
       in
       r.Explore.exhausted = None
       && r.Explore.explored + r.Explore.reduced = arrivals

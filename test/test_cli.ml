@@ -200,6 +200,55 @@ let test_stats_deterministic () =
       "db --sites 2";
     ]
 
+(* --exact-keys contract: falling back to exact canonical keys must not
+   change any verdict or exit code — the fingerprint keys partition
+   states identically, so the two modes explore the same space. *)
+let test_exact_keys_parity () =
+  let parity name args =
+    check Alcotest.int name (run args) (run (args ^ " --exact-keys"))
+  in
+  parity "verified unchanged" "rw --readers 1 --writers 1";
+  parity "falsified unchanged" "rw --monitor no-exclusion --readers 1 --writers 1";
+  parity "truncated unchanged" "rw --readers 1 --writers 1 --max-configs 30";
+  check Alcotest.int "--exact-keys verified=0" 0
+    (run "rw --readers 1 --writers 1 --exact-keys");
+  check Alcotest.int "--exact-keys falsified=1" 1
+    (run "rw --monitor no-exclusion --readers 1 --writers 1 --exact-keys");
+  check Alcotest.int "--exact-keys --jobs 4 --no-por composes" 0
+    (run "rw --readers 1 --writers 1 --exact-keys --jobs 4 --no-por")
+
+let test_exact_keys_env () =
+  (* GEM_EXACT_KEYS reaches the interpreters through the Explore default,
+     so it behaves like the flag wherever the flag is absent. *)
+  check Alcotest.int "GEM_EXACT_KEYS=1 verified" 0
+    (run ~env:"GEM_EXACT_KEYS=1" "rw --readers 1 --writers 1");
+  check Alcotest.int "GEM_EXACT_KEYS=1 falsified" 1
+    (run ~env:"GEM_EXACT_KEYS=1" "rw --monitor no-exclusion");
+  check Alcotest.int "GEM_EXACT_KEYS=0 keeps fingerprints" 0
+    (run ~env:"GEM_EXACT_KEYS=0" "rw --readers 1 --writers 1")
+
+(* --audit-keys contract: the collision oracle rides along without
+   changing the verdict, and the stats snapshot reports zero collisions
+   on every shipped workload. *)
+let test_audit_keys () =
+  let audited args =
+    let out, status = run_capture (args ^ " --audit-keys --stats") in
+    (match status with
+    | Unix.WEXITED c when c <= 1 -> ()
+    | _ -> Alcotest.failf "unexpected exit for %s --audit-keys" args);
+    check Alcotest.bool (args ^ ": collision counter present") true
+      (contains out {|"fingerprint_collisions":|});
+    check Alcotest.bool (args ^ ": zero collisions") true
+      (contains out {|"fingerprint_collisions":0|})
+  in
+  audited "rw --readers 1 --writers 1";
+  audited "buffer --lang ada --items 2";
+  audited "db --sites 2";
+  check Alcotest.int "verdict unchanged under audit" 0
+    (run "rw --readers 1 --writers 1 --audit-keys");
+  check Alcotest.int "GEM_AUDIT_KEYS env alias" 0
+    (run ~env:"GEM_AUDIT_KEYS=1" "rw --readers 1 --writers 1")
+
 (* --trace contract: a well-formed JSONL trace lands at the given path;
    the empty path is a usage error. *)
 let test_trace_output () =
@@ -236,6 +285,12 @@ let () =
           Alcotest.test_case "bad values rejected" `Quick test_jobs_rejected;
         ] );
       ("json", [ Alcotest.test_case "degradation report" `Quick test_json_report ]);
+      ( "keys",
+        [
+          Alcotest.test_case "exact-keys parity" `Quick test_exact_keys_parity;
+          Alcotest.test_case "GEM_EXACT_KEYS env" `Quick test_exact_keys_env;
+          Alcotest.test_case "audit-keys collision gate" `Quick test_audit_keys;
+        ] );
       ( "stats",
         [
           Alcotest.test_case "--stats output" `Quick test_stats_output;

@@ -1,0 +1,245 @@
+(* Soundness harness for the incremental 128-bit search keys. The
+   fingerprint key replaces the exact marshal-string canonical key on the
+   exploration hot path, so its correctness contract is that it induces
+   exactly the same partition of configurations:
+
+   - exact-key-equal => fingerprint-equal (absolutely required: a finer
+     fingerprint partition would change memo hit counts and break the
+     byte-identical-across-modes guarantee);
+   - fingerprint-equal => exact-key-equal (a violation is a collision — a
+     lossy merge that silently prunes a distinct state; vanishingly
+     unlikely, and asserted absent on every state this harness reaches).
+
+   The partition is checked pairwise over configurations harvested from
+   bounded walks (deterministic workloads and random CSP programs), the
+   audited explorations assert [Fingerprint_collisions = 0], a
+   deliberately degenerate constant key proves the audit oracle actually
+   fires, and a parity matrix checks byte-identical computation
+   fingerprints across key mode x jobs x POR. *)
+
+module Explore = Gem_lang.Explore
+module Monitor = Gem_lang.Monitor
+module Csp = Gem_lang.Csp
+module Ada = Gem_lang.Ada
+module Fp = Gem_order.Fingerprint
+module T = Gem_obs.Telemetry
+module RW = Gem_problems.Readers_writers
+module Buffer_p = Gem_problems.Buffer
+module Rwd = Gem_problems.Rw_distributed
+
+let check = Alcotest.check
+let fps comps = List.sort compare (List.map Explore.fingerprint comps)
+
+(* ------------------------------------------------------------------ *)
+(* Partition agreement: exact key and fingerprint classify alike       *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounded DFS harvesting configurations (duplicates included — revisits
+   must agree under both keys too). *)
+let collect ~moves ~max_configs ~max_depth init =
+  let out = ref [] and n = ref 0 in
+  let rec go depth c =
+    if !n < max_configs && depth <= max_depth then begin
+      incr n;
+      out := c :: !out;
+      List.iter (fun (_, c') -> go (depth + 1) c') (moves c)
+    end
+  in
+  go 0 init;
+  !out
+
+let check_partition ~name ~key ~fp configs =
+  let keyed = List.map (fun c -> (key c, fp c)) configs in
+  List.iteri
+    (fun i (ki, fi) ->
+      List.iteri
+        (fun j (kj, fj) ->
+          if j > i then begin
+            let ke = String.equal ki kj and fe = Fp.equal fi fj in
+            if ke && not fe then
+              Alcotest.failf
+                "%s: equal exact keys but distinct fingerprints (states %d, %d)"
+                name i j;
+            if fe && not ke then
+              Alcotest.failf
+                "%s: fingerprint collision between distinct states (%d, %d): %s"
+                name i j (Fp.to_hex fi)
+          end)
+        keyed)
+    keyed
+
+let test_monitor_partition () =
+  let prog = RW.program ~monitor:RW.paper_monitor ~readers:1 ~writers:1 in
+  check_partition ~name:"rw-monitor-1r1w"
+    ~key:(Monitor.config_key prog)
+    ~fp:(Monitor.config_fp prog)
+    (collect
+       ~moves:(Monitor.config_moves prog)
+       ~max_configs:200 ~max_depth:25
+       (Monitor.initial_config prog))
+
+let test_ada_partition () =
+  let prog = Buffer_p.ada_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2 in
+  check_partition ~name:"buffer-ada-1p1c2i"
+    ~key:(Ada.config_key prog)
+    ~fp:(Ada.config_fp prog)
+    (collect ~moves:Ada.config_moves ~max_configs:200 ~max_depth:25
+       (Ada.initial_config prog));
+  let prog = Rwd.ada_program ~readers:1 ~writers:1 in
+  check_partition ~name:"rwd-ada-1r1w"
+    ~key:(Ada.config_key prog)
+    ~fp:(Ada.config_fp prog)
+    (collect ~moves:Ada.config_moves ~max_configs:150 ~max_depth:20
+       (Ada.initial_config prog))
+
+let prop_csp_random_partition =
+  QCheck.Test.make ~name:"random CSP: fp partition = exact partition" ~count:40
+    Gen_csp.prog_arb (fun prog ->
+      check_partition ~name:"csp-random"
+        ~key:(Csp.config_key prog)
+        ~fp:(Csp.config_fp prog)
+        (collect ~moves:Csp.config_moves ~max_configs:120 ~max_depth:20
+           (Csp.initial_config prog));
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Parity matrix: key mode x jobs x POR, byte-identical outcomes       *)
+(* ------------------------------------------------------------------ *)
+
+let test_parity_matrix () =
+  let matrix name run =
+    let bc, bd = run ~exact_keys:true ~jobs:1 ~por:true in
+    List.iter
+      (fun por ->
+        List.iter
+          (fun jobs ->
+            List.iter
+              (fun exact_keys ->
+                let c, d = run ~exact_keys ~jobs ~por in
+                let leg what =
+                  Printf.sprintf "%s %s (exact=%b jobs=%d por=%b)" name what
+                    exact_keys jobs por
+                in
+                check Alcotest.(list string) (leg "computations") bc c;
+                check Alcotest.(list string) (leg "deadlocks") bd d)
+              [ true; false ])
+          [ 1; 2; 8 ])
+      [ true; false ]
+  in
+  let rw = RW.program ~monitor:RW.paper_monitor ~readers:1 ~writers:1 in
+  matrix "rw-monitor-1r1w" (fun ~exact_keys ~jobs ~por ->
+      let o = Monitor.explore ~por ~exact_keys ~jobs rw in
+      (fps o.Monitor.computations, fps o.Monitor.deadlocks));
+  let csp = Buffer_p.csp_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2 in
+  matrix "buffer-csp-1p1c2i" (fun ~exact_keys ~jobs ~por ->
+      let o = Csp.explore ~por ~exact_keys ~jobs csp in
+      (fps o.Csp.computations, fps o.Csp.deadlocks));
+  let ada = Buffer_p.ada_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2 in
+  matrix "buffer-ada-1p1c2i" (fun ~exact_keys ~jobs ~por ->
+      let o = Ada.explore ~por ~exact_keys ~jobs ada in
+      (fps o.Ada.computations, fps o.Ada.deadlocks))
+
+(* Fingerprint and exact keys induce the same partition, so the reduced
+   search must also visit exactly the same number of configurations. *)
+let test_explored_counts_agree () =
+  let rw = RW.program ~monitor:RW.paper_monitor ~readers:2 ~writers:1 in
+  let me e =
+    let o = Monitor.explore ~por:true ~exact_keys:e ~jobs:1 rw in
+    (o.Monitor.explored, o.Monitor.reduced)
+  in
+  check Alcotest.(pair int int) "rw-2r1w: counters" (me true) (me false);
+  let csp = Buffer_p.csp_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2 in
+  let ce e =
+    let o = Csp.explore ~por:true ~exact_keys:e ~jobs:1 csp in
+    (o.Csp.explored, o.Csp.reduced)
+  in
+  check Alcotest.(pair int int) "buffer-csp: counters" (ce true) (ce false)
+
+(* ------------------------------------------------------------------ *)
+(* Audit oracle: zero collisions on real workloads, and the detector   *)
+(* actually detects                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let with_telemetry f =
+  let was = T.enabled () in
+  T.enable ();
+  T.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      T.reset ();
+      if not was then T.disable ())
+    f
+
+let test_audited_runs_collision_free () =
+  with_telemetry (fun () ->
+      let rw = RW.program ~monitor:RW.paper_monitor ~readers:2 ~writers:1 in
+      ignore (Monitor.explore ~por:true ~exact_keys:false ~audit_keys:true ~jobs:1 rw);
+      let ada =
+        Buffer_p.ada_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2
+      in
+      ignore (Ada.explore ~por:true ~exact_keys:false ~audit_keys:true ~jobs:1 ada);
+      let csp =
+        Buffer_p.csp_solution ~capacity:1 ~producers:1 ~consumers:1 ~items_each:2
+      in
+      ignore (Csp.explore ~por:true ~exact_keys:false ~audit_keys:true ~jobs:4 csp);
+      check Alcotest.int "audited workloads: fingerprint_collisions"
+        0
+        (T.read T.Fingerprint_collisions))
+
+(* A constant fingerprint merges every state into one class; the audit
+   oracle must flag the lossy merges. This pins down that a silent
+   hash-quality regression cannot pass the collision gate vacuously. *)
+let test_degenerate_key_detected () =
+  with_telemetry (fun () ->
+      let moves n = if n >= 6 then [] else [ n + 1; n + 2 ] in
+      let r =
+        Explore.run
+          ~key:(fun _ -> Explore.Fp (Fp.of_int 0))
+          ~audit:string_of_int ~moves
+          ~terminated:(fun n -> n >= 6)
+          0
+      in
+      check Alcotest.bool "degenerate key prunes" true (r.Explore.reduced > 0);
+      check Alcotest.bool "audit flags the lossy merges" true
+        (T.read T.Fingerprint_collisions > 0))
+
+(* ------------------------------------------------------------------ *)
+(* skey plumbing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The two key spaces must never unify inside one seen table. *)
+let test_skey_spaces_disjoint () =
+  let fp = Fp.of_string "x" in
+  let ex = Explore.Exact "x" in
+  check Alcotest.bool "Fp vs Exact never equal" false
+    (Explore.skey_equal (Explore.Fp fp) ex);
+  check Alcotest.bool "Fp = Fp" true
+    (Explore.skey_equal (Explore.Fp fp) (Explore.Fp (Fp.of_string "x")));
+  check Alcotest.bool "Exact = Exact" true
+    (Explore.skey_equal ex (Explore.Exact "x"))
+
+let () =
+  let to_alc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "gem_keys"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "monitor walk" `Quick test_monitor_partition;
+          Alcotest.test_case "ada walks" `Quick test_ada_partition;
+          to_alc prop_csp_random_partition;
+        ] );
+      ( "parity",
+        [
+          Alcotest.test_case "matrix: mode x jobs x por" `Quick test_parity_matrix;
+          Alcotest.test_case "explored counts agree" `Quick
+            test_explored_counts_agree;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "real workloads collision-free" `Quick
+            test_audited_runs_collision_free;
+          Alcotest.test_case "degenerate key detected" `Quick
+            test_degenerate_key_detected;
+        ] );
+      ( "skey", [ Alcotest.test_case "key spaces disjoint" `Quick test_skey_spaces_disjoint ] );
+    ]

@@ -167,7 +167,9 @@ let test_explore_key_dedup () =
      identity key, each value is expanded once. *)
   let no_key = Explore.run ~moves:counter_moves ~terminated:(fun n -> n = 4) 0 in
   let keyed =
-    Explore.run ~key:string_of_int ~moves:counter_moves ~terminated:(fun n -> n = 4) 0
+    Explore.run
+      ~key:(fun n -> Explore.Exact (string_of_int n))
+      ~moves:counter_moves ~terminated:(fun n -> n = 4) 0
   in
   check Alcotest.bool "fewer configs with key" true
     (keyed.Explore.explored < no_key.Explore.explored);
@@ -178,7 +180,11 @@ let test_explore_initial_seen () =
      set before expansion, so a move mapping the start state to itself is
      pruned rather than re-expanded. *)
   let moves n = if n = 0 then [ 0 ] else [] in
-  let r = Explore.run ~key:string_of_int ~moves ~terminated:(fun _ -> false) 0 in
+  let r =
+    Explore.run
+      ~key:(fun n -> Explore.Exact (string_of_int n))
+      ~moves ~terminated:(fun _ -> false) 0
+  in
   check Alcotest.int "expanded exactly once" 1 r.Explore.explored;
   check Alcotest.int "self-loop pruned" 1 r.Explore.reduced
 
@@ -190,7 +196,7 @@ let test_explore_sleep_sets () =
     @ if b < 1 then [ ({ Explore.label = "b"; touches = [ "B" ] }, (a, b + 1)) ] else []
   in
   let moves c = List.map snd (footprint c) in
-  let key (a, b) = Printf.sprintf "%d,%d" a b in
+  let key (a, b) = Explore.Exact (Printf.sprintf "%d,%d" a b) in
   let r =
     Explore.run ~key ~footprint ~moves ~terminated:(fun c -> c = (1, 1)) (0, 0)
   in
@@ -202,7 +208,7 @@ let test_move_independence () =
   let m touches = { Explore.label = "m"; touches } in
   check Alcotest.bool "disjoint" true (Explore.independent (m [ "A" ]) (m [ "B" ]));
   check Alcotest.bool "overlap" false
-    (Explore.independent (m [ "A"; "C" ]) (m [ "C"; "B" ]));
+    (Explore.independent (m [ "A"; "C" ]) (m [ "B"; "C" ]));
   check Alcotest.bool "empty footprint" true (Explore.independent (m []) (m [ "A" ]))
 
 let test_fingerprint_order_independent () =
