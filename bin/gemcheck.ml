@@ -77,6 +77,123 @@ let jobs_term =
                  reduction, the configuration counters) may differ.")
 
 (* ------------------------------------------------------------------ *)
+(* Resilience flags, shared by the exploration subcommands             *)
+(* ------------------------------------------------------------------ *)
+
+type resil_opts = {
+  ro_bitstate : bool;
+  ro_bits : int;
+  ro_spill_mb : int option;
+  ro_ckpt : string option;
+  ro_ckpt_every : int;
+  ro_resume : string option;
+}
+
+let resilience_term =
+  let positive name =
+    let parse s =
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Ok n
+      | Some _ | None ->
+          Error (`Msg (Printf.sprintf "%S is not a valid %s (expected a positive integer)" s name))
+    in
+    Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+  in
+  let bitstate =
+    Arg.(value & flag
+         & info [ "bitstate" ]
+             ~doc:"Replace the exact seen set with a SPIN-style bounded-RAM \
+                   fingerprint table (see $(b,--bitstate-bits)). Collisions \
+                   can silently prune unseen states, so a clean sweep is \
+                   reported as INCONCLUSIVE with reason \
+                   bitstate-collision-risk; a found violation or deadlock \
+                   stays sound. Composes with $(b,--audit-keys) to measure \
+                   the realized collision rate.")
+  in
+  let bits =
+    Arg.(value & opt (positive "bit width") 24
+         & info [ "bitstate-bits" ] ~docv:"N"
+             ~doc:"log2 of the bitstate table's slot count (default 24 = \
+                   16M slots = 256 MiB). Each visited state costs one \
+                   16-byte slot; the table never grows.")
+  in
+  let spill_mb =
+    Arg.(value & opt (some (positive "watermark")) None
+         & info [ "spill-mb" ] ~docv:"MB"
+             ~doc:"Page the exploration frontier to a temp file whenever \
+                   the major heap exceeds $(docv) MiB. An I/O failure \
+                   degrades to INCONCLUSIVE (spill-io-error), never a \
+                   crash. Forces the sequential resilient engine.")
+  in
+  let ckpt =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Periodically snapshot the complete exploration state to \
+                   $(docv) (atomic rename; see $(b,--checkpoint-every)), so \
+                   a killed run can continue with $(b,--resume). Forces the \
+                   sequential resilient engine.")
+  in
+  let ckpt_every =
+    Arg.(value & opt (positive "interval") 50_000
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Visited configurations between checkpoint snapshots \
+                   (default 50000).")
+  in
+  let resume =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"FILE"
+             ~doc:"Resume from a $(b,--checkpoint) snapshot instead of the \
+                   initial configuration; the finished run's verdict is \
+                   byte-identical to an uninterrupted one. The snapshot's \
+                   stamp (command, workload and engine parameters) must \
+                   match, else exit 3.")
+  in
+  Term.(const (fun ro_bitstate ro_bits ro_spill_mb ro_ckpt ro_ckpt_every ro_resume ->
+          { ro_bitstate; ro_bits; ro_spill_mb; ro_ckpt; ro_ckpt_every; ro_resume })
+        $ bitstate $ bits $ spill_mb $ ckpt $ ckpt_every $ resume)
+
+(* The checkpoint stamp pins the run identity: resolved engine switches
+   (the environment defaults matter — a resumed run must resolve to the
+   same engine) plus each command's workload parameters. *)
+let resilience_of ~command ~params ~por ~exact_keys ro =
+  let por = match por with Some p -> p | None -> Explore.por_default () in
+  let exact =
+    match exact_keys with Some b -> b | None -> Explore.exact_keys_default ()
+  in
+  let stamp =
+    Printf.sprintf "gemcheck/1 %s %s por=%b exact=%b bitstate=%s" command params
+      por exact
+      (if ro.ro_bitstate then string_of_int ro.ro_bits else "off")
+  in
+  {
+    Explore.bitstate =
+      (if ro.ro_bitstate then Some (Bitstate.create ~bits:ro.ro_bits ())
+       else None);
+    spool =
+      Option.map (fun mb -> Spool.policy ~watermark_mb:mb ()) ro.ro_spill_mb;
+    checkpoint =
+      Option.map (fun f -> Checkpoint.ctl ~every:ro.ro_ckpt_every f) ro.ro_ckpt;
+    resume = ro.ro_resume;
+    stamp;
+    degrade_crashes =
+      ro.ro_bitstate || ro.ro_spill_mb <> None || ro.ro_ckpt <> None
+      || ro.ro_resume <> None;
+  }
+
+(* SIGINT/SIGTERM stop the run through the budget's first-reason-wins
+   cell: every engine polls it, unwinds keeping the leaves found so far,
+   and the normal (JSON) report renders a partial-coverage INCONCLUSIVE
+   with reason "interrupted" — exit 2, temp files swept — instead of the
+   process dying mid-write. *)
+let install_signals budget =
+  let handle _ = Budget.note budget Budget.Interrupted in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle handle)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
+(* ------------------------------------------------------------------ *)
 (* Telemetry flags, shared by every verification subcommand            *)
 (* ------------------------------------------------------------------ *)
 
@@ -295,10 +412,19 @@ let rw_cmd =
   in
   let readers = Arg.(value & opt int 2 & info [ "readers" ] ~docv:"N") in
   let writers = Arg.(value & opt int 1 & info [ "writers" ] ~docv:"N") in
-  let run monitor version readers writers por (exact_keys, audit_keys) jobs budget json obs =
+  let run monitor version readers writers por (exact_keys, audit_keys) jobs budget resil json obs =
     obs_init obs;
+    install_signals budget;
+    let resilience =
+      resilience_of ~command:"rw"
+        ~params:(Printf.sprintf "readers=%d writers=%d" readers writers)
+        ~por ~exact_keys resil
+    in
     let program = Readers_writers.program ~monitor ~readers ~writers in
-    let o = Monitor.explore ?por ?exact_keys ?audit_keys ~budget ~jobs program in
+    let o =
+      Monitor.explore ?por ?exact_keys ?audit_keys ~budget ~jobs ~resilience
+        program
+    in
     let problem =
       Readers_writers.spec version ~users:(Readers_writers.user_names ~readers ~writers)
     in
@@ -330,7 +456,7 @@ let rw_cmd =
   in
   Cmd.v
     (Cmd.info "rw" ~doc:"Verify a Readers/Writers monitor against a problem version.")
-    Term.(const run $ monitor $ version $ readers $ writers $ por_term $ keys_term $ jobs_term $ budget_term $ json_flag $ obs_term)
+    Term.(const run $ monitor $ version $ readers $ writers $ por_term $ keys_term $ jobs_term $ budget_term $ resilience_term $ json_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* buffer                                                              *)
@@ -368,28 +494,37 @@ let buffer_cmd =
   let producers = Arg.(value & opt int 1 & info [ "producers" ] ~docv:"N") in
   let consumers = Arg.(value & opt int 1 & info [ "consumers" ] ~docv:"N") in
   let items = Arg.(value & opt int 2 & info [ "items" ] ~docv:"N" ~doc:"Items per producer.") in
-  let run lang capacity producers consumers items por (exact_keys, audit_keys) jobs budget json obs =
+  let run lang capacity producers consumers items por (exact_keys, audit_keys) jobs budget resil json obs =
     obs_init obs;
+    install_signals budget;
+    let resilience =
+      resilience_of ~command:"buffer"
+        ~params:
+          (Printf.sprintf "lang=%s capacity=%d producers=%d consumers=%d items=%d"
+             (match lang with `Monitor -> "monitor" | `Csp -> "csp" | `Ada -> "ada")
+             capacity producers consumers items)
+        ~por ~exact_keys resil
+    in
     let problem = Buffer_problem.spec ~capacity in
     let strategy = Strategy.of_budget budget in
     let comps, deadlocks, explored, reduced, truncated, exhausted, results =
       match lang with
       | `Monitor ->
-          let o = Monitor.explore ?por ?exact_keys ?audit_keys ~budget ~jobs (Buffer_problem.monitor_solution ~capacity ~producers ~consumers ~items_each:items) in
+          let o = Monitor.explore ?por ?exact_keys ?audit_keys ~budget ~jobs ~resilience (Buffer_problem.monitor_solution ~capacity ~producers ~consumers ~items_each:items) in
           ( List.length o.Monitor.computations,
             List.length o.Monitor.deadlocks,
             o.Monitor.explored, o.Monitor.reduced, o.Monitor.truncated, o.Monitor.exhausted,
             Refine.sat ~strategy ~budget ~jobs ~problem ~map:Buffer_problem.monitor_correspondence
               o.Monitor.computations )
       | `Csp ->
-          let o = Csp.explore ?por ?exact_keys ?audit_keys ~budget ~jobs (Buffer_problem.csp_solution ~capacity ~producers ~consumers ~items_each:items) in
+          let o = Csp.explore ?por ?exact_keys ?audit_keys ~budget ~jobs ~resilience (Buffer_problem.csp_solution ~capacity ~producers ~consumers ~items_each:items) in
           ( List.length o.Csp.computations,
             List.length o.Csp.deadlocks,
             o.Csp.explored, o.Csp.reduced, o.Csp.truncated, o.Csp.exhausted,
             Refine.sat ~strategy ~budget ~jobs ~problem ~map:Buffer_problem.csp_correspondence
               o.Csp.computations )
       | `Ada ->
-          let o = Ada.explore ?por ?exact_keys ?audit_keys ~budget ~jobs (Buffer_problem.ada_solution ~capacity ~producers ~consumers ~items_each:items) in
+          let o = Ada.explore ?por ?exact_keys ?audit_keys ~budget ~jobs ~resilience (Buffer_problem.ada_solution ~capacity ~producers ~consumers ~items_each:items) in
           ( List.length o.Ada.computations,
             List.length o.Ada.deadlocks,
             o.Ada.explored, o.Ada.reduced, o.Ada.truncated, o.Ada.exhausted,
@@ -408,7 +543,7 @@ let buffer_cmd =
   in
   Cmd.v
     (Cmd.info "buffer" ~doc:"Verify a bounded-buffer solution.")
-    Term.(const run $ lang $ capacity $ producers $ consumers $ items $ por_term $ keys_term $ jobs_term $ budget_term $ json_flag $ obs_term)
+    Term.(const run $ lang $ capacity $ producers $ consumers $ items $ por_term $ keys_term $ jobs_term $ budget_term $ resilience_term $ json_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* rwd: distributed Readers/Writers                                    *)
@@ -424,8 +559,17 @@ let rwd_cmd =
   let broken =
     Arg.(value & flag & info [ "no-priority" ] ~doc:"Use the priority-less mutant.")
   in
-  let run lang readers writers broken por (exact_keys, audit_keys) jobs budget json obs =
+  let run lang readers writers broken por (exact_keys, audit_keys) jobs budget resil json obs =
     obs_init obs;
+    install_signals budget;
+    let resilience =
+      resilience_of ~command:"rwd"
+        ~params:
+          (Printf.sprintf "lang=%s readers=%d writers=%d broken=%b"
+             (match lang with `Csp -> "csp" | `Ada -> "ada")
+             readers writers broken)
+        ~por ~exact_keys resil
+    in
     let rnames, wnames = Rw_distributed.user_names ~readers ~writers in
     let problem = Rw_distributed.spec ~readers:rnames ~writers:wnames in
     let strategy = Strategy.of_budget budget in
@@ -436,7 +580,7 @@ let rwd_cmd =
             if broken then Rw_distributed.csp_program_no_priority ~readers ~writers
             else Rw_distributed.csp_program ~readers ~writers
           in
-          let o = Csp.explore ?por ?exact_keys ?audit_keys ~max_configs:20_000_000 ~budget ~jobs program in
+          let o = Csp.explore ?por ?exact_keys ?audit_keys ~max_configs:20_000_000 ~budget ~jobs ~resilience program in
           ( List.length o.Csp.computations,
             List.length o.Csp.deadlocks,
             o.Csp.explored, o.Csp.reduced, o.Csp.truncated, o.Csp.exhausted,
@@ -447,7 +591,7 @@ let rwd_cmd =
             if broken then Rw_distributed.ada_program_no_priority ~readers ~writers
             else Rw_distributed.ada_program ~readers ~writers
           in
-          let o = Ada.explore ?por ?exact_keys ?audit_keys ~max_configs:20_000_000 ~budget ~jobs program in
+          let o = Ada.explore ?por ?exact_keys ?audit_keys ~max_configs:20_000_000 ~budget ~jobs ~resilience program in
           ( List.length o.Ada.computations,
             List.length o.Ada.deadlocks,
             o.Ada.explored, o.Ada.reduced, o.Ada.truncated, o.Ada.exhausted,
@@ -467,7 +611,7 @@ let rwd_cmd =
   Cmd.v
     (Cmd.info "rwd"
        ~doc:"Verify the distributed (CSP/ADA) Readers/Writers solutions.")
-    Term.(const run $ lang $ readers $ writers $ broken $ por_term $ keys_term $ jobs_term $ budget_term $ json_flag $ obs_term)
+    Term.(const run $ lang $ readers $ writers $ broken $ por_term $ keys_term $ jobs_term $ budget_term $ resilience_term $ json_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* parse                                                               *)
@@ -508,9 +652,18 @@ let parse_cmd =
 
 let db_cmd =
   let sites = Arg.(value & opt int 3 & info [ "sites" ] ~docv:"N") in
-  let run sites por (exact_keys, audit_keys) jobs budget json obs =
+  let run sites por (exact_keys, audit_keys) jobs budget resil json obs =
     obs_init obs;
-    let r = Db_update.check ?por ?exact_keys ?audit_keys ~budget ~jobs ~sites () in
+    install_signals budget;
+    let resilience =
+      resilience_of ~command:"db"
+        ~params:(Printf.sprintf "sites=%d" sites)
+        ~por ~exact_keys resil
+    in
+    let r =
+      Db_update.check ?por ?exact_keys ?audit_keys ~budget ~jobs ~resilience
+        ~sites ()
+    in
     let status =
       if (not r.Db_update.converges) || r.deadlocks > 0 then Verdict.Falsified
       else
@@ -532,7 +685,7 @@ let db_cmd =
          })
   in
   Cmd.v (Cmd.info "db" ~doc:"Explore the distributed database update.")
-    Term.(const run $ sites $ por_term $ keys_term $ jobs_term $ budget_term $ json_flag $ obs_term)
+    Term.(const run $ sites $ por_term $ keys_term $ jobs_term $ budget_term $ resilience_term $ json_flag $ obs_term)
 
 let life_cmd =
   let width = Arg.(value & opt int 4 & info [ "width" ] ~docv:"N") in
@@ -572,12 +725,35 @@ let () =
           `P "0 — verified; 1 — falsified (a violation or deadlock was found); \
               2 — inconclusive (a resource budget was exhausted before \
               coverage finished); 3 — usage or internal error.";
+          `S Manpage.s_environment;
+          `P "GEM_FAULT=SEED[:PERIOD[:POINTS]] arms the deterministic \
+              fault-injection harness (test/CI instrument): roughly one in \
+              PERIOD draws fails at the eligible injection points (alloc, \
+              spill-io, checkpoint-io, domain-start). Injected faults only \
+              ever degrade verdicts to INCONCLUSIVE — a malformed spec is a \
+              usage error.";
         ]
   in
+  (* Armed before any command runs so every injection point sees the same
+     deterministic draw stream. A set-but-malformed spec must not
+     silently run unfaulted (CI legs depend on the faults firing). *)
+  (match Faults.arm_from_env () with
+  | Ok _ -> ()
+  | Error msg ->
+      Printf.eprintf "gemcheck: %s\n" msg;
+      exit 3);
   let code =
-    Cmd.eval'
-      (Cmd.group info
-         [ experiments_cmd; rw_cmd; rwd_cmd; buffer_cmd; db_cmd; life_cmd; parse_cmd ])
+    try
+      Cmd.eval' ~catch:false
+        (Cmd.group info
+           [ experiments_cmd; rw_cmd; rwd_cmd; buffer_cmd; db_cmd; life_cmd; parse_cmd ])
+    with
+    | Explore.Resume_error msg ->
+        Printf.eprintf "gemcheck: %s\n" msg;
+        3
+    | e ->
+        Printf.eprintf "gemcheck: internal error: %s\n" (Printexc.to_string e);
+        3
   in
   (* Cmdliner reports CLI/internal errors with its own codes; fold them
      into the documented contract (3 = usage/internal). *)

@@ -3,6 +3,10 @@ type reason =
   | Config_budget
   | Run_cap of int
   | Memory_watermark
+  | Interrupted
+  | Bitstate_collision_risk
+  | Spill_io_error
+  | Worker_crashed of string
 
 type coverage = {
   configs_explored : int;
@@ -57,17 +61,25 @@ let max_runs t = t.max_runs
 let configs_used t = Atomic.get t.configs_used
 let runs_used t = Atomic.get t.runs_used
 
+let restore t ~configs ~runs =
+  Atomic.set t.configs_used configs;
+  Atomic.set t.runs_used runs
+
 (* The stop counter records only the winning CAS, so "budget stops by
    reason" counts decisions, not the many racing observers of one. *)
 let stop_counter = function
-  | Deadline_exceeded -> Gem_obs.Telemetry.Budget_stop_deadline
-  | Config_budget -> Gem_obs.Telemetry.Budget_stop_configs
-  | Run_cap _ -> Gem_obs.Telemetry.Budget_stop_runs
-  | Memory_watermark -> Gem_obs.Telemetry.Budget_stop_memory
+  | Deadline_exceeded -> Some Gem_obs.Telemetry.Budget_stop_deadline
+  | Config_budget -> Some Gem_obs.Telemetry.Budget_stop_configs
+  | Run_cap _ -> Some Gem_obs.Telemetry.Budget_stop_runs
+  | Memory_watermark -> Some Gem_obs.Telemetry.Budget_stop_memory
+  (* Resilience reasons are counted at their own injection/degradation
+     sites (spill, bitstate, fault counters) — no budget-stop counter. *)
+  | Interrupted | Bitstate_collision_risk | Spill_io_error | Worker_crashed _ ->
+      None
 
 let note t reason =
   if Atomic.compare_and_set t.stopped None (Some reason) then
-    Gem_obs.Telemetry.hit (stop_counter reason)
+    Option.iter Gem_obs.Telemetry.hit (stop_counter reason)
 
 let poll t =
   (match t.deadline with
@@ -127,16 +139,47 @@ let reason_keyword = function
   | Config_budget -> "config-budget"
   | Run_cap _ -> "run-cap"
   | Memory_watermark -> "memory-watermark"
+  | Interrupted -> "interrupted"
+  | Bitstate_collision_risk -> "bitstate-collision-risk"
+  | Spill_io_error -> "spill-io-error"
+  | Worker_crashed _ -> "worker-crashed"
 
 let pp_reason ppf = function
   | Deadline_exceeded -> Format.fprintf ppf "wall-clock deadline exceeded"
   | Config_budget -> Format.fprintf ppf "configuration budget exhausted"
   | Run_cap n -> Format.fprintf ppf "run enumeration capped at %d" n
   | Memory_watermark -> Format.fprintf ppf "memory watermark crossed"
+  | Interrupted -> Format.fprintf ppf "interrupted by signal"
+  | Bitstate_collision_risk ->
+      Format.fprintf ppf
+        "bitstate mode: unseen states may have hashed onto seen ones"
+  | Spill_io_error -> Format.fprintf ppf "frontier spill I/O failed"
+  | Worker_crashed exn ->
+      Format.fprintf ppf "worker domain crashed: %s" exn
+
+(* Worker_crashed carries an arbitrary exception rendering; escape the
+   few JSON metacharacters so the verdict line stays parseable. *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
 
 let reason_json r =
   match r with
   | Run_cap n -> Printf.sprintf {|{"kind":"%s","cap":%d}|} (reason_keyword r) n
+  | Worker_crashed exn ->
+      Printf.sprintf {|{"kind":"%s","exn":"%s"}|} (reason_keyword r)
+        (json_escape exn)
   | _ -> Printf.sprintf {|{"kind":"%s"}|} (reason_keyword r)
 
 let pp_coverage ppf c =

@@ -19,6 +19,22 @@ type reason =
   | Config_budget  (** The configuration-visit budget ran out. *)
   | Run_cap of int  (** Run enumeration was cut at this cap. *)
   | Memory_watermark  (** The major-heap watermark was crossed. *)
+  | Interrupted
+      (** SIGINT/SIGTERM arrived; the run stopped at the next poll and
+          reported partial coverage instead of dying. *)
+  | Bitstate_collision_risk
+      (** The seen set ran in bitstate (fingerprint-only, bounded-RAM)
+          mode: an unseen state may have hashed onto a seen slot, so a
+          clean sweep cannot claim Verified. Falsified stays sound —
+          every reported counterexample was actually executed. *)
+  | Spill_io_error
+      (** The disk-spilled frontier hit an I/O error; spilled tasks may
+          be unreachable, so coverage is partial. *)
+  | Worker_crashed of string
+      (** An exception escaped a worker domain (printed form carried);
+          its in-flight subtree was abandoned. Only reported when the
+          caller opted into degradation — the default contract still
+          re-raises. *)
 
 type coverage = {
   configs_explored : int;  (** Interpreter configurations visited. *)
@@ -66,6 +82,11 @@ val max_runs : t -> int option
 val configs_used : t -> int
 val runs_used : t -> int
 
+val restore : t -> configs:int -> runs:int -> unit
+(** Overwrite the cumulative counters — used by [--resume] so a resumed
+    run continues charging from the interrupted run's totals (and a
+    [max_configs] cap keeps its end-to-end meaning). *)
+
 val exhausted : t -> reason option
 (** Probe: also (re)checks the deadline and the heap watermark. Once a
     budget is exhausted the verdict is sticky. *)
@@ -88,7 +109,9 @@ val full_coverage : coverage
 val pp_reason : Format.formatter -> reason -> unit
 val reason_keyword : reason -> string
 (** Stable machine-readable keyword: ["deadline-exceeded"],
-    ["config-budget"], ["run-cap"], ["memory-watermark"]. *)
+    ["config-budget"], ["run-cap"], ["memory-watermark"],
+    ["interrupted"], ["bitstate-collision-risk"], ["spill-io-error"],
+    ["worker-crashed"]. *)
 
 val reason_json : reason -> string
 val pp_coverage : Format.formatter -> coverage -> unit

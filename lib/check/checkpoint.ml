@@ -1,0 +1,71 @@
+(* Crash-safe periodic snapshots. The format is deliberately dumb:
+     "GEMCKPT1" | Marshal(stamp : string) | Marshal(payload)
+   written to FILE.tmp and atomically renamed over FILE, so a crash
+   mid-write leaves either the previous complete checkpoint or none —
+   never a torn one. The stamp is the caller's full run identity
+   (command, workload parameters, engine configuration, binary
+   revision); [read] refuses a stamp mismatch because resuming a
+   frontier into a different exploration would corrupt the verdict
+   silently. *)
+
+module T = Gem_obs.Telemetry
+
+type ctl = { file : string; every : int }
+
+let ctl ?(every = 50_000) file =
+  if every < 1 then invalid_arg "Checkpoint.ctl: every must be positive";
+  { file; every }
+
+let file t = t.file
+let every t = t.every
+
+let magic = "GEMCKPT1"
+
+let write t ~stamp payload =
+  let tmp = t.file ^ ".tmp" in
+  try
+    if Faults.fire Faults.Checkpoint_io then
+      raise (Faults.Injected Faults.Checkpoint_io);
+    Spool.register_temp tmp;
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc magic;
+       Marshal.to_channel oc (stamp : string) [];
+       Marshal.to_channel oc payload [];
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    Sys.rename tmp t.file;
+    Spool.release_temp tmp;
+    T.hit T.Checkpoint_writes;
+    Ok ()
+  with
+  | Faults.Injected _ ->
+      Faults.survived ();
+      Error "injected checkpoint fault"
+  | Sys_error msg ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Spool.release_temp tmp;
+      Error msg
+
+let read ~stamp path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let m = really_input_string ic (String.length magic) in
+        if m <> magic then Error (path ^ ": not a gemcheck checkpoint")
+        else
+          let written : string = Marshal.from_channel ic in
+          if written <> stamp then
+            Error
+              (Printf.sprintf
+                 "%s: checkpoint stamp mismatch (written for %S, resuming \
+                  %S) — refusing to resume a different run"
+                 path written stamp)
+          else Ok (Marshal.from_channel ic))
+  with
+  | Sys_error msg -> Error msg
+  | End_of_file | Failure _ -> Error (path ^ ": truncated or corrupt checkpoint")

@@ -1,0 +1,206 @@
+(* Disk-spilled LIFO frontier. The resilient engine keeps its frontier
+   here unconditionally (with [no_spill] the disk path is dead code), so
+   spilling is a policy change, not an engine change, and checkpointing
+   can snapshot the frontier through one [elements] call.
+
+   Layout: [hot] is the in-memory stack (head = newest). Under memory
+   pressure the *oldest* [chunk] tasks are marshalled as one segment and
+   appended to a lazily-created temp file; [chunks] records each
+   segment's (offset, length), newest segment last. [pop] serves from
+   [hot] and, when it empties, reloads the most recent segment — which
+   restores exactly the LIFO order an all-in-memory run would have had.
+
+   I/O failures (real or injected via [Faults.Spill_io]) never raise out
+   of [push]/[pop]: the spool goes sticky-[error], keeps what it still
+   holds in memory, and the engine downgrades the verdict to
+   Inconclusive with [Spill_io_error]. *)
+
+module T = Gem_obs.Telemetry
+
+(* ------------------------------------------------------------------ *)
+(* Temp-file registry: every temp file the resilience layer creates is
+   registered here and removed by one [at_exit] sweep, so no exit path
+   (normal, budget stop, signal handler that re-raises, injected fault)
+   leaves gem-spool-* / checkpoint .tmp litter behind. *)
+(* ------------------------------------------------------------------ *)
+
+let temp_mutex = Mutex.create ()
+let temp_files : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let sweep_temps () =
+  Mutex.protect temp_mutex (fun () ->
+      Hashtbl.iter
+        (fun f () -> try Sys.remove f with Sys_error _ -> ())
+        temp_files;
+      Hashtbl.reset temp_files)
+
+let sweep_installed = lazy (at_exit sweep_temps)
+
+let register_temp f =
+  Lazy.force sweep_installed;
+  Mutex.protect temp_mutex (fun () -> Hashtbl.replace temp_files f ())
+
+let release_temp f =
+  Mutex.protect temp_mutex (fun () -> Hashtbl.remove temp_files f)
+
+(* ------------------------------------------------------------------ *)
+(* Spool proper                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type policy = { dir : string option; chunk : int; watermark_mb : int }
+
+let policy ?dir ?(chunk = 4096) ~watermark_mb () =
+  if chunk < 1 then invalid_arg "Spool.policy: chunk must be positive";
+  { dir; chunk; watermark_mb }
+
+let no_spill = { dir = None; chunk = 4096; watermark_mb = max_int }
+
+type 'a t = {
+  pol : policy;
+  mutable hot : 'a list;  (* head = newest *)
+  mutable hot_n : int;
+  mutable chunks : (int * int) list;  (* newest segment first *)
+  mutable file : (string * out_channel) option;
+  mutable file_len : int;
+  mutable err : bool;
+  mutable since_check : int;
+}
+
+let create pol =
+  {
+    pol;
+    hot = [];
+    hot_n = 0;
+    chunks = [];
+    file = None;
+    file_len = 0;
+    err = false;
+    since_check = 0;
+  }
+
+let size t = t.hot_n + List.fold_left (fun n (_, len) -> n + len) 0 t.chunks
+let error t = t.err
+let spilled t = t.chunks <> [] || t.file <> None
+
+let words_per_mb = 1024 * 1024 / (Sys.word_size / 8)
+
+let over_watermark t =
+  t.pol.watermark_mb <> max_int
+  && (Gc.quick_stat ()).Gc.heap_words > t.pol.watermark_mb * words_per_mb
+
+let channel t =
+  match t.file with
+  | Some (_, oc) -> oc
+  | None ->
+      let path = Filename.temp_file ?temp_dir:t.pol.dir "gem-spool-" ".bin" in
+      register_temp path;
+      let oc = open_out_bin path in
+      t.file <- Some (path, oc);
+      oc
+
+(* Split [l] keeping the first [n] elements in order; returns the
+   remainder (the oldest tail segment, still newest-first). *)
+let split_at n l =
+  let rec go n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (n - 1) (x :: acc) rest
+  in
+  go n [] l
+
+let spill_oldest t =
+  let keep = t.hot_n - t.pol.chunk in
+  let hot', seg = split_at keep t.hot in
+  try
+    if Faults.fire Faults.Spill_io then raise (Faults.Injected Faults.Spill_io);
+    let oc = channel t in
+    let bytes = Marshal.to_bytes seg [] in
+    let off = t.file_len in
+    output_bytes oc bytes;
+    flush oc;
+    t.file_len <- off + Bytes.length bytes;
+    t.chunks <- (off, t.pol.chunk) :: t.chunks;
+    t.hot <- hot';
+    t.hot_n <- keep;
+    T.add T.Spill_bytes (Bytes.length bytes);
+    T.hit T.Spill_chunks
+  with
+  | Faults.Injected _ ->
+      Faults.survived ();
+      t.err <- true
+  | Sys_error _ | Out_of_memory -> t.err <- true
+
+let push t x =
+  t.hot <- x :: t.hot;
+  t.hot_n <- t.hot_n + 1;
+  t.since_check <- t.since_check + 1;
+  if
+    (not t.err)
+    && t.since_check >= 64
+    && t.hot_n > 2 * t.pol.chunk
+  then begin
+    t.since_check <- 0;
+    if over_watermark t then spill_oldest t
+  end
+
+let read_segment t (off, _len) =
+  match t.file with
+  | None ->
+      t.err <- true;
+      []
+  | Some (path, oc) -> (
+      try
+        if Faults.fire Faults.Spill_io then
+          raise (Faults.Injected Faults.Spill_io);
+        flush oc;
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            seek_in ic off;
+            (Marshal.from_channel ic : 'a list))
+      with
+      | Faults.Injected _ ->
+          Faults.survived ();
+          t.err <- true;
+          []
+      | Sys_error _ | End_of_file | Failure _ ->
+          t.err <- true;
+          [])
+
+let rec pop t =
+  match t.hot with
+  | x :: rest ->
+      t.hot <- rest;
+      t.hot_n <- t.hot_n - 1;
+      Some x
+  | [] -> (
+      match t.chunks with
+      | [] -> None
+      | seg :: older ->
+          t.chunks <- older;
+          let items = read_segment t seg in
+          t.hot <- items;
+          t.hot_n <- List.length items;
+          pop t)
+
+let elements t =
+  (* Newest-first overall: hot, then segments newest-first. A read error
+     marks [err]; the partial snapshot is still returned so a checkpoint
+     written after an I/O failure preserves what is preservable. *)
+  let spilled =
+    List.concat_map (fun seg -> read_segment t seg) t.chunks
+  in
+  t.hot @ spilled
+
+let close t =
+  (match t.file with
+  | None -> ()
+  | Some (path, oc) ->
+      close_out_noerr oc;
+      (try Sys.remove path with Sys_error _ -> ());
+      release_temp path;
+      t.file <- None);
+  t.hot <- [];
+  t.hot_n <- 0;
+  t.chunks <- []

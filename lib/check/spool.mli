@@ -1,0 +1,63 @@
+(** Disk-spilled LIFO frontier, and the resilience layer's temp-file
+    registry.
+
+    The frontier of a DFS over an exploding state space can itself
+    outgrow RAM. A spool keeps a hot in-memory stack and, under a
+    configurable major-heap watermark, pages the {e oldest} tasks out to
+    a temp file in marshalled chunks; they page back in exactly when an
+    all-in-memory run would have reached them, so spilling is invisible
+    to the exploration order.
+
+    {b Failure contract}: no [push]/[pop]/[elements] call ever raises on
+    I/O failure (real, or injected at {!Faults.Spill_io}). The spool
+    turns sticky-{!error}, stops touching the disk, serves what it still
+    holds in memory, and the engine reports
+    {!Budget.reason}[.Spill_io_error] Inconclusive — spilled tasks may
+    be lost, so coverage can no longer be claimed complete.
+
+    Not domain-safe: each spool belongs to one (sequential) engine. *)
+
+type policy
+
+val policy : ?dir:string -> ?chunk:int -> watermark_mb:int -> unit -> policy
+(** [chunk] (default 4096) tasks are written per spill; spilling engages
+    only while the major heap exceeds [watermark_mb]. [dir] overrides
+    the temp directory. *)
+
+val no_spill : policy
+(** Infinite watermark — a plain in-memory stack; the disk path is
+    never touched. The resilient engine always fronts its frontier with
+    a spool so the two configurations share one code path. *)
+
+type 'a t
+
+val create : policy -> 'a t
+
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+
+val size : 'a t -> int
+val error : 'a t -> bool
+(** An I/O failure occurred; tasks may have been lost. Sticky. *)
+
+val spilled : 'a t -> bool
+(** The disk was engaged at least once. *)
+
+val elements : 'a t -> 'a list
+(** Non-destructive snapshot in pop order (newest first) — the frontier
+    component of a checkpoint. Reads spilled chunks back; a read failure
+    marks {!error} and the partial snapshot is returned. *)
+
+val close : 'a t -> unit
+(** Drop all tasks and remove the temp file. Idempotent. *)
+
+(** {1 Temp-file registry}
+
+    Every temp file the resilience layer creates ([gem-spool-*] chunks,
+    [*.tmp] checkpoint staging) is registered here; one [at_exit] sweep
+    (installed on first registration) removes whatever is still
+    registered, so no exit path — normal, budget stop, signal, injected
+    fault — leaves litter behind. *)
+
+val register_temp : string -> unit
+val release_temp : string -> unit

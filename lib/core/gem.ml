@@ -13,6 +13,7 @@
     {- the specification layer: {!Etype}, {!Access}, {!Abbrev}, {!Thread},
        {!Spec}, {!Legality};}
     {- checking: {!Budget}, {!Strategy}, {!Verdict}, {!Check}, {!Refine};}
+    {- resilience: {!Bitstate}, {!Spool}, {!Checkpoint}, {!Faults};}
     {- observability: {!Telemetry} (counters, spans, trace export);}
     {- the concrete syntax: {!Lexer}, {!Parser};}
     {- language substrates: {!Expr}, {!Trace}, {!Explore}, {!Monitor},
@@ -52,6 +53,10 @@ module Legality = Gem_spec.Legality
 module Dyngroup = Gem_spec.Dyngroup
 module Telemetry = Gem_obs.Telemetry
 module Budget = Gem_check.Budget
+module Bitstate = Gem_check.Bitstate
+module Spool = Gem_check.Spool
+module Checkpoint = Gem_check.Checkpoint
+module Faults = Gem_check.Faults
 module Strategy = Gem_check.Strategy
 module Verdict = Gem_check.Verdict
 module Check = Gem_check.Check

@@ -435,7 +435,7 @@ let fp_key cfg =
   !acc
 
 let explore ?por ?exact_keys ?audit_keys ?max_steps ?max_configs ?budget ?jobs
-    program =
+    ?(resilience = Explore.no_resilience) program =
   let por = match por with Some p -> p | None -> Explore.por_default () in
   let exact =
     match exact_keys with Some b -> b | None -> Explore.exact_keys_default ()
@@ -447,17 +447,21 @@ let explore ?por ?exact_keys ?audit_keys ?max_steps ?max_configs ?budget ?jobs
     match jobs with Some j -> j | None -> Gem_check.Par.jobs_default ()
   in
   let result =
+    let key c =
+      if exact then Explore.Exact (state_key program c)
+      else Explore.Fp (fp_key c)
+    in
+    let audit = if auditing && not exact then Some (state_key program) else None in
     if por then
-      let key =
-        if exact then fun c -> Explore.Exact (state_key program c)
-        else fun c -> Explore.Fp (fp_key c)
-      in
-      let audit = if auditing && not exact then Some (state_key program) else None in
       Explore.run ?max_steps ?max_configs ?budget ~key ?audit ~footprint:moves_fp
-        ~jobs ~moves ~terminated (initial program)
+        ~jobs ~resilience ~moves ~terminated (initial program)
     else
-      Explore.run ?max_steps ?max_configs ?budget ~jobs ~moves ~terminated
-        (initial program)
+      (* Keyless plain walk, except bitstate mode needs a state key to
+         memoize on (see {!Monitor.explore}). *)
+      let key = if resilience.Explore.bitstate = None then None else Some key in
+      let audit = if key = None then None else audit in
+      Explore.run ?max_steps ?max_configs ?budget ?key ?audit ~jobs ~resilience
+        ~moves ~terminated (initial program)
   in
   {
     computations = Explore.dedup_computations (seal program) result.completed;

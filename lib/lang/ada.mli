@@ -63,6 +63,7 @@ val explore :
   ?max_configs:int ->
   ?budget:Gem_check.Budget.t ->
   ?jobs:int ->
+  ?resilience:Explore.resilience ->
   program ->
   outcome
 (** Resource exhaustion never raises; it is reported in [exhausted].

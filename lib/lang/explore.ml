@@ -1,4 +1,8 @@
 module Budget = Gem_check.Budget
+module Bitstate = Gem_check.Bitstate
+module Spool = Gem_check.Spool
+module Checkpoint = Gem_check.Checkpoint
+module Faults = Gem_check.Faults
 module T = Gem_obs.Telemetry
 module Fp = Gem_order.Fingerprint
 module Smap = Map.Make (String)
@@ -71,6 +75,47 @@ type 'c result = {
   reduced : int;
   exhausted : Budget.reason option;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Resilience configuration                                            *)
+(* ------------------------------------------------------------------ *)
+
+type resilience = {
+  bitstate : Bitstate.t option;
+  spool : Spool.policy option;
+  checkpoint : Checkpoint.ctl option;
+  resume : string option;
+  stamp : string;
+  degrade_crashes : bool;
+}
+
+let no_resilience =
+  {
+    bitstate = None;
+    spool = None;
+    checkpoint = None;
+    resume = None;
+    stamp = "";
+    degrade_crashes = false;
+  }
+
+exception Resume_error of string
+
+(* Bitstate key of a (state, sleep set) pair. The sleep set must be part
+   of the key: bitstate tables cannot store the per-key sleep-set lists
+   the subset rule needs, so they fall back to pruning only exact
+   (state, sleep) repeats — a strict refinement of the subset rule
+   (fewer prunes, never an unsound one). The sleep contribution is a
+   commutative sum of per-label hashes, so the key is independent of
+   Smap iteration internals; with an empty sleep set the key is the bare
+   state fingerprint, which makes plain-mode bitstate exactly a
+   fixed-RAM version of the [run_plain] memo. *)
+let bitstate_key k sleep =
+  let base = match k with Fp f -> f | Exact s -> Fp.of_string s in
+  if Smap.is_empty sleep then base
+  else
+    Fp.combine base
+      (Smap.fold (fun l _ acc -> Fp.cadd acc (Fp.of_string l)) sleep Fp.zero)
 
 let por_default () =
   match Sys.getenv_opt "GEM_NO_POR" with
@@ -410,8 +455,42 @@ let shard_covered sh k exact sleep =
   Mutex.unlock lock;
   hit
 
-let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~audit ~mode ~terminated
-    init =
+(* Seen-table lookup shared by the bitstate-capable engines: [`Full]
+   (table at its load cap) is treated as a hit — the arrival is pruned,
+   coverage is lost, and the dedicated counter records it; counting it
+   as a memo hit too preserves the conservation invariant
+   [Configs_reduced = Sleep_prunes + Memo_hits]. The optional audit
+   table rides along exactly like the exact-key oracle of the table
+   engines: exact key recorded at first insert, compared on every hit. *)
+let bitstate_covered b audit_tbl k exact sleep =
+  let t = T.span_begin T.Seen_table in
+  let f = bitstate_key k sleep in
+  let hit =
+    match Bitstate.add b f with
+    | `New ->
+        (match audit_tbl with
+        | Some (tbl, m) -> Mutex.protect m (fun () -> Ktbl.replace tbl (Fp f) exact)
+        | None -> ());
+        T.hit T.Memo_misses;
+        false
+    | `Seen ->
+        (match audit_tbl with
+        | Some (tbl, m) ->
+            Mutex.protect m (fun () ->
+                audit_mismatch (Option.join (Ktbl.find_opt tbl (Fp f))) exact)
+        | None -> ());
+        T.hit T.Memo_hits;
+        true
+    | `Full ->
+        T.hit T.Bitstate_saturated_prunes;
+        T.hit T.Memo_hits;
+        true
+  in
+  T.span_end T.Seen_table t;
+  hit
+
+let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~audit ~mode ~bits ~crash
+    ~terminated init =
   let explored = Atomic.make 0
   and truncated = Atomic.make 0
   and reduced = Atomic.make 0
@@ -420,7 +499,17 @@ let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~audit ~mode ~terminated
   and failure = Atomic.make None in
   let add counter n = ignore (Atomic.fetch_and_add counter n) in
   let stop reason = ignore (Atomic.compare_and_set exhausted None (Some reason)) in
-  let seen = make_shards () in
+  let covered_fn =
+    match bits with
+    | Some b ->
+        let audit_tbl =
+          if audit = None then None else Some (Ktbl.create 1024, Mutex.create ())
+        in
+        bitstate_covered b audit_tbl
+    | None ->
+        let seen = make_shards () in
+        shard_covered seen
+  in
   let exact_of c = match audit with None -> None | Some a -> Some (a c) in
   let deques =
     Array.init jobs (fun _ -> { dq_items = []; dq_lock = Mutex.create () })
@@ -477,7 +566,7 @@ let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~audit ~mode ~terminated
     match key with
     | Some k ->
         let d = k config in
-        if shard_covered seen d (exact_of config) sleep then begin
+        if covered_fn d (exact_of config) sleep then begin
           Atomic.incr reduced;
           T.hit T.Configs_reduced
         end
@@ -573,16 +662,56 @@ let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~audit ~mode ~terminated
     | None -> None
     | Some k ->
         let d = k init in
-        ignore (shard_covered seen d (exact_of init) Smap.empty);
+        ignore (covered_fn d (exact_of init) Smap.empty);
         Some d
   in
   push 0 { pt_depth = 0; pt_config = init; pt_key = k0; pt_sleep = Smap.empty };
-  let domains = List.init (jobs - 1) (fun d -> Domain.spawn (fun () -> worker (d + 1))) in
-  worker 0;
+  (* Satellite fix (domain teardown): nothing may escape a worker domain
+     un-recorded. [process] exceptions are caught per task, but an
+     exception anywhere else in the loop (the deques, telemetry, a stack
+     overflow) used to kill the domain silently — its claimed task never
+     left [in_flight], and every other domain spun forever on
+     [in_flight > 0]. The blanket wrap records such a failure in the
+     same first-failure-wins cell, which every worker polls, so the
+     protocol terminates cleanly instead of wedging. *)
+  let safe_worker i () =
+    try worker i
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+  in
+  (* A domain that fails to start (injected [Domain_start] fault, or a
+     real resource limit) degrades to fewer workers: work-stealing makes
+     any worker count correct, just slower. *)
+  let domains =
+    List.filter_map
+      (fun d ->
+        if Faults.fire Faults.Domain_start then begin
+          Faults.survived ();
+          None
+        end
+        else
+          match Domain.spawn (safe_worker d) with
+          | dom -> Some dom
+          | exception _ -> None)
+      (List.init (jobs - 1) (fun d -> d + 1))
+  in
+  safe_worker 0 ();
   List.iter Domain.join domains;
   (match Atomic.get failure with
-  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Some (e, bt) -> (
+      match crash with
+      | `Raise -> Printexc.raise_with_backtrace e bt
+      | `Degrade -> stop (Budget.Worker_crashed (Printexc.to_string e)))
   | None -> ());
+  (* Bitstate downgrade: a clean sweep through a lossy seen set is not a
+     proof — any would-be Verified becomes reasoned Inconclusive, while
+     Falsified stays sound (counterexamples were executed). *)
+  let exhausted =
+    match Atomic.get exhausted with
+    | Some _ as r -> r
+    | None -> if bits <> None then Some Budget.Bitstate_collision_risk else None
+  in
   let merged arr = List.concat_map (fun r -> List.rev !r) (Array.to_list arr) in
   {
     completed = canonical_leaves ~keyed:(key <> None) (merged completed);
@@ -590,28 +719,249 @@ let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~audit ~mode ~terminated
     truncated = Atomic.get truncated;
     explored = Atomic.get explored;
     reduced = Atomic.get reduced;
-    exhausted = Atomic.get exhausted;
+    exhausted;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Resilient sequential engine (spool / checkpoint / resume / bitstate) *)
+(* ------------------------------------------------------------------ *)
+
+(* Complete resumable state. Everything in it is pure data (interpreter
+   configurations are closure-free records, [skey]/[move]/[Smap] are
+   plain structures, [Ktbl] marshals as an ordinary hashtable), so one
+   [Marshal] round trip through {!Checkpoint} reconstructs the walk
+   exactly. *)
+type 'c rsnapshot = {
+  sn_completed : (skey option * 'c) list;
+  sn_deadlocked : (skey option * 'c) list;
+  sn_truncated : int;
+  sn_explored : int;
+  sn_reduced : int;
+  sn_frontier : 'c ptask list;  (* pop order (newest first) *)
+  sn_seen : (string option * move Smap.t list) Ktbl.t option;
+  sn_bits : Bitstate.snapshot option;
+  sn_budget : int * int;  (* configs_used, runs_used *)
+  sn_counters : (string * int) list;
+}
+
+(* One engine serves every resilience combination: the frontier is
+   always a {!Spool} (a plain in-memory stack under [no_spill]) so
+   spilling and checkpointing see a single code path, and the seen set
+   is either the exact subset-rule table or a bounded {!Bitstate}. The
+   walk is the same push-time-filtered task expansion as [run_par]'s,
+   run on one domain — sequential determinism is what makes a resumed
+   run byte-identical to an uninterrupted one. *)
+let run_resilient ~max_steps ~max_configs ~budget ~key ~audit ~mode ~terminated
+    ~res init =
+  let w = new_walk () in
+  let exact_of c = match audit with None -> None | Some a -> Some (a c) in
+  let bits = ref (if key = None then None else res.bitstate) in
+  let table = ref (if !bits = None then Some (Ktbl.create 1024) else None) in
+  let bit_audit =
+    if !bits <> None && audit <> None then Some (Ktbl.create 1024, Mutex.create ())
+    else None
+  in
+  let covered_check k exact sleep =
+    match (!bits, !table) with
+    | Some b, _ -> bitstate_covered b bit_audit k exact sleep
+    | None, Some tbl -> covered tbl k exact sleep
+    | None, None -> false
+  in
+  let pol = match res.spool with Some p -> p | None -> Spool.no_spill in
+  let frontier = Spool.create pol in
+  (* An injected allocation fault is a simulated [Out_of_memory] at
+     frontier growth: the task is dropped and the walk stops with the
+     memory reason — coverage lost, verdict degraded, process alive. *)
+  let push_task task =
+    if Faults.fire Faults.Alloc then begin
+      Faults.survived ();
+      if w.w_exhausted = None then w.w_exhausted <- Some Budget.Memory_watermark
+    end
+    else Spool.push frontier task
+  in
+  let push_child depth (config, sleep) =
+    match key with
+    | Some k ->
+        let d = k config in
+        if covered_check d (exact_of config) sleep then begin
+          w.w_reduced <- w.w_reduced + 1;
+          T.hit T.Configs_reduced
+        end
+        else
+          push_task
+            { pt_depth = depth; pt_config = config; pt_key = Some d; pt_sleep = sleep }
+    | None ->
+        push_task
+          { pt_depth = depth; pt_config = config; pt_key = None; pt_sleep = sleep }
+  in
+  let classify task =
+    if terminated task.pt_config then
+      w.w_completed <- (task.pt_key, task.pt_config) :: w.w_completed
+    else w.w_deadlocked <- (task.pt_key, task.pt_config) :: w.w_deadlocked
+  in
+  let process task =
+    if task.pt_depth > max_steps then w.w_truncated <- w.w_truncated + 1
+    else
+      match mode with
+      | Par_plain moves -> (
+          let t = T.span_begin T.Interp_step in
+          let cs = moves task.pt_config in
+          T.span_end T.Interp_step t;
+          match cs with
+          | [] -> classify task
+          | cs ->
+              List.iter
+                (fun c -> push_child (task.pt_depth + 1) (c, Smap.empty))
+                cs)
+      | Par_sleep footprint -> (
+          let t = T.span_begin T.Interp_step in
+          let succs = footprint task.pt_config in
+          T.span_end T.Interp_step t;
+          match succs with
+          | [] -> classify task
+          | succs ->
+              let awake, asleep =
+                List.partition
+                  (fun (m, _) -> not (Smap.mem m.label task.pt_sleep))
+                  succs
+              in
+              w.w_reduced <- w.w_reduced + List.length asleep;
+              T.add T.Sleep_prunes (List.length asleep);
+              T.add T.Configs_reduced (List.length asleep);
+              let _, rev_children =
+                List.fold_left
+                  (fun (sleep, acc) (m, c') ->
+                    let child_sleep =
+                      Smap.filter (fun _ z -> independent z m) sleep
+                    in
+                    (Smap.add m.label m sleep, (c', child_sleep) :: acc))
+                  (task.pt_sleep, []) awake
+              in
+              List.iter (push_child (task.pt_depth + 1)) (List.rev rev_children))
+  in
+  let since_ckpt = ref 0 in
+  let snapshot () =
+    {
+      sn_completed = w.w_completed;
+      sn_deadlocked = w.w_deadlocked;
+      sn_truncated = w.w_truncated;
+      sn_explored = w.w_explored;
+      sn_reduced = w.w_reduced;
+      sn_frontier = Spool.elements frontier;
+      sn_seen = !table;
+      sn_bits = Option.map Bitstate.snapshot !bits;
+      sn_budget =
+        (match budget with
+        | Some b -> (Budget.configs_used b, Budget.runs_used b)
+        | None -> (0, 0));
+      sn_counters = T.snapshot_counters ();
+    }
+  in
+  let maybe_checkpoint () =
+    match res.checkpoint with
+    | None -> ()
+    | Some ctl ->
+        incr since_ckpt;
+        if !since_ckpt >= Checkpoint.every ctl then begin
+          since_ckpt := 0;
+          (* A failed snapshot (injected fault or real I/O error) costs
+             resumability from this point, nothing else: the run itself
+             is unaffected, so the error is deliberately dropped. *)
+          match Checkpoint.write ctl ~stamp:res.stamp (snapshot ()) with
+          | Ok () | Error _ -> ()
+        end
+  in
+  (match res.resume with
+  | Some path -> (
+      match Checkpoint.read ~stamp:res.stamp path with
+      | Error msg -> raise (Resume_error msg)
+      | Ok (s : 'c rsnapshot) ->
+          w.w_completed <- s.sn_completed;
+          w.w_deadlocked <- s.sn_deadlocked;
+          w.w_truncated <- s.sn_truncated;
+          w.w_explored <- s.sn_explored;
+          w.w_reduced <- s.sn_reduced;
+          (match s.sn_seen with
+          | Some tbl -> table := Some tbl
+          | None -> ());
+          (match s.sn_bits with
+          | Some bsnap -> bits := Some (Bitstate.restore bsnap)
+          | None -> ());
+          List.iter (Spool.push frontier) (List.rev s.sn_frontier);
+          (match budget with
+          | Some b ->
+              Budget.restore b ~configs:(fst s.sn_budget) ~runs:(snd s.sn_budget)
+          | None -> ());
+          T.restore_counters s.sn_counters)
+  | None ->
+      let k0 =
+        match key with
+        | None -> None
+        | Some k ->
+            let d = k init in
+            ignore (covered_check d (exact_of init) Smap.empty);
+            Some d
+      in
+      push_task { pt_depth = 0; pt_config = init; pt_key = k0; pt_sleep = Smap.empty });
+  let stop = stop w ~max_configs ~budget in
+  let rec loop () =
+    if not (stop ()) then
+      match Spool.pop frontier with
+      | None -> ()
+      | Some task ->
+          w.w_explored <- w.w_explored + 1;
+          T.hit T.Configs_explored;
+          process task;
+          maybe_checkpoint ();
+          loop ()
+  in
+  loop ();
+  (* Degradation ladder, most severe first: a recorded stop reason keeps
+     priority; then lost spilled tasks; then the blanket bitstate
+     downgrade — never Verified through a lossy seen set. *)
+  if Spool.error frontier && w.w_exhausted = None then
+    w.w_exhausted <- Some Budget.Spill_io_error;
+  if !bits <> None && w.w_exhausted = None then
+    w.w_exhausted <- Some Budget.Bitstate_collision_risk;
+  Spool.close frontier;
+  finish ~keyed:(key <> None) w
+
 let run ?(max_steps = 10_000) ?(max_configs = 1_000_000) ?budget ?key ?audit
-    ?footprint ?(jobs = 1) ~moves ~terminated init =
+    ?footprint ?(jobs = 1) ?(resilience = no_resilience) ~moves ~terminated init
+    =
   let jobs = max 1 jobs in
-  match footprint with
-  | Some footprint ->
-      ignore moves;
-      if jobs = 1 then
+  let mode =
+    match footprint with
+    | Some footprint ->
+        ignore moves;
+        Par_sleep footprint
+    | None -> Par_plain moves
+  in
+  let bits = if key = None then None else resilience.bitstate in
+  let needs_resilient =
+    resilience.spool <> None
+    || resilience.checkpoint <> None
+    || resilience.resume <> None
+  in
+  if needs_resilient || (bits <> None && jobs = 1) then
+    (* Spool/checkpoint/resume force the deterministic sequential engine
+       even under [jobs > 1]: resumability and spill ordering need one
+       totally ordered walk. Bitstate alone stays parallel. *)
+    run_resilient ~max_steps ~max_configs ~budget ~key ~audit ~mode ~terminated
+      ~res:{ resilience with bitstate = bits }
+      init
+  else if jobs > 1 then
+    run_par ~jobs ~max_steps ~max_configs ~budget ~key ~audit ~mode ~bits
+      ~crash:(if resilience.degrade_crashes then `Degrade else `Raise)
+      ~terminated init
+  else
+    match footprint with
+    | Some footprint ->
         run_sleep ~max_steps ~max_configs ~budget ~key ~audit ~footprint
           ~terminated init
-      else
-        run_par ~jobs ~max_steps ~max_configs ~budget ~key ~audit
-          ~mode:(Par_sleep footprint) ~terminated init
-  | None ->
-      if jobs = 1 then
+    | None ->
         run_plain ~max_steps ~max_configs ~budget ~key ~audit ~moves ~terminated
           init
-      else
-        run_par ~jobs ~max_steps ~max_configs ~budget ~key ~audit
-          ~mode:(Par_plain moves) ~terminated init
 
 (* ------------------------------------------------------------------ *)
 (* Canonical computation fingerprints                                   *)

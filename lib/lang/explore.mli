@@ -81,6 +81,53 @@ val por_default : unit -> bool
     Interpreters consult this when the caller passes no explicit [~por]
     argument, so one environment switch flips every test and tool. *)
 
+(** {1 Resilience}
+
+    The degradation ladder: when a resource wall would otherwise kill
+    the run (seen set outgrowing RAM, frontier outgrowing RAM, the
+    process itself being killed), exploration degrades to a sound
+    partial result instead — Inconclusive with a machine-readable
+    reason, never a wrong Verified/Falsified. *)
+
+type resilience = {
+  bitstate : Gem_check.Bitstate.t option;
+      (** Replace the exact seen table with a bounded fingerprint-only
+          one. Requires a [key] (ignored without one); the final verdict
+          is downgraded to Inconclusive
+          ({!Gem_check.Budget.reason}[.Bitstate_collision_risk]) because
+          collisions can silently prune unseen states. Under POR the
+          bitstate key covers the (state, sleep set) pair, a strict
+          refinement of the subset rule — more exploration, never an
+          unsound prune. *)
+  spool : Gem_check.Spool.policy option;
+      (** Page the frontier to disk under a heap watermark. Forces the
+          sequential resilient engine. I/O failure degrades to
+          [Spill_io_error]. *)
+  checkpoint : Gem_check.Checkpoint.ctl option;
+      (** Periodically snapshot the complete walk state. Forces the
+          sequential resilient engine. *)
+  resume : string option;
+      (** Start from this checkpoint file instead of the initial
+          configuration; the resumed run finishes with a verdict
+          byte-identical to an uninterrupted one. Raises
+          {!Resume_error} on a missing/corrupt file or a stamp
+          mismatch. *)
+  stamp : string;
+      (** Run identity written into (and checked against) checkpoints —
+          callers encode the command, workload parameters and engine
+          configuration. *)
+  degrade_crashes : bool;
+      (** Parallel runs: record an exception escaping a worker domain
+          as a first-wins [Worker_crashed] Inconclusive instead of
+          re-raising after join (the default, which preserves the
+          historical contract). *)
+}
+
+val no_resilience : resilience
+(** All off — [run] behaves exactly as before the resilience layer. *)
+
+exception Resume_error of string
+
 val run :
   ?max_steps:int ->
   ?max_configs:int ->
@@ -89,6 +136,7 @@ val run :
   ?audit:('c -> string) ->
   ?footprint:('c -> (move * 'c) list) ->
   ?jobs:int ->
+  ?resilience:resilience ->
   moves:('c -> 'c list) ->
   terminated:('c -> bool) ->
   'c ->
@@ -140,7 +188,15 @@ val run :
     deterministic. A shared [budget] cancels all domains: its cells are
     atomic, the first exhaustion reason wins, and the merged result
     carries exactly that reason. Defaults to [1] (the sequential walks,
-    byte-for-byte unchanged). *)
+    byte-for-byte unchanged).
+
+    [resilience] (default {!no_resilience}) selects the degradation
+    ladder. [spool]/[checkpoint]/[resume] force the deterministic
+    sequential resilient engine even when [jobs > 1]; [bitstate] alone
+    composes with parallel runs (the table is sharded). Any run through
+    a bitstate seen set finishes Inconclusive
+    ([Bitstate_collision_risk]) unless a counterexample or an earlier
+    stop reason takes priority. *)
 
 val fingerprint : Gem_model.Computation.t -> string
 (** Canonical string of a computation's events (identity, class, params)

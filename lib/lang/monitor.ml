@@ -687,7 +687,7 @@ let fp_key cfg =
   !acc
 
 let explore ?(emit_getvals = false) ?por ?exact_keys ?audit_keys ?max_steps
-    ?max_configs ?budget ?jobs program =
+    ?max_configs ?budget ?jobs ?(resilience = Explore.no_resilience) program =
   let por = match por with Some p -> p | None -> Explore.por_default () in
   let exact =
     match exact_keys with Some b -> b | None -> Explore.exact_keys_default ()
@@ -700,18 +700,24 @@ let explore ?(emit_getvals = false) ?por ?exact_keys ?audit_keys ?max_steps
   in
   let ctx = { program; emit_getvals } in
   let result =
+    let key c =
+      if exact then Explore.Exact (state_key program c)
+      else Explore.Fp (fp_key c)
+    in
+    let audit = if auditing && not exact then Some (state_key program) else None in
     if por then
-      let key =
-        if exact then fun c -> Explore.Exact (state_key program c)
-        else fun c -> Explore.Fp (fp_key c)
-      in
-      let audit = if auditing && not exact then Some (state_key program) else None in
       Explore.run ?max_steps ?max_configs ?budget ~key ?audit
-        ~footprint:(moves_fp ctx) ~jobs ~moves:(moves ctx) ~terminated
-        (initial ctx)
-    else
-      Explore.run ?max_steps ?max_configs ?budget ~jobs ~moves:(moves ctx)
+        ~footprint:(moves_fp ctx) ~jobs ~resilience ~moves:(moves ctx)
         ~terminated (initial ctx)
+    else
+      (* Without POR the plain walk is keyless — except in bitstate mode,
+         where the bounded seen set needs a state key to memoize on (state
+         keys identify computation-prefix classes, so the pruning stays
+         sound; dedup collapses the interleavings either way). *)
+      let key = if resilience.Explore.bitstate = None then None else Some key in
+      let audit = if key = None then None else audit in
+      Explore.run ?max_steps ?max_configs ?budget ?key ?audit ~jobs ~resilience
+        ~moves:(moves ctx) ~terminated (initial ctx)
   in
   {
     computations = Explore.dedup_computations (seal program) result.completed;

@@ -22,6 +22,12 @@ type counter =
   | Budget_stop_memory
   | Fingerprint_collisions
   | Footprint_checks
+  | Spill_bytes
+  | Spill_chunks
+  | Checkpoint_writes
+  | Faults_injected
+  | Faults_survived
+  | Bitstate_saturated_prunes
 
 let counter_idx = function
   | Configs_explored -> 0
@@ -40,8 +46,14 @@ let counter_idx = function
   | Budget_stop_memory -> 13
   | Fingerprint_collisions -> 14
   | Footprint_checks -> 15
+  | Spill_bytes -> 16
+  | Spill_chunks -> 17
+  | Checkpoint_writes -> 18
+  | Faults_injected -> 19
+  | Faults_survived -> 20
+  | Bitstate_saturated_prunes -> 21
 
-let n_counters = 16
+let n_counters = 22
 
 let counter_name = function
   | Configs_explored -> "configs_explored"
@@ -60,6 +72,12 @@ let counter_name = function
   | Budget_stop_memory -> "memory-watermark"
   | Fingerprint_collisions -> "fingerprint_collisions"
   | Footprint_checks -> "footprint_checks"
+  | Spill_bytes -> "spill_bytes"
+  | Spill_chunks -> "spill_chunks"
+  | Checkpoint_writes -> "checkpoint_writes"
+  | Faults_injected -> "faults_injected"
+  | Faults_survived -> "faults_survived"
+  | Bitstate_saturated_prunes -> "bitstate_saturated_prunes"
 
 type phase =
   | Interp_step
@@ -186,6 +204,30 @@ let time p f =
   let t0 = span_begin p in
   Fun.protect ~finally:(fun () -> span_end p t0) f
 
+(* Checkpoint support: export/import counter totals by name. Only
+   counters are persisted — spans and trace buffers are diagnostic
+   timing data that cannot meaningfully survive a process restart. *)
+
+let all_counters =
+  [
+    Configs_explored; Configs_reduced; Memo_hits; Memo_misses; Sleep_prunes;
+    Deque_steals; Shard_collisions; Runs_enumerated; Formula_evals;
+    Vhs_histories; Budget_stop_deadline; Budget_stop_configs; Budget_stop_runs;
+    Budget_stop_memory; Fingerprint_collisions; Footprint_checks; Spill_bytes;
+    Spill_chunks; Checkpoint_writes; Faults_injected; Faults_survived;
+    Bitstate_saturated_prunes;
+  ]
+
+let snapshot_counters () = List.map (fun c -> (counter_name c, read c)) all_counters
+
+let restore_counters kvs =
+  List.iter
+    (fun c ->
+      match List.assoc_opt (counter_name c) kvs with
+      | Some v -> Atomic.set counters.(counter_idx c) v
+      | None -> ())
+    all_counters
+
 let reset () =
   Array.iter (fun c -> Atomic.set c 0) counters;
   Array.iter (fun c -> Atomic.set c 0) span_totals;
@@ -212,12 +254,14 @@ let stats_json ?(deterministic = false) () =
   else begin
     let schedule =
       Printf.sprintf
-        {|"schedule":{%s,%s,%s,%s,%s,%s,%s,%s,%s,"budget_stops":{%s,%s,%s,%s}}|}
+        {|"schedule":{%s,%s,%s,%s,%s,%s,%s,%s,%s,"budget_stops":{%s,%s,%s,%s},"resilience":{%s,%s,%s,%s,%s,%s}}|}
         (c Configs_explored) (c Configs_reduced) (c Memo_hits) (c Memo_misses)
         (c Sleep_prunes) (c Deque_steals) (c Shard_collisions)
         (c Fingerprint_collisions) (c Footprint_checks)
         (c Budget_stop_deadline) (c Budget_stop_configs) (c Budget_stop_runs)
-        (c Budget_stop_memory)
+        (c Budget_stop_memory) (c Spill_bytes) (c Spill_chunks)
+        (c Checkpoint_writes) (c Faults_injected) (c Faults_survived)
+        (c Bitstate_saturated_prunes)
     in
     let timings =
       Printf.sprintf {|"timings":{%s}|}

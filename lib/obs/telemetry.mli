@@ -50,6 +50,16 @@ type counter =
           differs from the one recorded at first insert — a lossy
           fingerprint merge that would silently prune a distinct state. *)
   | Footprint_checks  (** Move-independence (footprint disjointness) tests. *)
+  | Spill_bytes  (** Bytes of frontier paged to the spool temp file. *)
+  | Spill_chunks  (** Frontier chunks written to the spool temp file. *)
+  | Checkpoint_writes  (** Checkpoint snapshots successfully persisted. *)
+  | Faults_injected  (** Faults fired by the {!Gem_check.Faults} harness. *)
+  | Faults_survived
+      (** Injected faults handled gracefully (degraded, not crashed). *)
+  | Bitstate_saturated_prunes
+      (** Arrivals pruned because the bitstate table refused an insert at
+          its load cap — coverage silently lost, hence the mandatory
+          [Bitstate_collision_risk] downgrade. *)
 
 type phase =
   | Interp_step  (** One interpreter successor computation. *)
@@ -106,6 +116,15 @@ val flush_trace : unit -> unit
 
 val counter_name : counter -> string
 val phase_name : phase -> string
+
+val snapshot_counters : unit -> (string * int) list
+(** Every counter's current total, keyed by {!counter_name} — the
+    telemetry component of a checkpoint snapshot. *)
+
+val restore_counters : (string * int) list -> unit
+(** Overwrite counters present in the list (by {!counter_name}); absent
+    counters are left untouched. Used on [--resume] so a resumed run's
+    totals continue from the interrupted run's. *)
 
 val stats_json : ?deterministic:bool -> unit -> string
 (** One-line JSON snapshot:

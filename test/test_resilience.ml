@@ -1,0 +1,629 @@
+(* The resilience ladder: bitstate degradation, disk-spilled frontiers,
+   checkpoint/resume and the deterministic fault-injection harness.
+
+   The contract under test is soundness under degradation — every rung
+   may lose coverage, none may fabricate it:
+
+   - bitstate runs must find exactly the computations of an exact run
+     on workloads that fit exactly (parity matrix: jobs in {1,2,8},
+     POR on and off), and must always finish Inconclusive
+     (Bitstate_collision_risk) rather than Verified;
+   - spilling must be invisible to the exploration order (LIFO parity),
+     and a spill I/O failure must degrade to Spill_io_error, never a
+     wrong verdict or a crash;
+   - a run killed by budget and resumed from its checkpoint must end
+     with the same leaves, counters and verdict as an uninterrupted
+     run; a stamp mismatch must be refused;
+   - under injected faults (qcheck over random CSP programs), the
+     computations found are always a subset of the clean run's, any
+     strict loss is reported as exhaustion, and every injected fault is
+     survived;
+   - a worker domain crash under [degrade_crashes] cancels the run with
+     Worker_crashed instead of wedging the termination protocol, and a
+     domain that fails to start is absorbed by the remaining workers. *)
+
+module Explore = Gem_lang.Explore
+module Csp = Gem_lang.Csp
+module Db = Gem_problems.Db_update
+module Rwd = Gem_problems.Rw_distributed
+module Budget = Gem_check.Budget
+module Bitstate = Gem_check.Bitstate
+module Spool = Gem_check.Spool
+module Checkpoint = Gem_check.Checkpoint
+module Faults = Gem_check.Faults
+module Fp = Gem_order.Fingerprint
+module T = Gem_obs.Telemetry
+
+let check = Alcotest.check
+let reason_opt = Option.map Budget.reason_keyword
+
+(* Sorted fingerprint set (not multiset): the POR-off exact walk keeps
+   duplicate leaves that any keyed walk collapses, so set equality is
+   the mode-independent statement of "same computations". *)
+let fpset comps = List.sort_uniq compare (List.map Explore.fingerprint comps)
+
+let with_disarmed f = Fun.protect ~finally:Faults.disarm f
+
+let arm_exn spec =
+  match Faults.arm spec with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "Faults.arm %S: %s" spec e
+
+let no_stray_spools () =
+  let dir = Filename.get_temp_dir_name () in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> String.length f >= 10 && String.sub f 0 10 = "gem-spool-")
+
+(* ------------------------------------------------------------------ *)
+(* Bitstate table                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fp_of_int i = Fp.of_string (string_of_int i)
+
+let test_bitstate_membership () =
+  let t = Bitstate.create ~bits:12 () in
+  check Alcotest.int "capacity" 4096 (Bitstate.capacity t);
+  check Alcotest.int "bits" 12 (Bitstate.bits t);
+  let fp = fp_of_int 1 in
+  check Alcotest.bool "first sight is `New" true (Bitstate.add t fp = `New);
+  check Alcotest.bool "second sight is `Seen" true (Bitstate.add t fp = `Seen);
+  check Alcotest.int "occupancy" 1 (Bitstate.occupancy t);
+  for i = 2 to 100 do
+    check Alcotest.bool
+      (Printf.sprintf "distinct fp %d is `New" i)
+      true
+      (Bitstate.add t (fp_of_int i) = `New)
+  done;
+  check Alcotest.int "occupancy after 100" 100 (Bitstate.occupancy t);
+  check Alcotest.bool "not saturated" false (Bitstate.saturated t)
+
+let test_bitstate_saturation () =
+  (* Overfill a minimal table: every add past the 7/8 load cap must
+     answer `Full (never loop, never record), and the saturation flag
+     must latch. *)
+  let t = Bitstate.create ~shards:1 ~bits:8 () in
+  let cap = Bitstate.capacity t in
+  let full = ref 0 in
+  for i = 1 to 2 * cap do
+    match Bitstate.add t (fp_of_int i) with
+    | `Full -> incr full
+    | `New | `Seen -> ()
+  done;
+  check Alcotest.bool "saturated" true (Bitstate.saturated t);
+  check Alcotest.bool "saw `Full answers" true (!full > 0);
+  check Alcotest.bool "occupancy held at the load cap" true
+    (Bitstate.occupancy t <= cap * 7 / 8 + 1);
+  check Alcotest.bool "later adds still answer `Full" true
+    (Bitstate.add t (fp_of_int (4 * cap)) = `Full)
+
+let test_bitstate_snapshot_roundtrip () =
+  let t = Bitstate.create ~bits:10 () in
+  for i = 1 to 200 do
+    ignore (Bitstate.add t (fp_of_int i))
+  done;
+  let t' = Bitstate.restore (Bitstate.snapshot t) in
+  check Alcotest.int "occupancy preserved" (Bitstate.occupancy t)
+    (Bitstate.occupancy t');
+  for i = 1 to 200 do
+    check Alcotest.bool
+      (Printf.sprintf "fp %d still `Seen after restore" i)
+      true
+      (Bitstate.add t' (fp_of_int i) = `Seen)
+  done
+
+let test_bitstate_bits_validated () =
+  List.iter
+    (fun bits ->
+      check Alcotest.bool
+        (Printf.sprintf "bits=%d rejected" bits)
+        true
+        (try
+           ignore (Bitstate.create ~bits ());
+           false
+         with Invalid_argument _ -> true))
+    [ 0; 7; 31; -1 ]
+
+(* ------------------------------------------------------------------ *)
+(* Spool                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let aggressive = Spool.policy ~chunk:4 ~watermark_mb:0 ()
+
+let test_spool_lifo_parity () =
+  let s = Spool.create aggressive in
+  for i = 0 to 999 do
+    Spool.push s i
+  done;
+  check Alcotest.bool "spilled" true (Spool.spilled s);
+  check Alcotest.bool "no error" false (Spool.error s);
+  check Alcotest.int "size" 1000 (Spool.size s);
+  let popped = List.init 1000 (fun _ -> Option.get (Spool.pop s)) in
+  check
+    Alcotest.(list int)
+    "pop order identical to an in-memory stack"
+    (List.rev (List.init 1000 Fun.id))
+    popped;
+  check Alcotest.bool "drained" true (Spool.pop s = None);
+  Spool.close s;
+  check Alcotest.(list string) "no stray spool files" [] (no_stray_spools ())
+
+let test_spool_elements_nondestructive () =
+  let s = Spool.create aggressive in
+  for i = 0 to 499 do
+    Spool.push s i
+  done;
+  let snap = Spool.elements s in
+  check Alcotest.(list int) "elements in pop order"
+    (List.rev (List.init 500 Fun.id))
+    snap;
+  let popped = List.init 500 (fun _ -> Option.get (Spool.pop s)) in
+  check Alcotest.(list int) "pops unaffected by the snapshot" snap popped;
+  Spool.close s
+
+let test_spool_no_spill_policy () =
+  let s = Spool.create Spool.no_spill in
+  for i = 0 to 999 do
+    Spool.push s i
+  done;
+  check Alcotest.bool "never touches the disk" false (Spool.spilled s);
+  let popped = List.init 1000 (fun _ -> Option.get (Spool.pop s)) in
+  check Alcotest.(list int) "plain stack order"
+    (List.rev (List.init 1000 Fun.id))
+    popped;
+  Spool.close s
+
+let test_spool_fault_degrades () =
+  with_disarmed (fun () ->
+      T.reset ();
+      arm_exn "11:1:spill-io";
+      let s = Spool.create aggressive in
+      for i = 0 to 999 do
+        Spool.push s i
+      done;
+      check Alcotest.bool "sticky error" true (Spool.error s);
+      (* Everything still in memory is served; nothing raises. *)
+      let rec drain n = match Spool.pop s with None -> n | Some _ -> drain (n + 1) in
+      let served = drain 0 in
+      check Alcotest.bool "serves the in-memory remainder" true (served > 0);
+      check Alcotest.bool "tasks may be lost, never duplicated" true (served <= 1000);
+      Spool.close s;
+      check Alcotest.(list string) "no stray spool files" [] (no_stray_spools ());
+      check Alcotest.int "every injected fault was survived"
+        (T.read T.Faults_injected) (T.read T.Faults_survived);
+      check Alcotest.bool "at least one fault fired" true (T.read T.Faults_injected > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Faults                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_faults_parse () =
+  let bad spec =
+    check Alcotest.bool (Printf.sprintf "%S rejected" spec) true
+      (match Faults.arm spec with Error _ -> true | Ok () -> Faults.disarm (); false)
+  in
+  bad "banana";
+  bad "42:0";
+  bad "42:-3";
+  bad "42:17:bogus-point";
+  bad "42:17:";
+  bad "";
+  with_disarmed (fun () ->
+      arm_exn "42";
+      check Alcotest.bool "armed" true (Faults.armed ());
+      arm_exn "42:17";
+      arm_exn "42:17:spill-io,checkpoint-io");
+  check Alcotest.bool "disarmed after protect" false (Faults.armed ())
+
+let test_faults_deterministic_stream () =
+  let stream () =
+    with_disarmed (fun () ->
+        arm_exn "42:7";
+        List.init 500 (fun _ -> Faults.fire Faults.Alloc))
+  in
+  let a = stream () in
+  check Alcotest.(list bool) "same seed, same stream" a (stream ());
+  check Alcotest.bool "roughly one in PERIOD fires" true
+    (let fired = List.length (List.filter Fun.id a) in
+     fired > 20 && fired < 200);
+  let b =
+    with_disarmed (fun () ->
+        arm_exn "43:7";
+        List.init 500 (fun _ -> Faults.fire Faults.Alloc))
+  in
+  check Alcotest.bool "different seed, different stream" true (a <> b)
+
+let test_faults_point_filter () =
+  with_disarmed (fun () ->
+      arm_exn "42:1:spill-io";
+      check Alcotest.bool "eligible point fires at period 1" true
+        (Faults.fire Faults.Spill_io);
+      check Alcotest.bool "ineligible point never fires" false
+        (List.exists Fun.id (List.init 100 (fun _ -> Faults.fire Faults.Alloc))));
+  check Alcotest.bool "fire is false when disarmed" false (Faults.fire Faults.Spill_io)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let temp_ckpt () = Filename.temp_file "gem-test-ckpt" ".bin"
+
+let test_checkpoint_roundtrip () =
+  let file = temp_ckpt () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      let ctl = Checkpoint.ctl ~every:10 file in
+      check Alcotest.int "every" 10 (Checkpoint.every ctl);
+      let payload = ([ 1; 2; 3 ], "leaves", [| 4.0; 5.0 |]) in
+      (match Checkpoint.write ctl ~stamp:"run/a" payload with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write: %s" e);
+      (match Checkpoint.read ~stamp:"run/a" file with
+      | Ok p ->
+          check Alcotest.bool "payload round-trips" true (p = payload)
+      | Error e -> Alcotest.failf "read: %s" e);
+      check Alcotest.bool "stamp mismatch refused" true
+        (match (Checkpoint.read ~stamp:"run/b" file : (unit, string) result) with
+        | Error _ -> true
+        | Ok () -> false);
+      check Alcotest.bool "no staging litter" false (Sys.file_exists (file ^ ".tmp")))
+
+let test_checkpoint_corrupt_and_missing () =
+  let file = temp_ckpt () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      let oc = open_out_bin file in
+      output_string oc "not a checkpoint at all";
+      close_out oc;
+      check Alcotest.bool "corrupt file is an Error, not an exception" true
+        (match (Checkpoint.read ~stamp:"x" file : (unit, string) result) with
+        | Error _ -> true
+        | Ok () -> false));
+  check Alcotest.bool "missing file is an Error" true
+    (match
+       (Checkpoint.read ~stamp:"x" "/nonexistent/gem-ckpt" : (unit, string) result)
+     with
+    | Error _ -> true
+    | Ok () -> false)
+
+let test_checkpoint_fault_preserves_previous () =
+  let file = temp_ckpt () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      let ctl = Checkpoint.ctl file in
+      (match Checkpoint.write ctl ~stamp:"run/a" [ 1 ] with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "first write: %s" e);
+      with_disarmed (fun () ->
+          T.reset ();
+          arm_exn "5:1:checkpoint-io";
+          check Alcotest.bool "faulted write reports Error" true
+            (match Checkpoint.write ctl ~stamp:"run/a" [ 2 ] with
+            | Error _ -> true
+            | Ok () -> false);
+          check Alcotest.int "fault survived" (T.read T.Faults_injected)
+            (T.read T.Faults_survived));
+      match Checkpoint.read ~stamp:"run/a" file with
+      | Ok p -> check Alcotest.(list int) "previous snapshot intact" [ 1 ] p
+      | Error e -> Alcotest.failf "read after faulted write: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* Bitstate engine parity matrix                                       *)
+(* ------------------------------------------------------------------ *)
+
+let bitstate_res () =
+  { Explore.no_resilience with bitstate = Some (Bitstate.create ~bits:16 ()) }
+
+let bitstate_parity name prog =
+  List.iter
+    (fun por ->
+      let base = Csp.explore ~por ~jobs:1 prog in
+      check Alcotest.(option string)
+        (Printf.sprintf "%s por=%b: exact baseline is clean" name por)
+        None (reason_opt base.Csp.exhausted);
+      List.iter
+        (fun jobs ->
+          let o = Csp.explore ~por ~jobs ~resilience:(bitstate_res ()) prog in
+          let tag = Printf.sprintf "%s por=%b jobs=%d bitstate" name por jobs in
+          check
+            Alcotest.(list string)
+            (tag ^ ": computation set")
+            (fpset base.Csp.computations)
+            (fpset o.Csp.computations);
+          check
+            Alcotest.(list string)
+            (tag ^ ": deadlock set")
+            (fpset base.Csp.deadlocks)
+            (fpset o.Csp.deadlocks);
+          check
+            Alcotest.(option string)
+            (tag ^ ": Verified downgraded")
+            (Some "bitstate-collision-risk")
+            (reason_opt o.Csp.exhausted))
+        [ 1; 2; 8 ])
+    [ true; false ]
+
+let test_bitstate_parity_matrix () =
+  bitstate_parity "db-update-2" (Db.program ~sites:2);
+  bitstate_parity "rwd-1r1w" (Rwd.csp_program ~readers:1 ~writers:1)
+
+let test_bitstate_saturated_run_is_inconclusive () =
+  (* A table far too small for the workload: the run must terminate (the
+     `Full answer prunes instead of looping) and must not claim
+     completeness. *)
+  let res =
+    { Explore.no_resilience with
+      bitstate = Some (Bitstate.create ~shards:1 ~bits:8 ())
+    }
+  in
+  let o = Csp.explore ~jobs:1 ~resilience:res (Db.program ~sites:3) in
+  check Alcotest.(option string) "inconclusive"
+    (Some "bitstate-collision-risk")
+    (reason_opt o.Csp.exhausted);
+  check Alcotest.bool "found a subset of the real computations" true
+    (List.length o.Csp.computations <= 720);
+  check Alcotest.bool "saturation counted" true (T.read T.Bitstate_saturated_prunes > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Spilled-frontier engine parity                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_spool_engine_parity () =
+  let prog = Db.program ~sites:3 in
+  let base = Csp.explore ~jobs:1 prog in
+  let res = { Explore.no_resilience with spool = Some aggressive } in
+  let o = Csp.explore ~jobs:1 ~resilience:res prog in
+  check Alcotest.(list string) "computations" (fpset base.Csp.computations)
+    (fpset o.Csp.computations);
+  check Alcotest.(list string) "deadlocks" (fpset base.Csp.deadlocks)
+    (fpset o.Csp.deadlocks);
+  check Alcotest.(option string) "still a complete, clean run" None
+    (reason_opt o.Csp.exhausted);
+  check Alcotest.int "explored identical to the in-memory engine"
+    base.Csp.explored o.Csp.explored;
+  check Alcotest.(list string) "no stray spool files" [] (no_stray_spools ())
+
+let test_spool_engine_fault_is_inconclusive () =
+  with_disarmed (fun () ->
+      T.reset ();
+      arm_exn "3:1:spill-io";
+      let res = { Explore.no_resilience with spool = Some aggressive } in
+      let o = Csp.explore ~jobs:1 ~resilience:res (Db.program ~sites:3) in
+      check Alcotest.(option string) "degrades to spill-io-error"
+        (Some "spill-io-error")
+        (reason_opt o.Csp.exhausted);
+      check Alcotest.bool "found only real computations" true
+        (let clean = fpset (Csp.explore ~jobs:1 (Db.program ~sites:3)).Csp.computations in
+         List.for_all (fun fp -> List.mem fp clean) (fpset o.Csp.computations));
+      check Alcotest.int "every injected fault survived" (T.read T.Faults_injected)
+        (T.read T.Faults_survived);
+      check Alcotest.(list string) "no stray spool files" [] (no_stray_spools ()))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint/resume at the engine level                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_resume_reaches_identical_verdict () =
+  let prog = Db.program ~sites:3 in
+  let stamp_res file =
+    { Explore.no_resilience with checkpoint = Some (Checkpoint.ctl ~every:500 file) }
+  in
+  let ck_a = temp_ckpt () and ck_b = temp_ckpt () in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> if Sys.file_exists f then Sys.remove f) [ ck_a; ck_b ])
+    (fun () ->
+      (* Uninterrupted run through the same (checkpointing) engine. *)
+      let full = Csp.explore ~jobs:1 ~resilience:(stamp_res ck_a) prog in
+      check Alcotest.(option string) "uninterrupted run is clean" None
+        (reason_opt full.Csp.exhausted);
+      (* Interrupted: stop on a config budget aligned with [every]. *)
+      let cut =
+        Csp.explore ~jobs:1 ~max_configs:2000 ~resilience:(stamp_res ck_b) prog
+      in
+      check Alcotest.(option string) "interrupted run reports the budget"
+        (Some "config-budget")
+        (reason_opt cut.Csp.exhausted);
+      check Alcotest.bool "checkpoint file exists" true (Sys.file_exists ck_b);
+      (* Resumed: must reproduce the uninterrupted run exactly. *)
+      let resumed =
+        Csp.explore ~jobs:1
+          ~resilience:{ (stamp_res ck_b) with resume = Some ck_b }
+          prog
+      in
+      check Alcotest.(option string) "resumed run is clean" None
+        (reason_opt resumed.Csp.exhausted);
+      check
+        Alcotest.(list string)
+        "identical computation multiset"
+        (List.sort compare (List.map Explore.fingerprint full.Csp.computations))
+        (List.sort compare (List.map Explore.fingerprint resumed.Csp.computations));
+      check
+        Alcotest.(list string)
+        "identical deadlock multiset"
+        (List.sort compare (List.map Explore.fingerprint full.Csp.deadlocks))
+        (List.sort compare (List.map Explore.fingerprint resumed.Csp.deadlocks));
+      check Alcotest.int "identical explored counter" full.Csp.explored
+        resumed.Csp.explored;
+      check Alcotest.int "identical reduced counter" full.Csp.reduced
+        resumed.Csp.reduced;
+      check Alcotest.bool "no staging litter" false (Sys.file_exists (ck_b ^ ".tmp")))
+
+let test_resume_refuses_foreign_stamp () =
+  (* A checkpoint carries the caller-supplied run-identity stamp (the
+     CLI derives it from the resolved command line); resuming under a
+     different stamp must raise Resume_error rather than silently
+     splicing one run's state into another's verdict. *)
+  let ck = temp_ckpt () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists ck then Sys.remove ck)
+    (fun () ->
+      let res stamp =
+        { Explore.no_resilience with
+          checkpoint = Some (Checkpoint.ctl ~every:500 ck);
+          stamp
+        }
+      in
+      ignore
+        (Csp.explore ~jobs:1 ~max_configs:2000 ~resilience:(res "run/db3")
+           (Db.program ~sites:3));
+      check Alcotest.bool "checkpoint written" true (Sys.file_exists ck);
+      check Alcotest.bool "foreign stamp refused" true
+        (try
+           ignore
+             (Csp.explore ~jobs:1
+                ~resilience:{ (res "run/db4") with resume = Some ck }
+                (Db.program ~sites:4));
+           false
+         with Explore.Resume_error _ -> true))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel teardown under crashes                                     *)
+(* ------------------------------------------------------------------ *)
+
+exception Boom
+
+(* A synthetic 512-leaf binary tree with one poisoned interior node:
+   moves from node 37 raise. Reachable from the root, deep enough that
+   all workers are busy when the crash lands. *)
+let tree_moves c = if c = 37 then raise Boom else if c >= 512 then [] else [ (2 * c); (2 * c) + 1 ]
+let tree_done c = c >= 512
+
+let test_worker_crash_degrades () =
+  let res = { Explore.no_resilience with degrade_crashes = true } in
+  let r =
+    Explore.run ~jobs:8 ~resilience:res ~moves:tree_moves ~terminated:tree_done 1
+  in
+  match r.Explore.exhausted with
+  | Some (Budget.Worker_crashed msg) ->
+      check Alcotest.bool "crash message names the exception" true
+        (String.length msg > 0)
+  | other ->
+      Alcotest.failf "expected Worker_crashed, got %s"
+        (Option.value ~default:"clean" (reason_opt other))
+
+let test_worker_crash_reraises_by_default () =
+  check Alcotest.bool "default propagates the worker exception" true
+    (try
+       ignore (Explore.run ~jobs:8 ~moves:tree_moves ~terminated:tree_done 1);
+       false
+     with Boom -> true)
+
+let test_domain_start_fault_absorbed () =
+  with_disarmed (fun () ->
+      T.reset ();
+      arm_exn "9:1:domain-start";
+      let prog = Db.program ~sites:2 in
+      let base = Csp.explore ~jobs:1 prog in
+      let o = Csp.explore ~jobs:8 prog in
+      check Alcotest.(list string) "main worker absorbs the whole walk"
+        (fpset base.Csp.computations) (fpset o.Csp.computations);
+      check Alcotest.(option string) "run is clean" None (reason_opt o.Csp.exhausted);
+      check Alcotest.bool "spawn faults fired" true (T.read T.Faults_injected > 0);
+      check Alcotest.int "all survived" (T.read T.Faults_injected)
+        (T.read T.Faults_survived))
+
+(* ------------------------------------------------------------------ *)
+(* Random CSP programs under injected faults (qcheck)                  *)
+(* ------------------------------------------------------------------ *)
+
+let prop_faulted_runs_sound =
+  QCheck.Test.make
+    ~name:"random CSP under GEM_FAULT: subset of clean, loss reported, faults survived"
+    ~count:30 Gen_csp.prog_arb (fun prog ->
+      let clean = Csp.explore ~jobs:1 prog in
+      QCheck.assume (clean.Csp.exhausted = None);
+      let clean_comps = fpset clean.Csp.computations in
+      let clean_dead = fpset clean.Csp.deadlocks in
+      List.for_all
+        (fun (seed, period) ->
+          with_disarmed (fun () ->
+              T.reset ();
+              arm_exn (Printf.sprintf "%d:%d:alloc,spill-io" seed period);
+              let res =
+                { Explore.no_resilience with
+                  bitstate = Some (Bitstate.create ~bits:14 ());
+                  spool = Some (Spool.policy ~chunk:4 ~watermark_mb:0 ())
+                }
+              in
+              let o = Csp.explore ~jobs:1 ~resilience:res prog in
+              let comps = fpset o.Csp.computations in
+              let dead = fpset o.Csp.deadlocks in
+              let subset xs ys = List.for_all (fun x -> List.mem x ys) xs in
+              (* Never fabricate: every leaf found is a real one. *)
+              subset comps clean_comps && subset dead clean_dead
+              (* Never overclaim: bitstate alone forces Inconclusive, so a
+                 clean exhaustion here would be an unsound Verified. *)
+              && o.Csp.exhausted <> None
+              (* Every injected fault was handled. *)
+              && T.read T.Faults_injected = T.read T.Faults_survived))
+        [ (1, 3); (2, 25); (3, 101) ])
+
+let () =
+  (* Counters are collected only while telemetry is enabled; the
+     fault-survival and saturation assertions read them. *)
+  T.enable ();
+  let to_alc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "gem_resilience"
+    [
+      ( "bitstate-table",
+        [
+          Alcotest.test_case "membership" `Quick test_bitstate_membership;
+          Alcotest.test_case "saturation" `Quick test_bitstate_saturation;
+          Alcotest.test_case "snapshot round-trip" `Quick test_bitstate_snapshot_roundtrip;
+          Alcotest.test_case "bits validated" `Quick test_bitstate_bits_validated;
+        ] );
+      ( "spool",
+        [
+          Alcotest.test_case "LIFO parity across spills" `Quick test_spool_lifo_parity;
+          Alcotest.test_case "elements non-destructive" `Quick
+            test_spool_elements_nondestructive;
+          Alcotest.test_case "no-spill policy" `Quick test_spool_no_spill_policy;
+          Alcotest.test_case "I/O fault degrades" `Quick test_spool_fault_degrades;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "spec parsing" `Quick test_faults_parse;
+          Alcotest.test_case "deterministic stream" `Quick
+            test_faults_deterministic_stream;
+          Alcotest.test_case "point filter" `Quick test_faults_point_filter;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "round-trip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "corrupt and missing" `Quick
+            test_checkpoint_corrupt_and_missing;
+          Alcotest.test_case "faulted write keeps previous" `Quick
+            test_checkpoint_fault_preserves_previous;
+        ] );
+      ( "bitstate-engine",
+        [
+          Alcotest.test_case "parity matrix" `Quick test_bitstate_parity_matrix;
+          Alcotest.test_case "saturated run inconclusive" `Quick
+            test_bitstate_saturated_run_is_inconclusive;
+        ] );
+      ( "spool-engine",
+        [
+          Alcotest.test_case "parity" `Quick test_spool_engine_parity;
+          Alcotest.test_case "fault inconclusive" `Quick
+            test_spool_engine_fault_is_inconclusive;
+        ] );
+      ( "checkpoint-engine",
+        [
+          Alcotest.test_case "resume identical verdict" `Quick
+            test_resume_reaches_identical_verdict;
+          Alcotest.test_case "foreign stamp refused" `Quick
+            test_resume_refuses_foreign_stamp;
+        ] );
+      ( "par-teardown",
+        [
+          Alcotest.test_case "crash degrades" `Quick test_worker_crash_degrades;
+          Alcotest.test_case "crash re-raises by default" `Quick
+            test_worker_crash_reraises_by_default;
+          Alcotest.test_case "domain-start fault absorbed" `Quick
+            test_domain_start_fault_absorbed;
+        ] );
+      ("random-faulted", [ to_alc prop_faulted_runs_sound ]);
+    ]
