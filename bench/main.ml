@@ -916,6 +916,48 @@ let bitstate_report () =
   Printf.printf "wrote BENCH_bitstate.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* Differential fuzz throughput: BENCH_fuzz.json                       *)
+(* ------------------------------------------------------------------ *)
+
+(* How fast the 24-cell differential oracle chews through random
+   instances — the number EXPERIMENTS.md quotes and the knob for sizing
+   the CI fuzz leg's --time-budget. Seeds are fixed, so the instance
+   streams (and the zero-disagreements assertion) are reproducible; only
+   the wall numbers vary by host. *)
+let fuzz_report () =
+  let row seed iters =
+    let o = Fuzz.Driver.run ~seed ~iters () in
+    (match o.Fuzz.Driver.o_failure with
+    | None -> ()
+    | Some f ->
+        Printf.eprintf "fuzz bench found a real disagreement (seed %d):\n  %s\n%!"
+          seed
+          (Fuzz.Case.to_string f.Fuzz.Driver.f_shrunk);
+        exit 1);
+    let per_instance = o.Fuzz.Driver.o_elapsed /. float_of_int o.Fuzz.Driver.o_ran in
+    Printf.printf
+      "fuzz seed=%d: %d instances x %d cells in %.2fs (%.1f inst/s, %.0f configs/s)\n%!"
+      seed o.Fuzz.Driver.o_ran o.Fuzz.Driver.o_cells o.Fuzz.Driver.o_elapsed
+      (1. /. per_instance)
+      (float_of_int o.Fuzz.Driver.o_explored /. o.Fuzz.Driver.o_elapsed);
+    Printf.sprintf
+      {|{"seed":%d,"iters":%d,"cells":%d,"explored":%d,"disagreements":0,"wall_s":%.6f,"instances_per_sec":%.2f,"configs_per_sec":%.1f}|}
+      seed o.Fuzz.Driver.o_ran o.Fuzz.Driver.o_cells o.Fuzz.Driver.o_explored
+      o.Fuzz.Driver.o_elapsed
+      (float_of_int o.Fuzz.Driver.o_ran /. o.Fuzz.Driver.o_elapsed)
+      (float_of_int o.Fuzz.Driver.o_explored /. o.Fuzz.Driver.o_elapsed)
+  in
+  let r42 = row 42 100 in
+  let r7 = row 7 100 in
+  let rows = [ r42; r7 ] in
+  let oc = open_out "BENCH_fuzz.json" in
+  output_string oc
+    (Printf.sprintf "{%s,\"rows\":[\n  %s\n]}\n" provenance_fields
+       (String.concat ",\n  " rows));
+  close_out oc;
+  Printf.printf "wrote BENCH_fuzz.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -956,6 +998,7 @@ let () =
   else if has "--keys-only" then keys_report ()
   else if has "--bitstate-only" then bitstate_report ()
   else if has "--budget-only" then budget_overhead_report ()
+  else if has "--fuzz-only" then fuzz_report ()
   else begin
     run_bechamel ();
     budget_overhead_report ();
@@ -964,5 +1007,6 @@ let () =
     keys_report ();
     stats_report ();
     telemetry_overhead_report ();
-    bitstate_report ()
+    bitstate_report ();
+    fuzz_report ()
   end

@@ -6,6 +6,8 @@
      buffer       verify a bounded-buffer solution in a chosen language
      db           explore the distributed database update
      life         check the asynchronous Game of Life
+     fuzz         differential fuzzing across the engine lattice
+     matrix       sweep the parameterized workload matrix (BENCH JSON)
      parse        parse and echo a GEM specification file
 
    Every verification subcommand accepts a resource budget (--timeout,
@@ -614,6 +616,189 @@ let rwd_cmd =
     Term.(const run $ lang $ readers $ writers $ broken $ por_term $ keys_term $ jobs_term $ budget_term $ resilience_term $ json_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz: differential fuzzing across the engine lattice                *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything fuzz prints to stdout is derived from counts — never wall
+   time — so two runs with the same --seed/--iters are byte-identical
+   (the CI determinism gate depends on it). Throughput goes to stderr. *)
+
+let positive_conv name =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Ok n
+    | Some _ | None ->
+        Error (`Msg (Printf.sprintf "%S is not a valid %s (expected a positive integer)" s name))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let seconds_conv =
+  let parse s =
+    match float_of_string_opt (String.trim s) with
+    | Some f when f >= 0. -> Ok f
+    | Some _ | None ->
+        Error (`Msg (Printf.sprintf "%S is not a valid duration (expected seconds >= 0)" s))
+  in
+  Arg.conv ~docv:"SECS" (parse, Format.pp_print_float)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Generator seed. A (seed, iters) pair names the same \
+                   instance stream — and therefore the same stdout — on \
+                   every run.")
+  in
+  let iters =
+    Arg.(value & opt (positive_conv "iteration count") 100
+         & info [ "iters" ] ~docv:"N"
+             ~doc:"Instances to generate and cross-check (default 100).")
+  in
+  let time_budget =
+    Arg.(value & opt (some seconds_conv) None
+         & info [ "time-budget" ] ~docv:"SECS"
+             ~doc:"Stop starting new instances after $(docv) wall seconds \
+                   (a bounded smoke run still exits 0).")
+  in
+  let corpus =
+    Arg.(value & opt string "fuzz/corpus"
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Where shrunk disagreeing reproducers are written \
+                   (default fuzz/corpus; created on first failure).")
+  in
+  let max_configs =
+    Arg.(value & opt (positive_conv "configuration cap") 1_000_000
+         & info [ "max-configs" ] ~docv:"N"
+             ~doc:"Per-cell configuration cap; a generated instance whose \
+                   baseline exhausts it is skipped, not failed.")
+  in
+  let run seed iters time_budget corpus max_configs =
+    let module FD = Fuzz.Driver in
+    let module FO = Fuzz.Oracle in
+    Printf.printf "fuzz: seed=%d iters=%d lattice=%d cells\n%!" seed iters
+      (List.length FO.lattice);
+    let o =
+      FD.run ?time_budget ~max_configs ~corpus_dir:corpus ~log:print_endline
+        ~seed ~iters ()
+    in
+    match o.FD.o_failure with
+    | None ->
+        Printf.printf "fuzz: %d/%d instances agreed across %d cells (%d cell runs)\n"
+          o.FD.o_ran o.FD.o_iters o.FD.o_cells (o.FD.o_ran * o.FD.o_cells);
+        print_endline "PASS";
+        if o.FD.o_elapsed > 0. then
+          Printf.eprintf "fuzz: %d configurations in %.2fs (%.0f configs/s)\n"
+            o.FD.o_explored o.FD.o_elapsed
+            (float_of_int o.FD.o_explored /. o.FD.o_elapsed);
+        0
+    | Some f ->
+        let shrunk = f.FD.f_shrunk in
+        Printf.printf "fuzz: DISAGREEMENT at instance %d (%s)\n" f.FD.f_index
+          (Fuzz.Case.lang f.FD.f_case.Fuzz.Case.prog);
+        Format.printf "  %a@." FO.pp_disagreement f.FD.f_disagreement;
+        Printf.printf "  original: %s\n" (Fuzz.Case.to_string f.FD.f_case);
+        Printf.printf "  shrunk (%d steps, %d -> %d statements): %s\n" f.FD.f_steps
+          (Fuzz.Case.size f.FD.f_case.Fuzz.Case.prog)
+          (Fuzz.Case.size shrunk.Fuzz.Case.prog)
+          (Fuzz.Case.to_string shrunk);
+        (match f.FD.f_corpus_path with
+        | Some path -> Printf.printf "  reproducer written to %s\n" path
+        | None -> ());
+        print_endline "FAIL";
+        1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differentially fuzz the exploration engines: random \
+             Monitor/CSP/ADA programs and restrictions, cross-checked \
+             over {POR on,off} x {jobs 1,2,8} x {fp,exact keys} x \
+             {unbounded,bitstate}; disagreements are shrunk and written \
+             to the reproducer corpus.")
+    Term.(const run $ seed $ iters $ time_budget $ corpus $ max_configs)
+
+(* ------------------------------------------------------------------ *)
+(* matrix: the parameterized workload sweep                            *)
+(* ------------------------------------------------------------------ *)
+
+let matrix_cmd =
+  let family_conv =
+    Arg.enum (List.map (fun f -> (f, f)) Fuzz.Matrix.family_names)
+  in
+  let family =
+    Arg.(value & opt_all family_conv []
+         & info [ "family" ] ~docv:"F"
+             ~doc:(Printf.sprintf
+                     "Workload family to sweep (repeatable; default all). \
+                      One of: %s."
+                     (String.concat ", " Fuzz.Matrix.family_names)))
+  in
+  let scale =
+    Arg.(value & opt (enum [ ("small", `Small); ("wide", `Wide) ]) `Small
+         & info [ "scale" ] ~docv:"S"
+             ~doc:"Grid size: small (CI-friendly) or wide (adds the large \
+                   instances the resilience ladder targets).")
+  in
+  let max_configs =
+    Arg.(value & opt (positive_conv "configuration cap") 2_000_000
+         & info [ "max-configs" ] ~docv:"N"
+             ~doc:"Per-cell configuration cap; exceeding it yields an \
+                   inconclusive row, never a crash.")
+  in
+  let time_budget =
+    Arg.(value & opt (some seconds_conv) None
+         & info [ "time-budget" ] ~docv:"SECS"
+             ~doc:"Overall wall budget: a running cell is cut to an \
+                   inconclusive row at the remaining budget; cells not \
+                   yet started are emitted as skipped rows.")
+  in
+  let no_timings =
+    Arg.(value & flag
+         & info [ "no-timings" ]
+             ~doc:"Omit wall_s/configs_per_sec from the rows, making the \
+                   report byte-deterministic for a given tree.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the JSON report to $(docv) instead of stdout.")
+  in
+  let run family scale jobs max_configs time_budget no_timings out =
+    let module M = Fuzz.Matrix in
+    let cells = M.cells ~scale family in
+    let started = Unix.gettimeofday () in
+    let remaining () =
+      Option.map (fun b -> Float.max 0. (b -. (Unix.gettimeofday () -. started))) time_budget
+    in
+    let rows =
+      List.map
+        (fun c ->
+          match remaining () with
+          | Some r when r <= 0. -> M.skipped c
+          | r -> M.run_cell ~jobs ~max_configs ?timeout:r ~timings:(not no_timings) c)
+        cells
+    in
+    let json = M.report_json rows in
+    (match out with
+    | None -> print_endline json
+    | Some file ->
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (json ^ "\n"));
+        Printf.printf "matrix: wrote %d rows to %s\n" (List.length rows) file);
+    if List.exists (fun r -> r.M.r_status = "falsified") rows then 1
+    else if
+      List.exists (fun r -> r.M.r_status = "inconclusive" || r.M.r_status = "skipped") rows
+    then 2
+    else 0
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:"Sweep the parameterized lib/problems workload matrix and \
+             emit one BENCH-schema JSON row per cell.")
+    Term.(const run $ family $ scale $ jobs_term $ max_configs $ time_budget $ no_timings $ out)
+
+(* ------------------------------------------------------------------ *)
 (* parse                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -746,7 +931,10 @@ let () =
     try
       Cmd.eval' ~catch:false
         (Cmd.group info
-           [ experiments_cmd; rw_cmd; rwd_cmd; buffer_cmd; db_cmd; life_cmd; parse_cmd ])
+           [
+             experiments_cmd; rw_cmd; rwd_cmd; buffer_cmd; db_cmd; life_cmd;
+             fuzz_cmd; matrix_cmd; parse_cmd;
+           ])
     with
     | Explore.Resume_error msg ->
         Printf.eprintf "gemcheck: %s\n" msg;

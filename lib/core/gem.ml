@@ -20,6 +20,8 @@
        {!Csp}, {!Ada};}
     {- case studies: {!Buffer_problem}, {!Readers_writers},
        {!Rw_distributed}, {!Db_update}, {!Life};}
+    {- differential fuzzing: {!Fuzz} (generators, oracle, shrinker,
+       corpus, workload matrix);}
     {- dynamic group structures: {!Dyngroup}.}}
 
     Quick start: build a computation with {!Build}, describe a
@@ -74,6 +76,7 @@ module Readers_writers = Gem_problems.Readers_writers
 module Rw_distributed = Gem_problems.Rw_distributed
 module Db_update = Gem_problems.Db_update
 module Life = Gem_problems.Life
+module Fuzz = Gem_fuzz
 
 (** [check_spec spec comp] — is the computation legal for the spec and do
     all its restrictions hold (default strategy)? *)

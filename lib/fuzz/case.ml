@@ -1,0 +1,252 @@
+(* A fuzz case and its compact printers. The renderings are for humans
+   reading failure reports and shrunk reproducers; the lossless
+   serialization lives in Corpus. *)
+
+module Csp = Gem_lang.Csp
+module Monitor = Gem_lang.Monitor
+module Ada = Gem_lang.Ada
+module E = Gem_lang.Expr
+
+type prog =
+  | P_csp of Csp.program
+  | P_monitor of Monitor.program
+  | P_ada of Ada.program
+
+type t = { name : string; prog : prog }
+
+let lang = function P_csp _ -> "csp" | P_monitor _ -> "monitor" | P_ada _ -> "ada"
+
+let expr_to_string e = Format.asprintf "%a" E.pp e
+
+(* ---- CSP ---- *)
+
+let rec csp_stmt_to_string = function
+  | Csp.CLocal (x, e) -> Printf.sprintf "%s:=%s" x (expr_to_string e)
+  | Csp.CMark { klass; _ } -> "mark:" ^ klass
+  | Csp.CComm (Csp.Send { to_; value }) ->
+      Printf.sprintf "%s!%s" to_ (expr_to_string value)
+  | Csp.CComm (Csp.Recv { from_; bind }) -> Printf.sprintf "%s?%s" from_ bind
+  | Csp.CIfb (g, a, b) ->
+      Printf.sprintf "if %s [%s][%s]" (expr_to_string g)
+        (csp_stmts_to_string a) (csp_stmts_to_string b)
+  | Csp.CWhile (g, body) ->
+      Printf.sprintf "while %s [%s]" (expr_to_string g) (csp_stmts_to_string body)
+  | Csp.CIf gs -> Printf.sprintf "alt[%s]" (csp_guards_to_string gs)
+  | Csp.CDo gs -> Printf.sprintf "do[%s]" (csp_guards_to_string gs)
+
+and csp_stmts_to_string ss = String.concat ";" (List.map csp_stmt_to_string ss)
+
+and csp_guards_to_string gs =
+  String.concat " | "
+    (List.map
+       (fun (g : Csp.guarded) ->
+         Printf.sprintf "%s%s->%s" (expr_to_string g.guard)
+           (match g.comm with
+           | None -> ""
+           | Some c -> "&" ^ csp_stmt_to_string (Csp.CComm c))
+           (csp_stmts_to_string g.body))
+       gs)
+
+let csp_to_string (prog : Csp.program) =
+  String.concat " || "
+    (List.map
+       (fun (p : Csp.process) ->
+         Printf.sprintf "%s:[%s]" p.Csp.proc_name (csp_stmts_to_string p.Csp.code))
+       prog)
+
+(* ---- Monitor ---- *)
+
+let rec mstmt_to_string = function
+  | Monitor.MAssign { var; value; _ } ->
+      Printf.sprintf "%s:=%s" var (expr_to_string value)
+  | Monitor.MIf (g, a, b) ->
+      Printf.sprintf "if %s [%s][%s]" (expr_to_string g) (mstmts_to_string a)
+        (mstmts_to_string b)
+  | Monitor.MWhile (g, body) ->
+      Printf.sprintf "while %s [%s]" (expr_to_string g) (mstmts_to_string body)
+  | Monitor.MWait c -> "wait " ^ c
+  | Monitor.MSignal c -> "signal " ^ c
+  | Monitor.MReturn e -> "return " ^ expr_to_string e
+  | Monitor.MSkip -> "skip"
+
+and mstmts_to_string ss = String.concat ";" (List.map mstmt_to_string ss)
+
+let rec pstmt_to_string = function
+  | Monitor.PLocal (x, e) -> Printf.sprintf "%s:=%s" x (expr_to_string e)
+  | Monitor.PIf (g, a, b) ->
+      Printf.sprintf "if %s [%s][%s]" (expr_to_string g) (pstmts_to_string a)
+        (pstmts_to_string b)
+  | Monitor.PWhile (g, body) ->
+      Printf.sprintf "while %s [%s]" (expr_to_string g) (pstmts_to_string body)
+  | Monitor.PCall { monitor; entry; _ } -> Printf.sprintf "%s.%s()" monitor entry
+  | Monitor.PRead { var; bind } -> Printf.sprintf "%s<-%s" bind var
+  | Monitor.PWrite { var; value } ->
+      Printf.sprintf "%s:=%s" var (expr_to_string value)
+  | Monitor.PMark { klass; _ } -> "mark:" ^ klass
+
+and pstmts_to_string ss = String.concat ";" (List.map pstmt_to_string ss)
+
+let monitor_to_string (prog : Monitor.program) =
+  let mon (m : Monitor.monitor) =
+    Printf.sprintf "monitor %s{%s}" m.Monitor.mon_name
+      (String.concat " "
+         (List.map
+            (fun (e : Monitor.entry) ->
+              Printf.sprintf "%s:[%s]" e.Monitor.entry_name
+                (mstmts_to_string e.Monitor.body))
+            m.Monitor.entries))
+  in
+  String.concat " || "
+    (List.map mon prog.Monitor.monitors
+    @ List.map
+        (fun (p : Monitor.process) ->
+          Printf.sprintf "%s:[%s]" p.Monitor.proc_name
+            (pstmts_to_string p.Monitor.code))
+        prog.Monitor.processes)
+
+(* ---- ADA ---- *)
+
+let rec astmt_to_string = function
+  | Ada.ALocal (x, e) -> Printf.sprintf "%s:=%s" x (expr_to_string e)
+  | Ada.AIf (g, a, b) ->
+      Printf.sprintf "if %s [%s][%s]" (expr_to_string g) (astmts_to_string a)
+        (astmts_to_string b)
+  | Ada.AWhile (g, body) ->
+      Printf.sprintf "while %s [%s]" (expr_to_string g) (astmts_to_string body)
+  | Ada.AMark { klass; _ } -> "mark:" ^ klass
+  | Ada.ACall { task; entry; _ } -> Printf.sprintf "%s.%s()" task entry
+  | Ada.AAccept a -> accept_to_string a
+  | Ada.ASelect bs ->
+      Printf.sprintf "select[%s]"
+        (String.concat " | "
+           (List.map
+              (fun (b : Ada.branch) ->
+                Printf.sprintf "%s->%s" (expr_to_string b.Ada.when_)
+                  (accept_to_string b.Ada.accept))
+              bs))
+
+and astmts_to_string ss = String.concat ";" (List.map astmt_to_string ss)
+
+and accept_to_string (a : Ada.accept) =
+  Printf.sprintf "accept %s[%s]" a.Ada.acc_entry (astmts_to_string a.Ada.acc_body)
+
+let ada_to_string (prog : Ada.program) =
+  String.concat " || "
+    (List.map
+       (fun (t : Ada.task) ->
+         Printf.sprintf "%s:[%s]" t.Ada.task_name (astmts_to_string t.Ada.code))
+       prog)
+
+let prog_to_string = function
+  | P_csp p -> csp_to_string p
+  | P_monitor p -> monitor_to_string p
+  | P_ada p -> ada_to_string p
+
+let to_string c = Printf.sprintf "%s %s: %s" (lang c.prog) c.name (prog_to_string c.prog)
+
+(* ---- Size (statement count): the shrinker's progress measure ---- *)
+
+let rec csp_stmt_size = function
+  | Csp.CLocal _ | Csp.CMark _ | Csp.CComm _ -> 1
+  | Csp.CIfb (_, a, b) -> 1 + csp_size a + csp_size b
+  | Csp.CWhile (_, body) -> 1 + csp_size body
+  | Csp.CIf gs | Csp.CDo gs ->
+      1 + List.fold_left (fun n (g : Csp.guarded) -> n + csp_size g.body) 0 gs
+
+and csp_size ss = List.fold_left (fun n s -> n + csp_stmt_size s) 0 ss
+
+let rec mstmt_size = function
+  | Monitor.MWait _ | Monitor.MSignal _ | Monitor.MReturn _ | Monitor.MSkip
+  | Monitor.MAssign _ ->
+      1
+  | Monitor.MIf (_, a, b) -> 1 + msize a + msize b
+  | Monitor.MWhile (_, body) -> 1 + msize body
+
+and msize ss = List.fold_left (fun n s -> n + mstmt_size s) 0 ss
+
+let rec pstmt_size = function
+  | Monitor.PLocal _ | Monitor.PCall _ | Monitor.PRead _ | Monitor.PWrite _
+  | Monitor.PMark _ ->
+      1
+  | Monitor.PIf (_, a, b) -> 1 + psize a + psize b
+  | Monitor.PWhile (_, body) -> 1 + psize body
+
+and psize ss = List.fold_left (fun n s -> n + pstmt_size s) 0 ss
+
+let rec astmt_size = function
+  | Ada.ALocal _ | Ada.AMark _ | Ada.ACall _ -> 1
+  | Ada.AIf (_, a, b) -> 1 + asize a + asize b
+  | Ada.AWhile (_, body) -> 1 + asize body
+  | Ada.AAccept a -> 1 + asize a.Ada.acc_body
+  | Ada.ASelect bs ->
+      1 + List.fold_left (fun n (b : Ada.branch) -> n + asize b.Ada.accept.Ada.acc_body) 0 bs
+
+and asize ss = List.fold_left (fun n s -> n + astmt_size s) 0 ss
+
+let size = function
+  | P_csp p -> List.fold_left (fun n (pr : Csp.process) -> n + csp_size pr.Csp.code) 0 p
+  | P_monitor p ->
+      List.fold_left
+        (fun n (m : Monitor.monitor) ->
+          n
+          + List.fold_left
+              (fun n (e : Monitor.entry) -> n + msize e.Monitor.body)
+              0 m.Monitor.entries)
+        0 p.Monitor.monitors
+      + List.fold_left
+          (fun n (pr : Monitor.process) -> n + psize pr.Monitor.code)
+          0 p.Monitor.processes
+  | P_ada p -> List.fold_left (fun n (t : Ada.task) -> n + asize t.Ada.code) 0 p
+
+(* ---- Loop freedom: the generators' termination guarantee ---- *)
+
+let rec csp_stmt_loop_free = function
+  | Csp.CLocal _ | Csp.CMark _ | Csp.CComm _ -> true
+  | Csp.CIfb (_, a, b) -> List.for_all csp_stmt_loop_free (a @ b)
+  | Csp.CWhile _ | Csp.CDo _ -> false
+  | Csp.CIf gs ->
+      List.for_all (fun (g : Csp.guarded) -> List.for_all csp_stmt_loop_free g.body) gs
+
+let rec mstmt_loop_free = function
+  | Monitor.MWait _ | Monitor.MSignal _ | Monitor.MReturn _ | Monitor.MSkip
+  | Monitor.MAssign _ ->
+      true
+  | Monitor.MIf (_, a, b) -> List.for_all mstmt_loop_free (a @ b)
+  | Monitor.MWhile _ -> false
+
+let rec pstmt_loop_free = function
+  | Monitor.PLocal _ | Monitor.PCall _ | Monitor.PRead _ | Monitor.PWrite _
+  | Monitor.PMark _ ->
+      true
+  | Monitor.PIf (_, a, b) -> List.for_all pstmt_loop_free (a @ b)
+  | Monitor.PWhile _ -> false
+
+let rec astmt_loop_free = function
+  | Ada.ALocal _ | Ada.AMark _ | Ada.ACall _ -> true
+  | Ada.AIf (_, a, b) -> List.for_all astmt_loop_free (a @ b)
+  | Ada.AWhile _ -> false
+  | Ada.AAccept a -> List.for_all astmt_loop_free a.Ada.acc_body
+  | Ada.ASelect bs ->
+      List.for_all
+        (fun (b : Ada.branch) -> List.for_all astmt_loop_free b.Ada.accept.Ada.acc_body)
+        bs
+
+let loop_free = function
+  | P_csp p ->
+      List.for_all
+        (fun (pr : Csp.process) -> List.for_all csp_stmt_loop_free pr.Csp.code)
+        p
+  | P_monitor p ->
+      List.for_all
+        (fun (m : Monitor.monitor) ->
+          List.for_all
+            (fun (e : Monitor.entry) -> List.for_all mstmt_loop_free e.Monitor.body)
+            m.Monitor.entries)
+        p.Monitor.monitors
+      && List.for_all
+           (fun (pr : Monitor.process) -> List.for_all pstmt_loop_free pr.Monitor.code)
+           p.Monitor.processes
+  | P_ada p ->
+      List.for_all
+        (fun (t : Ada.task) -> List.for_all astmt_loop_free t.Ada.code)
+        p

@@ -1,0 +1,33 @@
+(** A fuzz case: one program in any of the three embedded languages,
+    under a stable name. The fuzzer generates cases ({!Gen}), runs them
+    across the engine-configuration lattice ({!Oracle}), minimizes
+    disagreeing ones ({!Shrink}) and persists them ({!Corpus}). *)
+
+type prog =
+  | P_csp of Gem_lang.Csp.program
+  | P_monitor of Gem_lang.Monitor.program
+  | P_ada of Gem_lang.Ada.program
+
+type t = { name : string; prog : prog }
+
+val lang : prog -> string
+(** ["csp"], ["monitor"] or ["ada"]. *)
+
+val size : prog -> int
+(** Statement count, the shrinker's progress measure. *)
+
+val loop_free : prog -> bool
+(** No [CWhile]/[CDo]/[MWhile]/[PWhile]/[AWhile] anywhere — the
+    generators' termination guarantee (every case's exploration is
+    finite). *)
+
+val prog_to_string : prog -> string
+(** Compact one-line rendering for failure reports. *)
+
+val to_string : t -> string
+
+val csp_to_string : Gem_lang.Csp.program -> string
+
+val monitor_to_string : Gem_lang.Monitor.program -> string
+
+val ada_to_string : Gem_lang.Ada.program -> string

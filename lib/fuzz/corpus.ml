@@ -1,0 +1,714 @@
+(* Textual reproducer corpus: a tiny s-expression layer plus a lossless
+   codec for the three language ASTs. Shrunk programs are not
+   seed-reproducible (the shrinker leaves the generator's image), so the
+   corpus stores the AST itself. *)
+
+module Csp = Gem_lang.Csp
+module Monitor = Gem_lang.Monitor
+module Ada = Gem_lang.Ada
+module E = Gem_lang.Expr
+module V = Gem_model.Value
+
+type sexp = Atom of string | L of sexp list
+
+(* ---- printing ---- *)
+
+let atom_is_plain s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '-' || c = '.' || c = ':' || c = '+')
+       s
+
+let rec print_sexp buf = function
+  | Atom s -> if atom_is_plain s then Buffer.add_string buf s else Buffer.add_string buf (Printf.sprintf "%S" s)
+  | L items ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i s ->
+          if i > 0 then Buffer.add_char buf ' ';
+          print_sexp buf s)
+        items;
+      Buffer.add_char buf ')'
+
+let sexp_to_string s =
+  let buf = Buffer.create 256 in
+  print_sexp buf s;
+  Buffer.contents buf
+
+(* ---- parsing ---- *)
+
+exception Parse_error of string
+
+let parse_sexp (src : string) : sexp =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | Some ';' ->
+        (* comment to end of line *)
+        while !pos < n && src.[!pos] <> '\n' do advance () done;
+        skip_ws ()
+    | _ -> ()
+  in
+  let read_quoted () =
+    advance () (* opening quote *);
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then raise (Parse_error "unterminated string")
+      else
+        match src.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            if !pos + 1 >= n then raise (Parse_error "unterminated escape");
+            (match src.[!pos + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | c -> Buffer.add_char buf c);
+            advance ();
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let read_atom () =
+    let start = !pos in
+    while
+      !pos < n
+      && match src.[!pos] with
+         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' -> false
+         | _ -> true
+    do
+      advance ()
+    done;
+    String.sub src start (!pos - start)
+  in
+  let rec read () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Parse_error "unexpected end of input")
+    | Some '(' ->
+        advance ();
+        let items = ref [] in
+        let rec items_loop () =
+          skip_ws ();
+          match peek () with
+          | None -> raise (Parse_error "unclosed (")
+          | Some ')' -> advance ()
+          | _ ->
+              items := read () :: !items;
+              items_loop ()
+        in
+        items_loop ();
+        L (List.rev !items)
+    | Some ')' -> raise (Parse_error "unexpected )")
+    | Some '"' -> Atom (read_quoted ())
+    | Some _ -> Atom (read_atom ())
+  in
+  let s = read () in
+  skip_ws ();
+  if !pos <> n then raise (Parse_error "trailing input after expression");
+  s
+
+(* ---- decode plumbing ---- *)
+
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Decode_error m)) fmt
+
+let head_of = function
+  | L (Atom h :: _) -> h
+  | Atom a -> "atom " ^ a
+  | L _ -> "(...)"
+
+let atom = function Atom a -> a | s -> fail "expected atom, got %s" (head_of s)
+
+let int_atom s =
+  match int_of_string_opt (atom s) with
+  | Some i -> i
+  | None -> fail "expected integer, got %s" (atom s)
+
+let bool_atom s =
+  match atom s with
+  | "true" -> true
+  | "false" -> false
+  | a -> fail "expected bool, got %s" a
+
+(* ---- values ---- *)
+
+let rec value_to_sexp = function
+  | V.Unit -> L [ Atom "unit" ]
+  | V.Bool b -> L [ Atom "bool"; Atom (string_of_bool b) ]
+  | V.Int k -> L [ Atom "int"; Atom (string_of_int k) ]
+  | V.Str s -> L [ Atom "str"; Atom s ]
+  | V.Pair (a, b) -> L [ Atom "pair"; value_to_sexp a; value_to_sexp b ]
+  | V.List vs -> L (Atom "list" :: List.map value_to_sexp vs)
+
+let rec value_of_sexp = function
+  | L [ Atom "unit" ] -> V.Unit
+  | L [ Atom "bool"; b ] -> V.Bool (bool_atom b)
+  | L [ Atom "int"; k ] -> V.Int (int_atom k)
+  | L [ Atom "str"; s ] -> V.Str (atom s)
+  | L [ Atom "pair"; a; b ] -> V.Pair (value_of_sexp a, value_of_sexp b)
+  | L (Atom "list" :: vs) -> V.List (List.map value_of_sexp vs)
+  | s -> fail "unknown value form %s" (head_of s)
+
+(* ---- expressions ---- *)
+
+let rec expr_to_sexp = function
+  | E.Int k -> L [ Atom "i"; Atom (string_of_int k) ]
+  | E.Bool b -> L [ Atom "b"; Atom (string_of_bool b) ]
+  | E.Str s -> L [ Atom "s"; Atom s ]
+  | E.Var x -> L [ Atom "var"; Atom x ]
+  | E.Neg a -> L [ Atom "neg"; expr_to_sexp a ]
+  | E.Not a -> L [ Atom "not"; expr_to_sexp a ]
+  | E.Add (a, b) -> L [ Atom "add"; expr_to_sexp a; expr_to_sexp b ]
+  | E.Sub (a, b) -> L [ Atom "sub"; expr_to_sexp a; expr_to_sexp b ]
+  | E.Mul (a, b) -> L [ Atom "mul"; expr_to_sexp a; expr_to_sexp b ]
+  | E.Div (a, b) -> L [ Atom "div"; expr_to_sexp a; expr_to_sexp b ]
+  | E.Mod (a, b) -> L [ Atom "mod"; expr_to_sexp a; expr_to_sexp b ]
+  | E.Eq (a, b) -> L [ Atom "eq"; expr_to_sexp a; expr_to_sexp b ]
+  | E.Ne (a, b) -> L [ Atom "ne"; expr_to_sexp a; expr_to_sexp b ]
+  | E.Lt (a, b) -> L [ Atom "lt"; expr_to_sexp a; expr_to_sexp b ]
+  | E.Le (a, b) -> L [ Atom "le"; expr_to_sexp a; expr_to_sexp b ]
+  | E.Gt (a, b) -> L [ Atom "gt"; expr_to_sexp a; expr_to_sexp b ]
+  | E.Ge (a, b) -> L [ Atom "ge"; expr_to_sexp a; expr_to_sexp b ]
+  | E.And (a, b) -> L [ Atom "and"; expr_to_sexp a; expr_to_sexp b ]
+  | E.Or (a, b) -> L [ Atom "or"; expr_to_sexp a; expr_to_sexp b ]
+  | E.Queue_non_empty c -> L [ Atom "queue-non-empty"; Atom c ]
+  | E.Queue_length c -> L [ Atom "queue-length"; Atom c ]
+  | E.Nil -> L [ Atom "nil" ]
+  | E.Append (a, b) -> L [ Atom "append"; expr_to_sexp a; expr_to_sexp b ]
+  | E.Head a -> L [ Atom "head"; expr_to_sexp a ]
+  | E.Tail a -> L [ Atom "tail"; expr_to_sexp a ]
+  | E.Len a -> L [ Atom "len"; expr_to_sexp a ]
+
+let rec expr_of_sexp s =
+  let e = expr_of_sexp in
+  match s with
+  | L [ Atom "i"; k ] -> E.Int (int_atom k)
+  | L [ Atom "b"; b ] -> E.Bool (bool_atom b)
+  | L [ Atom "s"; x ] -> E.Str (atom x)
+  | L [ Atom "var"; x ] -> E.Var (atom x)
+  | L [ Atom "neg"; a ] -> E.Neg (e a)
+  | L [ Atom "not"; a ] -> E.Not (e a)
+  | L [ Atom "add"; a; b ] -> E.Add (e a, e b)
+  | L [ Atom "sub"; a; b ] -> E.Sub (e a, e b)
+  | L [ Atom "mul"; a; b ] -> E.Mul (e a, e b)
+  | L [ Atom "div"; a; b ] -> E.Div (e a, e b)
+  | L [ Atom "mod"; a; b ] -> E.Mod (e a, e b)
+  | L [ Atom "eq"; a; b ] -> E.Eq (e a, e b)
+  | L [ Atom "ne"; a; b ] -> E.Ne (e a, e b)
+  | L [ Atom "lt"; a; b ] -> E.Lt (e a, e b)
+  | L [ Atom "le"; a; b ] -> E.Le (e a, e b)
+  | L [ Atom "gt"; a; b ] -> E.Gt (e a, e b)
+  | L [ Atom "ge"; a; b ] -> E.Ge (e a, e b)
+  | L [ Atom "and"; a; b ] -> E.And (e a, e b)
+  | L [ Atom "or"; a; b ] -> E.Or (e a, e b)
+  | L [ Atom "queue-non-empty"; c ] -> E.Queue_non_empty (atom c)
+  | L [ Atom "queue-length"; c ] -> E.Queue_length (atom c)
+  | L [ Atom "nil" ] -> E.Nil
+  | L [ Atom "append"; a; b ] -> E.Append (e a, e b)
+  | L [ Atom "head"; a ] -> E.Head (e a)
+  | L [ Atom "tail"; a ] -> E.Tail (e a)
+  | L [ Atom "len"; a ] -> E.Len (e a)
+  | s -> fail "unknown expression form %s" (head_of s)
+
+let locals_to_sexp locals =
+  L (Atom "locals" :: List.map (fun (x, v) -> L [ Atom x; value_to_sexp v ]) locals)
+
+let locals_of_sexp = function
+  | L (Atom "locals" :: bindings) ->
+      List.map
+        (function
+          | L [ x; v ] -> (atom x, value_of_sexp v)
+          | s -> fail "bad binding %s" (head_of s))
+        bindings
+  | s -> fail "expected (locals ...), got %s" (head_of s)
+
+(* ---- CSP ---- *)
+
+let csp_comm_to_sexp = function
+  | Csp.Send { to_; value } -> L [ Atom "send"; Atom to_; expr_to_sexp value ]
+  | Csp.Recv { from_; bind } -> L [ Atom "recv"; Atom from_; Atom bind ]
+
+let csp_comm_of_sexp = function
+  | L [ Atom "send"; to_; value ] ->
+      Csp.Send { to_ = atom to_; value = expr_of_sexp value }
+  | L [ Atom "recv"; from_; bind ] -> Csp.Recv { from_ = atom from_; bind = atom bind }
+  | s -> fail "unknown communication form %s" (head_of s)
+
+let rec csp_stmt_to_sexp = function
+  | Csp.CLocal (x, e) -> L [ Atom "local"; Atom x; expr_to_sexp e ]
+  | Csp.CMark { klass; params } -> L (Atom "mark" :: Atom klass :: List.map expr_to_sexp params)
+  | Csp.CComm c -> csp_comm_to_sexp c
+  | Csp.CIfb (g, a, b) ->
+      L [ Atom "ifb"; expr_to_sexp g; csp_seq_to_sexp a; csp_seq_to_sexp b ]
+  | Csp.CWhile (g, body) -> L [ Atom "while"; expr_to_sexp g; csp_seq_to_sexp body ]
+  | Csp.CIf gs -> L (Atom "alt" :: List.map csp_guarded_to_sexp gs)
+  | Csp.CDo gs -> L (Atom "do" :: List.map csp_guarded_to_sexp gs)
+
+and csp_seq_to_sexp ss = L (Atom "seq" :: List.map csp_stmt_to_sexp ss)
+
+and csp_guarded_to_sexp (g : Csp.guarded) =
+  L
+    [
+      Atom "guard";
+      expr_to_sexp g.Csp.guard;
+      (match g.Csp.comm with None -> L [ Atom "nocomm" ] | Some c -> csp_comm_to_sexp c);
+      csp_seq_to_sexp g.Csp.body;
+    ]
+
+let rec csp_stmt_of_sexp = function
+  | L [ Atom "local"; x; e ] -> Csp.CLocal (atom x, expr_of_sexp e)
+  | L (Atom "mark" :: klass :: params) ->
+      Csp.CMark { klass = atom klass; params = List.map expr_of_sexp params }
+  | L (Atom ("send" | "recv") :: _) as s -> Csp.CComm (csp_comm_of_sexp s)
+  | L [ Atom "ifb"; g; a; b ] ->
+      Csp.CIfb (expr_of_sexp g, csp_seq_of_sexp a, csp_seq_of_sexp b)
+  | L [ Atom "while"; g; body ] -> Csp.CWhile (expr_of_sexp g, csp_seq_of_sexp body)
+  | L (Atom "alt" :: gs) -> Csp.CIf (List.map csp_guarded_of_sexp gs)
+  | L (Atom "do" :: gs) -> Csp.CDo (List.map csp_guarded_of_sexp gs)
+  | s -> fail "unknown CSP statement form %s" (head_of s)
+
+and csp_seq_of_sexp = function
+  | L (Atom "seq" :: ss) -> List.map csp_stmt_of_sexp ss
+  | s -> fail "expected (seq ...), got %s" (head_of s)
+
+and csp_guarded_of_sexp = function
+  | L [ Atom "guard"; g; comm; body ] ->
+      {
+        Csp.guard = expr_of_sexp g;
+        comm =
+          (match comm with L [ Atom "nocomm" ] -> None | c -> Some (csp_comm_of_sexp c));
+        body = csp_seq_of_sexp body;
+      }
+  | s -> fail "expected (guard ...), got %s" (head_of s)
+
+let csp_to_sexp (prog : Csp.program) =
+  L
+    (Atom "csp"
+    :: List.map
+         (fun (p : Csp.process) ->
+           L
+             [
+               Atom "process";
+               Atom p.Csp.proc_name;
+               locals_to_sexp p.Csp.locals;
+               csp_seq_to_sexp p.Csp.code;
+             ])
+         prog)
+
+let csp_of_sexp = function
+  | L (Atom "csp" :: procs) ->
+      List.map
+        (function
+          | L [ Atom "process"; name; locals; code ] ->
+              {
+                Csp.proc_name = atom name;
+                locals = locals_of_sexp locals;
+                code = csp_seq_of_sexp code;
+              }
+          | s -> fail "expected (process ...), got %s" (head_of s))
+        procs
+  | s -> fail "expected (csp ...), got %s" (head_of s)
+
+(* ---- Monitor ---- *)
+
+let site_to_sexp = function
+  | None -> L [ Atom "nosite" ]
+  | Some s -> L [ Atom "site"; Atom s ]
+
+let site_of_sexp = function
+  | L [ Atom "nosite" ] -> None
+  | L [ Atom "site"; s ] -> Some (atom s)
+  | s -> fail "expected site, got %s" (head_of s)
+
+let bind_to_sexp = function
+  | None -> L [ Atom "nobind" ]
+  | Some x -> L [ Atom "bind"; Atom x ]
+
+let bind_of_sexp = function
+  | L [ Atom "nobind" ] -> None
+  | L [ Atom "bind"; x ] -> Some (atom x)
+  | s -> fail "expected bind, got %s" (head_of s)
+
+let rec mstmt_to_sexp = function
+  | Monitor.MAssign { var; value; site } ->
+      L [ Atom "assign"; Atom var; expr_to_sexp value; site_to_sexp site ]
+  | Monitor.MIf (g, a, b) ->
+      L [ Atom "mif"; expr_to_sexp g; mseq_to_sexp a; mseq_to_sexp b ]
+  | Monitor.MWhile (g, body) -> L [ Atom "mwhile"; expr_to_sexp g; mseq_to_sexp body ]
+  | Monitor.MWait c -> L [ Atom "wait"; Atom c ]
+  | Monitor.MSignal c -> L [ Atom "signal"; Atom c ]
+  | Monitor.MReturn e -> L [ Atom "return"; expr_to_sexp e ]
+  | Monitor.MSkip -> L [ Atom "skip" ]
+
+and mseq_to_sexp ss = L (Atom "seq" :: List.map mstmt_to_sexp ss)
+
+let rec mstmt_of_sexp = function
+  | L [ Atom "assign"; var; value; site ] ->
+      Monitor.MAssign
+        { var = atom var; value = expr_of_sexp value; site = site_of_sexp site }
+  | L [ Atom "mif"; g; a; b ] ->
+      Monitor.MIf (expr_of_sexp g, mseq_of_sexp a, mseq_of_sexp b)
+  | L [ Atom "mwhile"; g; body ] -> Monitor.MWhile (expr_of_sexp g, mseq_of_sexp body)
+  | L [ Atom "wait"; c ] -> Monitor.MWait (atom c)
+  | L [ Atom "signal"; c ] -> Monitor.MSignal (atom c)
+  | L [ Atom "return"; e ] -> Monitor.MReturn (expr_of_sexp e)
+  | L [ Atom "skip" ] -> Monitor.MSkip
+  | s -> fail "unknown monitor statement form %s" (head_of s)
+
+and mseq_of_sexp = function
+  | L (Atom "seq" :: ss) -> List.map mstmt_of_sexp ss
+  | s -> fail "expected (seq ...), got %s" (head_of s)
+
+let rec pstmt_to_sexp = function
+  | Monitor.PLocal (x, e) -> L [ Atom "local"; Atom x; expr_to_sexp e ]
+  | Monitor.PIf (g, a, b) ->
+      L [ Atom "pif"; expr_to_sexp g; pseq_to_sexp a; pseq_to_sexp b ]
+  | Monitor.PWhile (g, body) -> L [ Atom "pwhile"; expr_to_sexp g; pseq_to_sexp body ]
+  | Monitor.PCall { monitor; entry; args; bind } ->
+      L
+        [
+          Atom "call";
+          Atom monitor;
+          Atom entry;
+          L (Atom "args" :: List.map expr_to_sexp args);
+          bind_to_sexp bind;
+        ]
+  | Monitor.PRead { var; bind } -> L [ Atom "read"; Atom var; Atom bind ]
+  | Monitor.PWrite { var; value } -> L [ Atom "write"; Atom var; expr_to_sexp value ]
+  | Monitor.PMark { klass; params } ->
+      L (Atom "mark" :: Atom klass :: List.map expr_to_sexp params)
+
+and pseq_to_sexp ss = L (Atom "seq" :: List.map pstmt_to_sexp ss)
+
+let rec pstmt_of_sexp = function
+  | L [ Atom "local"; x; e ] -> Monitor.PLocal (atom x, expr_of_sexp e)
+  | L [ Atom "pif"; g; a; b ] ->
+      Monitor.PIf (expr_of_sexp g, pseq_of_sexp a, pseq_of_sexp b)
+  | L [ Atom "pwhile"; g; body ] -> Monitor.PWhile (expr_of_sexp g, pseq_of_sexp body)
+  | L [ Atom "call"; monitor; entry; L (Atom "args" :: args); bind ] ->
+      Monitor.PCall
+        {
+          monitor = atom monitor;
+          entry = atom entry;
+          args = List.map expr_of_sexp args;
+          bind = bind_of_sexp bind;
+        }
+  | L [ Atom "read"; var; bind ] -> Monitor.PRead { var = atom var; bind = atom bind }
+  | L [ Atom "write"; var; value ] ->
+      Monitor.PWrite { var = atom var; value = expr_of_sexp value }
+  | L (Atom "mark" :: klass :: params) ->
+      Monitor.PMark { klass = atom klass; params = List.map expr_of_sexp params }
+  | s -> fail "unknown process statement form %s" (head_of s)
+
+and pseq_of_sexp = function
+  | L (Atom "seq" :: ss) -> List.map pstmt_of_sexp ss
+  | s -> fail "expected (seq ...), got %s" (head_of s)
+
+let monitor_to_sexp (prog : Monitor.program) =
+  let mon (m : Monitor.monitor) =
+    L
+      [
+        Atom "monitor";
+        Atom m.Monitor.mon_name;
+        L
+          (Atom "vars"
+          :: List.map (fun (x, v) -> L [ Atom x; value_to_sexp v ]) m.Monitor.vars);
+        L (Atom "conditions" :: List.map (fun c -> Atom c) m.Monitor.conditions);
+        L
+          (Atom "entries"
+          :: List.map
+               (fun (e : Monitor.entry) ->
+                 L
+                   [
+                     Atom "entry";
+                     Atom e.Monitor.entry_name;
+                     L (Atom "formals" :: List.map (fun f -> Atom f) e.Monitor.formals);
+                     mseq_to_sexp e.Monitor.body;
+                   ])
+               m.Monitor.entries);
+      ]
+  in
+  L
+    [
+      Atom "monitor-prog";
+      L (Atom "monitors" :: List.map mon prog.Monitor.monitors);
+      L
+        (Atom "shared"
+        :: List.map (fun (x, v) -> L [ Atom x; value_to_sexp v ]) prog.Monitor.shared);
+      L
+        (Atom "processes"
+        :: List.map
+             (fun (p : Monitor.process) ->
+               L
+                 [
+                   Atom "process";
+                   Atom p.Monitor.proc_name;
+                   locals_to_sexp p.Monitor.locals;
+                   pseq_to_sexp p.Monitor.code;
+                 ])
+             prog.Monitor.processes);
+    ]
+
+let monitor_of_sexp = function
+  | L
+      [
+        Atom "monitor-prog";
+        L (Atom "monitors" :: mons);
+        L (Atom "shared" :: shared);
+        L (Atom "processes" :: procs);
+      ] ->
+      {
+        Monitor.monitors =
+          List.map
+            (function
+              | L
+                  [
+                    Atom "monitor";
+                    name;
+                    L (Atom "vars" :: vars);
+                    L (Atom "conditions" :: conds);
+                    L (Atom "entries" :: entries);
+                  ] ->
+                  {
+                    Monitor.mon_name = atom name;
+                    vars =
+                      List.map
+                        (function
+                          | L [ x; v ] -> (atom x, value_of_sexp v)
+                          | s -> fail "bad var binding %s" (head_of s))
+                        vars;
+                    conditions = List.map atom conds;
+                    entries =
+                      List.map
+                        (function
+                          | L [ Atom "entry"; name; L (Atom "formals" :: formals); body ]
+                            ->
+                              {
+                                Monitor.entry_name = atom name;
+                                formals = List.map atom formals;
+                                body = mseq_of_sexp body;
+                              }
+                          | s -> fail "expected (entry ...), got %s" (head_of s))
+                        entries;
+                  }
+              | s -> fail "expected (monitor ...), got %s" (head_of s))
+            mons;
+        shared =
+          List.map
+            (function
+              | L [ x; v ] -> (atom x, value_of_sexp v)
+              | s -> fail "bad shared binding %s" (head_of s))
+            shared;
+        processes =
+          List.map
+            (function
+              | L [ Atom "process"; name; locals; code ] ->
+                  {
+                    Monitor.proc_name = atom name;
+                    locals = locals_of_sexp locals;
+                    code = pseq_of_sexp code;
+                  }
+              | s -> fail "expected (process ...), got %s" (head_of s))
+            procs;
+      }
+  | s -> fail "expected (monitor-prog ...), got %s" (head_of s)
+
+(* ---- ADA ---- *)
+
+let rec astmt_to_sexp = function
+  | Ada.ALocal (x, e) -> L [ Atom "local"; Atom x; expr_to_sexp e ]
+  | Ada.AIf (g, a, b) -> L [ Atom "aif"; expr_to_sexp g; aseq_to_sexp a; aseq_to_sexp b ]
+  | Ada.AWhile (g, body) -> L [ Atom "awhile"; expr_to_sexp g; aseq_to_sexp body ]
+  | Ada.AMark { klass; params } ->
+      L (Atom "mark" :: Atom klass :: List.map expr_to_sexp params)
+  | Ada.ACall { task; entry; args; bind } ->
+      L
+        [
+          Atom "call";
+          Atom task;
+          Atom entry;
+          L (Atom "args" :: List.map expr_to_sexp args);
+          bind_to_sexp bind;
+        ]
+  | Ada.AAccept a -> L [ Atom "accept"; accept_to_sexp a ]
+  | Ada.ASelect bs ->
+      L
+        (Atom "select"
+        :: List.map
+             (fun (b : Ada.branch) ->
+               L [ Atom "branch"; expr_to_sexp b.Ada.when_; accept_to_sexp b.Ada.accept ])
+             bs)
+
+and aseq_to_sexp ss = L (Atom "seq" :: List.map astmt_to_sexp ss)
+
+and accept_to_sexp (a : Ada.accept) =
+  L
+    [
+      Atom "acc";
+      Atom a.Ada.acc_entry;
+      L (Atom "formals" :: List.map (fun f -> Atom f) a.Ada.acc_formals);
+      aseq_to_sexp a.Ada.acc_body;
+      (match a.Ada.acc_result with
+      | None -> L [ Atom "noresult" ]
+      | Some e -> L [ Atom "result"; expr_to_sexp e ]);
+    ]
+
+let rec astmt_of_sexp = function
+  | L [ Atom "local"; x; e ] -> Ada.ALocal (atom x, expr_of_sexp e)
+  | L [ Atom "aif"; g; a; b ] ->
+      Ada.AIf (expr_of_sexp g, aseq_of_sexp a, aseq_of_sexp b)
+  | L [ Atom "awhile"; g; body ] -> Ada.AWhile (expr_of_sexp g, aseq_of_sexp body)
+  | L (Atom "mark" :: klass :: params) ->
+      Ada.AMark { klass = atom klass; params = List.map expr_of_sexp params }
+  | L [ Atom "call"; task; entry; L (Atom "args" :: args); bind ] ->
+      Ada.ACall
+        {
+          task = atom task;
+          entry = atom entry;
+          args = List.map expr_of_sexp args;
+          bind = bind_of_sexp bind;
+        }
+  | L [ Atom "accept"; a ] -> Ada.AAccept (accept_of_sexp a)
+  | L (Atom "select" :: bs) ->
+      Ada.ASelect
+        (List.map
+           (function
+             | L [ Atom "branch"; when_; accept ] ->
+                 { Ada.when_ = expr_of_sexp when_; accept = accept_of_sexp accept }
+             | s -> fail "expected (branch ...), got %s" (head_of s))
+           bs)
+  | s -> fail "unknown ADA statement form %s" (head_of s)
+
+and aseq_of_sexp = function
+  | L (Atom "seq" :: ss) -> List.map astmt_of_sexp ss
+  | s -> fail "expected (seq ...), got %s" (head_of s)
+
+and accept_of_sexp = function
+  | L [ Atom "acc"; entry; L (Atom "formals" :: formals); body; result ] ->
+      {
+        Ada.acc_entry = atom entry;
+        acc_formals = List.map atom formals;
+        acc_body = aseq_of_sexp body;
+        acc_result =
+          (match result with
+          | L [ Atom "noresult" ] -> None
+          | L [ Atom "result"; e ] -> Some (expr_of_sexp e)
+          | s -> fail "expected result, got %s" (head_of s));
+      }
+  | s -> fail "expected (acc ...), got %s" (head_of s)
+
+let ada_to_sexp (prog : Ada.program) =
+  L
+    (Atom "ada"
+    :: List.map
+         (fun (t : Ada.task) ->
+           L
+             [
+               Atom "task";
+               Atom t.Ada.task_name;
+               locals_to_sexp t.Ada.locals;
+               aseq_to_sexp t.Ada.code;
+             ])
+         prog)
+
+let ada_of_sexp = function
+  | L (Atom "ada" :: tasks) ->
+      List.map
+        (function
+          | L [ Atom "task"; name; locals; code ] ->
+              {
+                Ada.task_name = atom name;
+                locals = locals_of_sexp locals;
+                code = aseq_of_sexp code;
+              }
+          | s -> fail "expected (task ...), got %s" (head_of s))
+        tasks
+  | s -> fail "expected (ada ...), got %s" (head_of s)
+
+(* ---- cases ---- *)
+
+let format_version = 1
+
+let prog_to_sexp = function
+  | Case.P_csp p -> csp_to_sexp p
+  | Case.P_monitor p -> monitor_to_sexp p
+  | Case.P_ada p -> ada_to_sexp p
+
+let prog_of_sexp s =
+  match s with
+  | L (Atom "csp" :: _) -> Case.P_csp (csp_of_sexp s)
+  | L (Atom "monitor-prog" :: _) -> Case.P_monitor (monitor_of_sexp s)
+  | L (Atom "ada" :: _) -> Case.P_ada (ada_of_sexp s)
+  | s -> fail "unknown program form %s" (head_of s)
+
+let encode (c : Case.t) =
+  sexp_to_string
+    (L
+       [
+         Atom "gemfuzz";
+         Atom (string_of_int format_version);
+         L [ Atom "case"; Atom c.Case.name; prog_to_sexp c.Case.prog ];
+       ])
+  ^ "\n"
+
+let decode src =
+  match parse_sexp src with
+  | exception Parse_error m -> Error ("parse error: " ^ m)
+  | L [ Atom "gemfuzz"; v; L [ Atom "case"; name; prog ] ] -> (
+      match int_of_string_opt (match v with Atom a -> a | _ -> "") with
+      | Some 1 -> (
+          try Ok { Case.name = (match name with Atom a -> a | s -> atom s); prog = prog_of_sexp prog }
+          with Decode_error m -> Error m)
+      | Some v -> Error (Printf.sprintf "unsupported gemfuzz format version %d" v)
+      | None -> Error "malformed version")
+  | _ -> Error "expected (gemfuzz VERSION (case NAME PROGRAM))"
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let save ~dir (c : Case.t) =
+  mkdir_p dir;
+  let path = Filename.concat dir (c.Case.name ^ ".gemfuzz") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode c));
+  path
+
+let load_file path =
+  let ic = open_in path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  decode src
+
+let load_dir dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".gemfuzz")
+    |> List.sort compare
+    |> List.map (fun f -> (f, load_file (Filename.concat dir f)))

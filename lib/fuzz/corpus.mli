@@ -1,0 +1,24 @@
+(** The reproducer corpus: shrunk disagreeing cases persisted as text and
+    replayed as regression tests.
+
+    Format ([.gemfuzz], versioned s-expressions):
+    {v (gemfuzz 1 (case NAME (csp (process P0 (locals (x (int 1))) (seq ...)) ...))) v}
+
+    The encoding is lossless over the whole of the three ASTs —
+    [decode (encode c) = Ok c] for every case, generated or hand-written
+    — and the decoder rejects unknown forms with a message naming the
+    offending node, so a corpus file never silently degrades into a
+    different program. *)
+
+val encode : Case.t -> string
+
+val decode : string -> (Case.t, string) result
+
+val save : dir:string -> Case.t -> string
+(** Write [<dir>/<name>.gemfuzz] (creating [dir] if needed); returns the
+    path. *)
+
+val load_file : string -> (Case.t, string) result
+
+val load_dir : string -> (string * (Case.t, string) result) list
+(** Every [*.gemfuzz] under the directory, sorted by file name. *)

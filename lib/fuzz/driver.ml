@@ -1,0 +1,81 @@
+type failure = {
+  f_index : int;
+  f_case : Case.t;
+  f_shrunk : Case.t;
+  f_steps : int;
+  f_disagreement : Oracle.disagreement;
+  f_corpus_path : string option;
+}
+
+type outcome = {
+  o_seed : int;
+  o_iters : int;
+  o_ran : int;
+  o_cells : int;
+  o_explored : int;
+  o_elapsed : float;
+  o_failure : failure option;
+}
+
+let progress_stride = 50
+
+let run ?time_budget ?(max_configs = 1_000_000) ?corpus_dir ?(log = ignore) ~seed
+    ~iters () =
+  let started = Unix.gettimeofday () in
+  let cells = List.length Oracle.lattice in
+  let explored = ref 0 in
+  let over_budget () =
+    match time_budget with
+    | None -> false
+    | Some b -> Unix.gettimeofday () -. started >= b
+  in
+  let fail index (case : Case.t) formula d =
+    (* Minimize while the oracle still disagrees — on anything: the
+       shrunk program may fail differently (e.g. a different cell), which
+       is just as good a reproducer. *)
+    let still_fails prog =
+      match Oracle.check ~max_configs ~formula prog with
+      | Ok _ -> false
+      | Error _ -> true
+    in
+    let shrunk_prog, steps = Shrink.minimize still_fails case.Case.prog in
+    let shrunk = { Case.name = case.Case.name; prog = shrunk_prog } in
+    let disagreement =
+      match Oracle.check ~max_configs ~formula shrunk_prog with
+      | Error d -> d
+      | Ok _ -> d (* the predicate flapped (e.g. fault injection); keep the original *)
+    in
+    let corpus_path = Option.map (fun dir -> Corpus.save ~dir shrunk) corpus_dir in
+    {
+      f_index = index;
+      f_case = case;
+      f_shrunk = shrunk;
+      f_steps = steps;
+      f_disagreement = disagreement;
+      f_corpus_path = corpus_path;
+    }
+  in
+  let rec go i =
+    if i >= iters || over_budget () then (i, None)
+    else begin
+      if i > 0 && i mod progress_stride = 0 then
+        log (Printf.sprintf "fuzz: %d/%d instances agreed" i iters);
+      let case = Gen.instance ~seed ~index:i in
+      let formula = Gen.formula_for ~seed ~index:i in
+      match Oracle.check ~max_configs ~formula case.Case.prog with
+      | Ok n ->
+          explored := !explored + n;
+          go (i + 1)
+      | Error d -> (i, Some (fail i case formula d))
+    end
+  in
+  let ran, failure = go 0 in
+  {
+    o_seed = seed;
+    o_iters = iters;
+    o_ran = ran;
+    o_cells = cells;
+    o_explored = !explored;
+    o_elapsed = Unix.gettimeofday () -. started;
+    o_failure = failure;
+  }

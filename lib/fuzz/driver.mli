@@ -1,0 +1,39 @@
+(** The fuzz loop: deterministic instances through the differential
+    oracle, greedy shrinking and corpus persistence on disagreement.
+
+    All progress strings pushed through [log] are derived from counts,
+    never from wall time, so a run's logged output is byte-identical for
+    a given (seed, iters) — the CLI's same-seed determinism contract.
+    Throughput belongs on stderr (the CLI computes it from {!outcome}). *)
+
+type failure = {
+  f_index : int;  (** Instance index within the run. *)
+  f_case : Case.t;  (** As generated. *)
+  f_shrunk : Case.t;  (** After greedy minimization. *)
+  f_steps : int;  (** Accepted shrink steps. *)
+  f_disagreement : Oracle.disagreement;  (** Re-derived on the shrunk case. *)
+  f_corpus_path : string option;  (** Where the reproducer was written. *)
+}
+
+type outcome = {
+  o_seed : int;
+  o_iters : int;  (** Requested. *)
+  o_ran : int;  (** Completed before failure/time budget. *)
+  o_cells : int;  (** Lattice width (per instance). *)
+  o_explored : int;  (** Configurations, summed over all cell runs. *)
+  o_elapsed : float;  (** Wall seconds (reporting only, keep off stdout). *)
+  o_failure : failure option;
+}
+
+val run :
+  ?time_budget:float ->
+  ?max_configs:int ->
+  ?corpus_dir:string ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  iters:int ->
+  unit ->
+  outcome
+(** Stops at the first disagreement (after shrinking and, when
+    [corpus_dir] is given, persisting the reproducer) or when
+    [time_budget] wall seconds have elapsed. *)

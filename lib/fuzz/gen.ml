@@ -1,0 +1,307 @@
+(* Random loop-free programs in all three embedded languages, plus random
+   restrictions over their marker events. Grown out of test/gen_csp.ml
+   (PR 2), which only knew CSP; the parity suites (POR, parallel, keys,
+   resilience) and the fuzz driver all draw from here now.
+
+   Straight-line statements only — local arithmetic, markers,
+   point-to-point communication, shallow conditionals — so every
+   generated program terminates (possibly in a deadlock leaf when
+   communications mismatch; the differentials compare those too). *)
+
+module Csp = Gem_lang.Csp
+module Monitor = Gem_lang.Monitor
+module Ada = Gem_lang.Ada
+module E = Gem_lang.Expr
+module V = Gem_model.Value
+module F = Gem_logic.Formula
+
+(* ---- CSP (the original test/gen_csp.ml distribution, verbatim — the
+   POR/parallel/keys/resilience suites' corpora must not shift) ---- *)
+
+let base_stmt_gen others =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun k -> Csp.CLocal ("x", E.Add (E.Var "x", E.Int k))) (int_range 0 3);
+        return (Csp.CMark { klass = "M"; params = [ E.Var "x" ] });
+        map (fun o -> Csp.CComm (Csp.Send { to_ = o; value = E.Var "x" })) (oneofl others);
+        map (fun o -> Csp.CComm (Csp.Recv { from_ = o; bind = "m" })) (oneofl others);
+      ])
+
+let stmt_gen others =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, base_stmt_gen others);
+        ( 1,
+          map3
+            (fun t a b -> Csp.CIfb (E.Lt (E.Var "x", E.Int t), a, b))
+            (int_range 0 3)
+            (list_size (int_range 0 2) (base_stmt_gen others))
+            (list_size (int_range 0 2) (base_stmt_gen others)) );
+      ])
+
+let csp_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 3 in
+    let names = List.init n (Printf.sprintf "P%d") in
+    (* Three processes explode the unreduced path count; keep them short. *)
+    let code_size = if n = 3 then int_range 1 2 else int_range 1 3 in
+    flatten_l
+      (List.map
+         (fun me ->
+           let others = List.filter (fun o -> o <> me) names in
+           let* code = list_size code_size (stmt_gen others) in
+           return
+             { Csp.proc_name = me; locals = [ ("x", V.Int 1); ("m", V.Int 0) ]; code })
+         names))
+
+(* ---- Monitor ---- *)
+
+let monitor_entry_names = [ "e0"; "e1" ]
+
+let mstmt_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 3,
+          map
+            (fun k ->
+              Monitor.MAssign
+                { var = "v"; value = E.Add (E.Var "v", E.Int k); site = None })
+            (int_range 0 2) );
+        (2, return (Monitor.MSignal "c"));
+        (1, return (Monitor.MWait "c"));
+        ( 1,
+          map
+            (fun t ->
+              Monitor.MIf
+                ( E.Lt (E.Var "v", E.Int t),
+                  [ Monitor.MAssign
+                      { var = "v"; value = E.Add (E.Var "v", E.Int 1); site = None } ],
+                  [ Monitor.MSignal "c" ] ))
+            (int_range 0 2) );
+      ])
+
+let pstmt_gen entries =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun k -> Monitor.PLocal ("x", E.Add (E.Var "x", E.Int k))) (int_range 0 2);
+        return (Monitor.PMark { klass = "M"; params = [ E.Var "x" ] });
+        map
+          (fun e -> Monitor.PCall { monitor = "M"; entry = e; args = []; bind = None })
+          (oneofl entries);
+        return (Monitor.PWrite { var = "s"; value = E.Var "x" });
+        return (Monitor.PRead { var = "s"; bind = "x" });
+      ])
+
+let monitor_gen =
+  QCheck.Gen.(
+    let* n_entries = int_range 1 2 in
+    let entries = List.filteri (fun i _ -> i < n_entries) monitor_entry_names in
+    let* entry_bodies =
+      flatten_l
+        (List.map
+           (fun name ->
+             let* body = list_size (int_range 1 2) mstmt_gen in
+             return { Monitor.entry_name = name; formals = []; body })
+           entries)
+    in
+    let monitor =
+      {
+        Monitor.mon_name = "M";
+        vars = [ ("v", V.Int 0) ];
+        conditions = [ "c" ];
+        entries = entry_bodies;
+      }
+    in
+    let* processes =
+      flatten_l
+        (List.map
+           (fun name ->
+             let* code = list_size (int_range 1 2) (pstmt_gen entries) in
+             return { Monitor.proc_name = name; locals = [ ("x", V.Int 1) ]; code })
+           [ "P0"; "P1" ])
+    in
+    return
+      { Monitor.monitors = [ monitor ]; shared = [ ("s", V.Int 0) ]; processes })
+
+(* ---- ADA ---- *)
+
+(* Entry arities are fixed per name ("e"/0, "f"/1) so any call can meet
+   any accept of the same entry; mismatched rendezvous — a call nobody
+   accepts, an accept nobody calls — deadlock, which is in scope. *)
+
+let ada_accept_e =
+  QCheck.Gen.(
+    let* body =
+      list_size (int_range 0 1)
+        (oneof
+           [
+             return (Ada.ALocal ("y", E.Add (E.Var "y", E.Int 1)));
+             return (Ada.AMark { klass = "M"; params = [ E.Var "y" ] });
+           ])
+    in
+    return { Ada.acc_entry = "e"; acc_formals = []; acc_body = body; acc_result = None })
+
+let ada_accept_f =
+  QCheck.Gen.return
+    {
+      Ada.acc_entry = "f";
+      acc_formals = [ "z" ];
+      acc_body = [ Ada.ALocal ("y", E.Add (E.Var "y", E.Var "z")) ];
+      acc_result = None;
+    }
+
+let ada_accept_gen = QCheck.Gen.oneof [ ada_accept_e; ada_accept_f ]
+
+let server_stmt_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun a -> Ada.AAccept a) ada_accept_gen);
+        ( 2,
+          let* n = int_range 1 2 in
+          let* accepts = flatten_l (List.init n (fun _ -> ada_accept_gen)) in
+          let* guards =
+            flatten_l
+              (List.init n (fun _ ->
+                   oneof
+                     [
+                       return (E.Bool true);
+                       map (fun t -> E.Lt (E.Var "y", E.Int t)) (int_range 0 2);
+                     ]))
+          in
+          return
+            (Ada.ASelect
+               (List.map2 (fun when_ accept -> { Ada.when_; accept }) guards accepts)) );
+        ( 1,
+          map (fun k -> Ada.ALocal ("y", E.Add (E.Var "y", E.Int k))) (int_range 0 2) );
+        (1, return (Ada.AMark { klass = "M"; params = [ E.Var "y" ] }));
+      ])
+
+let client_stmt_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 3,
+          oneof
+            [
+              return (Ada.ACall { task = "T0"; entry = "e"; args = []; bind = None });
+              map
+                (fun k ->
+                  Ada.ACall { task = "T0"; entry = "f"; args = [ E.Int k ]; bind = None })
+                (int_range 0 2);
+            ] );
+        ( 1,
+          map (fun k -> Ada.ALocal ("y", E.Add (E.Var "y", E.Int k))) (int_range 0 2) );
+        (1, return (Ada.AMark { klass = "M"; params = [ E.Var "y" ] }));
+      ])
+
+let ada_gen =
+  QCheck.Gen.(
+    let* n_clients = int_range 1 2 in
+    let* server_code = list_size (int_range 1 2) server_stmt_gen in
+    let server = { Ada.task_name = "T0"; locals = [ ("y", V.Int 0) ]; code = server_code } in
+    let* clients =
+      flatten_l
+        (List.init n_clients (fun i ->
+             let* code = list_size (int_range 1 2) client_stmt_gen in
+             return
+               {
+                 Ada.task_name = Printf.sprintf "T%d" (i + 1);
+                 locals = [ ("y", V.Int 1) ];
+                 code;
+               }))
+    in
+    return (server :: clients))
+
+(* ---- Arbitraries (printer + structural shrinker) ---- *)
+
+let csp_arb =
+  QCheck.make csp_gen ~print:Case.csp_to_string ~shrink:Shrink.csp_qshrink
+
+let monitor_arb =
+  QCheck.make monitor_gen ~print:Case.monitor_to_string ~shrink:Shrink.monitor_qshrink
+
+let ada_arb = QCheck.make ada_gen ~print:Case.ada_to_string ~shrink:Shrink.ada_qshrink
+
+let prog_gen = csp_gen
+
+let prog_arb = csp_arb
+
+let prog_to_string = Case.csp_to_string
+
+(* ---- Deterministic instances ---- *)
+
+let instance ~seed ~index =
+  let st = Random.State.make [| 0x9e3779; seed; index |] in
+  let prog =
+    match index mod 3 with
+    | 0 -> Case.P_csp (QCheck.Gen.generate1 ~rand:st csp_gen)
+    | 1 -> Case.P_monitor (QCheck.Gen.generate1 ~rand:st monitor_gen)
+    | _ -> Case.P_ada (QCheck.Gen.generate1 ~rand:st ada_gen)
+  in
+  { Case.name = Printf.sprintf "seed%d-i%d-%s" seed index (Case.lang prog); prog }
+
+(* ---- Random restrictions over the marker events ----
+
+   All shapes are immediate (temporal-operator-free): they are evaluated
+   once on the full history, so the verdict depends only on the
+   computation's partial order and data — never on run-enumeration order
+   or caps, which are not part of the engine lattice under differential
+   test. *)
+
+let markers = F.Cls "M"
+
+let formula_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        (* Some marker occurred. *)
+        return (F.Exists ("m", markers, F.occurred "m"));
+        (* At most one marker overall. *)
+        return (F.At_most_one ("m", markers, F.occurred "m"));
+        (* Markers are temporally totally ordered. *)
+        return
+          (F.forall
+             [ ("m", markers); ("n", markers) ]
+             (F.disj
+                [
+                  F.Atom (F.Same_event ("m", "n"));
+                  F.Atom (F.Temp_lt ("m", "n"));
+                  F.Atom (F.Temp_lt ("n", "m"));
+                ]));
+        (* Two distinct markers exist, temporally ordered. *)
+        return
+          (F.exists
+             [ ("m", markers); ("n", markers) ]
+             (F.Atom (F.Temp_lt ("m", "n"))));
+        (* Data shapes over the marker payload p0. *)
+        map2
+          (fun op k ->
+            F.Exists
+              ( "m",
+                markers,
+                F.Atom (F.Cmp (op, F.Param ("m", "p0"), F.Const (V.Int k))) ))
+          (oneofl [ F.Eq; F.Ge; F.Le ])
+          (int_range 0 3);
+        map
+          (fun k ->
+            F.forall
+              [ ("m", markers) ]
+              (F.Atom (F.Cmp (F.Le, F.Param ("m", "p0"), F.Const (V.Int k)))))
+          (int_range 1 6);
+        (* Payloads never decrease along the temporal order. *)
+        return
+          (F.forall
+             [ ("m", markers); ("n", markers) ]
+             (F.Implies
+                ( F.Atom (F.Temp_lt ("m", "n")),
+                  F.Atom (F.Cmp (F.Le, F.Param ("m", "p0"), F.Param ("n", "p0"))) )));
+      ])
+
+let formula_for ~seed ~index =
+  let st = Random.State.make [| 0x51ed27; seed; index |] in
+  QCheck.Gen.generate1 ~rand:st formula_gen

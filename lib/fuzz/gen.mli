@@ -1,0 +1,51 @@
+(** Seeded random program and restriction generators for the three
+    embedded languages — the library home of what used to be
+    [test/gen_csp.ml], extended to Monitor and ADA.
+
+    Every generator keeps the loop-free termination guarantee
+    ({!Case.loop_free}): straight-line statements, shallow conditionals,
+    point-to-point communication — so every generated program's
+    exploration is finite (possibly ending in deadlock leaves, which the
+    differential oracle compares too).
+
+    Determinism: [instance]/[formula_for] derive their randomness from
+    [Random.State.make [| seed; index |]], so a (seed, index) pair names
+    the same case on every run, machine, and OCaml version shipping the
+    same splitmix [Random]. *)
+
+val csp_gen : Gem_lang.Csp.program QCheck.Gen.t
+
+val monitor_gen : Gem_lang.Monitor.program QCheck.Gen.t
+
+val ada_gen : Gem_lang.Ada.program QCheck.Gen.t
+
+val csp_arb : Gem_lang.Csp.program QCheck.arbitrary
+(** With printer and structural shrinker ({!Shrink.csp_qshrink}). *)
+
+val monitor_arb : Gem_lang.Monitor.program QCheck.arbitrary
+
+val ada_arb : Gem_lang.Ada.program QCheck.arbitrary
+
+(** Back-compat aliases for the parity suites that grew around the CSP
+    generator. *)
+
+val prog_gen : Gem_lang.Csp.program QCheck.Gen.t
+
+val prog_arb : Gem_lang.Csp.program QCheck.arbitrary
+
+val prog_to_string : Gem_lang.Csp.program -> string
+
+val instance : seed:int -> index:int -> Case.t
+(** The [index]-th case of a fuzz run: language round-robins
+    csp/monitor/ada, program drawn from that language's generator with
+    the (seed, index)-derived state. *)
+
+val formula_gen : Gem_logic.Formula.t QCheck.Gen.t
+(** A random restriction over the marker events (class ["M"], parameter
+    [p0]) every generator emits: existence, multiplicity, total-order and
+    data-comparison shapes, occasionally under a temporal operator. Its
+    per-computation verdict is part of the differential oracle's
+    agreement check. *)
+
+val formula_for : seed:int -> index:int -> Gem_logic.Formula.t
+(** Deterministic companion of {!instance} (independent stream). *)

@@ -1,0 +1,449 @@
+(* Greedy structural shrinking. Every candidate is a well-formed program:
+   processes/monitors/entries/tasks are only dropped when nothing left
+   names them, so a shrunk reproducer runs under the same interpreters as
+   the original. *)
+
+module Csp = Gem_lang.Csp
+module Monitor = Gem_lang.Monitor
+module Ada = Gem_lang.Ada
+module E = Gem_lang.Expr
+
+(* ---- Expressions: shrink integer constants toward zero, offer the
+   operands of arithmetic nodes (type-preserving for guards: comparisons
+   and connectives only recurse). ---- *)
+
+let rec expr_shrinks (e : E.t) : E.t list =
+  let unary wrap a = List.map (fun a' -> wrap a') (expr_shrinks a) in
+  let binary wrap a b =
+    List.map (fun a' -> wrap a' b) (expr_shrinks a)
+    @ List.map (fun b' -> wrap a b') (expr_shrinks b)
+  in
+  match e with
+  | E.Int k when k <> 0 ->
+      E.Int 0 :: (if abs k > 1 then [ E.Int (k / 2) ] else [])
+  | E.Int _ | E.Bool _ | E.Str _ | E.Var _ | E.Nil -> []
+  | E.Add (a, b) -> (a :: b :: binary (fun a b -> E.Add (a, b)) a b)
+  | E.Sub (a, b) -> (a :: b :: binary (fun a b -> E.Sub (a, b)) a b)
+  | E.Mul (a, b) -> (a :: b :: binary (fun a b -> E.Mul (a, b)) a b)
+  | E.Div (a, b) -> binary (fun a b -> E.Div (a, b)) a b
+  | E.Mod (a, b) -> binary (fun a b -> E.Mod (a, b)) a b
+  | E.Eq (a, b) -> binary (fun a b -> E.Eq (a, b)) a b
+  | E.Ne (a, b) -> binary (fun a b -> E.Ne (a, b)) a b
+  | E.Lt (a, b) -> binary (fun a b -> E.Lt (a, b)) a b
+  | E.Le (a, b) -> binary (fun a b -> E.Le (a, b)) a b
+  | E.Gt (a, b) -> binary (fun a b -> E.Gt (a, b)) a b
+  | E.Ge (a, b) -> binary (fun a b -> E.Ge (a, b)) a b
+  | E.And (a, b) -> (a :: b :: binary (fun a b -> E.And (a, b)) a b)
+  | E.Or (a, b) -> (a :: b :: binary (fun a b -> E.Or (a, b)) a b)
+  | E.Not a -> unary (fun a -> E.Not a) a
+  | E.Neg a -> unary (fun a -> E.Neg a) a
+  | E.Queue_non_empty _ | E.Queue_length _ -> []
+  | E.Append (a, b) -> (a :: binary (fun a b -> E.Append (a, b)) a b)
+  | E.Head a -> unary (fun a -> E.Head a) a
+  | E.Tail a -> unary (fun a -> E.Tail a) a
+  | E.Len a -> unary (fun a -> E.Len a) a
+
+(* One-step simplifications of a statement list: drop an element, splice
+   a compound statement down to one of its bodies, or simplify an
+   element in place — in that (most-aggressive-first) order. *)
+let rec list_shrinks ~splice ~elt = function
+  | [] -> []
+  | s :: rest ->
+      (rest :: List.map (fun sp -> sp @ rest) (splice s))
+      @ List.map (fun s' -> s' :: rest) (elt s)
+      @ List.map (fun rest' -> s :: rest') (list_shrinks ~splice ~elt rest)
+
+(* ---- CSP ---- *)
+
+let rec csp_splice = function
+  | Csp.CIfb (_, a, b) -> [ a; b ]
+  | Csp.CWhile (_, body) -> [ body ]
+  | Csp.CIf gs | Csp.CDo gs -> List.map (fun (g : Csp.guarded) -> g.Csp.body) gs
+  | Csp.CLocal _ | Csp.CMark _ | Csp.CComm _ -> []
+
+and csp_stmt_shrinks (s : Csp.stmt) : Csp.stmt list =
+  match s with
+  | Csp.CLocal (x, e) -> List.map (fun e' -> Csp.CLocal (x, e')) (expr_shrinks e)
+  | Csp.CMark _ -> []
+  | Csp.CComm (Csp.Send { to_; value }) ->
+      List.map (fun v -> Csp.CComm (Csp.Send { to_; value = v })) (expr_shrinks value)
+  | Csp.CComm (Csp.Recv _) -> []
+  | Csp.CIfb (g, a, b) ->
+      List.map (fun g' -> Csp.CIfb (g', a, b)) (expr_shrinks g)
+      @ List.map (fun a' -> Csp.CIfb (g, a', b)) (csp_stmts_shrinks a)
+      @ List.map (fun b' -> Csp.CIfb (g, a, b')) (csp_stmts_shrinks b)
+  | Csp.CWhile (g, body) ->
+      List.map (fun g' -> Csp.CWhile (g', body)) (expr_shrinks g)
+      @ List.map (fun body' -> Csp.CWhile (g, body')) (csp_stmts_shrinks body)
+  | Csp.CIf gs ->
+      if List.length gs > 1 then
+        List.mapi (fun i _ -> Csp.CIf (List.filteri (fun j _ -> j <> i) gs)) gs
+      else []
+  | Csp.CDo gs ->
+      if List.length gs > 1 then
+        List.mapi (fun i _ -> Csp.CDo (List.filteri (fun j _ -> j <> i) gs)) gs
+      else []
+
+and csp_stmts_shrinks ss = list_shrinks ~splice:csp_splice ~elt:csp_stmt_shrinks ss
+
+let rec csp_refs acc = function
+  | Csp.CComm (Csp.Send { to_; _ }) -> to_ :: acc
+  | Csp.CComm (Csp.Recv { from_; _ }) -> from_ :: acc
+  | Csp.CIfb (_, a, b) -> List.fold_left csp_refs (List.fold_left csp_refs acc a) b
+  | Csp.CWhile (_, body) -> List.fold_left csp_refs acc body
+  | Csp.CIf gs | Csp.CDo gs ->
+      List.fold_left
+        (fun acc (g : Csp.guarded) ->
+          let acc =
+            match g.Csp.comm with
+            | Some (Csp.Send { to_; _ }) -> to_ :: acc
+            | Some (Csp.Recv { from_; _ }) -> from_ :: acc
+            | None -> acc
+          in
+          List.fold_left csp_refs acc g.Csp.body)
+        acc gs
+  | Csp.CLocal _ | Csp.CMark _ -> acc
+
+let csp_candidates (prog : Csp.program) : Csp.program list =
+  let drops =
+    if List.length prog <= 1 then []
+    else
+      List.filteri
+        (fun _ _ -> true)
+        (List.mapi
+           (fun i (p : Csp.process) ->
+             let rest = List.filteri (fun j _ -> j <> i) prog in
+             let referenced =
+               List.exists
+                 (fun (q : Csp.process) ->
+                   List.mem p.Csp.proc_name (List.fold_left csp_refs [] q.Csp.code))
+                 rest
+             in
+             if referenced then None else Some rest)
+           prog)
+      |> List.filter_map Fun.id
+  in
+  let code_shrinks =
+    List.concat
+      (List.mapi
+         (fun i (p : Csp.process) ->
+           List.map
+             (fun code' ->
+               List.mapi
+                 (fun j (q : Csp.process) ->
+                   if i = j then { q with Csp.code = code' } else q)
+                 prog)
+             (csp_stmts_shrinks p.Csp.code))
+         prog)
+  in
+  drops @ code_shrinks
+
+(* ---- Monitor ---- *)
+
+let rec mstmt_splice = function
+  | Monitor.MIf (_, a, b) -> [ a; b ]
+  | Monitor.MWhile (_, body) -> [ body ]
+  | _ -> []
+
+and mstmt_shrinks (s : Monitor.mstmt) : Monitor.mstmt list =
+  match s with
+  | Monitor.MAssign { var; value; site } ->
+      List.map (fun v -> Monitor.MAssign { var; value = v; site }) (expr_shrinks value)
+  | Monitor.MIf (g, a, b) ->
+      List.map (fun g' -> Monitor.MIf (g', a, b)) (expr_shrinks g)
+      @ List.map (fun a' -> Monitor.MIf (g, a', b)) (mstmts_shrinks a)
+      @ List.map (fun b' -> Monitor.MIf (g, a, b')) (mstmts_shrinks b)
+  | Monitor.MWhile (g, body) ->
+      List.map (fun g' -> Monitor.MWhile (g', body)) (expr_shrinks g)
+      @ List.map (fun body' -> Monitor.MWhile (g, body')) (mstmts_shrinks body)
+  | Monitor.MReturn e -> List.map (fun e' -> Monitor.MReturn e') (expr_shrinks e)
+  | Monitor.MWait _ | Monitor.MSignal _ | Monitor.MSkip -> []
+
+and mstmts_shrinks ss = list_shrinks ~splice:mstmt_splice ~elt:mstmt_shrinks ss
+
+let rec pstmt_splice = function
+  | Monitor.PIf (_, a, b) -> [ a; b ]
+  | Monitor.PWhile (_, body) -> [ body ]
+  | _ -> []
+
+and pstmt_shrinks (s : Monitor.pstmt) : Monitor.pstmt list =
+  match s with
+  | Monitor.PLocal (x, e) -> List.map (fun e' -> Monitor.PLocal (x, e')) (expr_shrinks e)
+  | Monitor.PIf (g, a, b) ->
+      List.map (fun g' -> Monitor.PIf (g', a, b)) (expr_shrinks g)
+      @ List.map (fun a' -> Monitor.PIf (g, a', b)) (pstmts_shrinks a)
+      @ List.map (fun b' -> Monitor.PIf (g, a, b')) (pstmts_shrinks b)
+  | Monitor.PWhile (g, body) ->
+      List.map (fun g' -> Monitor.PWhile (g', body)) (expr_shrinks g)
+      @ List.map (fun body' -> Monitor.PWhile (g, body')) (pstmts_shrinks body)
+  | Monitor.PCall { monitor; entry; args; bind } ->
+      List.concat
+        (List.mapi
+           (fun i a ->
+             List.map
+               (fun a' ->
+                 Monitor.PCall
+                   {
+                     monitor;
+                     entry;
+                     args = List.mapi (fun j x -> if i = j then a' else x) args;
+                     bind;
+                   })
+               (expr_shrinks a))
+           args)
+  | Monitor.PWrite { var; value } ->
+      List.map (fun v -> Monitor.PWrite { var; value = v }) (expr_shrinks value)
+  | Monitor.PRead _ | Monitor.PMark _ -> []
+
+and pstmts_shrinks ss = list_shrinks ~splice:pstmt_splice ~elt:pstmt_shrinks ss
+
+let monitor_calls (prog : Monitor.program) =
+  let rec go acc = function
+    | Monitor.PCall { monitor; entry; _ } -> (monitor, entry) :: acc
+    | Monitor.PIf (_, a, b) -> List.fold_left go (List.fold_left go acc a) b
+    | Monitor.PWhile (_, body) -> List.fold_left go acc body
+    | _ -> acc
+  in
+  List.concat_map
+    (fun (p : Monitor.process) -> List.fold_left go [] p.Monitor.code)
+    prog.Monitor.processes
+
+let monitor_candidates (prog : Monitor.program) : Monitor.program list =
+  let calls = monitor_calls prog in
+  let drop_process =
+    if List.length prog.Monitor.processes <= 1 then []
+    else
+      List.mapi
+        (fun i _ ->
+          {
+            prog with
+            Monitor.processes =
+              List.filteri (fun j _ -> j <> i) prog.Monitor.processes;
+          })
+        prog.Monitor.processes
+  in
+  let drop_monitor =
+    List.filteri (fun _ _ -> true) prog.Monitor.monitors
+    |> List.mapi (fun i (m : Monitor.monitor) ->
+           if List.exists (fun (mn, _) -> String.equal mn m.Monitor.mon_name) calls
+           then None
+           else
+             Some
+               {
+                 prog with
+                 Monitor.monitors = List.filteri (fun j _ -> j <> i) prog.Monitor.monitors;
+               })
+    |> List.filter_map Fun.id
+  in
+  let drop_entry =
+    List.concat
+      (List.mapi
+         (fun i (m : Monitor.monitor) ->
+           List.filter_map Fun.id
+             (List.mapi
+                (fun k (e : Monitor.entry) ->
+                  if
+                    List.exists
+                      (fun (mn, en) ->
+                        String.equal mn m.Monitor.mon_name
+                        && String.equal en e.Monitor.entry_name)
+                      calls
+                    || List.length m.Monitor.entries <= 1
+                  then None
+                  else
+                    Some
+                      {
+                        prog with
+                        Monitor.monitors =
+                          List.mapi
+                            (fun j (m' : Monitor.monitor) ->
+                              if i = j then
+                                {
+                                  m' with
+                                  Monitor.entries =
+                                    List.filteri (fun l _ -> l <> k) m'.Monitor.entries;
+                                }
+                              else m')
+                            prog.Monitor.monitors;
+                      })
+                m.Monitor.entries))
+         prog.Monitor.monitors)
+  in
+  let entry_body_shrinks =
+    List.concat
+      (List.mapi
+         (fun i (m : Monitor.monitor) ->
+           List.concat
+             (List.mapi
+                (fun k (e : Monitor.entry) ->
+                  List.map
+                    (fun body' ->
+                      {
+                        prog with
+                        Monitor.monitors =
+                          List.mapi
+                            (fun j (m' : Monitor.monitor) ->
+                              if i = j then
+                                {
+                                  m' with
+                                  Monitor.entries =
+                                    List.mapi
+                                      (fun l (e' : Monitor.entry) ->
+                                        if k = l then { e' with Monitor.body = body' }
+                                        else e')
+                                      m'.Monitor.entries;
+                                }
+                              else m')
+                            prog.Monitor.monitors;
+                      })
+                    (mstmts_shrinks e.Monitor.body))
+                m.Monitor.entries))
+         prog.Monitor.monitors)
+  in
+  let code_shrinks =
+    List.concat
+      (List.mapi
+         (fun i (p : Monitor.process) ->
+           List.map
+             (fun code' ->
+               {
+                 prog with
+                 Monitor.processes =
+                   List.mapi
+                     (fun j (q : Monitor.process) ->
+                       if i = j then { q with Monitor.code = code' } else q)
+                     prog.Monitor.processes;
+               })
+             (pstmts_shrinks p.Monitor.code))
+         prog.Monitor.processes)
+  in
+  drop_process @ drop_monitor @ drop_entry @ code_shrinks @ entry_body_shrinks
+
+(* ---- ADA ---- *)
+
+let rec astmt_splice = function
+  | Ada.AIf (_, a, b) -> [ a; b ]
+  | Ada.AWhile (_, body) -> [ body ]
+  (* Splicing an accept body inline discards the rendezvous — only legal
+     when the body doesn't use the accept's formals. *)
+  | Ada.AAccept a when a.Ada.acc_formals = [] -> [ a.Ada.acc_body ]
+  | Ada.ASelect bs -> List.map (fun (b : Ada.branch) -> [ Ada.AAccept b.Ada.accept ]) bs
+  | _ -> []
+
+and accept_shrinks (a : Ada.accept) : Ada.accept list =
+  List.map (fun body' -> { a with Ada.acc_body = body' }) (astmts_shrinks a.Ada.acc_body)
+  @ (match a.Ada.acc_result with
+    | None -> []
+    | Some e ->
+        { a with Ada.acc_result = None }
+        :: List.map (fun e' -> { a with Ada.acc_result = Some e' }) (expr_shrinks e))
+
+and astmt_shrinks (s : Ada.stmt) : Ada.stmt list =
+  match s with
+  | Ada.ALocal (x, e) -> List.map (fun e' -> Ada.ALocal (x, e')) (expr_shrinks e)
+  | Ada.AIf (g, a, b) ->
+      List.map (fun g' -> Ada.AIf (g', a, b)) (expr_shrinks g)
+      @ List.map (fun a' -> Ada.AIf (g, a', b)) (astmts_shrinks a)
+      @ List.map (fun b' -> Ada.AIf (g, a, b')) (astmts_shrinks b)
+  | Ada.AWhile (g, body) ->
+      List.map (fun g' -> Ada.AWhile (g', body)) (expr_shrinks g)
+      @ List.map (fun body' -> Ada.AWhile (g, body')) (astmts_shrinks body)
+  | Ada.ACall { task; entry; args; bind } ->
+      List.concat
+        (List.mapi
+           (fun i a ->
+             List.map
+               (fun a' ->
+                 Ada.ACall
+                   {
+                     task;
+                     entry;
+                     args = List.mapi (fun j x -> if i = j then a' else x) args;
+                     bind;
+                   })
+               (expr_shrinks a))
+           args)
+  | Ada.AAccept a -> List.map (fun a' -> Ada.AAccept a') (accept_shrinks a)
+  | Ada.ASelect bs ->
+      (if List.length bs > 1 then
+         List.mapi (fun i _ -> Ada.ASelect (List.filteri (fun j _ -> j <> i) bs)) bs
+       else [])
+      @ List.concat
+          (List.mapi
+             (fun i (b : Ada.branch) ->
+               List.map
+                 (fun acc' ->
+                   Ada.ASelect
+                     (List.mapi
+                        (fun j (b' : Ada.branch) ->
+                          if i = j then { b' with Ada.accept = acc' } else b')
+                        bs))
+                 (accept_shrinks b.Ada.accept))
+             bs)
+  | Ada.AMark _ -> []
+
+and astmts_shrinks ss = list_shrinks ~splice:astmt_splice ~elt:astmt_shrinks ss
+
+let rec ada_refs acc = function
+  | Ada.ACall { task; _ } -> task :: acc
+  | Ada.AIf (_, a, b) -> List.fold_left ada_refs (List.fold_left ada_refs acc a) b
+  | Ada.AWhile (_, body) -> List.fold_left ada_refs acc body
+  | Ada.AAccept a -> List.fold_left ada_refs acc a.Ada.acc_body
+  | Ada.ASelect bs ->
+      List.fold_left
+        (fun acc (b : Ada.branch) -> List.fold_left ada_refs acc b.Ada.accept.Ada.acc_body)
+        acc bs
+  | Ada.ALocal _ | Ada.AMark _ -> acc
+
+let ada_candidates (prog : Ada.program) : Ada.program list =
+  let drops =
+    if List.length prog <= 1 then []
+    else
+      List.mapi
+        (fun i (t : Ada.task) ->
+          let rest = List.filteri (fun j _ -> j <> i) prog in
+          let referenced =
+            List.exists
+              (fun (u : Ada.task) ->
+                List.mem t.Ada.task_name (List.fold_left ada_refs [] u.Ada.code))
+              rest
+          in
+          if referenced then None else Some rest)
+        prog
+      |> List.filter_map Fun.id
+  in
+  let code_shrinks =
+    List.concat
+      (List.mapi
+         (fun i (t : Ada.task) ->
+           List.map
+             (fun code' ->
+               List.mapi
+                 (fun j (u : Ada.task) ->
+                   if i = j then { u with Ada.code = code' } else u)
+                 prog)
+             (astmts_shrinks t.Ada.code))
+         prog)
+  in
+  drops @ code_shrinks
+
+let candidates = function
+  | Case.P_csp p -> List.map (fun p' -> Case.P_csp p') (csp_candidates p)
+  | Case.P_monitor p -> List.map (fun p' -> Case.P_monitor p') (monitor_candidates p)
+  | Case.P_ada p -> List.map (fun p' -> Case.P_ada p') (ada_candidates p)
+
+let minimize ?(max_steps = 1000) still_fails prog =
+  let rec go prog steps =
+    if steps >= max_steps then (prog, steps)
+    else
+      match List.find_opt still_fails (candidates prog) with
+      | Some c -> go c (steps + 1)
+      | None -> (prog, steps)
+  in
+  go prog 0
+
+let csp_qshrink p yield = List.iter yield (csp_candidates p)
+
+let monitor_qshrink p yield = List.iter yield (monitor_candidates p)
+
+let ada_qshrink p yield = List.iter yield (ada_candidates p)

@@ -1,0 +1,34 @@
+(** Greedy structural shrinking for fuzz cases.
+
+    [candidates p] enumerates one-step simplifications of a program, most
+    aggressive first: drop a whole process/task/monitor (only when no
+    remaining code names it, so candidates stay well-formed), drop a
+    single statement or select branch, splice a conditional down to one
+    of its arms, and shrink integer constants toward zero. [minimize]
+    iterates greedily: as long as some candidate still satisfies the
+    failure predicate, descend into it.
+
+    The same candidate enumerations back the qcheck [~shrink] of the
+    {!Gen} arbitraries, so property failures in the test suites minimize
+    with the identical step set the fuzzer uses. *)
+
+val csp_candidates : Gem_lang.Csp.program -> Gem_lang.Csp.program list
+
+val monitor_candidates : Gem_lang.Monitor.program -> Gem_lang.Monitor.program list
+
+val ada_candidates : Gem_lang.Ada.program -> Gem_lang.Ada.program list
+
+val candidates : Case.prog -> Case.prog list
+
+val minimize :
+  ?max_steps:int -> (Case.prog -> bool) -> Case.prog -> Case.prog * int
+(** [minimize still_fails prog] greedily descends to a program where no
+    candidate satisfies [still_fails] (or [max_steps], default 1000,
+    shrink steps were taken); returns it with the number of accepted
+    steps. The result satisfies [still_fails] whenever the input did. *)
+
+val csp_qshrink : Gem_lang.Csp.program QCheck.Shrink.t
+
+val monitor_qshrink : Gem_lang.Monitor.program QCheck.Shrink.t
+
+val ada_qshrink : Gem_lang.Ada.program QCheck.Shrink.t

@@ -266,6 +266,121 @@ let test_trace_output () =
         (contains first {|"ph":"X"|} && contains first {|"cat":"gem"|}));
   check Alcotest.int "empty --trace path is a usage error" 3 (run "rw --trace \"\"")
 
+(* fuzz contract: deterministic stdout for a fixed (seed, iters) pair,
+   exit 0 on agreement, exit 3 on usage errors, and a fast exit under a
+   zero time budget. Throughput goes to stderr only, so run_capture
+   (stdout-only) sees the deterministic part. *)
+let test_fuzz_deterministic () =
+  let args = "fuzz --seed 42 --iters 6" in
+  let out1, status1 = run_capture args in
+  (match status1 with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "expected exit 0");
+  let out2, status2 = run_capture args in
+  (match status2 with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "expected exit 0 on rerun");
+  check Alcotest.string "same seed, byte-identical stdout" out1 out2;
+  check Alcotest.bool "reports the lattice" true (contains out1 "lattice=24 cells");
+  check Alcotest.bool "reports agreement" true (contains out1 "6/6 instances agreed");
+  check Alcotest.bool "PASS marker" true (contains out1 "PASS");
+  check Alcotest.bool "no wall-clock on stdout" false (contains out1 "configs/s")
+
+let test_fuzz_usage () =
+  check Alcotest.int "--iters 0 rejected" 3 (run "fuzz --iters 0");
+  check Alcotest.int "--iters banana rejected" 3 (run "fuzz --iters banana");
+  check Alcotest.int "negative time budget rejected" 3 (run "fuzz --time-budget=-1");
+  check Alcotest.int "unknown flag rejected" 3 (run "fuzz --no-such-flag")
+
+let test_fuzz_time_budget () =
+  let out, status = run_capture "fuzz --time-budget 0 --iters 100000" in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "expected exit 0 under zero budget");
+  check Alcotest.bool "ran zero instances" true (contains out "0/100000 instances agreed")
+
+(* The deliberately-broken-oracle demo: alloc fault injection makes the
+   resilient (bitstate) engine die with memory-watermark instead of the
+   mandatory bitstate-collision-risk downgrade — the oracle must catch
+   it, shrink it, and write a replayable reproducer. *)
+let test_fuzz_broken_oracle () =
+  let dir = Filename.temp_file "gemfuzz_corpus" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      let out, status =
+        run_capture ~env:"GEM_FAULT=1:10:alloc"
+          (Printf.sprintf "fuzz --seed 1 --iters 5 --corpus %s" (Filename.quote dir))
+      in
+      (match status with
+      | Unix.WEXITED 1 -> ()
+      | Unix.WEXITED c -> Alcotest.failf "expected exit 1, got %d" c
+      | _ -> Alcotest.fail "killed");
+      check Alcotest.bool "reports the disagreement" true (contains out "DISAGREEMENT");
+      check Alcotest.bool "names the divergent exhaustion" true
+        (contains out "memory-watermark");
+      check Alcotest.bool "shrunk line present" true (contains out "shrunk (");
+      check Alcotest.bool "FAIL marker" true (contains out "FAIL");
+      let repro =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".gemfuzz")
+      in
+      check Alcotest.bool "reproducer written" true (repro <> []))
+
+(* matrix contract: BENCH-schema JSON on stdout, --no-timings output is
+   deterministic, unknown families are usage errors, and --out writes
+   the report to a file instead. *)
+let test_matrix_json () =
+  let args = "matrix --family db --no-timings" in
+  let out1, status = run_capture args in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> Alcotest.failf "expected exit 0, got %d" c
+  | _ -> Alcotest.fail "killed");
+  let has = contains out1 in
+  check Alcotest.bool "schema version" true (has {|"schema_version":1|});
+  check Alcotest.bool "command tag" true (has {|"command":"matrix"|});
+  check Alcotest.bool "family row" true (has {|"family":"db"|});
+  check Alcotest.bool "params object" true (has {|"params":{"sites":2}|});
+  check Alcotest.bool "status field" true (has {|"status":"verified"|});
+  check Alcotest.bool "no timings" false (has {|"wall_s"|});
+  let out2, _ = run_capture args in
+  check Alcotest.string "deterministic without timings" out1 out2;
+  let timed, _ = run_capture "matrix --family db" in
+  check Alcotest.bool "timings by default" true (contains timed {|"wall_s"|})
+
+let test_matrix_usage () =
+  check Alcotest.int "unknown family rejected" 3 (run "matrix --family frobnicate");
+  check Alcotest.int "unknown scale rejected" 3 (run "matrix --scale huge");
+  check Alcotest.int "bad jobs rejected" 3 (run "matrix --family db --jobs 0")
+
+let test_matrix_out_and_budget () =
+  let file = Filename.temp_file "gemcheck_matrix" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      check Alcotest.int "--out db report exits 0" 0
+        (run (Printf.sprintf "matrix --family db --out %s" (Filename.quote file)));
+      let ic = open_in file in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      check Alcotest.bool "file holds the report" true
+        (contains contents {|"schema_version":1|});
+      (* Zero overall budget: every cell is cut or skipped -> exit 2 and
+         only inconclusive/skipped rows. *)
+      let out, status = run_capture "matrix --family db --time-budget 0 --no-timings" in
+      (match status with
+      | Unix.WEXITED 2 -> ()
+      | Unix.WEXITED c -> Alcotest.failf "expected exit 2 under zero budget, got %d" c
+      | _ -> Alcotest.fail "killed");
+      check Alcotest.bool "no verified rows under zero budget" false
+        (contains out {|"status":"verified"|}))
+
 let () =
   Alcotest.run "gemcheck_cli"
     [
@@ -298,5 +413,19 @@ let () =
           Alcotest.test_case "deterministic across jobs" `Quick
             test_stats_deterministic;
           Alcotest.test_case "--trace export" `Quick test_trace_output;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "deterministic stdout" `Quick test_fuzz_deterministic;
+          Alcotest.test_case "usage errors" `Quick test_fuzz_usage;
+          Alcotest.test_case "zero time budget" `Quick test_fuzz_time_budget;
+          Alcotest.test_case "broken oracle caught" `Quick test_fuzz_broken_oracle;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "BENCH json" `Quick test_matrix_json;
+          Alcotest.test_case "usage errors" `Quick test_matrix_usage;
+          Alcotest.test_case "--out and --time-budget" `Quick
+            test_matrix_out_and_budget;
         ] );
     ]

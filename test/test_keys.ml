@@ -26,6 +26,7 @@ module T = Gem_obs.Telemetry
 module RW = Gem_problems.Readers_writers
 module Buffer_p = Gem_problems.Buffer
 module Rwd = Gem_problems.Rw_distributed
+module Gen_csp = Gem_fuzz.Gen
 
 let check = Alcotest.check
 let fps comps = List.sort compare (List.map Explore.fingerprint comps)

@@ -9,7 +9,7 @@
    verdict-relevant outcome independent of who explored what.
 
    qcheck extends the evidence to random loop-free CSP programs, reusing
-   the generators of the POR harness (gen_csp.ml).
+   the generators of the fuzzing library (Gem_fuzz.Gen).
 
    The explored/reduced counters are NOT compared across job counts:
    domains race to claim states, so duplicate claims (counted in
@@ -29,6 +29,7 @@ module Par = Gem_check.Par
 module Refine = Gem_check.Refine
 module Verdict = Gem_check.Verdict
 module Strategy = Gem_check.Strategy
+module Gen_csp = Gem_fuzz.Gen
 
 let check = Alcotest.check
 let strategy = Strategy.Linearizations (Some 200)

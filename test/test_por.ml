@@ -28,6 +28,7 @@ module Budget = Gem_check.Budget
 module Refine = Gem_check.Refine
 module Verdict = Gem_check.Verdict
 module Strategy = Gem_check.Strategy
+module Gen_csp = Gem_fuzz.Gen
 
 let check = Alcotest.check
 let strategy = Strategy.Linearizations (Some 200)
@@ -192,7 +193,9 @@ let test_reduction_at_least_2x () =
 (* Random loop-free CSP programs (qcheck)                              *)
 (* ------------------------------------------------------------------ *)
 
-(* Generators live in gen_csp.ml, shared with test_parallel.ml. *)
+(* Generators live in Gem_fuzz.Gen, shared with test_parallel.ml and the
+   gemcheck fuzz differential oracle; csp_arb carries the structural
+   shrinker, so qcheck failures arrive minimized. *)
 let prog_arb = Gen_csp.prog_arb
 
 let prop_csp_random_differential =

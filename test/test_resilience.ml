@@ -33,6 +33,7 @@ module Checkpoint = Gem_check.Checkpoint
 module Faults = Gem_check.Faults
 module Fp = Gem_order.Fingerprint
 module T = Gem_obs.Telemetry
+module Gen_csp = Gem_fuzz.Gen
 
 let check = Alcotest.check
 let reason_opt = Option.map Budget.reason_keyword
