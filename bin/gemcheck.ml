@@ -78,6 +78,32 @@ let jobs_term =
                  value; only wall-clock time (and, under partial-order \
                  reduction, the configuration counters) may differ.")
 
+(* --batch gets the same strict treatment as --jobs: chunk size 0 would
+   park the parallel engine, negatives are meaningless — exit 3. The
+   lenient GEM_BATCH fallback for library users lives in
+   Gem_check.Par.batch_default; the CLI env alias goes through this
+   strict parser instead. *)
+let batch_term =
+  let batch_conv =
+    let parse s =
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Ok n
+      | Some n -> Error (`Msg (Printf.sprintf "%d is not a valid batch size (must be at least 1)" n))
+      | None -> Error (`Msg (Printf.sprintf "%S is not a valid batch size (expected a positive integer)" s))
+    in
+    Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt batch_conv 64
+       & info [ "batch" ] ~docv:"N"
+           ~env:(Cmd.Env.info "GEM_BATCH"
+                   ~doc:"Default batch size when $(b,--batch) is absent.")
+           ~doc:"Move work between parallel domains in chunks of up to \
+                 $(docv) frontier configurations, batching seen-table \
+                 probes per shard (default 64). Verdicts are \
+                 byte-identical for every (jobs, batch) pair; the knob \
+                 only moves coordination cost. Ignored when \
+                 $(b,--jobs) is 1.")
+
 (* ------------------------------------------------------------------ *)
 (* Resilience flags, shared by the exploration subcommands             *)
 (* ------------------------------------------------------------------ *)
@@ -414,7 +440,7 @@ let rw_cmd =
   in
   let readers = Arg.(value & opt int 2 & info [ "readers" ] ~docv:"N") in
   let writers = Arg.(value & opt int 1 & info [ "writers" ] ~docv:"N") in
-  let run monitor version readers writers por (exact_keys, audit_keys) jobs budget resil json obs =
+  let run monitor version readers writers por (exact_keys, audit_keys) jobs batch budget resil json obs =
     obs_init obs;
     install_signals budget;
     let resilience =
@@ -424,7 +450,8 @@ let rw_cmd =
     in
     let program = Readers_writers.program ~monitor ~readers ~writers in
     let o =
-      Monitor.explore ?por ?exact_keys ?audit_keys ~budget ~jobs ~resilience
+      Monitor.explore ?por ?exact_keys ?audit_keys ~budget ~jobs ~batch
+        ~resilience
         program
     in
     let problem =
@@ -458,7 +485,7 @@ let rw_cmd =
   in
   Cmd.v
     (Cmd.info "rw" ~doc:"Verify a Readers/Writers monitor against a problem version.")
-    Term.(const run $ monitor $ version $ readers $ writers $ por_term $ keys_term $ jobs_term $ budget_term $ resilience_term $ json_flag $ obs_term)
+    Term.(const run $ monitor $ version $ readers $ writers $ por_term $ keys_term $ jobs_term $ batch_term $ budget_term $ resilience_term $ json_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* buffer                                                              *)
@@ -496,7 +523,7 @@ let buffer_cmd =
   let producers = Arg.(value & opt int 1 & info [ "producers" ] ~docv:"N") in
   let consumers = Arg.(value & opt int 1 & info [ "consumers" ] ~docv:"N") in
   let items = Arg.(value & opt int 2 & info [ "items" ] ~docv:"N" ~doc:"Items per producer.") in
-  let run lang capacity producers consumers items por (exact_keys, audit_keys) jobs budget resil json obs =
+  let run lang capacity producers consumers items por (exact_keys, audit_keys) jobs batch budget resil json obs =
     obs_init obs;
     install_signals budget;
     let resilience =
@@ -512,21 +539,21 @@ let buffer_cmd =
     let comps, deadlocks, explored, reduced, truncated, exhausted, results =
       match lang with
       | `Monitor ->
-          let o = Monitor.explore ?por ?exact_keys ?audit_keys ~budget ~jobs ~resilience (Buffer_problem.monitor_solution ~capacity ~producers ~consumers ~items_each:items) in
+          let o = Monitor.explore ?por ?exact_keys ?audit_keys ~budget ~jobs ~batch ~resilience (Buffer_problem.monitor_solution ~capacity ~producers ~consumers ~items_each:items) in
           ( List.length o.Monitor.computations,
             List.length o.Monitor.deadlocks,
             o.Monitor.explored, o.Monitor.reduced, o.Monitor.truncated, o.Monitor.exhausted,
             Refine.sat ~strategy ~budget ~jobs ~problem ~map:Buffer_problem.monitor_correspondence
               o.Monitor.computations )
       | `Csp ->
-          let o = Csp.explore ?por ?exact_keys ?audit_keys ~budget ~jobs ~resilience (Buffer_problem.csp_solution ~capacity ~producers ~consumers ~items_each:items) in
+          let o = Csp.explore ?por ?exact_keys ?audit_keys ~budget ~jobs ~batch ~resilience (Buffer_problem.csp_solution ~capacity ~producers ~consumers ~items_each:items) in
           ( List.length o.Csp.computations,
             List.length o.Csp.deadlocks,
             o.Csp.explored, o.Csp.reduced, o.Csp.truncated, o.Csp.exhausted,
             Refine.sat ~strategy ~budget ~jobs ~problem ~map:Buffer_problem.csp_correspondence
               o.Csp.computations )
       | `Ada ->
-          let o = Ada.explore ?por ?exact_keys ?audit_keys ~budget ~jobs ~resilience (Buffer_problem.ada_solution ~capacity ~producers ~consumers ~items_each:items) in
+          let o = Ada.explore ?por ?exact_keys ?audit_keys ~budget ~jobs ~batch ~resilience (Buffer_problem.ada_solution ~capacity ~producers ~consumers ~items_each:items) in
           ( List.length o.Ada.computations,
             List.length o.Ada.deadlocks,
             o.Ada.explored, o.Ada.reduced, o.Ada.truncated, o.Ada.exhausted,
@@ -545,7 +572,7 @@ let buffer_cmd =
   in
   Cmd.v
     (Cmd.info "buffer" ~doc:"Verify a bounded-buffer solution.")
-    Term.(const run $ lang $ capacity $ producers $ consumers $ items $ por_term $ keys_term $ jobs_term $ budget_term $ resilience_term $ json_flag $ obs_term)
+    Term.(const run $ lang $ capacity $ producers $ consumers $ items $ por_term $ keys_term $ jobs_term $ batch_term $ budget_term $ resilience_term $ json_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* rwd: distributed Readers/Writers                                    *)
@@ -561,7 +588,7 @@ let rwd_cmd =
   let broken =
     Arg.(value & flag & info [ "no-priority" ] ~doc:"Use the priority-less mutant.")
   in
-  let run lang readers writers broken por (exact_keys, audit_keys) jobs budget resil json obs =
+  let run lang readers writers broken por (exact_keys, audit_keys) jobs batch budget resil json obs =
     obs_init obs;
     install_signals budget;
     let resilience =
@@ -582,7 +609,7 @@ let rwd_cmd =
             if broken then Rw_distributed.csp_program_no_priority ~readers ~writers
             else Rw_distributed.csp_program ~readers ~writers
           in
-          let o = Csp.explore ?por ?exact_keys ?audit_keys ~max_configs:20_000_000 ~budget ~jobs ~resilience program in
+          let o = Csp.explore ?por ?exact_keys ?audit_keys ~max_configs:20_000_000 ~budget ~jobs ~batch ~resilience program in
           ( List.length o.Csp.computations,
             List.length o.Csp.deadlocks,
             o.Csp.explored, o.Csp.reduced, o.Csp.truncated, o.Csp.exhausted,
@@ -593,7 +620,7 @@ let rwd_cmd =
             if broken then Rw_distributed.ada_program_no_priority ~readers ~writers
             else Rw_distributed.ada_program ~readers ~writers
           in
-          let o = Ada.explore ?por ?exact_keys ?audit_keys ~max_configs:20_000_000 ~budget ~jobs ~resilience program in
+          let o = Ada.explore ?por ?exact_keys ?audit_keys ~max_configs:20_000_000 ~budget ~jobs ~batch ~resilience program in
           ( List.length o.Ada.computations,
             List.length o.Ada.deadlocks,
             o.Ada.explored, o.Ada.reduced, o.Ada.truncated, o.Ada.exhausted,
@@ -613,7 +640,7 @@ let rwd_cmd =
   Cmd.v
     (Cmd.info "rwd"
        ~doc:"Verify the distributed (CSP/ADA) Readers/Writers solutions.")
-    Term.(const run $ lang $ readers $ writers $ broken $ por_term $ keys_term $ jobs_term $ budget_term $ resilience_term $ json_flag $ obs_term)
+    Term.(const run $ lang $ readers $ writers $ broken $ por_term $ keys_term $ jobs_term $ batch_term $ budget_term $ resilience_term $ json_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz: differential fuzzing across the engine lattice                *)
@@ -712,7 +739,8 @@ let fuzz_cmd =
        ~doc:"Differentially fuzz the exploration engines: random \
              Monitor/CSP/ADA programs and restrictions, cross-checked \
              over {POR on,off} x {jobs 1,2,8} x {fp,exact keys} x \
-             {unbounded,bitstate}; disagreements are shrunk and written \
+             {unbounded,bitstate} plus two batched-scheduler cells \
+             (jobs 8, batch 64); disagreements are shrunk and written \
              to the reproducer corpus.")
     Term.(const run $ seed $ iters $ time_budget $ corpus $ max_configs)
 
@@ -837,7 +865,7 @@ let parse_cmd =
 
 let db_cmd =
   let sites = Arg.(value & opt int 3 & info [ "sites" ] ~docv:"N") in
-  let run sites por (exact_keys, audit_keys) jobs budget resil json obs =
+  let run sites por (exact_keys, audit_keys) jobs batch budget resil json obs =
     obs_init obs;
     install_signals budget;
     let resilience =
@@ -846,7 +874,8 @@ let db_cmd =
         ~por ~exact_keys resil
     in
     let r =
-      Db_update.check ?por ?exact_keys ?audit_keys ~budget ~jobs ~resilience
+      Db_update.check ?por ?exact_keys ?audit_keys ~budget ~jobs ~batch
+        ~resilience
         ~sites ()
     in
     let status =
@@ -870,7 +899,7 @@ let db_cmd =
          })
   in
   Cmd.v (Cmd.info "db" ~doc:"Explore the distributed database update.")
-    Term.(const run $ sites $ por_term $ keys_term $ jobs_term $ budget_term $ resilience_term $ json_flag $ obs_term)
+    Term.(const run $ sites $ por_term $ keys_term $ jobs_term $ batch_term $ budget_term $ resilience_term $ json_flag $ obs_term)
 
 let life_cmd =
   let width = Arg.(value & opt int 4 & info [ "width" ] ~docv:"N") in

@@ -63,33 +63,63 @@ let capacity t = Array.length t.shards * (t.mask + 1)
 let occupancy t = Array.fold_left (fun n s -> n + s.used) 0 t.shards
 let saturated t = Atomic.get t.saturated
 
+(* Probe/insert with the shard lock already held — shared by the
+   single-fingerprint [add] and the batched [add_batch]. *)
+let add_locked t s fp =
+  let i0 = (fp.Fp.hi land max_int) land t.mask in
+  let rec probe i n =
+    if s.hi.(i) = 0 && s.lo.(i) = 0 then
+      if s.used >= t.cap then begin
+        Atomic.set t.saturated true;
+        `Full
+      end
+      else begin
+        s.hi.(i) <- fp.Fp.hi;
+        s.lo.(i) <- fp.Fp.lo;
+        s.used <- s.used + 1;
+        `New
+      end
+    else if s.hi.(i) = fp.Fp.hi && s.lo.(i) = fp.Fp.lo then `Seen
+    else if n > t.mask then begin
+      (* Every slot probed and occupied: the load cap normally fires
+         first; this is the pathological fully-dense shard. *)
+      Atomic.set t.saturated true;
+      `Full
+    end
+    else probe ((i + 1) land t.mask) (n + 1)
+  in
+  probe i0 0
+
 let add t fp =
   let fp = norm fp in
   let s = t.shards.(Fp.to_int fp land t.shard_mask) in
-  Mutex.protect s.lock (fun () ->
-      let i0 = (fp.Fp.hi land max_int) land t.mask in
-      let rec probe i n =
-        if s.hi.(i) = 0 && s.lo.(i) = 0 then
-          if s.used >= t.cap then begin
-            Atomic.set t.saturated true;
-            `Full
-          end
-          else begin
-            s.hi.(i) <- fp.Fp.hi;
-            s.lo.(i) <- fp.Fp.lo;
-            s.used <- s.used + 1;
-            `New
-          end
-        else if s.hi.(i) = fp.Fp.hi && s.lo.(i) = fp.Fp.lo then `Seen
-        else if n > t.mask then begin
-          (* Every slot probed and occupied: the load cap normally fires
-             first; this is the pathological fully-dense shard. *)
-          Atomic.set t.saturated true;
-          `Full
-        end
-        else probe ((i + 1) land t.mask) (n + 1)
-      in
-      probe i0 0)
+  Mutex.protect s.lock (fun () -> add_locked t s fp)
+
+(* Batched probe: group the fingerprints by shard, take each shard lock
+   once, and answer every query against that shard under the single
+   acquisition. Results land at the query's original index, and within a
+   shard queries are answered in submission order, so a duplicate pair
+   inside one batch behaves exactly like two sequential [add]s ([`New]
+   then [`Seen]). *)
+let add_batch t fps =
+  let n = Array.length fps in
+  let out = Array.make n `Full in
+  let buckets = Array.make (Array.length t.shards) [] in
+  for i = n - 1 downto 0 do
+    let fp = norm fps.(i) in
+    buckets.(Fp.to_int fp land t.shard_mask) <-
+      (i, fp) :: buckets.(Fp.to_int fp land t.shard_mask)
+  done;
+  Array.iteri
+    (fun si bucket ->
+      match bucket with
+      | [] -> ()
+      | bucket ->
+          let s = t.shards.(si) in
+          Mutex.protect s.lock (fun () ->
+              List.iter (fun (i, fp) -> out.(i) <- add_locked t s fp) bucket))
+    buckets;
+  out
 
 (* Checkpoint form: plain arrays only (Mutex.t does not marshal). *)
 type snapshot = {

@@ -34,6 +34,15 @@ val add : t -> Gem_order.Fingerprint.t -> [ `New | `Seen | `Full ]
     admitting inserts past the cap would degenerate probe chains and
     effectively hang the exploration. *)
 
+val add_batch :
+  t -> Gem_order.Fingerprint.t array -> [ `New | `Seen | `Full ] array
+(** Batched {!add}: [add_batch t fps] answers [fps.(i)] at result index
+    [i], grouping queries by shard and taking each shard lock exactly
+    once for the whole batch — the lock-amortization primitive behind
+    the batched parallel explorer. Within a shard, queries are answered
+    in submission order, so duplicates inside one batch read [`New] then
+    [`Seen], exactly as sequential [add]s would. *)
+
 val bits : t -> int
 val capacity : t -> int
 val occupancy : t -> int

@@ -8,12 +8,24 @@ module Budget = Gem_check.Budget
 module Bitstate = Gem_check.Bitstate
 module Check = Gem_check.Check
 
-type cell = { por : bool; jobs : int; exact : bool; bitstate : bool }
+type cell = {
+  por : bool;
+  jobs : int;
+  exact : bool;
+  bitstate : bool;
+  batch : int;
+}
 
-let baseline = { por = true; jobs = 1; exact = true; bitstate = false }
+let baseline = { por = true; jobs = 1; exact = true; bitstate = false; batch = 1 }
 
+(* The core 24-cell grid runs with batch 1 (per-task chunks, the
+   degenerate scheduler the engine grew out of); the two appended cells
+   exercise the batched scheduler proper at its default chunk size, in
+   both search modes, so every fuzz run differentially tests the chunked
+   deques, per-shard probe batching and domain-local caches against the
+   sequential baseline. *)
 let lattice =
-  baseline
+  (baseline
   :: List.filter
        (fun c -> c <> baseline)
        (List.concat_map
@@ -23,18 +35,23 @@ let lattice =
                 List.concat_map
                   (fun exact ->
                     List.map
-                      (fun bitstate -> { por; jobs; exact; bitstate })
+                      (fun bitstate -> { por; jobs; exact; bitstate; batch = 1 })
                       [ false; true ])
                   [ true; false ])
               [ 1; 2; 8 ])
-          [ true; false ])
+          [ true; false ]))
+  @ [
+      { por = false; jobs = 8; exact = false; bitstate = false; batch = 64 };
+      { por = true; jobs = 8; exact = false; bitstate = false; batch = 64 };
+    ]
 
 let cell_name c =
-  Printf.sprintf "por=%s jobs=%d keys=%s seen=%s"
+  Printf.sprintf "por=%s jobs=%d keys=%s seen=%s batch=%d"
     (if c.por then "on" else "off")
     c.jobs
     (if c.exact then "exact" else "fp")
     (if c.bitstate then "bitstate" else "unbounded")
+    c.batch
 
 type run = {
   r_completed : string list;  (* canonical fps, sorted: a multiset *)
@@ -69,19 +86,19 @@ let explore_cell ~max_configs c prog =
   | Case.P_csp p ->
       let o =
         Csp.explore ~por:c.por ~exact_keys:c.exact ~audit_keys:false ~max_configs
-          ~jobs:c.jobs ~resilience p
+          ~jobs:c.jobs ~batch:c.batch ~resilience p
       in
       (o.Csp.computations, o.Csp.deadlocks, o.Csp.exhausted, o.Csp.explored)
   | Case.P_monitor p ->
       let o =
-        Monitor.explore ~por:c.por ~exact_keys:c.exact ~audit_keys:false ~max_configs
-          ~jobs:c.jobs ~resilience p
+        Monitor.explore ~por:c.por ~exact_keys:c.exact ~audit_keys:false
+          ~max_configs ~jobs:c.jobs ~batch:c.batch ~resilience p
       in
       (o.Monitor.computations, o.Monitor.deadlocks, o.Monitor.exhausted, o.Monitor.explored)
   | Case.P_ada p ->
       let o =
         Ada.explore ~por:c.por ~exact_keys:c.exact ~audit_keys:false ~max_configs
-          ~jobs:c.jobs ~resilience p
+          ~jobs:c.jobs ~batch:c.batch ~resilience p
       in
       (o.Ada.computations, o.Ada.deadlocks, o.Ada.exhausted, o.Ada.explored)
 

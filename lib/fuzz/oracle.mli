@@ -2,22 +2,31 @@
     lattice and assert agreement.
 
     The lattice is {plain, sleep-set POR} x {jobs 1, 2, 8} x {fp, exact
-    keys} x {unbounded, bitstate} — 24 cells. The exact (non-bitstate)
-    cells must produce identical completed/deadlocked computation
-    {e multisets} (canonical fingerprints), identical exhaustion, and
-    identical per-computation verdicts for the case's random restriction.
-    Bitstate cells are lossy by design: they must report exactly
+    keys} x {unbounded, bitstate} at batch 1 — 24 cells — plus two
+    batched-scheduler cells (jobs 8, batch 64, fp keys, unbounded seen,
+    POR off and on), 26 in total. The exact (non-bitstate) cells must
+    produce identical completed/deadlocked computation {e multisets}
+    (canonical fingerprints), identical exhaustion, and identical
+    per-computation verdicts for the case's random restriction. Bitstate
+    cells are lossy by design: they must report exactly
     [bitstate-collision-risk] (the unconditional clean-sweep downgrade)
     and their computation/deadlock {e sets} must be a subset of the
     baseline's — the subset-of-clean soundness contract of PR 6. *)
 
-type cell = { por : bool; jobs : int; exact : bool; bitstate : bool }
+type cell = {
+  por : bool;
+  jobs : int;
+  exact : bool;
+  bitstate : bool;
+  batch : int;  (** Work-distribution chunk size; 1 = per-task stealing. *)
+}
 
 val lattice : cell list
-(** All 24 cells; the head is {!baseline}. *)
+(** All 26 cells; the head is {!baseline}. *)
 
 val baseline : cell
-(** POR on, jobs 1, exact keys, no bitstate — the truth anchor. *)
+(** POR on, jobs 1, exact keys, no bitstate, batch 1 — the truth
+    anchor. *)
 
 val cell_name : cell -> string
 

@@ -435,7 +435,7 @@ let fp_key cfg =
   !acc
 
 let explore ?por ?exact_keys ?audit_keys ?max_steps ?max_configs ?budget ?jobs
-    ?(resilience = Explore.no_resilience) program =
+    ?batch ?(resilience = Explore.no_resilience) program =
   let por = match por with Some p -> p | None -> Explore.por_default () in
   let exact =
     match exact_keys with Some b -> b | None -> Explore.exact_keys_default ()
@@ -454,13 +454,14 @@ let explore ?por ?exact_keys ?audit_keys ?max_steps ?max_configs ?budget ?jobs
     let audit = if auditing && not exact then Some (state_key program) else None in
     if por then
       Explore.run ?max_steps ?max_configs ?budget ~key ?audit ~footprint:moves_fp
-        ~jobs ~resilience ~moves ~terminated (initial program)
+        ~jobs ?batch ~resilience ~moves ~terminated (initial program)
     else
       (* Keyless plain walk, except bitstate mode needs a state key to
          memoize on (see {!Monitor.explore}). *)
       let key = if resilience.Explore.bitstate = None then None else Some key in
       let audit = if key = None then None else audit in
-      Explore.run ?max_steps ?max_configs ?budget ?key ?audit ~jobs ~resilience
+      Explore.run ?max_steps ?max_configs ?budget ?key ?audit ~jobs ?batch
+        ~resilience
         ~moves ~terminated (initial program)
   in
   {

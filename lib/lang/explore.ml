@@ -404,23 +404,25 @@ type 'c par_mode =
   | Par_plain of ('c -> 'c list)
   | Par_sleep of ('c -> (move * 'c) list)
 
-(* One deque per domain: the owner pushes and pops at the head (keeping
-   the walk depth-first-ish, which bounds frontier memory); an idle
-   domain steals from the head of a victim's deque. A plain mutex per
-   deque is plenty — each task does a macro-step plus a canonical-key
-   construction, so queue traffic is far from the bottleneck. *)
-type 'c deque = { mutable dq_items : 'c ptask list; dq_lock : Mutex.t }
+(* One deque per domain, carrying *chunks* of tasks (at most [batch]
+   each): the owner pushes and pops at the head (keeping the walk
+   depth-first-ish, which bounds frontier memory); an idle domain steals
+   a whole chunk from the head of a victim's deque. Moving dozens of
+   tasks per lock acquisition is what makes the queue traffic negligible
+   — the old per-task discipline spent more time on deque mutexes than
+   on interpreter steps for small-state workloads. *)
+type 'c deque = { mutable dq_chunks : 'c ptask list list; dq_lock : Mutex.t }
 
-let deque_push dq t =
-  Mutex.protect dq.dq_lock (fun () -> dq.dq_items <- t :: dq.dq_items)
+let deque_push dq chunk =
+  Mutex.protect dq.dq_lock (fun () -> dq.dq_chunks <- chunk :: dq.dq_chunks)
 
 let deque_pop dq =
   Mutex.protect dq.dq_lock (fun () ->
-      match dq.dq_items with
+      match dq.dq_chunks with
       | [] -> None
-      | t :: rest ->
-          dq.dq_items <- rest;
-          Some t)
+      | c :: rest ->
+          dq.dq_chunks <- rest;
+          Some c)
 
 (* Sharded seen table. Both search modes use the sleep-set [covered]
    subset rule: the plain search passes empty sleep sets, for which the
@@ -489,8 +491,53 @@ let bitstate_covered b audit_tbl k exact sleep =
   T.span_end T.Seen_table t;
   hit
 
-let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~audit ~mode ~bits ~crash
-    ~terminated init =
+(* Domain-local seen cache: a direct-mapped fingerprint table (two int
+   lanes per slot, no locks, no sharing) consulted before the shared
+   shards. Soundness rests on what is allowed in: a fingerprint enters
+   the cache only after a *shared* probe made with the empty sleep set,
+   which guarantees the shared table holds (or the frontier holds, for a
+   fresh miss) a record of that state explored under sleep = {}. An
+   empty-sleep record covers any later arrival under the subset rule
+   ({} is a subset of every sleep set), so a cache hit may prune
+   unconditionally. Eviction (a new fingerprint landing on the same
+   slot) merely loses the shortcut — the arrival falls through to the
+   shared probe — so a stale or clobbered cache can only cause
+   re-probing, never a missed state. Exact-key runs and audit runs skip
+   the cache entirely: exact keys have no compact fingerprint form, and
+   the audit oracle must observe every arrival. *)
+let lc_bits = 13
+
+let lc_size = 1 lsl lc_bits
+
+type local_cache = { lc_hi : int array; lc_lo : int array }
+
+let make_local_cache () =
+  { lc_hi = Array.make lc_size 0; lc_lo = Array.make lc_size 0 }
+
+let lc_slot f = Fp.to_int f land (lc_size - 1)
+
+let lc_mem lc (f : Fp.t) =
+  let i = lc_slot f in
+  lc.lc_hi.(i) = f.Fp.hi && lc.lc_lo.(i) = f.Fp.lo
+
+let lc_add lc (f : Fp.t) =
+  if not (f.Fp.hi = 0 && f.Fp.lo = 0) then begin
+    let i = lc_slot f in
+    lc.lc_hi.(i) <- f.Fp.hi;
+    lc.lc_lo.(i) <- f.Fp.lo
+  end
+
+(* Per-worker mutable state: the local cache plus the pending buffer
+   where surviving children accumulate until they form a full chunk.
+   Both are owned by exactly one domain — no locks. *)
+type 'c wstate = {
+  ws_lc : local_cache;
+  mutable ws_pending : 'c ptask list;
+  mutable ws_pending_n : int;
+}
+
+let run_par ~jobs ~batch ~max_steps ~max_configs ~budget ~key ~audit ~mode ~bits
+    ~crash ~terminated init =
   let explored = Atomic.make 0
   and truncated = Atomic.make 0
   and reduced = Atomic.make 0
@@ -499,32 +546,61 @@ let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~audit ~mode ~bits ~crash
   and failure = Atomic.make None in
   let add counter n = ignore (Atomic.fetch_and_add counter n) in
   let stop reason = ignore (Atomic.compare_and_set exhausted None (Some reason)) in
-  let covered_fn =
+  let seen_shards, bit_audit =
     match bits with
-    | Some b ->
-        let audit_tbl =
+    | Some _ ->
+        ( None,
           if audit = None then None else Some (Ktbl.create 1024, Mutex.create ())
-        in
-        bitstate_covered b audit_tbl
-    | None ->
-        let seen = make_shards () in
-        shard_covered seen
+        )
+    | None -> (Some (make_shards ()), None)
+  in
+  let probe_one k exact sleep =
+    match (bits, seen_shards) with
+    | Some b, _ -> bitstate_covered b bit_audit k exact sleep
+    | None, Some sh -> shard_covered sh k exact sleep
+    | None, None -> assert false
   in
   let exact_of c = match audit with None -> None | Some a -> Some (a c) in
+  (* Audit runs must present every arrival to the exact-key oracle, so
+     the domain-local cache (which short-circuits arrivals) is off. *)
+  let use_cache = audit = None in
   let deques =
-    Array.init jobs (fun _ -> { dq_items = []; dq_lock = Mutex.create () })
+    Array.init jobs (fun _ -> { dq_chunks = []; dq_lock = Mutex.create () })
   in
   (* The root frontier is dealt round-robin across the per-domain queues
-     until every domain has had a few tasks; after that each domain feeds
-     itself and imbalance is corrected by stealing. *)
+     until every domain has had a few chunks; after that each domain
+     feeds itself and imbalance is corrected by chunk stealing.
+     [in_flight] counts *chunks* (queued or being processed), one
+     amortized increment/decrement per [batch] tasks instead of one per
+     task; a worker flushes its partial pending chunk before
+     decrementing the chunk it processed, so [in_flight = 0] still
+     implies global quiescence. *)
   let rr = Atomic.make 0 in
-  let push owner task =
+  let push_chunk owner chunk =
     Atomic.incr in_flight;
     let target =
       let n = Atomic.get rr in
       if n < 4 * jobs then Atomic.fetch_and_add rr 1 mod jobs else owner
     in
-    deque_push deques.(target) task
+    deque_push deques.(target) chunk
+  in
+  (* Survivors buffer into the worker's pending list; full chunks are
+     handed off immediately, and the partial remainder is flushed at the
+     end of every chunk — so a tiny frontier (fewer configurations than
+     [batch]) still reaches the deques instead of parking in a buffer
+     that never fills. *)
+  let flush owner st =
+    if st.ws_pending_n > 0 then begin
+      let chunk = List.rev st.ws_pending in
+      st.ws_pending <- [];
+      st.ws_pending_n <- 0;
+      push_chunk owner chunk
+    end
+  in
+  let enqueue owner st task =
+    st.ws_pending <- task :: st.ws_pending;
+    st.ws_pending_n <- st.ws_pending_n + 1;
+    if st.ws_pending_n >= batch then flush owner st
   in
   (* Mirrors the sequential [stop]: claim the visit before doing it, and
      surrender the claim (so [explored <= max_configs] holds in the final
@@ -556,27 +632,6 @@ let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~audit ~mode ~bits ~crash
             false
           end
   in
-  (* Seen-filtering happens at push time (the sequential searches check a
-     child's key just before descending into it): the key is recorded
-     before the task is queued, so a racing domain that arrives at the
-     same state prunes and relies on this task, which is guaranteed to be
-     processed unless the whole walk degrades to Inconclusive. The key
-     travels with the task, so the leaf sort reuses it. *)
-  let push_child owner depth (config, sleep) =
-    match key with
-    | Some k ->
-        let d = k config in
-        if covered_fn d (exact_of config) sleep then begin
-          Atomic.incr reduced;
-          T.hit T.Configs_reduced
-        end
-        else
-          push owner
-            { pt_depth = depth; pt_config = config; pt_key = Some d; pt_sleep = sleep }
-    | None ->
-        push owner
-          { pt_depth = depth; pt_config = config; pt_key = None; pt_sleep = sleep }
-  in
   let completed = Array.init jobs (fun _ -> ref [])
   and deadlocked = Array.init jobs (fun _ -> ref []) in
   let classify owner task =
@@ -584,88 +639,255 @@ let run_par ~jobs ~max_steps ~max_configs ~budget ~key ~audit ~mode ~bits ~crash
       completed.(owner) := (task.pt_key, task.pt_config) :: !(completed.(owner))
     else deadlocked.(owner) := (task.pt_key, task.pt_config) :: !(deadlocked.(owner))
   in
-  let process owner task =
-    if claim_visit () then
-      if task.pt_depth > max_steps then Atomic.incr truncated
-      else
-        match mode with
-        | Par_plain moves -> (
-            let t = T.span_begin T.Interp_step in
-            let cs = moves task.pt_config in
-            T.span_end T.Interp_step t;
-            match cs with
-            | [] -> classify owner task
-            | cs ->
-                List.iter
-                  (fun c -> push_child owner (task.pt_depth + 1) (c, Smap.empty))
-                  cs)
-        | Par_sleep footprint -> (
-            let t = T.span_begin T.Interp_step in
-            let succs = footprint task.pt_config in
-            T.span_end T.Interp_step t;
-            match succs with
-            | [] -> classify owner task
-            | succs ->
-                let awake, asleep =
-                  List.partition
-                    (fun (m, _) -> not (Smap.mem m.label task.pt_sleep))
-                    succs
-                in
-                add reduced (List.length asleep);
-                T.add T.Sleep_prunes (List.length asleep);
-                T.add T.Configs_reduced (List.length asleep);
-                let _, rev_children =
-                  List.fold_left
-                    (fun (sleep, acc) (m, c') ->
-                      let child_sleep =
-                        Smap.filter (fun _ z -> independent z m) sleep
-                      in
-                      (Smap.add m.label m sleep, (c', child_sleep) :: acc))
-                    (task.pt_sleep, []) awake
-                in
-                List.iter
-                  (push_child owner (task.pt_depth + 1))
-                  (List.rev rev_children))
+  (* Phase 1 of a chunk: expand one task, prepending its raw children
+     (depth, configuration, child sleep set) to the accumulator in
+     reverse — the chunk processor reverses once at the end, so children
+     keep the deterministic task-order-then-successor-order sequence the
+     sequential engines produce. *)
+  let expand owner task acc =
+    if not (claim_visit ()) then acc
+    else if task.pt_depth > max_steps then begin
+      Atomic.incr truncated;
+      acc
+    end
+    else
+      match mode with
+      | Par_plain moves -> (
+          let t = T.span_begin T.Interp_step in
+          let cs = moves task.pt_config in
+          T.span_end T.Interp_step t;
+          match cs with
+          | [] ->
+              classify owner task;
+              acc
+          | cs ->
+              List.fold_left
+                (fun acc c -> (task.pt_depth + 1, c, Smap.empty) :: acc)
+                acc cs)
+      | Par_sleep footprint -> (
+          let t = T.span_begin T.Interp_step in
+          let succs = footprint task.pt_config in
+          T.span_end T.Interp_step t;
+          match succs with
+          | [] ->
+              classify owner task;
+              acc
+          | succs ->
+              let awake, asleep =
+                List.partition
+                  (fun (m, _) -> not (Smap.mem m.label task.pt_sleep))
+                  succs
+              in
+              add reduced (List.length asleep);
+              T.add T.Sleep_prunes (List.length asleep);
+              T.add T.Configs_reduced (List.length asleep);
+              let _, acc =
+                List.fold_left
+                  (fun (sleep, acc) (m, c') ->
+                    let child_sleep =
+                      Smap.filter (fun _ z -> independent z m) sleep
+                    in
+                    ( Smap.add m.label m sleep,
+                      (task.pt_depth + 1, c', child_sleep) :: acc ))
+                  (task.pt_sleep, acc) awake
+              in
+              acc)
   in
-  let rec worker i =
-    if Atomic.get exhausted = None && Atomic.get failure = None then
-      match take i with
-      | Some task ->
-          (try process i task
-           with e ->
-             let bt = Printexc.get_raw_backtrace () in
-             ignore (Atomic.compare_and_set failure None (Some (e, bt))));
-          Atomic.decr in_flight;
-          worker i
-      | None ->
-          if Atomic.get in_flight > 0 then begin
-            Domain.cpu_relax ();
-            worker i
-          end
-  and take i =
+  (* Phase 2 of a chunk: seen-filter the whole chunk's children at once.
+     Keys are computed up front; the domain-local cache is consulted
+     first (no synchronization); the remaining probes are grouped by
+     shard and issued under one lock acquisition per shard per chunk.
+     Like the old per-task push filter, a child's key is recorded before
+     the task is queued, so a racing domain that arrives at the same
+     state prunes and relies on this task being processed. Survivors are
+     enqueued in their original deterministic order, with their keys
+     attached for the canonical leaf sort. *)
+  let probe_chunk owner st children =
+    match key with
+    | None ->
+        List.iter
+          (fun (depth, c, sleep) ->
+            enqueue owner st
+              { pt_depth = depth; pt_config = c; pt_key = None; pt_sleep = sleep })
+          children
+    | Some k ->
+        let arr = Array.of_list children in
+        let n = Array.length arr in
+        if n > 0 then begin
+          let keys = Array.map (fun (_, c, _) -> k c) arr in
+          let exacts =
+            match audit with
+            | None -> None
+            | Some _ -> Some (Array.map (fun (_, c, _) -> exact_of c) arr)
+          in
+          let ex i = match exacts with None -> None | Some a -> a.(i) in
+          (* 0 = live, 1 = pruned by local cache, 2 = pruned by shared *)
+          let pruned = Array.make n 0 in
+          if use_cache then
+            Array.iteri
+              (fun i ks ->
+                match ks with
+                | Fp f when lc_mem st.ws_lc f -> pruned.(i) <- 1
+                | Fp _ | Exact _ -> ())
+              keys;
+          let cacheable i sleep =
+            if use_cache && Smap.is_empty sleep then
+              match keys.(i) with Fp f -> lc_add st.ws_lc f | Exact _ -> ()
+          in
+          (match (bits, seen_shards) with
+          | Some b, _ ->
+              let idxs = ref [] in
+              for i = n - 1 downto 0 do
+                if pruned.(i) = 0 then idxs := i :: !idxs
+              done;
+              let idxs = Array.of_list !idxs in
+              let fps =
+                Array.map
+                  (fun i ->
+                    let _, _, sleep = arr.(i) in
+                    bitstate_key keys.(i) sleep)
+                  idxs
+              in
+              let t = T.span_begin T.Seen_table in
+              let res = Bitstate.add_batch b fps in
+              Array.iteri
+                (fun j i ->
+                  let _, _, sleep = arr.(i) in
+                  match res.(j) with
+                  | `New ->
+                      (match bit_audit with
+                      | Some (tbl, m) ->
+                          Mutex.protect m (fun () ->
+                              Ktbl.replace tbl (Fp fps.(j)) (ex i))
+                      | None -> ());
+                      T.hit T.Memo_misses;
+                      cacheable i sleep
+                  | `Seen ->
+                      (match bit_audit with
+                      | Some (tbl, m) ->
+                          Mutex.protect m (fun () ->
+                              audit_mismatch
+                                (Option.join (Ktbl.find_opt tbl (Fp fps.(j))))
+                                (ex i))
+                      | None -> ());
+                      T.hit T.Memo_hits;
+                      T.hit T.Batch_probe_hits;
+                      cacheable i sleep;
+                      pruned.(i) <- 2
+                  | `Full ->
+                      T.hit T.Bitstate_saturated_prunes;
+                      T.hit T.Memo_hits;
+                      T.hit T.Batch_probe_hits;
+                      pruned.(i) <- 2)
+                idxs;
+              T.span_end T.Seen_table t
+          | None, Some sh ->
+              let buckets = Array.make n_shards [] in
+              for i = n - 1 downto 0 do
+                if pruned.(i) = 0 then begin
+                  let si = shard_index keys.(i) in
+                  buckets.(si) <- i :: buckets.(si)
+                end
+              done;
+              Array.iteri
+                (fun si bucket ->
+                  match bucket with
+                  | [] -> ()
+                  | bucket ->
+                      let table, lock = sh.sh_tables.(si) in
+                      if not (Mutex.try_lock lock) then begin
+                        T.hit T.Shard_collisions;
+                        Mutex.lock lock
+                      end;
+                      List.iter
+                        (fun i ->
+                          let _, _, sleep = arr.(i) in
+                          if covered table keys.(i) (ex i) sleep then begin
+                            T.hit T.Batch_probe_hits;
+                            pruned.(i) <- 2
+                          end;
+                          cacheable i sleep)
+                        bucket;
+                      Mutex.unlock lock)
+                buckets
+          | None, None -> assert false);
+          for i = 0 to n - 1 do
+            match pruned.(i) with
+            | 1 ->
+                Atomic.incr reduced;
+                T.hit T.Configs_reduced;
+                T.hit T.Local_cache_hits
+            | 2 ->
+                Atomic.incr reduced;
+                T.hit T.Configs_reduced
+            | _ ->
+                let depth, c, sleep = arr.(i) in
+                enqueue owner st
+                  {
+                    pt_depth = depth;
+                    pt_config = c;
+                    pt_key = Some keys.(i);
+                    pt_sleep = sleep;
+                  }
+          done
+        end
+  in
+  let take i =
     match deque_pop deques.(i) with
-    | Some _ as t -> t
+    | Some _ as c -> c
     | None ->
         let rec steal d =
           if d >= jobs then None
           else
             match deque_pop deques.((i + d) mod jobs) with
-            | Some _ as t ->
-                T.hit T.Deque_steals;
-                t
+            | Some chunk ->
+                T.hit T.Batches_stolen;
+                T.add T.Deque_steals (List.length chunk);
+                Some chunk
             | None -> steal (d + 1)
         in
         steal 1
+  in
+  let worker i =
+    let st =
+      { ws_lc = make_local_cache (); ws_pending = []; ws_pending_n = 0 }
+    in
+    let rec loop () =
+      if Atomic.get exhausted = None && Atomic.get failure = None then
+        match take i with
+        | Some chunk ->
+            (try
+               let children =
+                 List.fold_left (fun acc t -> expand i t acc) [] chunk
+               in
+               probe_chunk i st (List.rev children);
+               (* Flush the partial pending chunk *before* giving up this
+                  chunk's in-flight unit: [in_flight = 0] must imply no
+                  task exists anywhere, queued or buffered. *)
+               flush i st
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+            Atomic.decr in_flight;
+            loop ()
+        | None ->
+            if Atomic.get in_flight > 0 then begin
+              Domain.cpu_relax ();
+              loop ()
+            end
+    in
+    loop ()
   in
   let k0 =
     match key with
     | None -> None
     | Some k ->
         let d = k init in
-        ignore (covered_fn d (exact_of init) Smap.empty);
+        ignore (probe_one d (exact_of init) Smap.empty);
         Some d
   in
-  push 0 { pt_depth = 0; pt_config = init; pt_key = k0; pt_sleep = Smap.empty };
+  push_chunk 0
+    [ { pt_depth = 0; pt_config = init; pt_key = k0; pt_sleep = Smap.empty } ];
   (* Satellite fix (domain teardown): nothing may escape a worker domain
      un-recorded. [process] exceptions are caught per task, but an
      exception anywhere else in the loop (the deques, telemetry, a stack
@@ -927,9 +1149,10 @@ let run_resilient ~max_steps ~max_configs ~budget ~key ~audit ~mode ~terminated
   finish ~keyed:(key <> None) w
 
 let run ?(max_steps = 10_000) ?(max_configs = 1_000_000) ?budget ?key ?audit
-    ?footprint ?(jobs = 1) ?(resilience = no_resilience) ~moves ~terminated init
-    =
+    ?footprint ?(jobs = 1) ?(batch = Gem_check.Par.batch_default ())
+    ?(resilience = no_resilience) ~moves ~terminated init =
   let jobs = max 1 jobs in
+  let batch = max 1 batch in
   let mode =
     match footprint with
     | Some footprint ->
@@ -951,7 +1174,7 @@ let run ?(max_steps = 10_000) ?(max_configs = 1_000_000) ?budget ?key ?audit
       ~res:{ resilience with bitstate = bits }
       init
   else if jobs > 1 then
-    run_par ~jobs ~max_steps ~max_configs ~budget ~key ~audit ~mode ~bits
+    run_par ~jobs ~batch ~max_steps ~max_configs ~budget ~key ~audit ~mode ~bits
       ~crash:(if resilience.degrade_crashes then `Degrade else `Raise)
       ~terminated init
   else

@@ -136,6 +136,7 @@ val run :
   ?audit:('c -> string) ->
   ?footprint:('c -> (move * 'c) list) ->
   ?jobs:int ->
+  ?batch:int ->
   ?resilience:resilience ->
   moves:('c -> 'c list) ->
   terminated:('c -> bool) ->
@@ -189,6 +190,18 @@ val run :
     atomic, the first exhaustion reason wins, and the merged result
     carries exactly that reason. Defaults to [1] (the sequential walks,
     byte-for-byte unchanged).
+
+    [batch] (default {!Gem_check.Par.batch_default}, i.e. [GEM_BATCH] or
+    64) sets the parallel engine's work-distribution chunk size: deques
+    move chunks of up to [batch] tasks per lock acquisition, seen-table
+    probes for a chunk's children are grouped per shard and issued under
+    one lock each, each domain keeps a bounded local fingerprint cache
+    in front of the shared shards, and termination bookkeeping is
+    amortized per chunk. Partial chunks are flushed at the end of every
+    chunk, so a frontier smaller than [batch] (even a single
+    configuration at [jobs 8]) still spreads across domains. Verdicts
+    are byte-identical for every (jobs, batch) pair; [batch] only moves
+    coordination cost. Ignored when [jobs <= 1].
 
     [resilience] (default {!no_resilience}) selects the degradation
     ladder. [spool]/[checkpoint]/[resume] force the deterministic

@@ -687,7 +687,8 @@ let fp_key cfg =
   !acc
 
 let explore ?(emit_getvals = false) ?por ?exact_keys ?audit_keys ?max_steps
-    ?max_configs ?budget ?jobs ?(resilience = Explore.no_resilience) program =
+    ?max_configs ?budget ?jobs ?batch ?(resilience = Explore.no_resilience)
+    program =
   let por = match por with Some p -> p | None -> Explore.por_default () in
   let exact =
     match exact_keys with Some b -> b | None -> Explore.exact_keys_default ()
@@ -707,7 +708,7 @@ let explore ?(emit_getvals = false) ?por ?exact_keys ?audit_keys ?max_steps
     let audit = if auditing && not exact then Some (state_key program) else None in
     if por then
       Explore.run ?max_steps ?max_configs ?budget ~key ?audit
-        ~footprint:(moves_fp ctx) ~jobs ~resilience ~moves:(moves ctx)
+        ~footprint:(moves_fp ctx) ~jobs ?batch ~resilience ~moves:(moves ctx)
         ~terminated (initial ctx)
     else
       (* Without POR the plain walk is keyless — except in bitstate mode,
@@ -716,7 +717,8 @@ let explore ?(emit_getvals = false) ?por ?exact_keys ?audit_keys ?max_steps
          sound; dedup collapses the interleavings either way). *)
       let key = if resilience.Explore.bitstate = None then None else Some key in
       let audit = if key = None then None else audit in
-      Explore.run ?max_steps ?max_configs ?budget ?key ?audit ~jobs ~resilience
+      Explore.run ?max_steps ?max_configs ?budget ?key ?audit ~jobs ?batch
+        ~resilience
         ~moves:(moves ctx) ~terminated (initial ctx)
   in
   {

@@ -28,6 +28,9 @@ type counter =
   | Faults_injected
   | Faults_survived
   | Bitstate_saturated_prunes
+  | Batches_stolen
+  | Batch_probe_hits
+  | Local_cache_hits
 
 let counter_idx = function
   | Configs_explored -> 0
@@ -52,8 +55,11 @@ let counter_idx = function
   | Faults_injected -> 19
   | Faults_survived -> 20
   | Bitstate_saturated_prunes -> 21
+  | Batches_stolen -> 22
+  | Batch_probe_hits -> 23
+  | Local_cache_hits -> 24
 
-let n_counters = 22
+let n_counters = 25
 
 let counter_name = function
   | Configs_explored -> "configs_explored"
@@ -78,6 +84,9 @@ let counter_name = function
   | Faults_injected -> "faults_injected"
   | Faults_survived -> "faults_survived"
   | Bitstate_saturated_prunes -> "bitstate_saturated_prunes"
+  | Batches_stolen -> "batches_stolen"
+  | Batch_probe_hits -> "batch_probe_hits"
+  | Local_cache_hits -> "local_cache_hits"
 
 type phase =
   | Interp_step
@@ -215,7 +224,8 @@ let all_counters =
     Vhs_histories; Budget_stop_deadline; Budget_stop_configs; Budget_stop_runs;
     Budget_stop_memory; Fingerprint_collisions; Footprint_checks; Spill_bytes;
     Spill_chunks; Checkpoint_writes; Faults_injected; Faults_survived;
-    Bitstate_saturated_prunes;
+    Bitstate_saturated_prunes; Batches_stolen; Batch_probe_hits;
+    Local_cache_hits;
   ]
 
 let snapshot_counters () = List.map (fun c -> (counter_name c, read c)) all_counters
@@ -254,10 +264,11 @@ let stats_json ?(deterministic = false) () =
   else begin
     let schedule =
       Printf.sprintf
-        {|"schedule":{%s,%s,%s,%s,%s,%s,%s,%s,%s,"budget_stops":{%s,%s,%s,%s},"resilience":{%s,%s,%s,%s,%s,%s}}|}
+        {|"schedule":{%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,"budget_stops":{%s,%s,%s,%s},"resilience":{%s,%s,%s,%s,%s,%s}}|}
         (c Configs_explored) (c Configs_reduced) (c Memo_hits) (c Memo_misses)
         (c Sleep_prunes) (c Deque_steals) (c Shard_collisions)
-        (c Fingerprint_collisions) (c Footprint_checks)
+        (c Fingerprint_collisions) (c Footprint_checks) (c Batches_stolen)
+        (c Batch_probe_hits) (c Local_cache_hits)
         (c Budget_stop_deadline) (c Budget_stop_configs) (c Budget_stop_runs)
         (c Budget_stop_memory) (c Spill_bytes) (c Spill_chunks)
         (c Checkpoint_writes) (c Faults_injected) (c Faults_survived)

@@ -23,8 +23,12 @@
     across jobs 1/2/8, POR on and off):
     - [Configs_explored] = the [explored] field of the exploration
       result, and [Configs_reduced] = its [reduced] field;
-    - [Configs_reduced] = [Sleep_prunes] + [Memo_hits] — every pruned
-      arrival is either asleep or memo-covered, never both;
+    - [Configs_reduced] = [Sleep_prunes] + [Memo_hits] +
+      [Local_cache_hits] — every pruned arrival is asleep, memo-covered
+      by the shared seen table, or covered by a domain-local cache entry,
+      never more than one;
+    - [Batch_probe_hits] <= [Memo_hits] — batched shard probes are a
+      subset of all shared seen-table hits;
     - the {e invariant} section of {!stats_json} ([Runs_enumerated],
       [Formula_evals], [Vhs_histories]) is byte-stable across job
       counts, because it is derived from the canonical (schedule
@@ -60,6 +64,17 @@ type counter =
       (** Arrivals pruned because the bitstate table refused an insert at
           its load cap — coverage silently lost, hence the mandatory
           [Bitstate_collision_risk] downgrade. *)
+  | Batches_stolen
+      (** Chunks of frontier tasks stolen from another domain's deque by
+          the batched parallel engine. *)
+  | Batch_probe_hits
+      (** Shared seen-table hits answered inside a batched per-shard
+          probe (one lock acquisition per shard per chunk). Always a
+          subset of [Memo_hits]. *)
+  | Local_cache_hits
+      (** Arrivals pruned by a domain-local fingerprint cache without
+          touching the shared shards. Counted into [Configs_reduced]
+          alongside [Sleep_prunes] and [Memo_hits]. *)
 
 type phase =
   | Interp_step  (** One interpreter successor computation. *)

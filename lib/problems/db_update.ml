@@ -71,10 +71,10 @@ type report = {
   exhausted : Gem_check.Budget.reason option;
 }
 
-let check ?por ?exact_keys ?audit_keys ?max_configs ?budget ?jobs ?resilience
-    ~sites () =
+let check ?por ?exact_keys ?audit_keys ?max_configs ?budget ?jobs ?batch
+    ?resilience ~sites () =
   let o =
-    Csp.explore ?por ?exact_keys ?audit_keys ?max_configs ?budget ?jobs
+    Csp.explore ?por ?exact_keys ?audit_keys ?max_configs ?budget ?jobs ?batch
       ?resilience (program ~sites)
   in
   let spec = Csp.language_spec ~name:"db-update" (program ~sites) in

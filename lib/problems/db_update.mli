@@ -45,6 +45,7 @@ val check :
   ?max_configs:int ->
   ?budget:Gem_check.Budget.t ->
   ?jobs:int ->
+  ?batch:int ->
   ?resilience:Gem_lang.Explore.resilience ->
   sites:int ->
   unit ->

@@ -130,6 +130,63 @@ let test_jobs_rejected () =
   check Alcotest.bool "mentions usage" true (has "Usage");
   check Alcotest.bool "names the offending option" true (has "--jobs")
 
+(* --batch contract: the work-distribution chunk size is a pure
+   scheduling knob — no (jobs, batch) pair may change a verdict or exit
+   code — and it validates exactly like --jobs: positive integers only,
+   anything else is usage error 3, with GEM_BATCH as the env alias. *)
+let test_batch_parity () =
+  let parity name args =
+    List.iter
+      (fun batch ->
+        check Alcotest.int
+          (Printf.sprintf "%s batch=%d" name batch)
+          (run args)
+          (run (Printf.sprintf "%s --jobs 4 --batch %d" args batch)))
+      [ 1; 7; 64; 1024 ]
+  in
+  parity "rw verified" "rw --readers 1 --writers 1";
+  parity "rw falsified" "rw --monitor no-exclusion --readers 1 --writers 1";
+  parity "rw no-por" "rw --readers 1 --writers 1 --no-por";
+  parity "buffer csp" "buffer --lang csp --items 2";
+  parity "db" "db --sites 2"
+
+let test_batch_env () =
+  check Alcotest.int "GEM_BATCH=7 verified" 0
+    (run ~env:"GEM_BATCH=7" "rw --readers 1 --writers 1 --jobs 2");
+  check Alcotest.int "GEM_BATCH=7 falsified" 1
+    (run ~env:"GEM_BATCH=7" "rw --monitor no-exclusion --jobs 2");
+  check Alcotest.int "--batch 1 overrides env" 0
+    (run ~env:"GEM_BATCH=1024" "rw --readers 1 --writers 1 --batch 1");
+  check Alcotest.int "GEM_BATCH=0 is a usage error" 3
+    (run ~env:"GEM_BATCH=0" "rw --readers 1 --writers 1");
+  check Alcotest.int "non-numeric GEM_BATCH is a usage error" 3
+    (run ~env:"GEM_BATCH=chunky" "rw --readers 1 --writers 1")
+
+let test_batch_rejected () =
+  check Alcotest.int "--batch 0 rejected" 3 (run "rw --batch 0");
+  check Alcotest.int "--batch -64 rejected" 3 (run "rw --batch=-64");
+  check Alcotest.int "--batch banana rejected" 3 (run "rw --batch banana");
+  let null = if Sys.win32 then "NUL" else "/dev/null" in
+  let ic =
+    Unix.open_process_in
+      (Printf.sprintf "%s rw --batch 0 2>&1 > %s" (Filename.quote gemcheck) null)
+  in
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  ignore (Unix.close_process_in ic);
+  let err = Buffer.contents buf in
+  let has needle =
+    let nl = String.length needle and ol = String.length err in
+    let rec go i = i + nl <= ol && (String.sub err i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "mentions usage" true (has "Usage");
+  check Alcotest.bool "names the offending option" true (has "--batch")
+
 let test_json_report () =
   let out, status = run_capture "rw --json --max-configs 50" in
   (match status with
@@ -170,15 +227,15 @@ let test_stats_env () =
     (contains quiet {|"schema_version"|})
 
 (* --stats-deterministic: the snapshot must be byte-identical whatever
-   --jobs is, on every subcommand that explores. *)
+   --jobs and --batch are, on every subcommand that explores. *)
 let test_stats_deterministic () =
-  let snapshot args jobs =
+  let snapshot args sched =
     let out, status =
-      run_capture (Printf.sprintf "%s --stats-deterministic --jobs %d" args jobs)
+      run_capture (Printf.sprintf "%s --stats-deterministic %s" args sched)
     in
     (match status with
     | Unix.WEXITED c when c <= 2 -> ()
-    | _ -> Alcotest.failf "unexpected exit for %s --jobs %d" args jobs);
+    | _ -> Alcotest.failf "unexpected exit for %s %s" args sched);
     (* The stats block is the last line of stdout. *)
     match List.rev (String.split_on_char '\n' (String.trim out)) with
     | last :: _ -> last
@@ -186,11 +243,19 @@ let test_stats_deterministic () =
   in
   List.iter
     (fun args ->
-      let s1 = snapshot args 1 in
+      let s1 = snapshot args "--jobs 1" in
       check Alcotest.bool "snapshot looks deterministic" true
         (contains s1 {|"invariant":{|} && not (contains s1 {|"schedule"|}));
-      check Alcotest.string (args ^ " jobs=2") s1 (snapshot args 2);
-      check Alcotest.string (args ^ " jobs=8") s1 (snapshot args 8))
+      check Alcotest.string (args ^ " jobs=2") s1 (snapshot args "--jobs 2");
+      check Alcotest.string (args ^ " jobs=8") s1 (snapshot args "--jobs 8");
+      check Alcotest.string
+        (args ^ " jobs=8 batch=7")
+        s1
+        (snapshot args "--jobs 8 --batch 7");
+      check Alcotest.string
+        (args ^ " jobs=4 batch=1024")
+        s1
+        (snapshot args "--jobs 4 --batch 1024"))
     [
       "rw --readers 1 --writers 1";
       "buffer --lang monitor --items 2";
@@ -281,7 +346,7 @@ let test_fuzz_deterministic () =
   | Unix.WEXITED 0 -> ()
   | _ -> Alcotest.fail "expected exit 0 on rerun");
   check Alcotest.string "same seed, byte-identical stdout" out1 out2;
-  check Alcotest.bool "reports the lattice" true (contains out1 "lattice=24 cells");
+  check Alcotest.bool "reports the lattice" true (contains out1 "lattice=26 cells");
   check Alcotest.bool "reports agreement" true (contains out1 "6/6 instances agreed");
   check Alcotest.bool "PASS marker" true (contains out1 "PASS");
   check Alcotest.bool "no wall-clock on stdout" false (contains out1 "configs/s")
@@ -398,6 +463,9 @@ let () =
           Alcotest.test_case "jobs-parity" `Quick test_jobs_parity;
           Alcotest.test_case "GEM_JOBS env" `Quick test_jobs_env;
           Alcotest.test_case "bad values rejected" `Quick test_jobs_rejected;
+          Alcotest.test_case "batch-parity" `Quick test_batch_parity;
+          Alcotest.test_case "GEM_BATCH env" `Quick test_batch_env;
+          Alcotest.test_case "bad batch rejected" `Quick test_batch_rejected;
         ] );
       ("json", [ Alcotest.test_case "degradation report" `Quick test_json_report ]);
       ( "keys",

@@ -1,0 +1,379 @@
+(* Scheduler-torture suite for the batched work-stealing engine.
+
+   The batched scheduler (Explore.run ~jobs ~batch) moves frontier
+   configurations in chunks, probes the seen table one shard-group at a
+   time, and fronts the shared shards with a domain-local fingerprint
+   cache. None of that may be observable: this suite drives the engine
+   across a (jobs x batch x POR x key-mode) grid — including adversarial
+   batch sizes like 1, 2, 7 and 1024 that force ragged partial chunks —
+   and asserts the determinism contract holds everywhere:
+
+   - rendered verdicts are byte-identical for every (jobs, batch) pair
+     (the ISSUE acceptance grid: jobs in {1,2,8} x batch in {1,64,1024}
+     x POR on/off);
+   - random programs (Gem_fuzz.Gen) produce identical fingerprint
+     multisets and exhaustion across the full torture grid;
+   - the telemetry conservation invariant
+     Configs_reduced = Sleep_prunes + Memo_hits + Local_cache_hits
+     and Batch_probe_hits <= Memo_hits hold at every grid point;
+   - budget cancellation is first-reason-wins: a poisoned deadline
+     reports deadline-exceeded, a config cap reports config-budget,
+     regardless of how many domains race to notice;
+   - a GEM_FAULT domain-start leg: when worker domains refuse to start,
+     the shrunken fleet still terminates with the same answer;
+   - jobs >> frontier: a 1-configuration program at jobs 8 terminates
+     (the partial-chunk flush regression). *)
+
+module Explore = Gem_lang.Explore
+module Monitor = Gem_lang.Monitor
+module Csp = Gem_lang.Csp
+module RW = Gem_problems.Readers_writers
+module Buffer = Gem_problems.Buffer
+module Rwd = Gem_problems.Rw_distributed
+module Budget = Gem_check.Budget
+module Faults = Gem_check.Faults
+module Refine = Gem_check.Refine
+module Verdict = Gem_check.Verdict
+module Strategy = Gem_check.Strategy
+module T = Gem_obs.Telemetry
+module Gen = Gem_fuzz.Gen
+
+let check = Alcotest.check
+let strategy = Strategy.Linearizations (Some 200)
+let fps comps = List.sort compare (List.map Explore.fingerprint comps)
+let reason_opt = Option.map Budget.reason_keyword
+
+(* The ISSUE acceptance grid: every (jobs, batch) pair that must render
+   byte-identical verdicts, plus the baseline (1, 1). *)
+let acceptance_grid =
+  List.concat_map
+    (fun jobs -> List.map (fun batch -> (jobs, batch)) [ 1; 64; 1024 ])
+    [ 1; 2; 8 ]
+
+(* Adversarial pairs for the wider torture legs: ragged batches that
+   leave partial chunks (2, 7), degenerate per-task stealing (1), and a
+   batch far larger than any frontier (1024). *)
+let torture_grid = [ (2, 1); (3, 2); (8, 7); (5, 64); (8, 1024); (1, 1024) ]
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance grid: byte-identical rendered verdicts                    *)
+(* ------------------------------------------------------------------ *)
+
+let render ~jobs ~problem ~map ?edges comps =
+  let verdicts = Refine.sat ~strategy ~jobs ?edges ~problem ~map comps in
+  String.concat "\n"
+    (List.map
+       (fun (i, v) ->
+         Printf.sprintf "%d %s %s" i
+           (Verdict.status_keyword (Verdict.status v))
+           (Format.asprintf "%a" (Verdict.pp None) v))
+       verdicts)
+
+let test_acceptance_grid () =
+  List.iter
+    (fun por ->
+      let rw_prog = RW.program ~monitor:RW.paper_monitor ~readers:2 ~writers:1 in
+      let rw_problem =
+        RW.spec RW.Readers_priority ~users:(RW.user_names ~readers:2 ~writers:1)
+      in
+      let rw_rendered (jobs, batch) =
+        let o = Monitor.explore ~por ~jobs ~batch rw_prog in
+        render ~jobs ~edges:Refine.Actor_paths ~problem:rw_problem
+          ~map:RW.correspondence o.Monitor.computations
+      in
+      let buf_rendered (jobs, batch) =
+        let o =
+          Csp.explore ~por ~jobs ~batch
+            (Buffer.csp_solution ~capacity:1 ~producers:1 ~consumers:1
+               ~items_each:2)
+        in
+        render ~jobs ~problem:(Buffer.spec ~capacity:1)
+          ~map:Buffer.csp_correspondence o.Csp.computations
+      in
+      let rw_base = rw_rendered (1, 1) in
+      let buf_base = buf_rendered (1, 1) in
+      List.iter
+        (fun (jobs, batch) ->
+          let tag =
+            Printf.sprintf "por=%b jobs=%d batch=%d" por jobs batch
+          in
+          check Alcotest.string
+            ("rw-monitor-2r1w verdicts byte-identical " ^ tag)
+            rw_base
+            (rw_rendered (jobs, batch));
+          check Alcotest.string
+            ("buffer-csp verdicts byte-identical " ^ tag)
+            buf_base
+            (buf_rendered (jobs, batch)))
+        acceptance_grid)
+    [ true; false ]
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint-multiset parity on fixed workloads, full torture grid    *)
+(* ------------------------------------------------------------------ *)
+
+let assert_parity name run =
+  List.iter
+    (fun por ->
+      List.iter
+        (fun exact ->
+          let c1, d1, x1 = run ~por ~exact ~jobs:1 ~batch:1 in
+          List.iter
+            (fun (jobs, batch) ->
+              let cn, dn, xn = run ~por ~exact ~jobs ~batch in
+              let tag =
+                Printf.sprintf "%s por=%b exact=%b jobs=%d batch=%d" name por
+                  exact jobs batch
+              in
+              check
+                Alcotest.(list string)
+                (tag ^ ": completed multiset") (fps c1) (fps cn);
+              check
+                Alcotest.(list string)
+                (tag ^ ": deadlock multiset") (fps d1) (fps dn);
+              check
+                Alcotest.(option string)
+                (tag ^ ": exhaustion") (reason_opt x1) (reason_opt xn))
+            torture_grid)
+        [ true; false ])
+    [ true; false ]
+
+let test_fixed_workload_parity () =
+  assert_parity "rw-monitor-2r1w" (fun ~por ~exact ~jobs ~batch ->
+      let o =
+        Monitor.explore ~por ~exact_keys:exact ~jobs ~batch
+          (RW.program ~monitor:RW.paper_monitor ~readers:2 ~writers:1)
+      in
+      (o.Monitor.computations, o.Monitor.deadlocks, o.Monitor.exhausted));
+  assert_parity "rwd-csp-1r1w" (fun ~por ~exact ~jobs ~batch ->
+      let o =
+        Csp.explore ~por ~exact_keys:exact ~jobs ~batch
+          (Rwd.csp_program ~readers:1 ~writers:1)
+      in
+      (o.Csp.computations, o.Csp.deadlocks, o.Csp.exhausted))
+
+(* ------------------------------------------------------------------ *)
+(* Random programs across the torture grid (qcheck)                     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_random_torture =
+  QCheck.Test.make
+    ~name:"random CSP: torture grid agrees with sequential baseline"
+    ~count:25 Gen.prog_arb (fun prog ->
+      List.for_all
+        (fun por ->
+          List.for_all
+            (fun exact ->
+              let base = Csp.explore ~por ~exact_keys:exact ~jobs:1 ~batch:1 prog in
+              List.for_all
+                (fun (jobs, batch) ->
+                  let o = Csp.explore ~por ~exact_keys:exact ~jobs ~batch prog in
+                  fps o.Csp.computations = fps base.Csp.computations
+                  && fps o.Csp.deadlocks = fps base.Csp.deadlocks
+                  && o.Csp.exhausted = None
+                  && base.Csp.exhausted = None)
+                torture_grid)
+            [ true; false ])
+        [ true; false ])
+
+(* Monitor programs exercise the keyless non-POR path too. *)
+let prop_random_monitor_torture =
+  QCheck.Test.make
+    ~name:"random monitor: torture grid agrees with sequential baseline"
+    ~count:15 Gen.monitor_arb (fun prog ->
+      List.for_all
+        (fun por ->
+          let base = Monitor.explore ~por ~jobs:1 ~batch:1 prog in
+          List.for_all
+            (fun (jobs, batch) ->
+              let o = Monitor.explore ~por ~jobs ~batch prog in
+              fps o.Monitor.computations = fps base.Monitor.computations
+              && fps o.Monitor.deadlocks = fps base.Monitor.deadlocks)
+            [ (2, 2); (8, 7); (8, 64); (4, 1024) ])
+        [ true; false ])
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry conservation across the grid                               *)
+(* ------------------------------------------------------------------ *)
+
+let with_telemetry f =
+  T.reset ();
+  T.enable ();
+  Fun.protect ~finally:(fun () -> T.disable ()) f
+
+let test_conservation_grid () =
+  let prog = RW.program ~monitor:RW.paper_monitor ~readers:2 ~writers:1 in
+  List.iter
+    (fun por ->
+      List.iter
+        (fun (jobs, batch) ->
+          with_telemetry (fun () ->
+              let o = Monitor.explore ~por ~jobs ~batch prog in
+              let tag = Printf.sprintf "por=%b jobs=%d batch=%d" por jobs batch in
+              check Alcotest.int
+                (tag ^ ": telemetry explored = result explored")
+                o.Monitor.explored
+                (T.read T.Configs_explored);
+              check Alcotest.int
+                (tag ^ ": telemetry reduced = result reduced")
+                o.Monitor.reduced
+                (T.read T.Configs_reduced);
+              check Alcotest.int
+                (tag ^ ": reduced = sleep + memo + local-cache")
+                (T.read T.Sleep_prunes + T.read T.Memo_hits
+               + T.read T.Local_cache_hits)
+                (T.read T.Configs_reduced);
+              check Alcotest.bool
+                (tag ^ ": batch-probe hits bounded by memo hits")
+                true
+                (T.read T.Batch_probe_hits <= T.read T.Memo_hits);
+              if jobs = 1 then begin
+                (* The sequential engine has no chunks to steal and no
+                   local cache in front of anything. *)
+                check Alcotest.int (tag ^ ": no batches stolen") 0
+                  (T.read T.Batches_stolen);
+                check Alcotest.int (tag ^ ": no local-cache hits") 0
+                  (T.read T.Local_cache_hits)
+              end))
+        ((1, 64) :: torture_grid))
+    [ true; false ]
+
+(* ------------------------------------------------------------------ *)
+(* Budget cancellation: first reason wins                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_first_reason_wins () =
+  let prog = RW.program ~monitor:RW.paper_monitor ~readers:2 ~writers:2 in
+  List.iter
+    (fun batch ->
+      (* A poisoned deadline: every domain notices "expired" on its first
+         probe; exactly one reason must surface, and it must be the
+         deadline. *)
+      let o =
+        Monitor.explore ~budget:(Budget.make ~timeout:0.0 ()) ~jobs:8 ~batch prog
+      in
+      check
+        Alcotest.(option string)
+        (Printf.sprintf "deadline wins at jobs=8 batch=%d" batch)
+        (Some "deadline-exceeded")
+        (reason_opt o.Monitor.exhausted);
+      (* A config cap races all 8 domains mid-batch: the reason is the
+         cap, and the overshoot is bounded (claims already in flight may
+         complete, but exploration stops promptly). *)
+      let cap = 40 in
+      let o =
+        Monitor.explore
+          ~budget:(Budget.make ~max_configs:cap ())
+          ~jobs:8 ~batch prog
+      in
+      check
+        Alcotest.(option string)
+        (Printf.sprintf "config-budget wins at jobs=8 batch=%d" batch)
+        (Some "config-budget")
+        (reason_opt o.Monitor.exhausted))
+    [ 1; 2; 7; 64; 1024 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection: domains that refuse to start                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_domain_start_faults () =
+  let prog = RW.program ~monitor:RW.paper_monitor ~readers:2 ~writers:1 in
+  let base = Monitor.explore ~jobs:1 ~batch:1 prog in
+  List.iter
+    (fun (seed, period) ->
+      (* Period 1 kills EVERY spawn (the initiating domain alone drains
+         the frontier); period 2 kills roughly half the fleet. Either
+         way the shrunken fleet must terminate with the same answer. *)
+      (match Faults.arm (Printf.sprintf "%d:%d:domain-start" seed period) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "fault spec rejected: %s" e);
+      Fun.protect
+        ~finally:(fun () -> Faults.disarm ())
+        (fun () ->
+          let o = Monitor.explore ~jobs:8 ~batch:7 prog in
+          let tag = Printf.sprintf "GEM_FAULT %d:%d:domain-start" seed period in
+          check
+            Alcotest.(list string)
+            (tag ^ ": completed multiset")
+            (fps base.Monitor.computations)
+            (fps o.Monitor.computations);
+          check
+            Alcotest.(list string)
+            (tag ^ ": deadlock multiset")
+            (fps base.Monitor.deadlocks)
+            (fps o.Monitor.deadlocks);
+          check
+            Alcotest.(option string)
+            (tag ^ ": exhaustion")
+            (reason_opt base.Monitor.exhausted)
+            (reason_opt o.Monitor.exhausted)))
+    [ (42, 1); (42, 2); (7, 3) ]
+
+(* ------------------------------------------------------------------ *)
+(* jobs >> frontier: the partial-chunk flush regression                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A 1-configuration program: one process, no statements. The root is
+   the only configuration; with batch 64 it never fills a chunk, so
+   termination depends on the end-of-chunk partial flush (a worker that
+   kept a partial chunk private would leave in_flight stuck and the
+   fleet spinning). *)
+let test_tiny_frontier () =
+  let one_config : Csp.program =
+    [ { Csp.proc_name = "P"; locals = []; code = [] } ]
+  in
+  List.iter
+    (fun (jobs, batch) ->
+      let o = Csp.explore ~jobs ~batch one_config in
+      let tag = Printf.sprintf "1-config jobs=%d batch=%d" jobs batch in
+      check Alcotest.int (tag ^ ": one computation") 1
+        (List.length o.Csp.computations);
+      check Alcotest.int (tag ^ ": no deadlocks") 0
+        (List.length o.Csp.deadlocks);
+      check
+        Alcotest.(option string)
+        (tag ^ ": not exhausted") None
+        (reason_opt o.Csp.exhausted))
+    [ (8, 64); (8, 1024); (8, 1); (2, 1024) ];
+  (* Slightly larger than one config but still far smaller than the
+     fleet: every worker but one parks immediately. *)
+  let tiny = Rwd.csp_program ~readers:1 ~writers:1 in
+  let base = Csp.explore ~jobs:1 ~batch:1 tiny in
+  let o = Csp.explore ~jobs:8 ~batch:1024 tiny in
+  check
+    Alcotest.(list string)
+    "tiny frontier at jobs=8 batch=1024: completed multiset"
+    (fps base.Csp.computations) (fps o.Csp.computations)
+
+let () =
+  let to_alc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "gem_sched"
+    [
+      ( "acceptance",
+        [
+          Alcotest.test_case "verdicts byte-identical on (jobs x batch) grid"
+            `Quick test_acceptance_grid;
+        ] );
+      ( "torture-parity",
+        [
+          Alcotest.test_case "fixed workloads across grid" `Quick
+            test_fixed_workload_parity;
+        ] );
+      ( "random-programs",
+        [ to_alc prop_random_torture; to_alc prop_random_monitor_torture ] );
+      ( "conservation",
+        [ Alcotest.test_case "counter invariants on grid" `Quick test_conservation_grid ] );
+      ( "budget",
+        [
+          Alcotest.test_case "first reason wins under cancellation" `Quick
+            test_budget_first_reason_wins;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "domain-start injection" `Quick
+            test_domain_start_faults;
+        ] );
+      ( "tiny-frontier",
+        [ Alcotest.test_case "jobs exceed frontier" `Quick test_tiny_frontier ] );
+    ]

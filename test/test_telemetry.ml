@@ -2,11 +2,14 @@
 
    - counter conservation: the sink's Configs_explored/Configs_reduced
      agree exactly with the explorer's own result record across
-     jobs 1/2/8 and POR on/off, and every reduced config is accounted
-     by exactly one cause (Configs_reduced = Sleep_prunes + Memo_hits);
+     jobs 1/2/8, batch sizes and POR on/off, and every reduced config is
+     accounted by exactly one cause (Configs_reduced = Sleep_prunes +
+     Memo_hits + Local_cache_hits), with Batch_probe_hits never
+     exceeding Memo_hits;
    - observational transparency: verdicts and computation fingerprints
      are byte-identical with telemetry on and off;
-   - the deterministic stats snapshot is byte-stable across --jobs;
+   - the deterministic stats snapshot is byte-stable across --jobs and
+     --batch;
    - budget stops land in the per-reason counter exactly once;
    - the disabled sink records nothing;
    - the Chrome-trace exporter writes one well-formed event per line. *)
@@ -42,9 +45,9 @@ let buffer_csp =
 (* Conservation across engine modes                                    *)
 (* ------------------------------------------------------------------ *)
 
-let check_conservation ~por ~jobs () =
+let check_conservation ~por ~jobs ~batch () =
   with_telemetry (fun () ->
-      let o = Monitor.explore ~por ~jobs (rw 2 1) in
+      let o = Monitor.explore ~por ~jobs ~batch (rw 2 1) in
       Alcotest.(check int)
         "telemetry explored = result explored" o.Monitor.explored
         (T.read T.Configs_explored);
@@ -52,23 +55,33 @@ let check_conservation ~por ~jobs () =
         "telemetry reduced = result reduced" o.Monitor.reduced
         (T.read T.Configs_reduced);
       Alcotest.(check int)
-        "reduced = sleep prunes + memo hits"
-        (T.read T.Sleep_prunes + T.read T.Memo_hits)
+        "reduced = sleep prunes + memo hits + local-cache hits"
+        (T.read T.Sleep_prunes + T.read T.Memo_hits + T.read T.Local_cache_hits)
         (T.read T.Configs_reduced);
+      Alcotest.(check bool)
+        "batch-probe hits bounded by memo hits" true
+        (T.read T.Batch_probe_hits <= T.read T.Memo_hits);
       if not por then
         Alcotest.(check int) "no sleep prunes without POR" 0
-          (T.read T.Sleep_prunes))
+          (T.read T.Sleep_prunes);
+      if jobs = 1 then begin
+        Alcotest.(check int) "sequential engine steals no batches" 0
+          (T.read T.Batches_stolen);
+        Alcotest.(check int) "sequential engine has no local cache" 0
+          (T.read T.Local_cache_hits)
+      end)
 
 let conservation_tests =
   List.concat_map
     (fun por ->
       List.map
-        (fun jobs ->
+        (fun (jobs, batch) ->
           Alcotest.test_case
-            (Printf.sprintf "conservation por=%b jobs=%d" por jobs)
+            (Printf.sprintf "conservation por=%b jobs=%d batch=%d" por jobs
+               batch)
             `Quick
-            (check_conservation ~por ~jobs))
-        [ 1; 2; 8 ])
+            (check_conservation ~por ~jobs ~batch))
+        [ (1, 1); (2, 7); (8, 1); (8, 64) ])
     [ true; false ]
 
 (* Cross-language: the CSP interpreter feeds the same sink. *)
@@ -112,9 +125,9 @@ let test_transparency () =
 (* ------------------------------------------------------------------ *)
 
 let test_deterministic_stats () =
-  let snapshot jobs =
+  let snapshot (jobs, batch) =
     with_telemetry (fun () ->
-        let o = Monitor.explore ~por:true ~jobs (rw 2 1) in
+        let o = Monitor.explore ~por:true ~jobs ~batch (rw 2 1) in
         let problem =
           Readers_writers.spec Readers_writers.Free_for_all
             ~users:(Readers_writers.user_names ~readers:2 ~writers:1)
@@ -126,9 +139,11 @@ let test_deterministic_stats () =
              ~map:Readers_writers.correspondence o.Monitor.computations);
         T.stats_json ~deterministic:true ())
   in
-  let s1 = snapshot 1 in
-  Alcotest.(check string) "jobs=2 snapshot" s1 (snapshot 2);
-  Alcotest.(check string) "jobs=8 snapshot" s1 (snapshot 8);
+  let s1 = snapshot (1, 1) in
+  Alcotest.(check string) "jobs=2 snapshot" s1 (snapshot (2, 1));
+  Alcotest.(check string) "jobs=8 snapshot" s1 (snapshot (8, 1));
+  Alcotest.(check string) "jobs=8 batch=64 snapshot" s1 (snapshot (8, 64));
+  Alcotest.(check string) "jobs=4 batch=1024 snapshot" s1 (snapshot (4, 1024));
   Alcotest.(check bool) "carries schema_version" true
     (String.length s1 > 0
     && String.sub s1 0 20 = {|{"schema_version":1,|})
@@ -159,7 +174,8 @@ let all_counters =
       Configs_explored; Configs_reduced; Memo_hits; Memo_misses; Sleep_prunes;
       Deque_steals; Shard_collisions; Runs_enumerated; Formula_evals;
       Vhs_histories; Budget_stop_deadline; Budget_stop_configs;
-      Budget_stop_runs; Budget_stop_memory;
+      Budget_stop_runs; Budget_stop_memory; Batches_stolen; Batch_probe_hits;
+      Local_cache_hits;
     ]
 
 let all_phases =
