@@ -20,6 +20,12 @@
 
 open Bechamel
 open Toolkit
+
+(* [open Gem] shadows the systhreads [Thread] with the specification
+   layer's event-thread module; keep the OS one reachable for the serve
+   bench. *)
+module Os_thread = Thread
+
 open Gem
 
 (* ------------------------------------------------------------------ *)
@@ -1019,6 +1025,102 @@ let fuzz_report () =
   Printf.printf "wrote BENCH_fuzz.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* Checking-daemon round trips: BENCH_serve.json                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The verdict cache's reason to exist, measured: a cached answer must
+   be at least 10x faster than computing the verdict fresh (the gate
+   CI's bench job reads), and a stampede of identical concurrent
+   requests must collapse onto one computation. The daemon runs
+   in-process over a real Unix socket, so the hit numbers include the
+   full wire round trip — connect, frame, look up, read back. *)
+let serve_report () =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gem-bench-%d.sock" (Unix.getpid ()))
+  in
+  let handler = Handler.create ~cache_size:64 () in
+  let server = Server.create ~socket () in
+  let thread =
+    Os_thread.create (fun () -> Server.run server ~handler:(Handler.handle handler)) ()
+  in
+  let request line =
+    match Client.request ~socket line with
+    | Ok r when r.Client.error = None -> r
+    | Ok r ->
+        failwith
+          (Printf.sprintf "daemon error for %S: %s" line
+             (Option.value ~default:"?" r.Client.error))
+    | Error e -> failwith (Printf.sprintf "transport error for %S: %s" line e)
+  in
+  let timed line =
+    let t0 = Unix.gettimeofday () in
+    let r = request line in
+    ((Unix.gettimeofday () -. t0) *. 1000., r)
+  in
+  let provenance r =
+    Option.value ~default:"?" (Client.field_string r.Client.header "cache")
+  in
+  let hit_samples = 100 in
+  let row (name, line) =
+    let cold_ms, cold = timed line in
+    if provenance cold <> "miss" then
+      failwith (name ^ ": expected a cold miss — stale daemon state?");
+    let samples =
+      List.init hit_samples (fun _ ->
+          let ms, r = timed line in
+          if provenance r <> "hit" then failwith (name ^ ": expected a hit");
+          ms)
+    in
+    let hit_ms = List.nth (List.sort compare samples) (hit_samples / 2) in
+    let speedup = cold_ms /. hit_ms in
+    Printf.printf "serve %-12s cold %9.2f ms   hit %6.3f ms   speedup %8.1fx\n%!"
+      name cold_ms hit_ms speedup;
+    ( speedup,
+      Printf.sprintf
+        {|{"workload":"%s","request":"%s","cold_ms":%.3f,"hit_ms":%.3f,"speedup":%.1f}|}
+        name line cold_ms hit_ms speedup )
+  in
+  let rows =
+    List.map row
+      [
+        ("rw-2r1w", "check rw readers=2 writers=1");
+        ("buffer-c2", "check buffer capacity=2 producers=1 consumers=1 items=3");
+        ("db-3-sites", "check db sites=3");
+      ]
+  in
+  (* Stampede: concurrent identical requests against a cold key — all
+     but one answered without computing (coalesced while in flight, or a
+     hit if they arrive after completion). *)
+  let stampede = 8 in
+  let line = "check rwd readers=1 writers=1" in
+  let provs = Array.make stampede "" in
+  let threads =
+    List.init stampede (fun i ->
+        Os_thread.create (fun () -> provs.(i) <- provenance (request line)) ())
+  in
+  List.iter Os_thread.join threads;
+  let count p = Array.fold_left (fun n q -> if q = p then n + 1 else n) 0 provs in
+  Printf.printf
+    "serve stampede: %d concurrent duplicates -> %d computed, %d coalesced, %d hits\n%!"
+    stampede (count "miss") (count "coalesced") (count "hit");
+  Server.request_stop server;
+  Os_thread.join thread;
+  let met = List.for_all (fun (s, _) -> s >= 10.) rows in
+  Printf.printf "cache speedup target: >=10x on every workload — %s\n%!"
+    (if met then "met" else "NOT MET");
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc
+    (Printf.sprintf
+       "{%s,\"hit_samples\":%d,\"speedup_target\":10,\"target_met\":%b,\"stampede\":{\"requests\":%d,\"computed\":%d,\"shared\":%d},\"rows\":[\n  %s\n]}\n"
+       provenance_fields hit_samples met stampede (count "miss")
+       (count "coalesced" + count "hit")
+       (String.concat ",\n  " (List.map snd rows)));
+  close_out oc;
+  Printf.printf "wrote BENCH_serve.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1060,6 +1162,7 @@ let () =
   else if has "--bitstate-only" then bitstate_report ()
   else if has "--budget-only" then budget_overhead_report ()
   else if has "--fuzz-only" then fuzz_report ()
+  else if has "--serve-only" then serve_report ()
   else begin
     run_bechamel ();
     budget_overhead_report ();
@@ -1069,5 +1172,6 @@ let () =
     stats_report ();
     telemetry_overhead_report ();
     bitstate_report ();
-    fuzz_report ()
+    fuzz_report ();
+    serve_report ()
   end

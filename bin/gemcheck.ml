@@ -9,11 +9,18 @@
      fuzz         differential fuzzing across the engine lattice
      matrix       sweep the parameterized workload matrix (BENCH JSON)
      parse        parse and echo a GEM specification file
+     serve        long-running checking daemon with a verdict cache
+     client       send one request to a running serve daemon
 
    Every verification subcommand accepts a resource budget (--timeout,
    --max-configs, --max-runs) and degrades gracefully: exhaustion yields a
    three-valued INCONCLUSIVE outcome with a reason and coverage stats
    instead of a crash or a silently truncated "verified".
+
+   The verification pipelines themselves live in Gem_daemon.Runner so
+   that a one-shot run and a daemon response are the same code path —
+   the serve cache's byte-identity guarantee depends on it. This file is
+   flag parsing, signal wiring and human-facing printing.
 
    Exit codes: 0 verified, 1 falsified, 2 inconclusive, 3 usage or
    internal error.
@@ -332,46 +339,27 @@ let keys_term =
         $ exact $ audit)
 
 (* ------------------------------------------------------------------ *)
-(* Outcome reporting                                                   *)
+(* Shared verification plumbing                                        *)
 (* ------------------------------------------------------------------ *)
 
-(* A falsifying witness is sound even under truncated exploration, so
-   Falsified wins; otherwise any exploration cut makes the whole claim
-   inconclusive. *)
-let combined_status ~explore_exhausted verdicts =
-  match (Verdict.overall verdicts, explore_exhausted) with
-  | Verdict.Falsified, _ -> Verdict.Falsified
-  | _, Some r -> Verdict.Inconclusive r
-  | s, None -> s
+(* The extra restriction rides the same parser as serve's restrict= key,
+   so a formula accepted here is accepted on the wire and vice versa. *)
+let restrict_term =
+  let formula_conv =
+    let parse s =
+      match Parser.parse_formula s with
+      | Ok f -> Ok f
+      | Error m -> Error (`Msg (Printf.sprintf "bad restriction formula: %s" m))
+    in
+    Arg.conv ~docv:"FORMULA" (parse, Formula.pp)
+  in
+  Arg.(value & opt (some formula_conv) None
+       & info [ "restrict" ] ~docv:"FORMULA"
+           ~doc:"Check an extra restriction (GEM formula syntax) alongside \
+                 the problem specification's own.")
 
-let coverage ~explored ~reduced ~truncated verdicts =
-  {
-    Budget.configs_explored = explored;
-    configs_reduced = reduced;
-    branches_truncated = truncated;
-    runs_enumerated =
-      List.fold_left (fun n v -> n + v.Verdict.runs_checked) 0 verdicts;
-    runs_complete = List.for_all (fun v -> v.Verdict.complete) verdicts;
-  }
-
-let report ~json ~command ~detail status cov =
-  if json then
-    Printf.printf
-      {|{"command":"%s","status":"%s","reason":%s,"detail":"%s","coverage":%s}|}
-      command
-      (Verdict.status_keyword status)
-      (match status with
-      | Verdict.Inconclusive r -> Budget.reason_json r
-      | _ -> "null")
-      detail (Budget.coverage_json cov)
-  else begin
-    Printf.printf "%s\n" detail;
-    Format.printf "%a@." Verdict.pp_status status;
-    match status with
-    | Verdict.Inconclusive _ -> Format.printf "  %a@." Budget.pp_coverage cov
-    | _ -> ()
-  end;
-  Verdict.exit_code status
+let runner_opts ~por ~exact_keys ~audit_keys ~jobs ~batch ~resilience =
+  { Runner.por; exact_keys; audit_keys; jobs; batch; resilience }
 
 (* ------------------------------------------------------------------ *)
 (* experiments                                                         *)
@@ -416,14 +404,13 @@ let experiments_cmd =
 (* rw                                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* The runner maps names to monitor programs; the CLI only needs the
+   vocabulary for flag validation. *)
 let monitor_conv =
   Arg.enum
-    [
-      ("paper", Readers_writers.paper_monitor);
-      ("writers-priority", Readers_writers.writers_priority_monitor);
-      ("buggy", Readers_writers.buggy_monitor);
-      ("no-exclusion", Readers_writers.no_exclusion_monitor);
-    ]
+    (List.map
+       (fun n -> (n, n))
+       [ "paper"; "writers-priority"; "buggy"; "no-exclusion" ])
 
 let version_conv =
   Arg.enum
@@ -431,7 +418,7 @@ let version_conv =
 
 let rw_cmd =
   let monitor =
-    Arg.(value & opt monitor_conv Readers_writers.paper_monitor
+    Arg.(value & opt monitor_conv "paper"
          & info [ "monitor" ] ~docv:"M" ~doc:"Monitor program: paper, writers-priority, buggy, no-exclusion.")
   in
   let version =
@@ -440,79 +427,32 @@ let rw_cmd =
   in
   let readers = Arg.(value & opt int 2 & info [ "readers" ] ~docv:"N") in
   let writers = Arg.(value & opt int 1 & info [ "writers" ] ~docv:"N") in
-  let run monitor version readers writers por (exact_keys, audit_keys) jobs batch budget resil json obs =
+  let run monitor version readers writers restrict por (exact_keys, audit_keys) jobs batch budget resil json obs =
     obs_init obs;
     install_signals budget;
+    let load = Runner.Rw { monitor; version; readers; writers } in
     let resilience =
-      resilience_of ~command:"rw"
-        ~params:(Printf.sprintf "readers=%d writers=%d" readers writers)
+      resilience_of ~command:"rw" ~params:(Runner.params_string load)
         ~por ~exact_keys resil
     in
-    let program = Readers_writers.program ~monitor ~readers ~writers in
-    let o =
-      Monitor.explore ?por ?exact_keys ?audit_keys ~budget ~jobs ~batch
-        ~resilience
-        program
-    in
-    let problem =
-      Readers_writers.spec version ~users:(Readers_writers.user_names ~readers ~writers)
-    in
-    let results =
-      Refine.sat ~strategy:(Strategy.of_budget budget) ~budget ~jobs
-        ~edges:Refine.Actor_paths ~problem ~map:Readers_writers.correspondence
-        o.Monitor.computations
-    in
-    let verdicts = List.map snd results in
-    let status = combined_status ~explore_exhausted:o.Monitor.exhausted verdicts in
-    let failures = List.filter (fun (_, v) -> not (Verdict.ok v)) results in
-    let detail =
-      Printf.sprintf "%d distinct computations, %d deadlocks vs %s: %s"
-        (List.length o.Monitor.computations)
-        (List.length o.Monitor.deadlocks)
-        (Readers_writers.version_name version)
-        (match failures with
-        | [] -> "no violation found"
-        | (i, _) :: _ -> Printf.sprintf "violated on computation %d (of %d failing)" i (List.length failures))
+    let r =
+      Runner.run load
+        (runner_opts ~por ~exact_keys ~audit_keys ~jobs ~batch ~resilience)
+        ~budget ~restrict
     in
     (if not json then
-       match failures with
+       match r.Runner.failures with
        | (_, v) :: _ -> Format.printf "%a@." (Verdict.pp None) v
        | [] -> ());
-    obs_finish ~json obs
-      (report ~json ~command:"rw" ~detail status
-         (coverage ~explored:o.Monitor.explored ~reduced:o.Monitor.reduced
-            ~truncated:o.Monitor.truncated verdicts))
+    obs_finish ~json obs (Runner.print_report ~json ~command:"rw" r)
   in
   Cmd.v
     (Cmd.info "rw" ~doc:"Verify a Readers/Writers monitor against a problem version.")
-    Term.(const run $ monitor $ version $ readers $ writers $ por_term $ keys_term $ jobs_term $ batch_term $ budget_term $ resilience_term $ json_flag $ obs_term)
+    Term.(const run $ monitor $ version $ readers $ writers $ restrict_term $ por_term $ keys_term $ jobs_term $ batch_term $ budget_term $ resilience_term $ json_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* buffer                                                              *)
 (* ------------------------------------------------------------------ *)
-
-let deadlock_verdict ~spec_name n =
-  (* Deadlocked schedules falsify a solution outright; report them through
-     the same three-valued channel as restriction failures. *)
-  if n = 0 then None
-  else
-    Some
-      {
-        Verdict.spec_name;
-        legality = [];
-        failures =
-          [
-            {
-              Verdict.restriction = Printf.sprintf "deadlock-freedom (%d deadlocked schedule(s))" n;
-              formula = Formula.False;
-              witness = None;
-            };
-          ];
-        runs_checked = 0;
-        complete = true;
-        exhaustion = None;
-        coverage = Budget.full_coverage;
-      }
 
 let buffer_cmd =
   let lang =
@@ -523,56 +463,24 @@ let buffer_cmd =
   let producers = Arg.(value & opt int 1 & info [ "producers" ] ~docv:"N") in
   let consumers = Arg.(value & opt int 1 & info [ "consumers" ] ~docv:"N") in
   let items = Arg.(value & opt int 2 & info [ "items" ] ~docv:"N" ~doc:"Items per producer.") in
-  let run lang capacity producers consumers items por (exact_keys, audit_keys) jobs batch budget resil json obs =
+  let run lang capacity producers consumers items restrict por (exact_keys, audit_keys) jobs batch budget resil json obs =
     obs_init obs;
     install_signals budget;
+    let load = Runner.Buffer { lang; capacity; producers; consumers; items } in
     let resilience =
-      resilience_of ~command:"buffer"
-        ~params:
-          (Printf.sprintf "lang=%s capacity=%d producers=%d consumers=%d items=%d"
-             (match lang with `Monitor -> "monitor" | `Csp -> "csp" | `Ada -> "ada")
-             capacity producers consumers items)
+      resilience_of ~command:"buffer" ~params:(Runner.params_string load)
         ~por ~exact_keys resil
     in
-    let problem = Buffer_problem.spec ~capacity in
-    let strategy = Strategy.of_budget budget in
-    let comps, deadlocks, explored, reduced, truncated, exhausted, results =
-      match lang with
-      | `Monitor ->
-          let o = Monitor.explore ?por ?exact_keys ?audit_keys ~budget ~jobs ~batch ~resilience (Buffer_problem.monitor_solution ~capacity ~producers ~consumers ~items_each:items) in
-          ( List.length o.Monitor.computations,
-            List.length o.Monitor.deadlocks,
-            o.Monitor.explored, o.Monitor.reduced, o.Monitor.truncated, o.Monitor.exhausted,
-            Refine.sat ~strategy ~budget ~jobs ~problem ~map:Buffer_problem.monitor_correspondence
-              o.Monitor.computations )
-      | `Csp ->
-          let o = Csp.explore ?por ?exact_keys ?audit_keys ~budget ~jobs ~batch ~resilience (Buffer_problem.csp_solution ~capacity ~producers ~consumers ~items_each:items) in
-          ( List.length o.Csp.computations,
-            List.length o.Csp.deadlocks,
-            o.Csp.explored, o.Csp.reduced, o.Csp.truncated, o.Csp.exhausted,
-            Refine.sat ~strategy ~budget ~jobs ~problem ~map:Buffer_problem.csp_correspondence
-              o.Csp.computations )
-      | `Ada ->
-          let o = Ada.explore ?por ?exact_keys ?audit_keys ~budget ~jobs ~batch ~resilience (Buffer_problem.ada_solution ~capacity ~producers ~consumers ~items_each:items) in
-          ( List.length o.Ada.computations,
-            List.length o.Ada.deadlocks,
-            o.Ada.explored, o.Ada.reduced, o.Ada.truncated, o.Ada.exhausted,
-            Refine.sat ~strategy ~budget ~jobs ~problem ~map:Buffer_problem.ada_correspondence
-              o.Ada.computations )
+    let r =
+      Runner.run load
+        (runner_opts ~por ~exact_keys ~audit_keys ~jobs ~batch ~resilience)
+        ~budget ~restrict
     in
-    let verdicts =
-      List.map snd results
-      @ Option.to_list (deadlock_verdict ~spec_name:"buffer" deadlocks)
-    in
-    let status = combined_status ~explore_exhausted:exhausted verdicts in
-    let detail = Printf.sprintf "%d computations, %d deadlocks" comps deadlocks in
-    obs_finish ~json obs
-      (report ~json ~command:"buffer" ~detail status
-         (coverage ~explored ~reduced ~truncated verdicts))
+    obs_finish ~json obs (Runner.print_report ~json ~command:"buffer" r)
   in
   Cmd.v
     (Cmd.info "buffer" ~doc:"Verify a bounded-buffer solution.")
-    Term.(const run $ lang $ capacity $ producers $ consumers $ items $ por_term $ keys_term $ jobs_term $ batch_term $ budget_term $ resilience_term $ json_flag $ obs_term)
+    Term.(const run $ lang $ capacity $ producers $ consumers $ items $ restrict_term $ por_term $ keys_term $ jobs_term $ batch_term $ budget_term $ resilience_term $ json_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* rwd: distributed Readers/Writers                                    *)
@@ -588,59 +496,25 @@ let rwd_cmd =
   let broken =
     Arg.(value & flag & info [ "no-priority" ] ~doc:"Use the priority-less mutant.")
   in
-  let run lang readers writers broken por (exact_keys, audit_keys) jobs batch budget resil json obs =
+  let run lang readers writers broken restrict por (exact_keys, audit_keys) jobs batch budget resil json obs =
     obs_init obs;
     install_signals budget;
+    let load = Runner.Rwd { lang; readers; writers; broken } in
     let resilience =
-      resilience_of ~command:"rwd"
-        ~params:
-          (Printf.sprintf "lang=%s readers=%d writers=%d broken=%b"
-             (match lang with `Csp -> "csp" | `Ada -> "ada")
-             readers writers broken)
+      resilience_of ~command:"rwd" ~params:(Runner.params_string load)
         ~por ~exact_keys resil
     in
-    let rnames, wnames = Rw_distributed.user_names ~readers ~writers in
-    let problem = Rw_distributed.spec ~readers:rnames ~writers:wnames in
-    let strategy = Strategy.of_budget budget in
-    let comps, deadlocks, explored, reduced, truncated, exhausted, results =
-      match lang with
-      | `Csp ->
-          let program =
-            if broken then Rw_distributed.csp_program_no_priority ~readers ~writers
-            else Rw_distributed.csp_program ~readers ~writers
-          in
-          let o = Csp.explore ?por ?exact_keys ?audit_keys ~max_configs:20_000_000 ~budget ~jobs ~batch ~resilience program in
-          ( List.length o.Csp.computations,
-            List.length o.Csp.deadlocks,
-            o.Csp.explored, o.Csp.reduced, o.Csp.truncated, o.Csp.exhausted,
-            Refine.sat ~strategy ~budget ~jobs ~problem ~map:Rw_distributed.csp_correspondence
-              o.Csp.computations )
-      | `Ada ->
-          let program =
-            if broken then Rw_distributed.ada_program_no_priority ~readers ~writers
-            else Rw_distributed.ada_program ~readers ~writers
-          in
-          let o = Ada.explore ?por ?exact_keys ?audit_keys ~max_configs:20_000_000 ~budget ~jobs ~batch ~resilience program in
-          ( List.length o.Ada.computations,
-            List.length o.Ada.deadlocks,
-            o.Ada.explored, o.Ada.reduced, o.Ada.truncated, o.Ada.exhausted,
-            Refine.sat ~strategy ~budget ~jobs ~problem ~map:Rw_distributed.ada_correspondence
-              o.Ada.computations )
+    let r =
+      Runner.run load
+        (runner_opts ~por ~exact_keys ~audit_keys ~jobs ~batch ~resilience)
+        ~budget ~restrict
     in
-    let verdicts =
-      List.map snd results
-      @ Option.to_list (deadlock_verdict ~spec_name:"rwd" deadlocks)
-    in
-    let status = combined_status ~explore_exhausted:exhausted verdicts in
-    let detail = Printf.sprintf "%d computations, %d deadlocks" comps deadlocks in
-    obs_finish ~json obs
-      (report ~json ~command:"rwd" ~detail status
-         (coverage ~explored ~reduced ~truncated verdicts))
+    obs_finish ~json obs (Runner.print_report ~json ~command:"rwd" r)
   in
   Cmd.v
     (Cmd.info "rwd"
        ~doc:"Verify the distributed (CSP/ADA) Readers/Writers solutions.")
-    Term.(const run $ lang $ readers $ writers $ broken $ por_term $ keys_term $ jobs_term $ batch_term $ budget_term $ resilience_term $ json_flag $ obs_term)
+    Term.(const run $ lang $ readers $ writers $ broken $ restrict_term $ por_term $ keys_term $ jobs_term $ batch_term $ budget_term $ resilience_term $ json_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz: differential fuzzing across the engine lattice                *)
@@ -868,35 +742,17 @@ let db_cmd =
   let run sites por (exact_keys, audit_keys) jobs batch budget resil json obs =
     obs_init obs;
     install_signals budget;
+    let load = Runner.Db { sites } in
     let resilience =
-      resilience_of ~command:"db"
-        ~params:(Printf.sprintf "sites=%d" sites)
+      resilience_of ~command:"db" ~params:(Runner.params_string load)
         ~por ~exact_keys resil
     in
     let r =
-      Db_update.check ?por ?exact_keys ?audit_keys ~budget ~jobs ~batch
-        ~resilience
-        ~sites ()
+      Runner.run load
+        (runner_opts ~por ~exact_keys ~audit_keys ~jobs ~batch ~resilience)
+        ~budget ~restrict:None
     in
-    let status =
-      if (not r.Db_update.converges) || r.deadlocks > 0 then Verdict.Falsified
-      else
-        match r.exhausted with
-        | Some reason -> Verdict.Inconclusive reason
-        | None -> Verdict.Verified
-    in
-    let detail =
-      Printf.sprintf "%d computations, %d deadlocks, convergence: %b"
-        r.Db_update.computations r.deadlocks r.converges
-    in
-    obs_finish ~json obs
-      (report ~json ~command:"db" ~detail status
-         {
-           Budget.full_coverage with
-           Budget.configs_explored = r.explored;
-           configs_reduced = r.reduced;
-           runs_complete = r.exhausted = None;
-         })
+    obs_finish ~json obs (Runner.print_report ~json ~command:"db" r)
   in
   Cmd.v (Cmd.info "db" ~doc:"Explore the distributed database update.")
     Term.(const run $ sites $ por_term $ keys_term $ jobs_term $ batch_term $ budget_term $ resilience_term $ json_flag $ obs_term)
@@ -907,25 +763,101 @@ let life_cmd =
   let generations = Arg.(value & opt int 2 & info [ "generations" ] ~docv:"N") in
   let run width height generations budget json obs =
     obs_init obs;
-    let alive = [ (1, 0); (1, 1); (1, 2) ] in
-    let comp = Life.build ~width ~height ~generations ~alive in
-    let spec = Life.spec ~width ~height in
-    let v =
-      Check.check_formula ~budget spec comp ~name:"matches-reference"
-        (Life.matches_reference ~width ~height ~generations ~alive)
+    let load = Runner.Life { width; height; generations } in
+    let r =
+      Runner.run load
+        (runner_opts ~por:None ~exact_keys:None ~audit_keys:None ~jobs:1
+           ~batch:64 ~resilience:Explore.no_resilience)
+        ~budget ~restrict:None
     in
-    let status = Verdict.status v in
-    let detail =
-      Printf.sprintf "%d events, correct: %b, asynchrony witness: %b"
-        (Computation.n_events comp) (Verdict.ok v)
-        (Life.asynchrony_witness comp <> None)
-    in
-    obs_finish ~json obs
-      (report ~json ~command:"life" ~detail status v.Verdict.coverage)
+    obs_finish ~json obs (Runner.print_report ~json ~command:"life" r)
   in
   Cmd.v
     (Cmd.info "life" ~doc:"Check the asynchronous Game of Life.")
     Term.(const run $ width $ height $ generations $ budget_term $ json_flag $ obs_term)
+
+(* ------------------------------------------------------------------ *)
+(* serve / client                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let socket_term =
+  Arg.(value & opt string "gemcheck.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path (default gemcheck.sock in the \
+                 current directory).")
+
+let serve_cmd =
+  let cache_size =
+    Arg.(value & opt (positive_conv "cache size") 128
+         & info [ "cache-size" ] ~docv:"N"
+             ~doc:"Retained entries in the verdict cache and in the \
+                   exploration cache (default 128). In-flight requests \
+                   never count against it.")
+  in
+  let run socket cache_size obs =
+    obs_init obs;
+    match Server.create ~socket () with
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "gemcheck: cannot listen on %s: %s\n" socket
+          (Unix.error_message e);
+        3
+    | server ->
+        let state = Handler.create ~cache_size () in
+        (* SIGINT/SIGTERM drain: stop accepting, let in-flight checks
+           finish and flush, remove the socket file, exit 0. *)
+        List.iter
+          (fun s ->
+            try
+              Sys.set_signal s
+                (Sys.Signal_handle (fun _ -> Server.request_stop server))
+            with Invalid_argument _ | Sys_error _ -> ())
+          [ Sys.sigint; Sys.sigterm ];
+        Printf.printf "gemcheck: serving on %s (cache %d)\n%!" socket
+          cache_size;
+        Server.run server ~handler:(Handler.handle state);
+        obs_finish ~json:false obs 0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the checking daemon: a Unix-socket service answering \
+             line-framed check requests from a verdict cache, with \
+             single-flight coalescing of concurrent duplicates and \
+             exploration sharing across restrictions. Responses carry \
+             cache provenance; bodies are byte-identical to the \
+             equivalent one-shot --json reports.")
+    Term.(const run $ socket_term $ cache_size $ obs_term)
+
+let client_cmd =
+  let request_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"REQUEST"
+             ~doc:"One request line, e.g. 'check rw readers=2 writers=1' \
+                   or 'ping' or 'stats'.")
+  in
+  let run socket request =
+    match Client.request ~socket request with
+    | Error m ->
+        Printf.eprintf "gemcheck: %s\n" m;
+        3
+    | Ok resp ->
+        (* Provenance to stderr, report body to stdout — so the body can
+           be compared byte-for-byte against a one-shot --json run. *)
+        Printf.eprintf "%s\n" resp.Client.header;
+        (match resp.Client.error with
+        | Some e -> Printf.eprintf "gemcheck: daemon: %s\n" e
+        | None -> ());
+        (match resp.Client.body with
+        | [] -> ()
+        | body -> print_string (String.concat "\n" body));
+        if resp.Client.code >= 0 && resp.Client.code <= 3 then resp.Client.code
+        else 3
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running serve daemon and print the \
+             response body (stdout) and provenance header (stderr); the \
+             exit code is the verdict's.")
+    Term.(const run $ socket_term $ request_arg)
 
 let () =
   let doc = "GEM concurrency specification and verification toolkit" in
@@ -962,7 +894,7 @@ let () =
         (Cmd.group info
            [
              experiments_cmd; rw_cmd; rwd_cmd; buffer_cmd; db_cmd; life_cmd;
-             fuzz_cmd; matrix_cmd; parse_cmd;
+             fuzz_cmd; matrix_cmd; parse_cmd; serve_cmd; client_cmd;
            ])
     with
     | Explore.Resume_error msg ->

@@ -1,0 +1,153 @@
+(* Transport only: newline-framed requests over a Unix-domain socket,
+   one thread per connection. Checking semantics (parsing, caching,
+   verdicts) live behind the [handler]; this module owns the sockets,
+   the framing, the drain-on-stop choreography and nothing else. *)
+
+type handler = string -> string list
+
+type conn = {
+  c_fd : Unix.file_descr;
+  mutable c_thread : Thread.t option;
+  mutable c_closed : bool;
+      (* Guarded by [s_lock]: once true, [c_fd] may be reused by the OS,
+         so the drain path must not touch it. *)
+}
+
+type t = {
+  s_path : string;
+  s_listen : Unix.file_descr;
+  s_stop : bool Atomic.t;
+  s_lock : Mutex.t;
+  mutable s_conns : conn list;
+}
+
+let create ~socket () =
+  (* A stale socket file from a crashed daemon would make bind fail with
+     EADDRINUSE even though nobody is listening; removing a regular file
+     at the path would destroy user data, so only socket files are swept. *)
+  (match Unix.lstat socket with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (try Unix.unlink socket with Unix.Unix_error _ -> ())
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.set_close_on_exec fd with Invalid_argument _ -> ());
+  (try Unix.bind fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen fd 64;
+  {
+    s_path = socket;
+    s_listen = fd;
+    s_stop = Atomic.make false;
+    s_lock = Mutex.create ();
+    s_conns = [];
+  }
+
+let socket_path t = t.s_path
+let request_stop t = Atomic.set t.s_stop true
+let stopping t = Atomic.get t.s_stop
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Writes may be split by the kernel; loop until done. EPIPE/ECONNRESET
+   mean the client went away mid-response — the caller closes the
+   connection, the daemon keeps serving everyone else. *)
+let write_all fd s =
+  let n = String.length s in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+  done
+
+let serve_conn t ~handler conn =
+  let ic = Unix.in_channel_of_descr conn.c_fd in
+  let close () =
+    Mutex.protect t.s_lock (fun () ->
+        if not conn.c_closed then begin
+          conn.c_closed <- true;
+          (* close_in closes the underlying descriptor too. *)
+          close_in_noerr ic
+        end)
+  in
+  (try
+     let continue = ref true in
+     while !continue do
+       match input_line ic with
+       | exception End_of_file -> continue := false
+       | exception Sys_error _ -> continue := false
+       | line ->
+           let replies =
+             match handler line with
+             | replies -> replies
+             | exception e ->
+                 [
+                   Printf.sprintf {|{"serve":1,"error":"internal: %s","code":3}|}
+                     (json_escape (Printexc.to_string e));
+                 ]
+           in
+           let buf = Buffer.create 256 in
+           List.iter
+             (fun r ->
+               Buffer.add_string buf r;
+               Buffer.add_char buf '\n')
+             replies;
+           (try write_all conn.c_fd (Buffer.contents buf)
+            with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+            | Sys_error _ ->
+              continue := false);
+           (* A drain request closes the connection once the in-flight
+              response is out; clients reconnect to a restarted daemon. *)
+           if Atomic.get t.s_stop then continue := false
+     done
+   with e ->
+     (* Nothing may escape a connection thread — a lost connection must
+        never take the daemon down. *)
+     ignore e);
+  close ()
+
+let run t ~handler =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  while not (Atomic.get t.s_stop) do
+    match Unix.select [ t.s_listen ] [] [] 0.25 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept t.s_listen with
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+        | fd, _ ->
+            let conn = { c_fd = fd; c_thread = None; c_closed = false } in
+            Mutex.protect t.s_lock (fun () -> t.s_conns <- conn :: t.s_conns);
+            conn.c_thread <- Some (Thread.create (serve_conn t ~handler) conn))
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (try Unix.close t.s_listen with Unix.Unix_error _ -> ());
+  (* Drain: shut the read side of every connection so idle readers see
+     EOF, while a thread inside [handler] finishes and flushes its
+     response first; then wait for them all. *)
+  let conns =
+    Mutex.protect t.s_lock (fun () ->
+        List.iter
+          (fun c ->
+            if not c.c_closed then
+              try Unix.shutdown c.c_fd Unix.SHUTDOWN_RECEIVE
+              with Unix.Unix_error _ | Invalid_argument _ -> ())
+          t.s_conns;
+        t.s_conns)
+  in
+  List.iter (fun c -> match c.c_thread with Some th -> Thread.join th | None -> ()) conns;
+  try Unix.unlink t.s_path with Unix.Unix_error _ | Sys_error _ -> ()

@@ -13,6 +13,9 @@
     {- the specification layer: {!Etype}, {!Access}, {!Abbrev}, {!Thread},
        {!Spec}, {!Legality};}
     {- checking: {!Budget}, {!Strategy}, {!Verdict}, {!Check}, {!Refine};}
+    {- the checking service: {!Cache} (LRU + single-flight), {!Server}
+       (Unix-socket transport), {!Request} (wire requests), {!Runner}
+       (the shared verification pipeline), {!Handler}, {!Client};}
     {- resilience: {!Bitstate}, {!Spool}, {!Checkpoint}, {!Faults};}
     {- observability: {!Telemetry} (counters, spans, trace export);}
     {- the concrete syntax: {!Lexer}, {!Parser};}
@@ -63,8 +66,14 @@ module Strategy = Gem_check.Strategy
 module Verdict = Gem_check.Verdict
 module Check = Gem_check.Check
 module Refine = Gem_check.Refine
+module Cache = Gem_check.Cache
+module Server = Gem_check.Server
 module Lexer = Gem_syntax.Lexer
 module Parser = Gem_syntax.Parser
+module Request = Gem_syntax.Request
+module Runner = Gem_daemon.Runner
+module Handler = Gem_daemon.Handler
+module Client = Gem_daemon.Client
 module Expr = Gem_lang.Expr
 module Trace = Gem_lang.Trace
 module Explore = Gem_lang.Explore

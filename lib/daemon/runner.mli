@@ -1,0 +1,151 @@
+(** One verification request, end to end — the engine shared by the
+    one-shot CLI subcommands ([gemcheck rw] and friends) and the
+    [gemcheck serve] daemon.
+
+    Byte-identity is the point: a daemon response must be byte-identical
+    to the [--json] report of the equivalent one-shot run, whether it was
+    computed fresh, answered from the verdict cache, or assembled from a
+    shared exploration. That only holds if there is exactly one code path
+    from workload to report, so the CLI's per-command pipelines (build
+    program, explore, refine against the problem spec, combine verdicts,
+    render) live here and both front ends call them.
+
+    {b Two-phase budgets.} [explore] and [conclude] split a run at the
+    exploration/checking boundary so the daemon can reuse an exploration
+    across requests that differ only in their restriction. The protocol:
+    run [explore] on a fresh budget, capture {!exploration} (which
+    records the configurations charged and any exhaustion reason), then
+    for each consumer build a second budget with the same limits,
+    [Budget.restore] the charge, re-[Budget.note] the reason, and call
+    [conclude]. Because the checking phase reads only the budget's
+    charge counters, its sticky first-reason-wins exhaustion cell and
+    its run cap, the restored budget is observationally identical to the
+    one that did the exploring — {!run} (the single-budget one-shot
+    path) and the two-phase path produce the same bytes, which
+    [test/test_serve.ml] checks across the whole parameter grid. *)
+
+type load =
+  | Rw of {
+      monitor : string;  (** paper | writers-priority | buggy | no-exclusion *)
+      version : Gem_problems.Readers_writers.version;
+      readers : int;
+      writers : int;
+    }
+  | Buffer of {
+      lang : [ `Monitor | `Csp | `Ada ];
+      capacity : int;
+      producers : int;
+      consumers : int;
+      items : int;
+    }
+  | Rwd of {
+      lang : [ `Csp | `Ada ];
+      readers : int;
+      writers : int;
+      broken : bool;
+    }
+  | Db of { sites : int }
+  | Life of { width : int; height : int; generations : int }
+
+val command_name : load -> string
+
+val params_string : load -> string
+(** The workload-parameter half of the resilience/checkpoint stamp —
+    char-for-char the strings the CLI has always written, so existing
+    checkpoints keep resuming. *)
+
+val of_request : Gem_syntax.Request.check -> (load, string) result
+(** Interpret a wire request's workload parameters. Unknown commands,
+    unknown keys and malformed values are one-line errors. *)
+
+val monitor_of_name :
+  string -> (Gem_lang.Monitor.monitor, string) result
+
+val supports_restrict : load -> bool
+(** Whether the command checks computations against a problem spec a
+    client restriction can be appended to ([rw], [buffer], [rwd]). *)
+
+val has_exploration : load -> bool
+(** Whether the command has a separable exploration phase whose result
+    can be shared across restrictions ([rw], [buffer], [rwd]). *)
+
+(** {1 Cache keying} *)
+
+val verdict_key :
+  load -> restrict:Gem_logic.Formula.t option -> Gem_syntax.Request.engine -> string
+(** Hex of a fingerprint over every verdict-relevant input: the
+    program's initial-configuration fingerprint (where the command
+    builds a program), the full workload parameters, the problem spec's
+    restriction set plus the client restriction, and the engine
+    configuration with environment defaults resolved. *)
+
+val explore_key : load -> Gem_syntax.Request.engine -> string
+(** {!verdict_key} minus the restriction component — requests that agree
+    on it can share one exploration. *)
+
+(** {1 Running} *)
+
+type opts = {
+  por : bool option;
+  exact_keys : bool option;
+  audit_keys : bool option;
+  jobs : int;
+  batch : int;
+  resilience : Gem_lang.Explore.resilience;
+}
+
+val opts_of_engine : load -> Gem_syntax.Request.engine -> opts
+(** The daemon's options: bitstate per the engine record, no spill or
+    checkpointing, stamp built from {!params_string}. *)
+
+type exploration = {
+  x_computations : Gem_model.Computation.t list;
+  x_deadlocks : int;
+  x_explored : int;
+  x_reduced : int;
+  x_truncated : int;
+  x_exhausted : Gem_check.Budget.reason option;
+  x_configs_used : int;  (** [Budget.configs_used] after exploring. *)
+}
+
+val explore :
+  load -> opts -> budget:Gem_check.Budget.t -> exploration option
+(** The exploration phase; [None] when {!has_exploration} is false. *)
+
+type result = {
+  status : Gem_check.Verdict.status;
+  detail : string;
+  coverage : Gem_check.Budget.coverage;
+  failures : (int * Gem_check.Verdict.t) list;
+      (** Failing (computation index, verdict) pairs, for the CLI's
+          human-readable witness printing. *)
+  exit_code : int;
+}
+
+val conclude :
+  load ->
+  opts ->
+  budget:Gem_check.Budget.t ->
+  restrict:Gem_logic.Formula.t option ->
+  exploration option ->
+  result
+(** The checking phase. Requires an exploration iff {!has_exploration};
+    raises [Invalid_argument] on a mismatch. *)
+
+val run :
+  load ->
+  opts ->
+  budget:Gem_check.Budget.t ->
+  restrict:Gem_logic.Formula.t option ->
+  result
+(** [explore] then [conclude] on the one given budget — the one-shot
+    path. *)
+
+(** {1 Reporting} *)
+
+val render_json : command:string -> result -> string
+(** The exact [--json] report object (no trailing newline). *)
+
+val print_report : json:bool -> command:string -> result -> int
+(** Print the report to stdout ([--json] or human form) and return the
+    exit code. *)

@@ -31,6 +31,10 @@ type counter =
   | Batches_stolen
   | Batch_probe_hits
   | Local_cache_hits
+  | Cache_hits
+  | Cache_misses
+  | Requests_coalesced
+  | Explorations_shared
 
 let counter_idx = function
   | Configs_explored -> 0
@@ -58,8 +62,12 @@ let counter_idx = function
   | Batches_stolen -> 22
   | Batch_probe_hits -> 23
   | Local_cache_hits -> 24
+  | Cache_hits -> 25
+  | Cache_misses -> 26
+  | Requests_coalesced -> 27
+  | Explorations_shared -> 28
 
-let n_counters = 25
+let n_counters = 29
 
 let counter_name = function
   | Configs_explored -> "configs_explored"
@@ -87,6 +95,10 @@ let counter_name = function
   | Batches_stolen -> "batches_stolen"
   | Batch_probe_hits -> "batch_probe_hits"
   | Local_cache_hits -> "local_cache_hits"
+  | Cache_hits -> "cache_hits"
+  | Cache_misses -> "cache_misses"
+  | Requests_coalesced -> "requests_coalesced"
+  | Explorations_shared -> "explorations_shared"
 
 type phase =
   | Interp_step
@@ -225,7 +237,8 @@ let all_counters =
     Budget_stop_memory; Fingerprint_collisions; Footprint_checks; Spill_bytes;
     Spill_chunks; Checkpoint_writes; Faults_injected; Faults_survived;
     Bitstate_saturated_prunes; Batches_stolen; Batch_probe_hits;
-    Local_cache_hits;
+    Local_cache_hits; Cache_hits; Cache_misses; Requests_coalesced;
+    Explorations_shared;
   ]
 
 let snapshot_counters () = List.map (fun c -> (counter_name c, read c)) all_counters
@@ -264,7 +277,7 @@ let stats_json ?(deterministic = false) () =
   else begin
     let schedule =
       Printf.sprintf
-        {|"schedule":{%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,"budget_stops":{%s,%s,%s,%s},"resilience":{%s,%s,%s,%s,%s,%s}}|}
+        {|"schedule":{%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,"budget_stops":{%s,%s,%s,%s},"resilience":{%s,%s,%s,%s,%s,%s},"serve":{%s,%s,%s,%s}}|}
         (c Configs_explored) (c Configs_reduced) (c Memo_hits) (c Memo_misses)
         (c Sleep_prunes) (c Deque_steals) (c Shard_collisions)
         (c Fingerprint_collisions) (c Footprint_checks) (c Batches_stolen)
@@ -273,6 +286,8 @@ let stats_json ?(deterministic = false) () =
         (c Budget_stop_memory) (c Spill_bytes) (c Spill_chunks)
         (c Checkpoint_writes) (c Faults_injected) (c Faults_survived)
         (c Bitstate_saturated_prunes)
+        (c Cache_hits) (c Cache_misses) (c Requests_coalesced)
+        (c Explorations_shared)
     in
     let timings =
       Printf.sprintf {|"timings":{%s}|}

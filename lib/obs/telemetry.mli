@@ -75,6 +75,22 @@ type counter =
       (** Arrivals pruned by a domain-local fingerprint cache without
           touching the shared shards. Counted into [Configs_reduced]
           alongside [Sleep_prunes] and [Memo_hits]. *)
+  | Cache_hits
+      (** Serve mode: requests answered from the verdict cache without
+          recomputing anything ({!Gem_check.Cache}). *)
+  | Cache_misses
+      (** Serve mode: requests that computed (and cached) a fresh
+          verdict. [Cache_hits + Cache_misses + Requests_coalesced] =
+          well-formed check requests handled. *)
+  | Requests_coalesced
+      (** Serve mode: requests that arrived while an identical request
+          was already in flight and waited for its result instead of
+          recomputing (single-flight coalescing). *)
+  | Explorations_shared
+      (** Serve mode: verdict-cache misses that still skipped
+          exploration because another request for the same (program,
+          workload, engine) key — differing only in restriction — had
+          already populated the exploration cache. *)
 
 type phase =
   | Interp_step  (** One interpreter successor computation. *)

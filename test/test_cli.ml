@@ -446,6 +446,79 @@ let test_matrix_out_and_budget () =
       check Alcotest.bool "no verified rows under zero budget" false
         (contains out {|"status":"verified"|}))
 
+(* The daemon through the shipped binary: start [serve] in the
+   background, drive it with [client], check the daemon's body is
+   byte-identical to the one-shot [--json] report (cold and cached),
+   then SIGTERM it and verify the clean exit and socket removal. *)
+let test_serve_smoke () =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gemcheck-cli-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists socket then Sys.remove socket;
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process gemcheck
+      [| gemcheck; "serve"; "--socket"; socket; "--cache-size"; "8" |]
+      Unix.stdin null null
+  in
+  Unix.close null;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      if Sys.file_exists socket then Sys.remove socket)
+    (fun () ->
+      let deadline = Unix.gettimeofday () +. 10. in
+      while
+        (not (Sys.file_exists socket)) && Unix.gettimeofday () < deadline
+      do
+        Unix.sleepf 0.05
+      done;
+      check Alcotest.bool "daemon came up" true (Sys.file_exists socket);
+      let client req = Printf.sprintf "client --socket %s %s" (Filename.quote socket) (Filename.quote req) in
+      (* Body (stdout) must be byte-identical to the one-shot report,
+         cold and from the cache. *)
+      let fresh, fresh_st = run_capture "db --sites 2 --json" in
+      let cold, cold_st = run_capture (client "check db sites=2") in
+      let warm, warm_st = run_capture (client "check db sites=2") in
+      check Alcotest.string "cold body == one-shot --json" fresh cold;
+      check Alcotest.string "cached body == one-shot --json" fresh warm;
+      check Alcotest.bool "exit codes agree" true
+        (fresh_st = cold_st && cold_st = warm_st);
+      (* Provenance rides on the header, which [client] prints to
+         stderr. *)
+      let header_of req =
+        let ic =
+          Unix.open_process_in
+            (Printf.sprintf "%s %s 2>&1 1>/dev/null" (Filename.quote gemcheck)
+               (client req))
+        in
+        let line = try input_line ic with End_of_file -> "" in
+        ignore (Unix.close_process_in ic);
+        line
+      in
+      check Alcotest.bool "third request is a hit" true
+        (contains (header_of "check db sites=2") {|"cache":"hit"|});
+      check Alcotest.bool "distinct request misses" true
+        (contains (header_of "check life width=3 height=3 generations=1")
+           {|"cache":"miss"|});
+      (* SIGTERM: drain, clean exit, socket unlinked. *)
+      Unix.kill pid Sys.sigterm;
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, Unix.WEXITED c -> Alcotest.failf "serve exited %d on SIGTERM" c
+      | _ -> Alcotest.fail "serve killed by signal");
+      check Alcotest.bool "socket removed on shutdown" false
+        (Sys.file_exists socket))
+
+let test_client_no_daemon () =
+  (* A client pointed at a dead socket is a usage-style failure (exit 3),
+     not a hang or a crash. *)
+  check Alcotest.int "no daemon" 3
+    (run "client --socket /tmp/gemcheck-no-such.sock ping")
+
 let () =
   Alcotest.run "gemcheck_cli"
     [
@@ -488,6 +561,12 @@ let () =
           Alcotest.test_case "usage errors" `Quick test_fuzz_usage;
           Alcotest.test_case "zero time budget" `Quick test_fuzz_time_budget;
           Alcotest.test_case "broken oracle caught" `Quick test_fuzz_broken_oracle;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "daemon smoke" `Quick test_serve_smoke;
+          Alcotest.test_case "client without daemon" `Quick
+            test_client_no_daemon;
         ] );
       ( "matrix",
         [

@@ -1,0 +1,782 @@
+(* The checking daemon, end to end: the LRU + single-flight verdict
+   cache, the wire-request grammar, the cache-key discipline, and the
+   socket server.
+
+   The load-bearing property is byte-identity — a daemon response must
+   be byte-for-byte the [--json] report of the equivalent one-shot run,
+   whether computed fresh, answered from the verdict cache, or
+   assembled from a shared exploration two-phase budget. The key suite
+   is its dual: any input that can change a verdict (workload parameter,
+   restriction, engine knob) must change the cache key, while spellings
+   that cannot (por=on under default POR, rw versions sharing an
+   exploration) must collapse onto one line. *)
+
+module Cache = Gem_check.Cache
+module Server = Gem_check.Server
+module Faults = Gem_check.Faults
+module Budget = Gem_check.Budget
+module Formula = Gem_logic.Formula
+module Rw_prob = Gem_problems.Readers_writers
+module Explore = Gem_lang.Explore
+module R = Gem_syntax.Request
+module Runner = Gem_daemon.Runner
+module Handler = Gem_daemon.Handler
+module Client = Gem_daemon.Client
+
+let check = Alcotest.check
+
+let find_sub hay needle =
+  let nl = String.length needle and ol = String.length hay in
+  let rec go i =
+    if i + nl > ol then None
+    else if String.sub hay i nl = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let contains hay needle = find_sub hay needle <> None
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let get c k = fst (Cache.find_or_compute c k (fun () -> "v:" ^ k))
+
+let test_cache_miss_then_hit () =
+  let c = Cache.create ~telemetry:false ~capacity:4 () in
+  let computes = ref 0 in
+  let f () =
+    incr computes;
+    "value"
+  in
+  let v1, p1 = Cache.find_or_compute c "k" f in
+  let v2, p2 = Cache.find_or_compute c "k" f in
+  check Alcotest.string "first computes" "value" v1;
+  check Alcotest.string "second reuses" "value" v2;
+  check Alcotest.string "first is a miss" "miss" (Cache.provenance_name p1);
+  check Alcotest.string "second is a hit" "hit" (Cache.provenance_name p2);
+  check Alcotest.int "computed once" 1 !computes
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~telemetry:false ~capacity:2 () in
+  ignore (get c "a");
+  ignore (get c "b");
+  (* Touch [a] so [b] is now least recently used. *)
+  check (Alcotest.option Alcotest.string) "peek bumps" (Some "v:a")
+    (Cache.find c "a");
+  ignore (get c "c");
+  check (Alcotest.option Alcotest.string) "a retained" (Some "v:a")
+    (Cache.find c "a");
+  check (Alcotest.option Alcotest.string) "b evicted" None (Cache.find c "b");
+  check (Alcotest.option Alcotest.string) "c resident" (Some "v:c")
+    (Cache.find c "c")
+
+let test_cache_capacity_bound () =
+  let c = Cache.create ~telemetry:false ~capacity:3 () in
+  for i = 1 to 10 do
+    ignore (get c (string_of_int i))
+  done;
+  let s = Cache.stats c in
+  check Alcotest.int "entries bounded" 3 s.Cache.entries;
+  check Alcotest.int "evictions counted" 7 s.Cache.evictions;
+  check Alcotest.int "misses counted" 10 s.Cache.misses;
+  match Cache.create ~capacity:0 () with
+  | exception Invalid_argument _ -> ()
+  | (_ : string Cache.t) -> Alcotest.fail "capacity 0 accepted"
+
+let test_cache_remove_clear () =
+  let c = Cache.create ~telemetry:false ~capacity:4 () in
+  ignore (get c "a");
+  ignore (get c "b");
+  Cache.remove c "a";
+  check (Alcotest.option Alcotest.string) "removed" None (Cache.find c "a");
+  check (Alcotest.option Alcotest.string) "others kept" (Some "v:b")
+    (Cache.find c "b");
+  Cache.clear c;
+  check (Alcotest.option Alcotest.string) "cleared" None (Cache.find c "b");
+  check Alcotest.int "empty" 0 (Cache.stats c).Cache.entries
+
+let test_cache_single_flight () =
+  let c = Cache.create ~telemetry:false ~capacity:4 () in
+  let computes = Atomic.make 0 in
+  let fetch () =
+    Cache.find_or_compute c "k" (fun () ->
+        Atomic.incr computes;
+        Thread.delay 0.3;
+        "value")
+  in
+  (* Leader first, then waiters while the compute is provably still in
+     flight — each must coalesce onto the leader's slot. *)
+  let results = Array.make 4 ("", Cache.Miss) in
+  let leader = Thread.create (fun () -> results.(0) <- fetch ()) () in
+  Thread.delay 0.05;
+  let waiters =
+    List.init 3 (fun i ->
+        Thread.create (fun () -> results.(i + 1) <- fetch ()) ())
+  in
+  Thread.join leader;
+  List.iter Thread.join waiters;
+  check Alcotest.int "computed once" 1 (Atomic.get computes);
+  Array.iter (fun (v, _) -> check Alcotest.string "same value" "value" v) results;
+  let count p =
+    Array.fold_left (fun n (_, q) -> if q = p then n + 1 else n) 0 results
+  in
+  check Alcotest.int "one miss" 1 (count Cache.Miss);
+  check Alcotest.int "three coalesced" 3 (count Cache.Coalesced);
+  let s = Cache.stats c in
+  check Alcotest.int "stats coalesced" 3 s.Cache.coalesced;
+  check Alcotest.int "stats misses" 1 s.Cache.misses
+
+let test_cache_failure_propagates_and_is_not_cached () =
+  let c = Cache.create ~telemetry:false ~capacity:4 () in
+  (* A waiter coalesced onto a failing compute sees the same exception. *)
+  let leader_failed = ref false and waiter_failed = ref false in
+  let leader =
+    Thread.create
+      (fun () ->
+        try
+          ignore
+            (Cache.find_or_compute c "k" (fun () ->
+                 Thread.delay 0.3;
+                 failwith "boom"))
+        with Failure m when m = "boom" -> leader_failed := true)
+      ()
+  in
+  Thread.delay 0.05;
+  (try ignore (Cache.find_or_compute c "k" (fun () -> "unused"))
+   with Failure m when m = "boom" -> waiter_failed := true);
+  Thread.join leader;
+  check Alcotest.bool "leader saw the failure" true !leader_failed;
+  check Alcotest.bool "waiter saw the failure" true !waiter_failed;
+  (* The failure must not poison the cache: the slot is gone and a later
+     request recomputes successfully. *)
+  check (Alcotest.option Alcotest.string) "failure not cached" None
+    (Cache.find c "k");
+  let v, p = Cache.find_or_compute c "k" (fun () -> "recovered") in
+  check Alcotest.string "retry recomputes" "recovered" v;
+  check Alcotest.string "retry is a miss" "miss" (Cache.provenance_name p)
+
+(* ------------------------------------------------------------------ *)
+(* Request grammar                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let formula s =
+  match Gem_syntax.Parser.parse_formula s with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "formula %S: %s" s e
+
+let roundtrip r =
+  let line = R.to_line r in
+  match R.parse line with
+  | Ok r' -> check Alcotest.bool (line ^ " round-trips") true (r = r')
+  | Error e -> Alcotest.failf "%s: %s" line e
+
+let test_request_roundtrip () =
+  roundtrip R.Ping;
+  roundtrip R.Stats;
+  roundtrip
+    (R.Check
+       {
+         cmd = "rw";
+         params = [ ("readers", "2"); ("writers", "1") ];
+         restrict = None;
+         engine = R.default_engine;
+       });
+  roundtrip
+    (R.Check
+       {
+         cmd = "buffer";
+         params = [ ("capacity", "1"); ("lang", "csp") ];
+         restrict = Some (formula "false");
+         engine =
+           {
+             R.por = Some false;
+             exact_keys = Some true;
+             jobs = 4;
+             batch = 128;
+             bitstate_bits = Some 20;
+             timeout = Some 1.5;
+             max_configs = Some 100;
+             max_runs = Some 5;
+           };
+       });
+  (* Values that force quoting: spaces, quotes, backslashes, equals. *)
+  List.iter
+    (fun v ->
+      roundtrip
+        (R.Check
+           {
+             cmd = "rw";
+             params = [ ("monitor", v) ];
+             restrict = None;
+             engine = R.default_engine;
+           }))
+    [ "a b"; "a\"b"; "a\\b"; "a=b"; "" ]
+
+let test_request_canonical () =
+  (* Workload keys come out sorted; defaults are omitted. *)
+  match R.parse "check rw writers=1 readers=2 por=off jobs=1 batch=64" with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      check Alcotest.string "canonical line" "check rw readers=2 writers=1 por=off"
+        (R.to_line r)
+
+let test_request_errors () =
+  let bad line expect =
+    match R.parse line with
+    | Ok _ -> Alcotest.failf "%S accepted" line
+    | Error e ->
+        check Alcotest.bool
+          (Printf.sprintf "%S -> %s (got: %s)" line expect e)
+          true (contains e expect)
+  in
+  bad "" "empty request";
+  bad "   " "empty request";
+  bad "frobnicate" "unknown verb";
+  bad "ping now" "no arguments";
+  bad "stats x=1" "no arguments";
+  bad "x=1" "must start with a verb";
+  bad "check" "command name";
+  bad "check readers=1" "command name";
+  bad "check b@d" "invalid command name";
+  bad "check rw extra" "unexpected bare word";
+  bad "check rw readers=1 readers=2" "duplicate key";
+  bad "check rw restrict=true restrict=false" "duplicate key";
+  bad "check rw por=maybe" "por expects on|off";
+  bad "check rw keys=hash" "keys expects fp|exact";
+  bad "check rw jobs=0" "positive integer";
+  bad "check rw jobs=-1" "positive integer";
+  bad "check rw jobs=abc" "positive integer";
+  bad "check rw batch=0" "positive integer";
+  bad "check rw bitstate=nope" "positive integer";
+  bad "check rw timeout=0" "timeout expects positive seconds";
+  bad "check rw timeout=-1" "timeout expects positive seconds";
+  bad "check rw timeout=inf" "timeout expects positive seconds";
+  bad "check rw max-configs=0" "positive integer";
+  bad "check rw restrict=((" "restrict:";
+  bad "check rw monitor=\"unterminated" "unterminated quoted value";
+  bad "check rw monitor=\"bad \\x\"" "unknown escape";
+  bad "check rw monitor=\"dangling\\" "dangling backslash";
+  bad "check rw mon\"itor=x" "misplaced quote";
+  (* Errors must be single-line so the daemon can embed them in a JSON
+     header verbatim. *)
+  List.iter
+    (fun line ->
+      match R.parse line with
+      | Ok _ -> ()
+      | Error e -> check Alcotest.bool "one-line error" false (String.contains e '\n'))
+    [ ""; "frobnicate"; "check rw por=maybe"; "check rw restrict=((" ]
+
+(* ------------------------------------------------------------------ *)
+(* Cache keys                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rw ?(monitor = "paper") ?(version = Rw_prob.Readers_priority)
+    ?(readers = 1) ?(writers = 1) () =
+  Runner.Rw { monitor; version; readers; writers }
+
+let deft = R.default_engine
+
+let test_verdict_key_sensitivity () =
+  (* Every verdict-relevant input perturbs the key; the perturbed keys
+     are also pairwise distinct (no two knobs collide). *)
+  let key ?restrict ?(engine = deft) load =
+    Runner.verdict_key load ~restrict engine
+  in
+  let base = key (rw ()) in
+  let variants =
+    [
+      ("readers", key (rw ~readers:2 ()));
+      ("writers", key (rw ~writers:2 ()));
+      ("version", key (rw ~version:Rw_prob.Free_for_all ()));
+      ("monitor", key (rw ~monitor:"buggy" ()));
+      ("restrict", key ~restrict:(formula "false") (rw ()));
+      ("restrict formula", key ~restrict:(formula "true") (rw ()));
+      ( "por",
+        key ~engine:{ deft with R.por = Some (not (Explore.por_default ())) }
+          (rw ()) );
+      ( "keys",
+        key
+          ~engine:
+            {
+              deft with
+              R.exact_keys = Some (not (Explore.exact_keys_default ()));
+            }
+          (rw ()) );
+      ("jobs", key ~engine:{ deft with R.jobs = 2 } (rw ()));
+      ("batch", key ~engine:{ deft with R.batch = 128 } (rw ()));
+      ("bitstate", key ~engine:{ deft with R.bitstate_bits = Some 16 } (rw ()));
+      ( "bitstate bits",
+        key ~engine:{ deft with R.bitstate_bits = Some 18 } (rw ()) );
+      ("max-configs", key ~engine:{ deft with R.max_configs = Some 100 } (rw ()));
+      ("max-runs", key ~engine:{ deft with R.max_runs = Some 5 } (rw ()));
+      ( "command",
+        key (Runner.Buffer
+               {
+                 lang = `Monitor;
+                 capacity = 1;
+                 producers = 1;
+                 consumers = 1;
+                 items = 2;
+               }) );
+    ]
+  in
+  List.iter
+    (fun (what, k) ->
+      check Alcotest.bool (what ^ " changes the key") false (String.equal base k))
+    variants;
+  let keys = base :: List.map snd variants in
+  let distinct = List.sort_uniq compare keys in
+  check Alcotest.int "all keys pairwise distinct" (List.length keys)
+    (List.length distinct)
+
+let test_verdict_key_resolves_defaults () =
+  (* Spelling the environment default explicitly is the same request —
+     it must land on the same cache line. *)
+  let base = Runner.verdict_key (rw ()) ~restrict:None deft in
+  check Alcotest.string "por=default collapses" base
+    (Runner.verdict_key (rw ()) ~restrict:None
+       { deft with R.por = Some (Explore.por_default ()) });
+  check Alcotest.string "keys=default collapses" base
+    (Runner.verdict_key (rw ()) ~restrict:None
+       { deft with R.exact_keys = Some (Explore.exact_keys_default ()) })
+
+let test_explore_key_sharing () =
+  (* The exploration key must ignore exactly the inputs that do not
+     affect the exploration: the client restriction and rw's version
+     (which only picks the problem spec's scheduling restriction). *)
+  let base = Runner.explore_key (rw ()) deft in
+  check Alcotest.string "versions share an exploration" base
+    (Runner.explore_key (rw ~version:Rw_prob.Free_for_all ()) deft);
+  check Alcotest.bool "verdict keys still separate versions" false
+    (String.equal
+       (Runner.verdict_key (rw ()) ~restrict:None deft)
+       (Runner.verdict_key (rw ~version:Rw_prob.Free_for_all ()) ~restrict:None
+          deft));
+  (* Engine and program inputs do perturb it. *)
+  List.iter
+    (fun (what, k) ->
+      check Alcotest.bool (what ^ " changes the exploration key") false
+        (String.equal base k))
+    [
+      ("readers", Runner.explore_key (rw ~readers:2 ()) deft);
+      ("monitor", Runner.explore_key (rw ~monitor:"buggy" ()) deft);
+      ("jobs", Runner.explore_key (rw ()) { deft with R.jobs = 2 });
+      ( "bitstate",
+        Runner.explore_key (rw ()) { deft with R.bitstate_bits = Some 16 } );
+      ( "max-configs",
+        Runner.explore_key (rw ()) { deft with R.max_configs = Some 100 } );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identity: daemon responses vs the one-shot pipeline            *)
+(* ------------------------------------------------------------------ *)
+
+let parse_check line =
+  match R.parse line with
+  | Ok (R.Check c) -> c
+  | Ok _ -> Alcotest.failf "%S is not a check request" line
+  | Error e -> Alcotest.failf "%S: %s" line e
+
+(* The single-budget one-shot path — exactly what [gemcheck CMD --json]
+   prints (modulo the trailing newline). *)
+let one_shot line =
+  let c = parse_check line in
+  match Runner.of_request c with
+  | Error e -> Alcotest.failf "of_request %S: %s" line e
+  | Ok load ->
+      let e = c.R.engine in
+      let budget =
+        Budget.make ?timeout:e.R.timeout ?max_configs:e.R.max_configs
+          ?max_runs:e.R.max_runs ()
+      in
+      let r =
+        Runner.run load (Runner.opts_of_engine load e) ~budget
+          ~restrict:c.R.restrict
+      in
+      (r.Runner.exit_code, Runner.render_json ~command:(Runner.command_name load) r)
+
+let handle_check h line =
+  match Handler.handle h ("check " ^ line) with
+  | [ header; body ] -> (header, body)
+  | [ header ] -> Alcotest.failf "error reply for %S: %s" line header
+  | ls -> Alcotest.failf "%S: %d response lines" line (List.length ls)
+
+let provenance_of header =
+  match Client.field_string header "cache" with
+  | Some p -> p
+  | None -> Alcotest.failf "no cache field in %s" header
+
+let code_of header =
+  match Client.field_int header "code" with
+  | Some c -> c
+  | None -> Alcotest.failf "no code field in %s" header
+
+(* One grid cell: a cold daemon response, a warm (cached) one and the
+   one-shot pipeline must agree byte-for-byte, across verified,
+   falsified (monitor bug and client restriction) and inconclusive
+   (undersized budget) verdicts. *)
+let identity_cases =
+  [
+    "rw readers=1 writers=1";
+    "rw monitor=no-exclusion readers=1 writers=1";
+    "rw readers=1 writers=1 restrict=false";
+    "rw readers=1 writers=1 max-configs=5";
+    "rw readers=1 writers=1 version=free-for-all";
+    "rw readers=1 writers=1 por=off";
+    "rw readers=1 writers=1 keys=exact";
+    "buffer capacity=1 producers=1 consumers=1 items=2";
+    "db sites=2";
+    "life width=3 height=3 generations=1";
+  ]
+
+let test_byte_identity () =
+  let h = Handler.create ~cache_size:32 () in
+  List.iter
+    (fun case ->
+      let code, fresh = one_shot ("check " ^ case) in
+      let cold_h, cold = handle_check h case in
+      let warm_h, warm = handle_check h case in
+      check Alcotest.string (case ^ ": cold is a miss") "miss" (provenance_of cold_h);
+      check Alcotest.string (case ^ ": warm is a hit") "hit" (provenance_of warm_h);
+      check Alcotest.string (case ^ ": cold == one-shot") fresh cold;
+      check Alcotest.string (case ^ ": hit == one-shot") fresh warm;
+      check Alcotest.int (case ^ ": cold code") code (code_of cold_h);
+      check Alcotest.int (case ^ ": warm code") code (code_of warm_h))
+    identity_cases
+
+let test_shared_exploration_identity () =
+  (* Same program, different restriction: the second request reuses the
+     first's exploration (two-phase budget), and must still match the
+     single-budget one-shot bytes. *)
+  let h = Handler.create ~cache_size:8 () in
+  let a = "rw readers=1 writers=1" in
+  let b = "rw readers=1 writers=1 version=free-for-all" in
+  let c = "rw readers=1 writers=1 restrict=false" in
+  ignore (handle_check h a);
+  let shared before = contains (Handler.stats_body h) before in
+  ignore shared;
+  List.iter
+    (fun case ->
+      let _, body = handle_check h case in
+      check Alcotest.string (case ^ ": shared-exploration == one-shot")
+        (snd (one_shot ("check " ^ case)))
+        body)
+    [ b; c ];
+  (* All three verdicts, one exploration: the exploration cache saw one
+     miss and two shared uses. *)
+  let stats = Handler.stats_body h in
+  match find_sub stats {|"explorations"|} with
+  | None -> Alcotest.failf "no explorations in %s" stats
+  | Some i ->
+      let tail = String.sub stats i (String.length stats - i) in
+      check (Alcotest.option Alcotest.int) "one exploration miss" (Some 1)
+        (Client.field_int tail "misses");
+      check (Alcotest.option Alcotest.int) "two explorations shared" (Some 2)
+        (Client.field_int tail "hits")
+
+(* ------------------------------------------------------------------ *)
+(* Handler behaviour                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_handler_ping_stats () =
+  let h = Handler.create ~cache_size:4 () in
+  (match Handler.handle h "ping" with
+  | [ header ] ->
+      check Alcotest.bool "pong" true (contains header {|"pong":true|});
+      check Alcotest.int "code 0" 0 (code_of header)
+  | _ -> Alcotest.fail "ping reply shape");
+  match Handler.handle h "stats" with
+  | [ _header; body ] ->
+      check Alcotest.bool "verdict stats" true (contains body {|"verdicts"|});
+      check Alcotest.bool "exploration stats" true (contains body {|"explorations"|})
+  | _ -> Alcotest.fail "stats reply shape"
+
+let test_handler_errors () =
+  let h = Handler.create ~cache_size:4 () in
+  let error_reply line expect =
+    match Handler.handle h line with
+    | [ header ] -> (
+        check Alcotest.int (line ^ " is code 3") 3 (code_of header);
+        match Client.field_string header "error" with
+        | Some e ->
+            check Alcotest.bool
+              (Printf.sprintf "%S -> %s (got: %s)" line expect e)
+              true (contains e expect)
+        | None -> Alcotest.failf "no error field: %s" header)
+    | ls -> Alcotest.failf "%S: %d lines" line (List.length ls)
+  in
+  error_reply "frobnicate" "parse:";
+  error_reply "check rw por=maybe" "parse:";
+  error_reply "check nosuch" "unknown command";
+  error_reply "check rw bogus=1" "unknown key";
+  error_reply "check db sites=2 restrict=true" "does not take a restrict";
+  (* Junk must never crash the handler. *)
+  List.iter
+    (fun line -> ignore (Handler.handle h line))
+    [ ""; String.make 4096 'x'; "check"; "\x00\x01\x02"; "check rw \"" ]
+
+let test_handler_timeout_uncached () =
+  (* Wall-clock-bounded requests bypass the cache: same request twice,
+     both uncached, and the verdict cache never sees them. *)
+  let h = Handler.create ~cache_size:4 () in
+  let h1, b1 = handle_check h "db sites=2 timeout=60" in
+  let h2, b2 = handle_check h "db sites=2 timeout=60" in
+  check Alcotest.string "first uncached" "uncached" (provenance_of h1);
+  check Alcotest.string "second uncached" "uncached" (provenance_of h2);
+  check Alcotest.string "still deterministic here" b1 b2;
+  let stats = Handler.stats_body h in
+  match find_sub stats {|"verdicts"|} with
+  | None -> Alcotest.fail "no verdict stats"
+  | Some i ->
+      let tail = String.sub stats i (String.length stats - i) in
+      check (Alcotest.option Alcotest.int) "no verdict misses" (Some 0)
+        (Client.field_int tail "misses")
+
+let test_handler_survives_faults () =
+  (* Under a GEM_FAULT alloc storm every frontier push is dropped (the
+     alloc injection point lives in the resilient engine, so the request
+     runs in bitstate mode): the daemon must answer with a reasoned
+     degraded verdict — inconclusive with the memory-watermark reason,
+     not the bitstate mode's usual collision-risk — and a fresh handler
+     after disarming is back to normal. *)
+  let faulted = "rw readers=1 writers=1 bitstate=16" in
+  (match Faults.arm "1:1:alloc" with
+  | Error e -> Alcotest.failf "arm: %s" e
+  | Ok () -> ());
+  Fun.protect ~finally:Faults.disarm (fun () ->
+      let h = Handler.create ~cache_size:4 () in
+      let header, body = handle_check h faulted in
+      check Alcotest.int "degraded, not dead" 2 (code_of header);
+      check Alcotest.bool "reasoned reply" true
+        (contains body {|"status":"inconclusive"|});
+      check Alcotest.bool "degradation reason reported" true
+        (contains body "memory-watermark"));
+  let h = Handler.create ~cache_size:4 () in
+  let header, body = handle_check h faulted in
+  check Alcotest.int "bitstate stays inconclusive" 2 (code_of header);
+  check Alcotest.bool "collision risk after disarm" true
+    (contains body "bitstate-collision-risk");
+  let header, _ = handle_check h "rw readers=1 writers=1" in
+  check Alcotest.int "recovers after disarm" 0 (code_of header)
+
+(* ------------------------------------------------------------------ *)
+(* Socket server, end to end                                           *)
+(* ------------------------------------------------------------------ *)
+
+let socket_ctr = ref 0
+
+let with_server f =
+  incr socket_ctr;
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gem-serve-%d-%d.sock" (Unix.getpid ()) !socket_ctr)
+  in
+  let h = Handler.create ~cache_size:8 () in
+  let srv = Server.create ~socket () in
+  let thread =
+    Thread.create (fun () -> Server.run srv ~handler:(Handler.handle h)) ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_stop srv;
+      Thread.join thread;
+      if Sys.file_exists socket then Sys.remove socket)
+    (fun () -> f socket)
+
+let request_ok socket line =
+  match Client.request ~socket line with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "%S: %s" line e
+
+let test_server_roundtrip () =
+  with_server (fun socket ->
+      let pong = request_ok socket "ping" in
+      check Alcotest.int "pong code" 0 pong.Client.code;
+      check Alcotest.bool "pong header" true (contains pong.Client.header {|"pong"|});
+      check Alcotest.int "pong body empty" 0 (List.length pong.Client.body);
+      (* Cold then warm through the real transport. *)
+      let cold = request_ok socket "check db sites=2" in
+      let warm = request_ok socket "check db sites=2" in
+      check Alcotest.string "miss over the wire" "miss" (provenance_of cold.Client.header);
+      check Alcotest.string "hit over the wire" "hit" (provenance_of warm.Client.header);
+      check Alcotest.bool "identical bodies" true (cold.Client.body = warm.Client.body);
+      let stats = request_ok socket "stats" in
+      check Alcotest.bool "stats over the wire" true
+        (match stats.Client.body with
+        | [ b ] -> contains b {|"verdicts"|}
+        | _ -> false))
+
+let test_server_concurrent_duplicates () =
+  (* A stampede of identical requests: single-flight means exactly one
+     computes; everyone gets the same bytes. *)
+  with_server (fun socket ->
+      let line = "check rwd readers=1 writers=1" in
+      let results = Array.make 5 None in
+      let threads =
+        Array.to_list
+          (Array.init 5 (fun i ->
+               Thread.create
+                 (fun () -> results.(i) <- Some (request_ok socket line))
+                 ()))
+      in
+      List.iter Thread.join threads;
+      let responses =
+        Array.to_list results |> List.filter_map (fun r -> r)
+      in
+      check Alcotest.int "all answered" 5 (List.length responses);
+      let provs =
+        List.map (fun r -> provenance_of r.Client.header) responses
+      in
+      check Alcotest.int "exactly one computed" 1
+        (List.length (List.filter (String.equal "miss") provs));
+      List.iter
+        (fun p -> check Alcotest.bool ("shared: " ^ p) true (p = "miss" || p = "hit" || p = "coalesced"))
+        provs;
+      let bodies = List.sort_uniq compare (List.map (fun r -> r.Client.body) responses) in
+      check Alcotest.int "one distinct body" 1 (List.length bodies))
+
+let raw_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+let raw_send fd line =
+  let msg = line ^ "\n" in
+  ignore (Unix.write_substring fd msg 0 (String.length msg))
+
+let test_server_survives_malformed_and_disconnect () =
+  with_server (fun socket ->
+      (* A malformed request answers with a JSON error and leaves the
+         same connection usable. *)
+      let fd = raw_connect socket in
+      let ic = Unix.in_channel_of_descr fd in
+      raw_send fd "utter garbage";
+      let err = input_line ic in
+      check Alcotest.int "error code" 3 (code_of err);
+      check Alcotest.bool "parse error" true (contains err "parse:");
+      raw_send fd "ping";
+      check Alcotest.bool "connection survives" true (contains (input_line ic) {|"pong"|});
+      Unix.close fd;
+      (* Disconnecting mid-response kills only that connection. *)
+      let fd2 = raw_connect socket in
+      raw_send fd2 "check db sites=2";
+      Unix.close fd2;
+      Thread.delay 0.05;
+      let pong = request_ok socket "ping" in
+      check Alcotest.int "daemon alive after disconnect" 0 pong.Client.code)
+
+let test_server_clean_shutdown () =
+  incr socket_ctr;
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gem-serve-%d-%d.sock" (Unix.getpid ()) !socket_ctr)
+  in
+  let h = Handler.create ~cache_size:4 () in
+  let srv = Server.create ~socket () in
+  check Alcotest.bool "socket bound" true (Sys.file_exists socket);
+  let thread =
+    Thread.create (fun () -> Server.run srv ~handler:(Handler.handle h)) ()
+  in
+  ignore (request_ok socket "ping");
+  Server.request_stop srv;
+  Thread.join thread;
+  check Alcotest.bool "run returned after stop" true (Server.stopping srv);
+  check Alcotest.bool "socket unlinked" false (Sys.file_exists socket);
+  (* A second server may immediately rebind the same path. *)
+  let srv2 = Server.create ~socket () in
+  let thread2 =
+    Thread.create (fun () -> Server.run srv2 ~handler:(Handler.handle h)) ()
+  in
+  ignore (request_ok socket "ping");
+  Server.request_stop srv2;
+  Thread.join thread2;
+  check Alcotest.bool "rebind cleans up too" false (Sys.file_exists socket)
+
+(* ------------------------------------------------------------------ *)
+(* Client header scanning                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_client_fields () =
+  let header =
+    {|{"serve":1,"command":"rw","cache":"hit","key":"ab12","elapsed_ms":0.170,"body":1,"code":2}|}
+  in
+  check (Alcotest.option Alcotest.int) "body" (Some 1)
+    (Client.field_int header "body");
+  check (Alcotest.option Alcotest.int) "code" (Some 2)
+    (Client.field_int header "code");
+  check (Alcotest.option Alcotest.string) "cache" (Some "hit")
+    (Client.field_string header "cache");
+  check (Alcotest.option Alcotest.string) "key" (Some "ab12")
+    (Client.field_string header "key");
+  check (Alcotest.option Alcotest.int) "missing int" None
+    (Client.field_int header "nope");
+  check (Alcotest.option Alcotest.string) "missing string" None
+    (Client.field_string header "nope");
+  check (Alcotest.option Alcotest.string) "int is not a string" None
+    (Client.field_string header "body");
+  check
+    (Alcotest.option Alcotest.string)
+    "escapes undone" (Some "a\"b\\c\nd")
+    (Client.field_string {|{"error":"a\"b\\c\nd"}|} "error");
+  check (Alcotest.option Alcotest.int) "negative" (Some (-3))
+    (Client.field_int {|{"code":-3}|} "code")
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "miss then hit" `Quick test_cache_miss_then_hit;
+          Alcotest.test_case "lru eviction order" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "capacity bound" `Quick test_cache_capacity_bound;
+          Alcotest.test_case "remove and clear" `Quick test_cache_remove_clear;
+          Alcotest.test_case "single-flight coalescing" `Quick
+            test_cache_single_flight;
+          Alcotest.test_case "failure propagates uncached" `Quick
+            test_cache_failure_propagates_and_is_not_cached;
+        ] );
+      ( "request",
+        [
+          Alcotest.test_case "round-trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "canonical rendering" `Quick test_request_canonical;
+          Alcotest.test_case "parse errors" `Quick test_request_errors;
+        ] );
+      ( "keys",
+        [
+          Alcotest.test_case "verdict key sensitivity" `Quick
+            test_verdict_key_sensitivity;
+          Alcotest.test_case "defaults collapse" `Quick
+            test_verdict_key_resolves_defaults;
+          Alcotest.test_case "exploration sharing" `Quick
+            test_explore_key_sharing;
+        ] );
+      ( "identity",
+        [
+          Alcotest.test_case "cached == one-shot bytes" `Quick
+            test_byte_identity;
+          Alcotest.test_case "shared exploration bytes" `Quick
+            test_shared_exploration_identity;
+        ] );
+      ( "handler",
+        [
+          Alcotest.test_case "ping and stats" `Quick test_handler_ping_stats;
+          Alcotest.test_case "error replies" `Quick test_handler_errors;
+          Alcotest.test_case "timeout bypasses cache" `Quick
+            test_handler_timeout_uncached;
+          Alcotest.test_case "survives fault injection" `Quick
+            test_handler_survives_faults;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "socket round-trip" `Quick test_server_roundtrip;
+          Alcotest.test_case "concurrent duplicates" `Quick
+            test_server_concurrent_duplicates;
+          Alcotest.test_case "malformed and disconnects" `Quick
+            test_server_survives_malformed_and_disconnect;
+          Alcotest.test_case "clean shutdown" `Quick test_server_clean_shutdown;
+        ] );
+      ("client", [ Alcotest.test_case "header fields" `Quick test_client_fields ]);
+    ]
