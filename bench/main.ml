@@ -13,6 +13,12 @@
    `dune exec bench/main.exe -- --por-only` only compares states explored
    with and without partial-order reduction (writes BENCH_por.json).
 
+   `dune exec bench/main.exe -- --dpor-only` only compares states
+   explored across the three reduction engines (--reduction
+   none/sleep/source; writes BENCH_dpor.json, which the CI bench gate
+   reads: source must never explore more than sleep, with identical
+   fingerprint multisets on completed rows).
+
    `dune exec bench/main.exe -- --parallel-only` only measures wall-clock
    scaling of domain-parallel exploration across (--jobs 1/2/4 x --batch
    1/64/1024), POR on and off (writes BENCH_parallel.json, including the
@@ -409,6 +415,117 @@ let por_report () =
        (String.concat ",\n  " rows));
   close_out oc;
   Printf.printf "wrote BENCH_por.json\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Reduction engines: plain DFS vs sleep sets vs source-DPOR           *)
+(* ------------------------------------------------------------------ *)
+
+(* Each workload is explored once per reduction engine and the
+   three-way comparison lands in BENCH_dpor.json. Source-DPOR's
+   contract is a strict refinement of sleep sets: on every workload it
+   must visit no more configurations than the sleep engine while
+   producing the exact same completed-computation fingerprint multiset,
+   and on the rendezvous-heavy ADA families it visits asymptotically
+   fewer. Each row carries its own configuration cap — 200k (the same
+   budget as the plain-DFS column of BENCH_por.json) except the
+   promoted large instances below; a capped run reports
+   [*_complete:false] and its fingerprint comparison is vacuously true
+   (a truncated sample is traversal-order-dependent). The CI bench gate
+   reads this file: source_explored must never exceed sleep_explored,
+   and every row must report [fp_identical:true].
+
+   rw-monitor-3r1w and rwd-ada-2r1w are the promoted larger instances:
+   big enough that plain DFS always caps while both reduced engines
+   still complete, so the sleep/source gap is visible at scale rather
+   than only on toy programs (rwd-ada-2r1w needs the 1M cap: sleep
+   completes near 780k configurations, source near 340k). *)
+let dpor_cap = 200_000
+let dpor_wide_cap = 1_000_000
+
+let dpor_workloads =
+  let mon name cap program =
+    ( name, cap,
+      fun reduction max_configs ->
+        let o = Monitor.explore ~reduction ~max_configs program in
+        ( o.Monitor.explored, o.Monitor.reduced,
+          List.sort compare (List.map Explore.fingerprint o.Monitor.computations),
+          o.Monitor.exhausted = None ) )
+  and csp name cap program =
+    ( name, cap,
+      fun reduction max_configs ->
+        let o = Csp.explore ~reduction ~max_configs program in
+        ( o.Csp.explored, o.Csp.reduced,
+          List.sort compare (List.map Explore.fingerprint o.Csp.computations),
+          o.Csp.exhausted = None ) )
+  and ada name cap program =
+    ( name, cap,
+      fun reduction max_configs ->
+        let o = Ada.explore ~reduction ~max_configs program in
+        ( o.Ada.explored, o.Ada.reduced,
+          List.sort compare (List.map Explore.fingerprint o.Ada.computations),
+          o.Ada.exhausted = None ) )
+  in
+  [
+    mon "rw-monitor-1r1w" dpor_cap (rw_program 1 1);
+    mon "rw-monitor-2r1w" dpor_cap (rw_program 2 1);
+    mon "rw-monitor-3r1w" dpor_cap (rw_program 3 1);
+    mon "buffer-monitor-1p1c2i" dpor_cap buffer_monitor_program;
+    csp "buffer-csp-1p1c2i" dpor_cap buffer_csp_program;
+    ada "buffer-ada-1p1c2i" dpor_cap buffer_ada_program;
+    csp "rwd-csp-1r1w" dpor_cap rwd_csp;
+    ada "rwd-ada-1r1w" dpor_cap rwd_ada;
+    ada "rwd-ada-2r1w" dpor_wide_cap
+      (Rw_distributed.ada_program ~readers:2 ~writers:1);
+    ( "db-update-2-sites", dpor_cap,
+      fun reduction max_configs ->
+        (* Db_update reports computation counts, not fingerprints; the
+           count stands in as the comparison signature. *)
+        let r = Db_update.check ~reduction ~max_configs ~sites:2 () in
+        ( r.Db_update.explored, r.Db_update.reduced,
+          [ string_of_int r.Db_update.computations ],
+          r.Db_update.exhausted = None ) );
+  ]
+
+let dpor_report () =
+  let rows =
+    List.map
+      (fun (name, cap, run) ->
+        let none_explored, _, _, none_complete = run Explore.No_reduction cap in
+        let sleep_explored, sleep_reduced, sleep_sig, sleep_complete =
+          run Explore.Sleep_sets cap
+        in
+        let source_explored, source_reduced, source_sig, source_complete =
+          run Explore.Source_sets cap
+        in
+        let fp_identical =
+          (not (sleep_complete && source_complete)) || sleep_sig = source_sig
+        in
+        let ratio =
+          float_of_int sleep_explored /. float_of_int (max 1 source_explored)
+        in
+        Printf.printf
+          "%-24s none: %7d%s  sleep: %7d%s  source: %7d%s  %.2fx%s\n%!" name
+          none_explored
+          (if none_complete then "" else "*")
+          sleep_explored
+          (if sleep_complete then "" else "*")
+          source_explored
+          (if source_complete then "" else "*")
+          ratio
+          (if fp_identical then "" else "  FP-DRIFT");
+        Printf.sprintf
+          {|{"workload":"%s","cap":%d,"none_explored":%d,"none_complete":%b,"sleep_explored":%d,"sleep_reduced":%d,"sleep_complete":%b,"source_explored":%d,"source_reduced":%d,"source_complete":%b,"fp_identical":%b,"sleep_vs_source_ratio":%.2f}|}
+          name cap none_explored none_complete sleep_explored sleep_reduced
+          sleep_complete source_explored source_reduced source_complete
+          fp_identical ratio)
+      dpor_workloads
+  in
+  let oc = open_out "BENCH_dpor.json" in
+  output_string oc
+    (Printf.sprintf "{%s,\"rows\":[\n  %s\n]}\n" provenance_fields
+       (String.concat ",\n  " rows));
+  close_out oc;
+  Printf.printf "wrote BENCH_dpor.json (* = capped)\n%!"
 
 (* ------------------------------------------------------------------ *)
 (* Parallel exploration: (jobs x batch) wall-clock scaling             *)
@@ -1158,6 +1275,7 @@ let () =
     stats_report ()
   else if has "--parallel-only" then parallel_report ()
   else if has "--por-only" then por_report ()
+  else if has "--dpor-only" then dpor_report ()
   else if has "--keys-only" then keys_report ()
   else if has "--bitstate-only" then bitstate_report ()
   else if has "--budget-only" then budget_overhead_report ()
@@ -1167,6 +1285,7 @@ let () =
     run_bechamel ();
     budget_overhead_report ();
     por_report ();
+    dpor_report ();
     parallel_report ();
     keys_report ();
     stats_report ();

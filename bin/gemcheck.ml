@@ -190,8 +190,11 @@ let resilience_term =
 (* The checkpoint stamp pins the run identity: resolved engine switches
    (the environment defaults matter — a resumed run must resolve to the
    same engine) plus each command's workload parameters. *)
-let resilience_of ~command ~params ~por ~exact_keys ro =
-  let por = match por with Some p -> p | None -> Explore.por_default () in
+let resilience_of ~command ~params ~reduction ~exact_keys ro =
+  (* The stamp keeps its historical por=%b field (old checkpoints must
+     keep resuming); it stays accurate because checkpoint/resume runs
+     degrade source to sleep sets — both are por=true engines. *)
+  let por = Explore.resolve_reduction ?reduction () <> Explore.No_reduction in
   let exact =
     match exact_keys with Some b -> b | None -> Explore.exact_keys_default ()
   in
@@ -297,19 +300,76 @@ let obs_finish ~json o code =
   end;
   code
 
-(* --no-por forces the plain exhaustive DFS; the default honors the
-   GEM_NO_POR environment variable (see Explore.por_default). Passing
-   [None] down keeps the interpreters' own defaulting in charge. *)
+(* --reduction picks the reduction engine; --no-por is kept as an alias
+   for --reduction none. The default honors GEM_REDUCTION, then the
+   legacy GEM_NO_POR (see Explore.reduction_default). Passing [None]
+   down keeps the interpreters' own defaulting in charge. *)
+let reduction_conv =
+  let parse s =
+    match Explore.reduction_of_string s with
+    | Some r -> Ok r
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "invalid reduction %S (expected none, sleep or source)" s))
+  in
+  Arg.conv ~docv:"ENGINE"
+    (parse, fun ppf r -> Format.pp_print_string ppf (Explore.reduction_name r))
+
 let por_term =
   let no_por =
     Arg.(value & flag
          & info [ "no-por" ]
-             ~doc:"Disable partial-order reduction: explore every \
+             ~doc:"Alias for $(b,--reduction) $(i,none): explore every \
                    interleaving with a plain depth-first search. The \
                    verdict is unchanged; only the configuration counts \
                    (and runtime) differ.")
   in
-  Term.(const (fun no_por -> if no_por then Some false else None) $ no_por)
+  let reduction =
+    Arg.(value & opt (some reduction_conv) None
+         & info [ "reduction" ] ~docv:"ENGINE"
+             ~doc:"Reduction engine: $(i,none) (plain exhaustive DFS), \
+                   $(i,sleep) (persistent/sleep sets, the default) or \
+                   $(i,source) (source-DPOR with race-driven wakeups; \
+                   explores no more configurations than sleep and \
+                   asymptotically fewer on rendezvous-heavy workloads, \
+                   but runs sequentially even under $(b,--jobs)). The \
+                   $(b,GEM_REDUCTION) variable supplies the default \
+                   when the flag is absent. The verdict is \
+                   byte-identical across engines.")
+  in
+  Term.(ret
+          (const (fun no_por reduction ->
+               match (no_por, reduction) with
+               | false, Some r -> `Ok (Some r)
+               | true, (None | Some Explore.No_reduction) ->
+                   `Ok (Some Explore.No_reduction)
+               | true, Some _ ->
+                   `Error
+                     ( false,
+                       "--no-por is an alias for --reduction none and \
+                        conflicts with --reduction sleep|source" )
+               | false, None -> (
+                   (* GEM_REDUCTION is read by hand rather than wired
+                      through cmdliner's ~env: an env value must not be
+                      mistaken for an explicit --reduction, or it would
+                      conflict with an explicit --no-por — flags beat
+                      the environment. Bad spellings are still usage
+                      errors, exactly like the flag's. *)
+                   match Sys.getenv_opt "GEM_REDUCTION" with
+                   | None -> `Ok None
+                   | Some s -> (
+                       match Explore.reduction_of_string s with
+                       | Some r -> `Ok (Some r)
+                       | None ->
+                           `Error
+                             ( false,
+                               Printf.sprintf
+                                 "environment variable GEM_REDUCTION: \
+                                  invalid reduction %S (expected none, \
+                                  sleep or source)"
+                                 s ))))
+           $ no_por $ reduction))
 
 (* --exact-keys / --audit-keys pick the search-key mode of the reduced
    search; like --no-por, passing [None] down defers to the interpreters'
@@ -358,8 +418,8 @@ let restrict_term =
            ~doc:"Check an extra restriction (GEM formula syntax) alongside \
                  the problem specification's own.")
 
-let runner_opts ~por ~exact_keys ~audit_keys ~jobs ~batch ~resilience =
-  { Runner.por; exact_keys; audit_keys; jobs; batch; resilience }
+let runner_opts ~reduction ~exact_keys ~audit_keys ~jobs ~batch ~resilience =
+  { Runner.reduction; por = None; exact_keys; audit_keys; jobs; batch; resilience }
 
 (* ------------------------------------------------------------------ *)
 (* experiments                                                         *)
@@ -427,17 +487,17 @@ let rw_cmd =
   in
   let readers = Arg.(value & opt int 2 & info [ "readers" ] ~docv:"N") in
   let writers = Arg.(value & opt int 1 & info [ "writers" ] ~docv:"N") in
-  let run monitor version readers writers restrict por (exact_keys, audit_keys) jobs batch budget resil json obs =
+  let run monitor version readers writers restrict reduction (exact_keys, audit_keys) jobs batch budget resil json obs =
     obs_init obs;
     install_signals budget;
     let load = Runner.Rw { monitor; version; readers; writers } in
     let resilience =
       resilience_of ~command:"rw" ~params:(Runner.params_string load)
-        ~por ~exact_keys resil
+        ~reduction ~exact_keys resil
     in
     let r =
       Runner.run load
-        (runner_opts ~por ~exact_keys ~audit_keys ~jobs ~batch ~resilience)
+        (runner_opts ~reduction ~exact_keys ~audit_keys ~jobs ~batch ~resilience)
         ~budget ~restrict
     in
     (if not json then
@@ -463,17 +523,17 @@ let buffer_cmd =
   let producers = Arg.(value & opt int 1 & info [ "producers" ] ~docv:"N") in
   let consumers = Arg.(value & opt int 1 & info [ "consumers" ] ~docv:"N") in
   let items = Arg.(value & opt int 2 & info [ "items" ] ~docv:"N" ~doc:"Items per producer.") in
-  let run lang capacity producers consumers items restrict por (exact_keys, audit_keys) jobs batch budget resil json obs =
+  let run lang capacity producers consumers items restrict reduction (exact_keys, audit_keys) jobs batch budget resil json obs =
     obs_init obs;
     install_signals budget;
     let load = Runner.Buffer { lang; capacity; producers; consumers; items } in
     let resilience =
       resilience_of ~command:"buffer" ~params:(Runner.params_string load)
-        ~por ~exact_keys resil
+        ~reduction ~exact_keys resil
     in
     let r =
       Runner.run load
-        (runner_opts ~por ~exact_keys ~audit_keys ~jobs ~batch ~resilience)
+        (runner_opts ~reduction ~exact_keys ~audit_keys ~jobs ~batch ~resilience)
         ~budget ~restrict
     in
     obs_finish ~json obs (Runner.print_report ~json ~command:"buffer" r)
@@ -496,17 +556,17 @@ let rwd_cmd =
   let broken =
     Arg.(value & flag & info [ "no-priority" ] ~doc:"Use the priority-less mutant.")
   in
-  let run lang readers writers broken restrict por (exact_keys, audit_keys) jobs batch budget resil json obs =
+  let run lang readers writers broken restrict reduction (exact_keys, audit_keys) jobs batch budget resil json obs =
     obs_init obs;
     install_signals budget;
     let load = Runner.Rwd { lang; readers; writers; broken } in
     let resilience =
       resilience_of ~command:"rwd" ~params:(Runner.params_string load)
-        ~por ~exact_keys resil
+        ~reduction ~exact_keys resil
     in
     let r =
       Runner.run load
-        (runner_opts ~por ~exact_keys ~audit_keys ~jobs ~batch ~resilience)
+        (runner_opts ~reduction ~exact_keys ~audit_keys ~jobs ~batch ~resilience)
         ~budget ~restrict
     in
     obs_finish ~json obs (Runner.print_report ~json ~command:"rwd" r)
@@ -614,8 +674,9 @@ let fuzz_cmd =
              Monitor/CSP/ADA programs and restrictions, cross-checked \
              over {POR on,off} x {jobs 1,2,8} x {fp,exact keys} x \
              {unbounded,bitstate} plus two batched-scheduler cells \
-             (jobs 8, batch 64); disagreements are shrunk and written \
-             to the reproducer corpus.")
+             (jobs 8, batch 64) and two source-DPOR cells (--reduction \
+             source); disagreements are shrunk and written to the \
+             reproducer corpus.")
     Term.(const run $ seed $ iters $ time_budget $ corpus $ max_configs)
 
 (* ------------------------------------------------------------------ *)
@@ -739,17 +800,17 @@ let parse_cmd =
 
 let db_cmd =
   let sites = Arg.(value & opt int 3 & info [ "sites" ] ~docv:"N") in
-  let run sites por (exact_keys, audit_keys) jobs batch budget resil json obs =
+  let run sites reduction (exact_keys, audit_keys) jobs batch budget resil json obs =
     obs_init obs;
     install_signals budget;
     let load = Runner.Db { sites } in
     let resilience =
       resilience_of ~command:"db" ~params:(Runner.params_string load)
-        ~por ~exact_keys resil
+        ~reduction ~exact_keys resil
     in
     let r =
       Runner.run load
-        (runner_opts ~por ~exact_keys ~audit_keys ~jobs ~batch ~resilience)
+        (runner_opts ~reduction ~exact_keys ~audit_keys ~jobs ~batch ~resilience)
         ~budget ~restrict:None
     in
     obs_finish ~json obs (Runner.print_report ~json ~command:"db" r)
@@ -766,7 +827,7 @@ let life_cmd =
     let load = Runner.Life { width; height; generations } in
     let r =
       Runner.run load
-        (runner_opts ~por:None ~exact_keys:None ~audit_keys:None ~jobs:1
+        (runner_opts ~reduction:None ~exact_keys:None ~audit_keys:None ~jobs:1
            ~batch:64 ~resilience:Explore.no_resilience)
         ~budget ~restrict:None
     in

@@ -294,23 +294,41 @@ let key_params_string load =
   | Buffer _ | Rwd _ | Db _ | Life _ ->
       command_name load ^ " " ^ params_string load
 
+(* The engine's effective reduction with defaults resolved: an explicit
+   [reduction=] key wins, else the legacy [por=] key, else the
+   environment default. *)
+let engine_reduction (e : R.engine) =
+  let reduction =
+    Option.map
+      (function
+        | R.Reduction_none -> Explore.No_reduction
+        | R.Reduction_sleep -> Explore.Sleep_sets
+        | R.Reduction_source -> Explore.Source_sets)
+      e.R.reduction
+  in
+  Explore.resolve_reduction ?reduction ?por:e.R.por ()
+
 (* Engine identity with the environment defaults resolved: two requests
    that spell the default differently (por absent vs por=on under an
-   unset GEM_NO_POR) behave identically and may share a cache line. The
-   timeout is deliberately absent — timeout-bearing requests bypass the
-   caches (their verdicts are wall-clock-dependent). *)
+   unset GEM_NO_POR, or por=off vs reduction=none) behave identically
+   and may share a cache line. The timeout is deliberately absent —
+   timeout-bearing requests bypass the caches (their verdicts are
+   wall-clock-dependent). *)
 let engine_string (e : R.engine) =
-  let por = match e.R.por with Some p -> p | None -> Explore.por_default () in
+  let reduction = engine_reduction e in
+  let por = reduction <> Explore.No_reduction in
   let exact =
     match e.R.exact_keys with
     | Some b -> b
     | None -> Explore.exact_keys_default ()
   in
   let opt_int = function Some n -> string_of_int n | None -> "none" in
-  Printf.sprintf "por=%b exact=%b jobs=%d batch=%d bitstate=%s maxc=%s maxr=%s"
+  Printf.sprintf
+    "por=%b exact=%b jobs=%d batch=%d bitstate=%s maxc=%s maxr=%s reduction=%s"
     por exact e.R.jobs e.R.batch
     (match e.R.bitstate_bits with Some b -> string_of_int b | None -> "off")
     (opt_int e.R.max_configs) (opt_int e.R.max_runs)
+    (Explore.reduction_name reduction)
 
 let explore_key load engine =
   Fingerprint.to_hex
@@ -330,6 +348,7 @@ let verdict_key load ~restrict engine =
 (* --- running -------------------------------------------------------- *)
 
 type opts = {
+  reduction : Explore.reduction option;
   por : bool option;
   exact_keys : bool option;
   audit_keys : bool option;
@@ -339,7 +358,8 @@ type opts = {
 }
 
 let opts_of_engine load (e : R.engine) =
-  let por = match e.R.por with Some p -> p | None -> Explore.por_default () in
+  let reduction = engine_reduction e in
+  let por = reduction <> Explore.No_reduction in
   let exact =
     match e.R.exact_keys with
     | Some b -> b
@@ -351,6 +371,7 @@ let opts_of_engine load (e : R.engine) =
       (match e.R.bitstate_bits with Some b -> string_of_int b | None -> "off")
   in
   {
+    reduction = Some reduction;
     por = e.R.por;
     exact_keys = e.R.exact_keys;
     audit_keys = None;
@@ -377,7 +398,7 @@ type exploration = {
 }
 
 let explore load o ~budget =
-  let { por; exact_keys; audit_keys; jobs; batch; resilience } = o in
+  let { reduction; por; exact_keys; audit_keys; jobs; batch; resilience } = o in
   let of_monitor (x : Monitor.outcome) =
     {
       x_computations = x.Monitor.computations;
@@ -415,7 +436,7 @@ let explore load o ~budget =
   | Rw { monitor; readers; writers; _ } ->
       Some
         (of_monitor
-           (Monitor.explore ?por ?exact_keys ?audit_keys ~budget ~jobs ~batch
+           (Monitor.explore ?reduction ?por ?exact_keys ?audit_keys ~budget ~jobs ~batch
               ~resilience
               (Readers_writers.program ~monitor:(rw_monitor monitor) ~readers
                  ~writers)))
@@ -424,19 +445,19 @@ let explore load o ~budget =
         (match lang with
         | `Monitor ->
             of_monitor
-              (Monitor.explore ?por ?exact_keys ?audit_keys ~budget ~jobs
+              (Monitor.explore ?reduction ?por ?exact_keys ?audit_keys ~budget ~jobs
                  ~batch ~resilience
                  (Buffer_problem.monitor_solution ~capacity ~producers
                     ~consumers ~items_each:items))
         | `Csp ->
             of_csp
-              (Csp.explore ?por ?exact_keys ?audit_keys ~budget ~jobs ~batch
+              (Csp.explore ?reduction ?por ?exact_keys ?audit_keys ~budget ~jobs ~batch
                  ~resilience
                  (Buffer_problem.csp_solution ~capacity ~producers ~consumers
                     ~items_each:items))
         | `Ada ->
             of_ada
-              (Ada.explore ?por ?exact_keys ?audit_keys ~budget ~jobs ~batch
+              (Ada.explore ?reduction ?por ?exact_keys ?audit_keys ~budget ~jobs ~batch
                  ~resilience
                  (Buffer_problem.ada_solution ~capacity ~producers ~consumers
                     ~items_each:items)))
@@ -450,7 +471,7 @@ let explore load o ~budget =
               else Rw_distributed.csp_program ~readers ~writers
             in
             of_csp
-              (Csp.explore ?por ?exact_keys ?audit_keys
+              (Csp.explore ?reduction ?por ?exact_keys ?audit_keys
                  ~max_configs:20_000_000 ~budget ~jobs ~batch ~resilience
                  program)
         | `Ada ->
@@ -460,7 +481,7 @@ let explore load o ~budget =
               else Rw_distributed.ada_program ~readers ~writers
             in
             of_ada
-              (Ada.explore ?por ?exact_keys ?audit_keys
+              (Ada.explore ?reduction ?por ?exact_keys ?audit_keys
                  ~max_configs:20_000_000 ~budget ~jobs ~batch ~resilience
                  program))
   | Db _ | Life _ -> None
@@ -624,9 +645,12 @@ let conclude load o ~budget ~restrict exploration =
            ~truncated:x.x_truncated verdicts)
         (List.filter (fun (_, v) -> not (Verdict.ok v)) results)
   | Db { sites }, None ->
-      let { por; exact_keys; audit_keys; jobs; batch; resilience } = o in
+      let { reduction; por; exact_keys; audit_keys; jobs; batch; resilience } =
+        o
+      in
       let r =
-        Db_update.check ?por ?exact_keys ?audit_keys ~budget ~jobs ~batch
+        Db_update.check ?reduction ?por ?exact_keys ?audit_keys ~budget ~jobs
+          ~batch
           ~resilience ~sites ()
       in
       let status =

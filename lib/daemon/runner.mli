@@ -86,6 +86,9 @@ val explore_key : load -> Gem_syntax.Request.engine -> string
 (** {1 Running} *)
 
 type opts = {
+  reduction : Gem_lang.Explore.reduction option;
+      (** [None] defers to {!Gem_lang.Explore.resolve_reduction} inside
+          the interpreter; {!opts_of_engine} always resolves it. *)
   por : bool option;
   exact_keys : bool option;
   audit_keys : bool option;

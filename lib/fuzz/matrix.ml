@@ -48,7 +48,11 @@ let grid ~scale family =
   match family with
   | "rw" ->
       [ [ ("readers", 1); ("writers", 1) ]; [ ("readers", 2); ("writers", 1) ] ]
-      @ (if wide then [ [ ("readers", 2); ("writers", 2) ] ] else [])
+      @ (if wide then
+           (* readers=3 is the promoted BENCH_dpor.json instance: plain
+              DFS caps on it while both reduced engines complete. *)
+           [ [ ("readers", 2); ("writers", 2) ]; [ ("readers", 3); ("writers", 1) ] ]
+         else [])
   | "buffer-monitor" | "buffer-csp" | "buffer-ada" ->
       let base cap =
         [ ("capacity", cap); ("producers", 1); ("consumers", 1); ("items", 2) ]

@@ -28,7 +28,9 @@ val family_names : string list
 val cells : ?scale:[ `Small | `Wide ] -> string list -> cell list
 (** The grid for the named families (all families when the list is
     empty), in deterministic order. [`Wide] (default [`Small]) adds the
-    larger instances PR 6's capacity work targets. *)
+    larger instances PR 6's capacity work targets, plus the
+    readers=3 Readers/Writers instance promoted to BENCH_dpor.json by
+    the source-DPOR work. *)
 
 val cell_name : cell -> string
 

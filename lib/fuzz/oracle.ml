@@ -14,9 +14,11 @@ type cell = {
   exact : bool;
   bitstate : bool;
   batch : int;
+  source : bool;
 }
 
-let baseline = { por = true; jobs = 1; exact = true; bitstate = false; batch = 1 }
+let baseline =
+  { por = true; jobs = 1; exact = true; bitstate = false; batch = 1; source = false }
 
 (* The core 24-cell grid runs with batch 1 (per-task chunks, the
    degenerate scheduler the engine grew out of); the two appended cells
@@ -35,19 +37,53 @@ let lattice =
                 List.concat_map
                   (fun exact ->
                     List.map
-                      (fun bitstate -> { por; jobs; exact; bitstate; batch = 1 })
+                      (fun bitstate ->
+                        { por; jobs; exact; bitstate; batch = 1; source = false })
                       [ false; true ])
                   [ true; false ])
               [ 1; 2; 8 ])
           [ true; false ]))
   @ [
-      { por = false; jobs = 8; exact = false; bitstate = false; batch = 64 };
-      { por = true; jobs = 8; exact = false; bitstate = false; batch = 64 };
+      {
+        por = false;
+        jobs = 8;
+        exact = false;
+        bitstate = false;
+        batch = 64;
+        source = false;
+      };
+      {
+        por = true;
+        jobs = 8;
+        exact = false;
+        bitstate = false;
+        batch = 64;
+        source = false;
+      };
+      (* Source-DPOR cells: one sequential, one riding the parallel and
+         batch flags (the engine deliberately ignores them and runs
+         sequentially — the cell checks those knobs cannot corrupt it). *)
+      {
+        por = true;
+        jobs = 1;
+        exact = false;
+        bitstate = false;
+        batch = 1;
+        source = true;
+      };
+      {
+        por = true;
+        jobs = 8;
+        exact = false;
+        bitstate = false;
+        batch = 64;
+        source = true;
+      };
     ]
 
 let cell_name c =
-  Printf.sprintf "por=%s jobs=%d keys=%s seen=%s batch=%d"
-    (if c.por then "on" else "off")
+  Printf.sprintf "reduction=%s jobs=%d keys=%s seen=%s batch=%d"
+    (if c.source then "source" else if c.por then "sleep" else "none")
     c.jobs
     (if c.exact then "exact" else "fp")
     (if c.bitstate then "bitstate" else "unbounded")
@@ -82,22 +118,23 @@ let resilience_of c =
 
 let explore_cell ~max_configs c prog =
   let resilience = resilience_of c in
+  let reduction = if c.source then Some Explore.Source_sets else None in
   match prog with
   | Case.P_csp p ->
       let o =
-        Csp.explore ~por:c.por ~exact_keys:c.exact ~audit_keys:false ~max_configs
+        Csp.explore ?reduction ~por:c.por ~exact_keys:c.exact ~audit_keys:false ~max_configs
           ~jobs:c.jobs ~batch:c.batch ~resilience p
       in
       (o.Csp.computations, o.Csp.deadlocks, o.Csp.exhausted, o.Csp.explored)
   | Case.P_monitor p ->
       let o =
-        Monitor.explore ~por:c.por ~exact_keys:c.exact ~audit_keys:false
+        Monitor.explore ?reduction ~por:c.por ~exact_keys:c.exact ~audit_keys:false
           ~max_configs ~jobs:c.jobs ~batch:c.batch ~resilience p
       in
       (o.Monitor.computations, o.Monitor.deadlocks, o.Monitor.exhausted, o.Monitor.explored)
   | Case.P_ada p ->
       let o =
-        Ada.explore ~por:c.por ~exact_keys:c.exact ~audit_keys:false ~max_configs
+        Ada.explore ?reduction ~por:c.por ~exact_keys:c.exact ~audit_keys:false ~max_configs
           ~jobs:c.jobs ~batch:c.batch ~resilience p
       in
       (o.Ada.computations, o.Ada.deadlocks, o.Ada.exhausted, o.Ada.explored)

@@ -4,7 +4,9 @@
     The lattice is {plain, sleep-set POR} x {jobs 1, 2, 8} x {fp, exact
     keys} x {unbounded, bitstate} at batch 1 — 24 cells — plus two
     batched-scheduler cells (jobs 8, batch 64, fp keys, unbounded seen,
-    POR off and on), 26 in total. The exact (non-bitstate) cells must
+    POR off and on) and two source-DPOR cells (sequential, and jobs 8 x
+    batch 64 — the source engine ignores both knobs and must stay
+    correct under them), 28 in total. The exact (non-bitstate) cells must
     produce identical completed/deadlocked computation {e multisets}
     (canonical fingerprints), identical exhaustion, and identical
     per-computation verdicts for the case's random restriction. Bitstate
@@ -19,10 +21,11 @@ type cell = {
   exact : bool;
   bitstate : bool;
   batch : int;  (** Work-distribution chunk size; 1 = per-task stealing. *)
+  source : bool;  (** Use the source-DPOR engine ([--reduction source]). *)
 }
 
 val lattice : cell list
-(** All 26 cells; the head is {!baseline}. *)
+(** All 28 cells; the head is {!baseline}. *)
 
 val baseline : cell
 (** POR on, jobs 1, exact keys, no bitstate, batch 1 — the truth

@@ -434,9 +434,9 @@ let fp_key cfg =
   Gem_obs.Telemetry.(span_end Canon_key) span;
   !acc
 
-let explore ?por ?exact_keys ?audit_keys ?max_steps ?max_configs ?budget ?jobs
-    ?batch ?(resilience = Explore.no_resilience) program =
-  let por = match por with Some p -> p | None -> Explore.por_default () in
+let explore ?reduction ?por ?exact_keys ?audit_keys ?max_steps ?max_configs
+    ?budget ?jobs ?batch ?(resilience = Explore.no_resilience) program =
+  let reduction = Explore.resolve_reduction ?reduction ?por () in
   let exact =
     match exact_keys with Some b -> b | None -> Explore.exact_keys_default ()
   in
@@ -452,9 +452,9 @@ let explore ?por ?exact_keys ?audit_keys ?max_steps ?max_configs ?budget ?jobs
       else Explore.Fp (fp_key c)
     in
     let audit = if auditing && not exact then Some (state_key program) else None in
-    if por then
+    if reduction <> Explore.No_reduction then
       Explore.run ?max_steps ?max_configs ?budget ~key ?audit ~footprint:moves_fp
-        ~jobs ?batch ~resilience ~moves ~terminated (initial program)
+        ~reduction ~jobs ?batch ~resilience ~moves ~terminated (initial program)
     else
       (* Keyless plain walk, except bitstate mode needs a state key to
          memoize on (see {!Monitor.explore}). *)

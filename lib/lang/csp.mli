@@ -56,6 +56,7 @@ type outcome = {
 }
 
 val explore :
+  ?reduction:Explore.reduction ->
   ?por:bool ->
   ?exact_keys:bool ->
   ?audit_keys:bool ->

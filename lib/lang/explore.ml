@@ -122,6 +122,41 @@ let por_default () =
   | Some ("1" | "true" | "yes") -> false
   | Some _ | None -> true
 
+(* ------------------------------------------------------------------ *)
+(* Reduction engine selection                                          *)
+(* ------------------------------------------------------------------ *)
+
+type reduction = No_reduction | Sleep_sets | Source_sets
+
+let reduction_name = function
+  | No_reduction -> "none"
+  | Sleep_sets -> "sleep"
+  | Source_sets -> "source"
+
+let reduction_of_string = function
+  | "none" -> Some No_reduction
+  | "sleep" -> Some Sleep_sets
+  | "source" -> Some Source_sets
+  | _ -> None
+
+(* GEM_REDUCTION names an engine directly; the older GEM_NO_POR switch
+   (kept for compatibility with every script written against PR 2) is
+   the fallback. The CLI validates both spellings strictly — an invalid
+   GEM_REDUCTION there is a usage error, not a silent default. *)
+let reduction_default () =
+  match Option.bind (Sys.getenv_opt "GEM_REDUCTION") reduction_of_string with
+  | Some r -> r
+  | None -> if por_default () then Sleep_sets else No_reduction
+
+let resolve_reduction ?reduction ?por () =
+  match reduction with
+  | Some r -> r
+  | None -> (
+      match por with
+      | Some true -> Sleep_sets
+      | Some false -> No_reduction
+      | None -> reduction_default ())
+
 (* Mutable walk state shared by both search strategies. Leaves are kept
    decorated with the search key computed when the configuration was
    admitted, so the canonical sort never recomputes a key. *)
@@ -375,6 +410,400 @@ let run_sleep ~max_steps ~max_configs ~budget ~key ~audit ~footprint ~terminated
         Some d
   in
   dfs 0 k0 init Smap.empty;
+  finish ~keyed:(key <> None) w
+
+(* ------------------------------------------------------------------ *)
+(* Source-DPOR DFS (race-driven wakeups, no wakeup trees)              *)
+(* ------------------------------------------------------------------ *)
+
+(* Source-DPOR (Abdulla, Aronis, Jonsson, Sagonas 2014, wakeup-tree-free
+   variant) inverts the sleep-set discipline: instead of expanding every
+   awake successor and pruning arrivals after the fact, a frame starts
+   with a single scheduled move and grows its backtrack set only when a
+   *race* demands it. A race is a pair of dependent events on the DFS
+   stack with no intermediate happens-before chain; reversing it may
+   expose a new Mazurkiewicz trace, so an initial of the reversing
+   sequence is scheduled at the earlier state. Awake successors that no
+   race ever schedules are the engine's saving over sleep sets
+   ([Source_prunes]).
+
+   Happens-before is derived from the same pre-sorted move footprints
+   the sleep engine uses: two moves with intersecting footprints are
+   dependent, and every move of a process touches that process's
+   element, so program order is contained in the relation.
+
+   Statefulness. The engine reuses the sleep-set [covered] subset rule,
+   which creates the classic stateful-DPOR hazard: pruning at a covered
+   state discards the backtrack points the pruned subtree would have
+   contributed to the *current* stack. Two mechanisms restore them:
+   - every completed state records a summary of the distinct moves
+     executed anywhere below it; a covered hit replays each summary
+     move as a virtual next step through the ordinary race detector;
+   - a hit on a state still open on the stack (a cycle) cannot know its
+     summary, so every frame on the cycle segment is conservatively
+     saturated (all awake successors scheduled — exactly the sleep-set
+     expansion) and its summary poisoned to [Sat], which makes later
+     consumers of the poisoned summaries saturate in turn. Cyclic
+     regions thus degrade to sleep-set behavior; acyclic regions keep
+     the full reduction. *)
+
+module Iset = Set.Make (Int)
+
+(* One executed step on the stack: the move and its transitive
+   happens-before clock (indices of earlier entries ordered before it). *)
+type sentry = { en_move : move; en_hb : Iset.t }
+
+type summary = Sat | Moves of move list
+
+let sum_add m = function
+  | Sat -> Sat
+  | Moves ms ->
+      if
+        List.exists
+          (fun m' -> String.equal m'.label m.label && m'.touches = m.touches)
+          ms
+      then Moves ms
+      else Moves (m :: ms)
+
+let sum_merge a b =
+  match (a, b) with
+  | Sat, _ | _, Sat -> Sat
+  | Moves xs, Moves b -> List.fold_left (fun acc m -> sum_add m acc) (Moves b) xs
+
+(* A frame is one open state on the DFS stack: frame [d] is the state
+   entry [d] was fired from. Backtrack/executed/skipped are keyed by
+   move label, matching the sleep map; a label shared by several
+   successors (a process at a choice point) schedules all of them. *)
+type 'c sframe = {
+  fr_succs : (move * 'c) list;
+  fr_awake : (move * 'c) list;
+  fr_backtrack : (string, unit) Hashtbl.t;
+  fr_executed : (string, unit) Hashtbl.t;
+  fr_skipped : (string, unit) Hashtbl.t;
+  mutable fr_sleep : move Smap.t;
+  mutable fr_sum : summary;
+}
+
+let run_source ~max_steps ~max_configs ~budget ~key ~audit ~footprint
+    ~terminated init =
+  let w = new_walk () in
+  let seen : (string option * move Smap.t list) Ktbl.t = Ktbl.create 1024 in
+  let sums : summary Ktbl.t = Ktbl.create 1024 in
+  (* Depths of frames currently open under each key, deepest first —
+     a hit on one of these is a cycle, not a completed-subtree prune. *)
+  let open_depths : int list Ktbl.t = Ktbl.create 64 in
+  let exact_of c = match audit with None -> None | Some a -> Some (a c) in
+  let stop = stop w ~max_configs ~budget in
+  let entries : sentry option array ref = ref (Array.make 64 None) in
+  let frames = ref (Array.make 64 None) in
+  let grow r d =
+    let a = !r in
+    let n = Array.length a in
+    if d >= n then begin
+      let a' = Array.make (max (2 * n) (d + 1)) None in
+      Array.blit a 0 a' 0 n;
+      r := a'
+    end
+  in
+  let entry j =
+    match (!entries).(j) with Some e -> e | None -> assert false
+  in
+  let frame j = match (!frames).(j) with Some f -> f | None -> assert false in
+  let hb_of depth m =
+    let hb = ref Iset.empty in
+    for j = 0 to depth - 1 do
+      let e = entry j in
+      if not (independent e.en_move m) then
+        hb := Iset.add j (Iset.union !hb e.en_hb)
+    done;
+    !hb
+  in
+  let backtrack_add fr l =
+    if not (Hashtbl.mem fr.fr_backtrack l) then begin
+      Hashtbl.replace fr.fr_backtrack l ();
+      T.hit T.Backtrack_points
+    end
+  in
+  let saturate_frame fr =
+    List.iter (fun (m, _) -> backtrack_add fr m.label) fr.fr_awake
+  in
+  (* Saturate every frame on [dlo..dhi] and poison their summaries:
+     the subtree that should have refined their backtrack sets was
+     pruned with unknown contents. *)
+  let saturate_range dlo dhi =
+    for p = dlo to dhi do
+      let fr = frame p in
+      saturate_frame fr;
+      fr.fr_sum <- Sat
+    done
+  in
+  (* Race detection for an event at stack position [pos] (executed
+     entries occupy [0 .. pos-1]) with move [m] and clock [hb]. For
+     every earlier event [j] directly dependent on [m] with no
+     intermediate happens-before chain, compute the reversing sequence
+     v = notdep(j) . m and schedule one of its initials at frame [j];
+     when no initial is enabled there, fall back to the classic DPOR
+     full fill. An initial asleep at frame [j] means the reversal is
+     already covered by an earlier sibling branch — no point needed. *)
+  let race_detect pos m hb =
+    for j = pos - 1 downto 0 do
+      let ej = entry j in
+      if not (independent ej.en_move m) then begin
+        let immediate = ref true in
+        for k = j + 1 to pos - 1 do
+          if
+            !immediate
+            && Iset.mem k hb
+            && Iset.mem j (entry k).en_hb
+          then immediate := false
+        done;
+        if !immediate then begin
+          T.hit T.Races_detected;
+          let frj = frame j in
+          let vs = ref [] in
+          for k = pos - 1 downto j + 1 do
+            if not (Iset.mem j (entry k).en_hb) then vs := k :: !vs
+          done;
+          let vs = !vs in
+          let minimal_in_v p php =
+            List.for_all (fun q -> q = p || not (Iset.mem q php)) vs
+          in
+          let inits =
+            List.filter_map
+              (fun p ->
+                if minimal_in_v p (entry p).en_hb then
+                  Some (entry p).en_move.label
+                else None)
+              vs
+          in
+          let inits =
+            inits @ (if minimal_in_v pos hb then [ m.label ] else [])
+          in
+          let enabled_inits =
+            List.sort_uniq String.compare
+              (List.filter
+                 (fun l ->
+                   List.exists
+                     (fun (mm, _) -> String.equal mm.label l)
+                     frj.fr_succs)
+                 inits)
+          in
+          if
+            not
+              (List.exists
+                 (fun l -> Hashtbl.mem frj.fr_backtrack l)
+                 enabled_inits)
+          then begin
+            match
+              List.filter
+                (fun l -> not (Smap.mem l frj.fr_sleep))
+                enabled_inits
+            with
+            | l :: _ -> backtrack_add frj l
+            | [] -> if enabled_inits = [] then saturate_frame frj
+          end
+        end
+      end
+    done
+  in
+  let next_pick fr =
+    List.find_opt
+      (fun (m, _) ->
+        Hashtbl.mem fr.fr_backtrack m.label
+        && (not (Hashtbl.mem fr.fr_executed m.label))
+        && not (Hashtbl.mem fr.fr_skipped m.label))
+      fr.fr_awake
+  in
+  (* [dfs] returns the subtree summary for the parent to absorb. *)
+  let rec dfs depth kc config sleep =
+    if stop () then Moves []
+    else begin
+      w.w_explored <- w.w_explored + 1;
+      T.hit T.Configs_explored;
+      if depth > max_steps then begin
+        w.w_truncated <- w.w_truncated + 1;
+        Moves []
+      end
+      else begin
+        let t = T.span_begin T.Interp_step in
+        let succs = footprint config in
+        T.span_end T.Interp_step t;
+        match succs with
+        | [] ->
+            if terminated config then
+              w.w_completed <- (kc, config) :: w.w_completed
+            else w.w_deadlocked <- (kc, config) :: w.w_deadlocked;
+            Moves []
+        | succs -> (
+            let awake, asleep =
+              List.partition (fun (m, _) -> not (Smap.mem m.label sleep)) succs
+            in
+            w.w_reduced <- w.w_reduced + List.length asleep;
+            T.add T.Sleep_prunes (List.length asleep);
+            T.add T.Configs_reduced (List.length asleep);
+            match awake with
+            | [] -> Moves []
+            | (m0, _) :: _ ->
+                grow frames depth;
+                let fr =
+                  {
+                    fr_succs = succs;
+                    fr_awake = awake;
+                    fr_backtrack = Hashtbl.create 8;
+                    fr_executed = Hashtbl.create 8;
+                    fr_skipped = Hashtbl.create 8;
+                    fr_sleep = sleep;
+                    fr_sum = Moves [];
+                  }
+                in
+                (!frames).(depth) <- Some fr;
+                (match kc with
+                | Some k ->
+                    let ds =
+                      match Ktbl.find_opt open_depths k with
+                      | Some l -> l
+                      | None -> []
+                    in
+                    Ktbl.replace open_depths k (depth :: ds)
+                | None -> ());
+                backtrack_add fr m0.label;
+                let rec loop () =
+                  if not (stop ()) then
+                    match next_pick fr with
+                    | None -> ()
+                    | Some (m, _) ->
+                        let l = m.label in
+                        if Smap.mem l fr.fr_sleep then begin
+                          Hashtbl.replace fr.fr_skipped l ();
+                          loop ()
+                        end
+                        else begin
+                          Hashtbl.replace fr.fr_executed l ();
+                          (* All successors sharing the scheduled label
+                             fire, mirroring the sleep engine's fold. *)
+                          List.iter
+                            (fun (m, c') ->
+                              if
+                                String.equal m.label l && not (stop ())
+                              then begin
+                                grow entries depth;
+                                (!entries).(depth) <-
+                                  Some
+                                    { en_move = m; en_hb = hb_of depth m };
+                                race_detect depth m (entry depth).en_hb;
+                                let child_sleep =
+                                  Smap.filter
+                                    (fun _ z -> independent z m)
+                                    fr.fr_sleep
+                                in
+                                visit depth fr m c' child_sleep;
+                                (!entries).(depth) <- None;
+                                fr.fr_sleep <- Smap.add l m fr.fr_sleep
+                              end)
+                            fr.fr_awake;
+                          loop ()
+                        end
+                in
+                loop ();
+                (* Completion accounting: every awake successor is
+                   executed, skipped asleep (covered by the sibling that
+                   put it to sleep), or never scheduled by any race —
+                   the source prune. Unexecuted leftovers of a stopped
+                   frame are budget cuts, not prunes. *)
+                let n_skip =
+                  List.length
+                    (List.filter
+                       (fun (m, _) -> Hashtbl.mem fr.fr_skipped m.label)
+                       fr.fr_awake)
+                in
+                if n_skip > 0 then begin
+                  w.w_reduced <- w.w_reduced + n_skip;
+                  T.add T.Sleep_prunes n_skip;
+                  T.add T.Configs_reduced n_skip
+                end;
+                if w.w_exhausted = None then begin
+                  let n_src =
+                    List.length
+                      (List.filter
+                         (fun (m, _) ->
+                           (not (Hashtbl.mem fr.fr_executed m.label))
+                           && not (Hashtbl.mem fr.fr_skipped m.label))
+                         fr.fr_awake)
+                  in
+                  if n_src > 0 then begin
+                    w.w_reduced <- w.w_reduced + n_src;
+                    T.add T.Source_prunes n_src;
+                    T.add T.Configs_reduced n_src
+                  end
+                end;
+                (match kc with
+                | Some k ->
+                    (match Ktbl.find_opt open_depths k with
+                    | Some (d :: ds) ->
+                        assert (d = depth);
+                        if ds = [] then Ktbl.remove open_depths k
+                        else Ktbl.replace open_depths k ds
+                    | _ -> ());
+                    let merged =
+                      match Ktbl.find_opt sums k with
+                      | Some s -> sum_merge s fr.fr_sum
+                      | None -> fr.fr_sum
+                    in
+                    Ktbl.replace sums k merged
+                | None -> ());
+                (!frames).(depth) <- None;
+                fr.fr_sum)
+      end
+    end
+  (* The edge entry for [m] is already on the stack at [depth] when
+     [visit] runs, so virtual summary events sit at [depth + 1]. *)
+  and visit depth fr m c' child_sleep =
+    match key with
+    | None ->
+        let s = dfs (depth + 1) None c' child_sleep in
+        fr.fr_sum <- sum_add m (sum_merge fr.fr_sum s)
+    | Some k ->
+        let d = k c' in
+        if covered seen d (exact_of c') child_sleep then begin
+          w.w_reduced <- w.w_reduced + 1;
+          T.hit T.Configs_reduced;
+          match Ktbl.find_opt open_depths d with
+          | Some (_ :: _ as ds) ->
+              (* Cycle: the pruned continuation is the open frame's
+                 still-unknown subtree. Frames on the cycle segment
+                 lose its race contributions — saturate them. *)
+              let dx = List.fold_left min depth ds in
+              saturate_range dx depth;
+              fr.fr_sum <- Sat
+          | Some [] | None -> (
+              match Ktbl.find_opt sums d with
+              | Some (Moves ms) ->
+                  List.iter
+                    (fun sm ->
+                      race_detect (depth + 1) sm (hb_of (depth + 1) sm))
+                    ms;
+                  fr.fr_sum <-
+                    sum_add m (sum_merge fr.fr_sum (Moves ms))
+              | Some Sat | None ->
+                  (* Unknown subtree contents: conservatively saturate
+                     the whole open stack. *)
+                  saturate_range 0 depth;
+                  fr.fr_sum <- Sat)
+        end
+        else begin
+          let s = dfs (depth + 1) (Some d) c' child_sleep in
+          fr.fr_sum <- sum_add m (sum_merge fr.fr_sum s)
+        end
+  in
+  let k0 =
+    match key with
+    | None -> None
+    | Some k ->
+        let d = k init in
+        ignore (covered seen d (exact_of init) Smap.empty);
+        Some d
+  in
+  ignore (dfs 0 k0 init Smap.empty);
   finish ~keyed:(key <> None) w
 
 (* ------------------------------------------------------------------ *)
@@ -1149,16 +1578,23 @@ let run_resilient ~max_steps ~max_configs ~budget ~key ~audit ~mode ~terminated
   finish ~keyed:(key <> None) w
 
 let run ?(max_steps = 10_000) ?(max_configs = 1_000_000) ?budget ?key ?audit
-    ?footprint ?(jobs = 1) ?(batch = Gem_check.Par.batch_default ())
+    ?footprint ?reduction ?(jobs = 1) ?(batch = Gem_check.Par.batch_default ())
     ?(resilience = no_resilience) ~moves ~terminated init =
   let jobs = max 1 jobs in
   let batch = max 1 batch in
+  (* Reduction is meaningful only when the caller supplies footprints;
+     without them every engine degenerates to the plain walk. An explicit
+     [No_reduction] with a footprint ignores the footprint entirely. *)
+  let reduction =
+    match (footprint, reduction) with
+    | None, _ -> No_reduction
+    | Some _, Some r -> r
+    | Some _, None -> Sleep_sets
+  in
   let mode =
     match footprint with
-    | Some footprint ->
-        ignore moves;
-        Par_sleep footprint
-    | None -> Par_plain moves
+    | Some footprint when reduction <> No_reduction -> Par_sleep footprint
+    | Some _ | None -> Par_plain moves
   in
   let bits = if key = None then None else resilience.bitstate in
   let needs_resilient =
@@ -1169,20 +1605,33 @@ let run ?(max_steps = 10_000) ?(max_configs = 1_000_000) ?budget ?key ?audit
   if needs_resilient || (bits <> None && jobs = 1) then
     (* Spool/checkpoint/resume force the deterministic sequential engine
        even under [jobs > 1]: resumability and spill ordering need one
-       totally ordered walk. Bitstate alone stays parallel. *)
+       totally ordered walk. Bitstate alone stays parallel. Source-DPOR
+       needs the in-order DFS stack and a faithful seen table, neither of
+       which the spooled frontier or a lossy bitstate provides, so it
+       degrades to sleep sets here (documented in DESIGN.md). *)
     run_resilient ~max_steps ~max_configs ~budget ~key ~audit ~mode ~terminated
       ~res:{ resilience with bitstate = bits }
       init
+  else if reduction = Source_sets && bits = None then
+    (* Race detection reads the DFS stack in execution order, so the
+       source engine is sequential even under [--jobs]: verdict-side
+       refinement still parallelizes, and [run_par] keeps sleep sets as
+       its default reduction. *)
+    (match footprint with
+    | Some footprint ->
+        run_source ~max_steps ~max_configs ~budget ~key ~audit ~footprint
+          ~terminated init
+    | None -> assert false)
   else if jobs > 1 then
     run_par ~jobs ~batch ~max_steps ~max_configs ~budget ~key ~audit ~mode ~bits
       ~crash:(if resilience.degrade_crashes then `Degrade else `Raise)
       ~terminated init
   else
-    match footprint with
-    | Some footprint ->
+    match mode with
+    | Par_sleep footprint ->
         run_sleep ~max_steps ~max_configs ~budget ~key ~audit ~footprint
           ~terminated init
-    | None ->
+    | Par_plain _ ->
         run_plain ~max_steps ~max_configs ~budget ~key ~audit ~moves ~terminated
           init
 

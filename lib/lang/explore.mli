@@ -81,6 +81,37 @@ val por_default : unit -> bool
     Interpreters consult this when the caller passes no explicit [~por]
     argument, so one environment switch flips every test and tool. *)
 
+(** {1 Reduction engines}
+
+    Three ways to walk the scheduler tree, ordered by how much of it
+    they visit: [No_reduction] (plain memoized DFS, every interleaving),
+    [Sleep_sets] (PR 2: prune arrivals whose move slept — the default),
+    and [Source_sets] (source-DPOR: schedule a sibling only when a
+    detected race demands it — never more states than sleep sets on the
+    shipped workloads, asymptotically fewer on rendezvous families).
+    Every engine feeds the same {!dedup_computations} canonicalization,
+    so rendered verdicts are byte-identical across the three. *)
+
+type reduction = No_reduction | Sleep_sets | Source_sets
+
+val reduction_name : reduction -> string
+(** ["none"], ["sleep"] or ["source"] — the CLI / wire spellings. *)
+
+val reduction_of_string : string -> reduction option
+(** Inverse of {!reduction_name}; [None] on any other string. *)
+
+val reduction_default : unit -> reduction
+(** The engine used when the caller passes neither [~reduction] nor
+    [~por]: a valid [GEM_REDUCTION] value wins, else [GEM_NO_POR] (via
+    {!por_default}) selects [No_reduction]/[Sleep_sets]. *)
+
+val resolve_reduction :
+  ?reduction:reduction -> ?por:bool -> unit -> reduction
+(** One resolver shared by the interpreters, the CLI and the daemon so
+    every layer agrees on precedence: an explicit [reduction] wins, then
+    an explicit [por] ([true] = [Sleep_sets], [false] = [No_reduction],
+    the pre-PR-10 switch), then {!reduction_default}. *)
+
 (** {1 Resilience}
 
     The degradation ladder: when a resource wall would otherwise kill
@@ -135,6 +166,7 @@ val run :
   ?key:('c -> skey) ->
   ?audit:('c -> string) ->
   ?footprint:('c -> (move * 'c) list) ->
+  ?reduction:reduction ->
   ?jobs:int ->
   ?batch:int ->
   ?resilience:resilience ->
@@ -176,6 +208,20 @@ val run :
     set no larger than the current one, which keeps the combination
     sound. The successor configurations of [footprint] must enumerate
     exactly [moves config], in the same order.
+
+    [reduction] picks the reduction engine used over [footprint]
+    (default [Sleep_sets]; ignored without a [footprint], where every
+    walk is plain). [No_reduction] ignores the footprint and runs the
+    plain walk. [Source_sets] runs the sequential source-DPOR engine:
+    per-execution happens-before is derived from footprints, reversible
+    races on the DFS stack schedule backtrack points, and successors no
+    race demands are never visited ([Source_prunes] telemetry) — the
+    computation/deadlock sets still cover one representative per
+    Mazurkiewicz trace, so verdicts are byte-identical to the other
+    engines. Because race detection needs the in-order execution stack,
+    [Source_sets] forces a sequential walk even under [jobs > 1] and
+    degrades to sleep sets under [bitstate] or the resilient engine
+    (spool/checkpoint/resume); see DESIGN.md for the decision record.
 
     [jobs], when [> 1], runs the walk across that many domains with
     per-domain work-stealing deques, a sharded seen table and the same

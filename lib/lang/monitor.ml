@@ -686,10 +686,10 @@ let fp_key cfg =
   Gem_obs.Telemetry.(span_end Canon_key) span;
   !acc
 
-let explore ?(emit_getvals = false) ?por ?exact_keys ?audit_keys ?max_steps
-    ?max_configs ?budget ?jobs ?batch ?(resilience = Explore.no_resilience)
-    program =
-  let por = match por with Some p -> p | None -> Explore.por_default () in
+let explore ?(emit_getvals = false) ?reduction ?por ?exact_keys ?audit_keys
+    ?max_steps ?max_configs ?budget ?jobs ?batch
+    ?(resilience = Explore.no_resilience) program =
+  let reduction = Explore.resolve_reduction ?reduction ?por () in
   let exact =
     match exact_keys with Some b -> b | None -> Explore.exact_keys_default ()
   in
@@ -706,10 +706,10 @@ let explore ?(emit_getvals = false) ?por ?exact_keys ?audit_keys ?max_steps
       else Explore.Fp (fp_key c)
     in
     let audit = if auditing && not exact then Some (state_key program) else None in
-    if por then
+    if reduction <> Explore.No_reduction then
       Explore.run ?max_steps ?max_configs ?budget ~key ?audit
-        ~footprint:(moves_fp ctx) ~jobs ?batch ~resilience ~moves:(moves ctx)
-        ~terminated (initial ctx)
+        ~footprint:(moves_fp ctx) ~reduction ~jobs ?batch ~resilience
+        ~moves:(moves ctx) ~terminated (initial ctx)
     else
       (* Without POR the plain walk is keyless — except in bitstate mode,
          where the bounded seen set needs a state key to memoize on (state

@@ -99,6 +99,7 @@ type outcome = {
 
 val explore :
   ?emit_getvals:bool ->
+  ?reduction:Explore.reduction ->
   ?por:bool ->
   ?exact_keys:bool ->
   ?audit_keys:bool ->

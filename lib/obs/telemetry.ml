@@ -35,6 +35,9 @@ type counter =
   | Cache_misses
   | Requests_coalesced
   | Explorations_shared
+  | Races_detected
+  | Backtrack_points
+  | Source_prunes
 
 let counter_idx = function
   | Configs_explored -> 0
@@ -66,8 +69,11 @@ let counter_idx = function
   | Cache_misses -> 26
   | Requests_coalesced -> 27
   | Explorations_shared -> 28
+  | Races_detected -> 29
+  | Backtrack_points -> 30
+  | Source_prunes -> 31
 
-let n_counters = 29
+let n_counters = 32
 
 let counter_name = function
   | Configs_explored -> "configs_explored"
@@ -99,6 +105,9 @@ let counter_name = function
   | Cache_misses -> "cache_misses"
   | Requests_coalesced -> "requests_coalesced"
   | Explorations_shared -> "explorations_shared"
+  | Races_detected -> "races_detected"
+  | Backtrack_points -> "backtrack_points"
+  | Source_prunes -> "source_prunes"
 
 type phase =
   | Interp_step
@@ -238,7 +247,7 @@ let all_counters =
     Spill_chunks; Checkpoint_writes; Faults_injected; Faults_survived;
     Bitstate_saturated_prunes; Batches_stolen; Batch_probe_hits;
     Local_cache_hits; Cache_hits; Cache_misses; Requests_coalesced;
-    Explorations_shared;
+    Explorations_shared; Races_detected; Backtrack_points; Source_prunes;
   ]
 
 let snapshot_counters () = List.map (fun c -> (counter_name c, read c)) all_counters
@@ -277,11 +286,12 @@ let stats_json ?(deterministic = false) () =
   else begin
     let schedule =
       Printf.sprintf
-        {|"schedule":{%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,"budget_stops":{%s,%s,%s,%s},"resilience":{%s,%s,%s,%s,%s,%s},"serve":{%s,%s,%s,%s}}|}
+        {|"schedule":{%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,"budget_stops":{%s,%s,%s,%s},"resilience":{%s,%s,%s,%s,%s,%s},"serve":{%s,%s,%s,%s}}|}
         (c Configs_explored) (c Configs_reduced) (c Memo_hits) (c Memo_misses)
         (c Sleep_prunes) (c Deque_steals) (c Shard_collisions)
         (c Fingerprint_collisions) (c Footprint_checks) (c Batches_stolen)
-        (c Batch_probe_hits) (c Local_cache_hits)
+        (c Batch_probe_hits) (c Local_cache_hits) (c Races_detected)
+        (c Backtrack_points) (c Source_prunes)
         (c Budget_stop_deadline) (c Budget_stop_configs) (c Budget_stop_runs)
         (c Budget_stop_memory) (c Spill_bytes) (c Spill_chunks)
         (c Checkpoint_writes) (c Faults_injected) (c Faults_survived)

@@ -24,9 +24,10 @@
     - [Configs_explored] = the [explored] field of the exploration
       result, and [Configs_reduced] = its [reduced] field;
     - [Configs_reduced] = [Sleep_prunes] + [Memo_hits] +
-      [Local_cache_hits] — every pruned arrival is asleep, memo-covered
-      by the shared seen table, or covered by a domain-local cache entry,
-      never more than one;
+      [Local_cache_hits] + [Source_prunes] — every pruned arrival is
+      asleep, memo-covered by the shared seen table, covered by a
+      domain-local cache entry, or skipped by a source set that never
+      scheduled it, never more than one;
     - [Batch_probe_hits] <= [Memo_hits] — batched shard probes are a
       subset of all shared seen-table hits;
     - the {e invariant} section of {!stats_json} ([Runs_enumerated],
@@ -91,6 +92,18 @@ type counter =
           exploration because another request for the same (program,
           workload, engine) key — differing only in restriction — had
           already populated the exploration cache. *)
+  | Races_detected
+      (** Source-DPOR: reversible races found between an executed (or
+          summarized) event and an earlier event on the DFS stack. *)
+  | Backtrack_points
+      (** Source-DPOR: labels added to a stack frame's backtrack set in
+          response to a race (including conservative fills when no
+          initial of the reversing sequence is enabled at the frame). *)
+  | Source_prunes
+      (** Source-DPOR: awake successors never scheduled into a frame's
+          backtrack set by any race — the engine's saving over sleep
+          sets. Counted into [Configs_reduced] alongside [Sleep_prunes],
+          [Memo_hits] and [Local_cache_hits]. *)
 
 type phase =
   | Interp_step  (** One interpreter successor computation. *)

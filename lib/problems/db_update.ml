@@ -71,11 +71,11 @@ type report = {
   exhausted : Gem_check.Budget.reason option;
 }
 
-let check ?por ?exact_keys ?audit_keys ?max_configs ?budget ?jobs ?batch
-    ?resilience ~sites () =
+let check ?reduction ?por ?exact_keys ?audit_keys ?max_configs ?budget ?jobs
+    ?batch ?resilience ~sites () =
   let o =
-    Csp.explore ?por ?exact_keys ?audit_keys ?max_configs ?budget ?jobs ?batch
-      ?resilience (program ~sites)
+    Csp.explore ?reduction ?por ?exact_keys ?audit_keys ?max_configs ?budget
+      ?jobs ?batch ?resilience (program ~sites)
   in
   let spec = Csp.language_spec ~name:"db-update" (program ~sites) in
   let prop = F.conj [ convergence; converges_to ~sites ] in

@@ -39,6 +39,7 @@ type report = {
 }
 
 val check :
+  ?reduction:Gem_lang.Explore.reduction ->
   ?por:bool ->
   ?exact_keys:bool ->
   ?audit_keys:bool ->
@@ -51,7 +52,8 @@ val check :
   unit ->
   report
 (** Explore every schedule and check convergence on each computation,
-    within the given budget. Never raises on exhaustion. [por] selects
+    within the given budget. Never raises on exhaustion. [reduction]
+    selects the reduction engine (and wins over [por]); [por] selects
     the reduced search (default {!Gem_lang.Explore.por_default});
     [exact_keys]/[audit_keys] select the search-key mode (defaults
     {!Gem_lang.Explore.exact_keys_default} /

@@ -1,4 +1,18 @@
+type reduction = Reduction_none | Reduction_sleep | Reduction_source
+
+let reduction_to_string = function
+  | Reduction_none -> "none"
+  | Reduction_sleep -> "sleep"
+  | Reduction_source -> "source"
+
+let reduction_of_string = function
+  | "none" -> Some Reduction_none
+  | "sleep" -> Some Reduction_sleep
+  | "source" -> Some Reduction_source
+  | _ -> None
+
 type engine = {
+  reduction : reduction option;
   por : bool option;
   exact_keys : bool option;
   jobs : int;
@@ -11,6 +25,7 @@ type engine = {
 
 let default_engine =
   {
+    reduction = None;
     por = None;
     exact_keys = None;
     jobs = 1;
@@ -118,6 +133,11 @@ let pos_int ~key v =
 let parse_engine_key eng key v =
   let open Result in
   match key with
+  | "reduction" -> (
+      match reduction_of_string v with
+      | Some r -> Ok (Some { eng with reduction = Some r })
+      | None ->
+          Error (Printf.sprintf "reduction expects none|sleep|source, got %S" v))
   | "por" -> (
       match v with
       | "on" -> Ok (Some { eng with por = Some true })
@@ -256,6 +276,9 @@ let engine_pairs eng =
   (match eng.por with
   | Some true -> add "por" "on"
   | Some false -> add "por" "off"
+  | None -> ());
+  (match eng.reduction with
+  | Some r -> add "reduction" (reduction_to_string r)
   | None -> ());
   !p
 

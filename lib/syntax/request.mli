@@ -15,9 +15,9 @@
     only escapes. Keys split into two vocabularies:
 
     - {e engine} keys, parsed and validated here because every check
-      command shares them: [por=on|off], [keys=fp|exact], [jobs=N],
-      [batch=N], [bitstate=off|BITS], [timeout=SECS], [max-configs=N],
-      [max-runs=N];
+      command shares them: [reduction=none|sleep|source], [por=on|off],
+      [keys=fp|exact], [jobs=N], [batch=N], [bitstate=off|BITS],
+      [timeout=SECS], [max-configs=N], [max-runs=N];
     - {e workload} keys (e.g. [readers=2], [version=readers-priority]),
       kept as an association list for the command runner to interpret.
 
@@ -33,7 +33,21 @@
     [parse (to_line r)] returns a request equal to [r] (the round-trip
     property tested in [test/test_serve.ml]). *)
 
+type reduction = Reduction_none | Reduction_sleep | Reduction_source
+(** Mirror of [Explore.reduction] — [Gem_syntax] cannot depend on
+    [Gem_lang], so the wire protocol carries its own copy; the daemon
+    runner translates. *)
+
+val reduction_to_string : reduction -> string
+(** ["none"], ["sleep"] or ["source"] — the wire spellings. *)
+
+val reduction_of_string : string -> reduction option
+
 type engine = {
+  reduction : reduction option;
+      (** [None] defers to [Explore.reduction_default] (which still
+          honours the legacy [por] key below). The [reduction] key wins
+          over [por] when both are present. *)
   por : bool option;  (** [None] defers to [Explore.por_default]. *)
   exact_keys : bool option;
       (** [None] defers to [Explore.exact_keys_default]. *)

@@ -70,6 +70,89 @@ let test_no_por_parity () =
   check Alcotest.int "--no-por truncated=2" 2
     (run "rw --readers 1 --writers 1 --max-configs 30 --no-por")
 
+(* --reduction contract: the engine choice must never change a verdict
+   or exit code; invalid spellings — flag or GEM_REDUCTION env — are
+   usage errors (exit 3); --no-por stays an exact alias for --reduction
+   none (and conflicts with the reduced engines). *)
+let test_reduction_parity () =
+  let parity name args =
+    let base = run args in
+    List.iter
+      (fun engine ->
+        check Alcotest.int
+          (Printf.sprintf "%s --reduction %s" name engine)
+          base
+          (run (Printf.sprintf "%s --reduction %s" args engine)))
+      [ "none"; "sleep"; "source" ]
+  in
+  parity "verified unchanged" "rw --readers 1 --writers 1";
+  parity "falsified unchanged" "rw --monitor no-exclusion --readers 1 --writers 1";
+  parity "truncated unchanged" "rw --readers 1 --writers 1 --max-configs 30";
+  parity "buffer ada" "buffer --lang ada --items 2";
+  parity "db" "db --sites 2";
+  check Alcotest.int "--reduction source --jobs 4 composes" 0
+    (run "rw --readers 1 --writers 1 --reduction source --jobs 4")
+
+let test_reduction_rejected () =
+  check Alcotest.int "--reduction turbo rejected" 3 (run "rw --reduction turbo");
+  check Alcotest.int "--reduction Source rejected (case-sensitive)" 3
+    (run "rw --reduction Source");
+  check Alcotest.int "empty --reduction rejected" 3 (run "rw --reduction \"\"");
+  (* --no-por is an alias for --reduction none: redundant agreement is
+     fine, contradiction is a usage error. *)
+  check Alcotest.int "--no-por --reduction none agree" 0
+    (run "rw --readers 1 --writers 1 --no-por --reduction none");
+  check Alcotest.int "--no-por --reduction sleep conflict" 3
+    (run "rw --readers 1 --writers 1 --no-por --reduction sleep");
+  check Alcotest.int "--no-por --reduction source conflict" 3
+    (run "rw --readers 1 --writers 1 --no-por --reduction source")
+
+let test_reduction_env () =
+  (* GEM_REDUCTION supplies the default engine with the same vocabulary
+     and validation as --reduction, but explicit flags beat it: in
+     particular --no-por under GEM_REDUCTION=source is the flag winning
+     over the environment, not a flag conflict. *)
+  check Alcotest.int "GEM_REDUCTION=source verified" 0
+    (run ~env:"GEM_REDUCTION=source" "rw --readers 1 --writers 1");
+  check Alcotest.int "GEM_REDUCTION=source falsified" 1
+    (run ~env:"GEM_REDUCTION=source" "rw --monitor no-exclusion");
+  check Alcotest.int "GEM_REDUCTION=none verified" 0
+    (run ~env:"GEM_REDUCTION=none" "rw --readers 1 --writers 1");
+  check Alcotest.int "--reduction sleep overrides env" 0
+    (run ~env:"GEM_REDUCTION=none" "rw --readers 1 --writers 1 --reduction sleep");
+  check Alcotest.int "--no-por overrides env" 0
+    (run ~env:"GEM_REDUCTION=source" "rw --readers 1 --writers 1 --no-por");
+  check Alcotest.int "GEM_REDUCTION=turbo is a usage error" 3
+    (run ~env:"GEM_REDUCTION=turbo" "rw --readers 1 --writers 1")
+
+(* The deterministic stats snapshot carries only the checking-phase
+   invariant counters, which depend on the computation multiset alone —
+   so it must be byte-identical whichever reduction engine explored. *)
+let test_reduction_stats_deterministic () =
+  let snapshot args engine =
+    let out, status =
+      run_capture
+        (Printf.sprintf "%s --stats-deterministic --reduction %s" args engine)
+    in
+    (match status with
+    | Unix.WEXITED c when c <= 2 -> ()
+    | _ -> Alcotest.failf "unexpected exit for %s --reduction %s" args engine);
+    match List.rev (String.split_on_char '\n' (String.trim out)) with
+    | last :: _ -> last
+    | [] -> Alcotest.failf "no output for %s" args
+  in
+  List.iter
+    (fun args ->
+      let s = snapshot args "none" in
+      check Alcotest.string (args ^ " sleep") s (snapshot args "sleep");
+      check Alcotest.string (args ^ " source") s (snapshot args "source"))
+    [
+      "rw --readers 1 --writers 1";
+      "buffer --lang csp --items 2";
+      "buffer --lang ada --items 2";
+      "db --sites 2";
+    ]
+
 (* --jobs contract: parallel exploration must never change a verdict or
    exit code, bad job counts are usage errors (the repo-wide contract
    maps every usage error to exit 3), and the GEM_JOBS environment
@@ -188,7 +271,11 @@ let test_batch_rejected () =
   check Alcotest.bool "names the offending option" true (has "--batch")
 
 let test_json_report () =
-  let out, status = run_capture "rw --json --max-configs 50" in
+  (* Engine pinned: the sleep DFS lands exactly on the configuration
+     budget, so the coverage field is deterministic no matter what
+     GEM_REDUCTION says (source counts replayed work against the budget
+     and stops with fewer distinct configurations on the books). *)
+  let out, status = run_capture "rw --json --max-configs 50 --reduction sleep" in
   (match status with
   | Unix.WEXITED 2 -> ()
   | _ -> Alcotest.fail "expected exit 2");
@@ -346,7 +433,7 @@ let test_fuzz_deterministic () =
   | Unix.WEXITED 0 -> ()
   | _ -> Alcotest.fail "expected exit 0 on rerun");
   check Alcotest.string "same seed, byte-identical stdout" out1 out2;
-  check Alcotest.bool "reports the lattice" true (contains out1 "lattice=26 cells");
+  check Alcotest.bool "reports the lattice" true (contains out1 "lattice=28 cells");
   check Alcotest.bool "reports agreement" true (contains out1 "6/6 instances agreed");
   check Alcotest.bool "PASS marker" true (contains out1 "PASS");
   check Alcotest.bool "no wall-clock on stdout" false (contains out1 "configs/s")
@@ -530,6 +617,15 @@ let () =
           Alcotest.test_case "inconclusive-timeout=2" `Quick test_inconclusive_timeout;
           Alcotest.test_case "usage=3" `Quick test_usage_error;
           Alcotest.test_case "no-por-parity" `Quick test_no_por_parity;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "engine parity" `Quick test_reduction_parity;
+          Alcotest.test_case "bad values rejected" `Quick
+            test_reduction_rejected;
+          Alcotest.test_case "GEM_REDUCTION env" `Quick test_reduction_env;
+          Alcotest.test_case "deterministic stats across engines" `Quick
+            test_reduction_stats_deterministic;
         ] );
       ( "jobs",
         [

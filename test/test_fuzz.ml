@@ -150,6 +150,33 @@ let test_corpus_bitstate_downgrade () =
         (Option.map Gem.Budget.reason_keyword o.Gem.Csp.exhausted)
   | _ -> Alcotest.fail "csp-bitstate-downgrade is not a CSP case"
 
+(* The hand-seeded source-DPOR case: rendezvous chains racing against
+   independent processes, the shape the source engine reduces hardest.
+   Both source cells must reproduce the baseline's completed/deadlocked
+   fingerprint multisets exactly. *)
+let test_corpus_source_dpor () =
+  let case = find_case "csp-source-dpor" (Corpus.load_dir corpus_dir) in
+  let base_comps, base_deads = Oracle.skeys case.Case.prog Oracle.baseline in
+  check Alcotest.bool "the seed explores to completion" true (base_comps <> []);
+  let source_cells =
+    List.filter (fun c -> c.Oracle.source) Oracle.lattice
+  in
+  check Alcotest.int "two source-DPOR cells in the lattice" 2
+    (List.length source_cells);
+  List.iter
+    (fun cell ->
+      let comps, deads = Oracle.skeys case.Case.prog cell in
+      let name = Oracle.cell_name cell in
+      check
+        Alcotest.(list string)
+        (name ^ ": completed multiset matches baseline")
+        base_comps comps;
+      check
+        Alcotest.(list string)
+        (name ^ ": deadlock multiset matches baseline")
+        base_deads deads)
+    source_cells
+
 (* ---- shrinker ---- *)
 
 let test_shrink_candidates_well_formed () =
@@ -201,7 +228,7 @@ let test_driver_agrees () =
   let o = Driver.run ~seed:5 ~iters:9 () in
   check Alcotest.int "all instances ran" 9 o.Driver.o_ran;
   check Alcotest.bool "no disagreement" true (o.Driver.o_failure = None);
-  check Alcotest.int "lattice size" 26 o.Driver.o_cells;
+  check Alcotest.int "lattice size" 28 o.Driver.o_cells;
   check Alcotest.bool "explored counted" true (o.Driver.o_explored > 0)
 
 let test_driver_time_budget () =
@@ -232,6 +259,7 @@ let () =
           Alcotest.test_case "replay across the lattice" `Slow test_corpus_replay;
           Alcotest.test_case "deadlock leaf deadlocks" `Quick test_corpus_deadlock_leaf;
           Alcotest.test_case "bitstate downgrade" `Quick test_corpus_bitstate_downgrade;
+          Alcotest.test_case "source-dpor seed" `Quick test_corpus_source_dpor;
         ] );
       ( "shrinker",
         [

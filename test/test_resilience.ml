@@ -372,10 +372,13 @@ let test_bitstate_saturated_run_is_inconclusive () =
 (* ------------------------------------------------------------------ *)
 
 let test_spool_engine_parity () =
+  (* Engine pinned to sleep: a spooled run degrades source -> sleep by
+     design, so under GEM_REDUCTION=source an unpinned baseline would
+     count source configurations against a sleep spool run. *)
   let prog = Db.program ~sites:3 in
-  let base = Csp.explore ~jobs:1 prog in
+  let base = Csp.explore ~reduction:Explore.Sleep_sets ~jobs:1 prog in
   let res = { Explore.no_resilience with spool = Some aggressive } in
-  let o = Csp.explore ~jobs:1 ~resilience:res prog in
+  let o = Csp.explore ~reduction:Explore.Sleep_sets ~jobs:1 ~resilience:res prog in
   check Alcotest.(list string) "computations" (fpset base.Csp.computations)
     (fpset o.Csp.computations);
   check Alcotest.(list string) "deadlocks" (fpset base.Csp.deadlocks)
@@ -516,9 +519,12 @@ let test_domain_start_fault_absorbed () =
   with_disarmed (fun () ->
       T.reset ();
       arm_exn "9:1:domain-start";
+      (* Engine pinned to sleep: the source engine is sequential, so
+         under GEM_REDUCTION=source --jobs would never start a domain
+         and the domain-start fault point could not fire. *)
       let prog = Db.program ~sites:2 in
-      let base = Csp.explore ~jobs:1 prog in
-      let o = Csp.explore ~jobs:8 prog in
+      let base = Csp.explore ~reduction:Explore.Sleep_sets ~jobs:1 prog in
+      let o = Csp.explore ~reduction:Explore.Sleep_sets ~jobs:8 prog in
       check Alcotest.(list string) "main worker absorbs the whole walk"
         (fpset base.Csp.computations) (fpset o.Csp.computations);
       check Alcotest.(option string) "run is clean" None (reason_opt o.Csp.exhausted);

@@ -190,7 +190,8 @@ let test_request_roundtrip () =
          restrict = Some (formula "false");
          engine =
            {
-             R.por = Some false;
+             R.reduction = Some R.Reduction_source;
+             por = Some false;
              exact_keys = Some true;
              jobs = 4;
              batch = 128;
@@ -243,6 +244,7 @@ let test_request_errors () =
   bad "check rw readers=1 readers=2" "duplicate key";
   bad "check rw restrict=true restrict=false" "duplicate key";
   bad "check rw por=maybe" "por expects on|off";
+  bad "check rw reduction=turbo" "reduction expects none|sleep|source";
   bad "check rw keys=hash" "keys expects fp|exact";
   bad "check rw jobs=0" "positive integer";
   bad "check rw jobs=-1" "positive integer";
@@ -277,6 +279,22 @@ let rw ?(monitor = "paper") ?(version = Rw_prob.Readers_priority)
 
 let deft = R.default_engine
 
+(* The wire spelling of the environment-resolved reduction engine, plus
+   one that differs from it — so the sensitivity and defaults-collapse
+   assertions stay meaningful on CI legs that flip the default via
+   GEM_REDUCTION / GEM_NO_POR (same idea as the [not (por_default ())]
+   perturbations). *)
+let default_reduction_wire =
+  match Explore.resolve_reduction () with
+  | Explore.No_reduction -> R.Reduction_none
+  | Explore.Sleep_sets -> R.Reduction_sleep
+  | Explore.Source_sets -> R.Reduction_source
+
+let non_default_reduction =
+  match Explore.resolve_reduction () with
+  | Explore.Source_sets -> R.Reduction_sleep
+  | _ -> R.Reduction_source
+
 let test_verdict_key_sensitivity () =
   (* Every verdict-relevant input perturbs the key; the perturbed keys
      are also pairwise distinct (no two knobs collide). *)
@@ -293,7 +311,12 @@ let test_verdict_key_sensitivity () =
       ("restrict", key ~restrict:(formula "false") (rw ()));
       ("restrict formula", key ~restrict:(formula "true") (rw ()));
       ( "por",
-        key ~engine:{ deft with R.por = Some (not (Explore.por_default ())) }
+        (* por=on resolves to sleep, por=off to none; pick whichever
+           differs from the resolved default engine. *)
+        let flipped = Explore.resolve_reduction () = Explore.No_reduction in
+        key ~engine:{ deft with R.por = Some flipped } (rw ()) );
+      ( "reduction",
+        key ~engine:{ deft with R.reduction = Some non_default_reduction }
           (rw ()) );
       ( "keys",
         key
@@ -334,12 +357,39 @@ let test_verdict_key_resolves_defaults () =
   (* Spelling the environment default explicitly is the same request —
      it must land on the same cache line. *)
   let base = Runner.verdict_key (rw ()) ~restrict:None deft in
-  check Alcotest.string "por=default collapses" base
-    (Runner.verdict_key (rw ()) ~restrict:None
-       { deft with R.por = Some (Explore.por_default ()) });
+  (* por can only spell the none/sleep engines, so it re-spells the
+     default exactly when the resolved default is one of those; under a
+     source default (GEM_REDUCTION=source leg) an explicit por=on is a
+     *different* engine — sleep — and must split the key. *)
+  (match Explore.resolve_reduction () with
+  | Explore.Sleep_sets ->
+      check Alcotest.string "por=on collapses" base
+        (Runner.verdict_key (rw ()) ~restrict:None
+           { deft with R.por = Some true })
+  | Explore.No_reduction ->
+      check Alcotest.string "por=off collapses" base
+        (Runner.verdict_key (rw ()) ~restrict:None
+           { deft with R.por = Some false })
+  | Explore.Source_sets ->
+      check Alcotest.bool "por=on splits under a source default" false
+        (String.equal base
+           (Runner.verdict_key (rw ()) ~restrict:None
+              { deft with R.por = Some true })));
   check Alcotest.string "keys=default collapses" base
     (Runner.verdict_key (rw ()) ~restrict:None
-       { deft with R.exact_keys = Some (Explore.exact_keys_default ()) })
+       { deft with R.exact_keys = Some (Explore.exact_keys_default ()) });
+  (* Spelling the resolved default reduction explicitly is the default
+     engine spelled out, and reduction=none is por=off spelled through
+     the new key: both pairs are the same request and must share a
+     cache line. *)
+  check Alcotest.string "reduction=default collapses" base
+    (Runner.verdict_key (rw ()) ~restrict:None
+       { deft with R.reduction = Some default_reduction_wire });
+  check Alcotest.string "reduction=none equals por=off"
+    (Runner.verdict_key (rw ()) ~restrict:None
+       { deft with R.por = Some false })
+    (Runner.verdict_key (rw ()) ~restrict:None
+       { deft with R.reduction = Some R.Reduction_none })
 
 let test_explore_key_sharing () =
   (* The exploration key must ignore exactly the inputs that do not
@@ -362,6 +412,9 @@ let test_explore_key_sharing () =
       ("readers", Runner.explore_key (rw ~readers:2 ()) deft);
       ("monitor", Runner.explore_key (rw ~monitor:"buggy" ()) deft);
       ("jobs", Runner.explore_key (rw ()) { deft with R.jobs = 2 });
+      ( "reduction",
+        Runner.explore_key (rw ())
+          { deft with R.reduction = Some non_default_reduction } );
       ( "bitstate",
         Runner.explore_key (rw ()) { deft with R.bitstate_bits = Some 16 } );
       ( "max-configs",
@@ -423,8 +476,21 @@ let identity_cases =
     "rw readers=1 writers=1 restrict=false";
     "rw readers=1 writers=1 max-configs=5";
     "rw readers=1 writers=1 version=free-for-all";
-    "rw readers=1 writers=1 por=off";
-    "rw readers=1 writers=1 keys=exact";
+    (* The por and reduction spellings must differ from the resolved
+       default engine, or their cold request here would land on the
+       default case's cache line and be a hit already (the collapse
+       itself is asserted in the keys suite); CI legs flip the default
+       via GEM_NO_POR / GEM_REDUCTION. *)
+    ("rw readers=1 writers=1 por="
+    ^ match Explore.resolve_reduction () with
+      | Explore.No_reduction -> "on"
+      | _ -> "off");
+    (* reduction=none is deliberately absent: under the default engine
+       it collapses onto por=off's cache line. *)
+    "rw readers=1 writers=1 reduction="
+    ^ R.reduction_to_string non_default_reduction;
+    ("rw readers=1 writers=1 keys="
+    ^ if Explore.exact_keys_default () then "fp" else "exact");
     "buffer capacity=1 producers=1 consumers=1 items=2";
     "db sites=2";
     "life width=3 height=3 generations=1";

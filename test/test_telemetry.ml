@@ -2,10 +2,10 @@
 
    - counter conservation: the sink's Configs_explored/Configs_reduced
      agree exactly with the explorer's own result record across
-     jobs 1/2/8, batch sizes and POR on/off, and every reduced config is
-     accounted by exactly one cause (Configs_reduced = Sleep_prunes +
-     Memo_hits + Local_cache_hits), with Batch_probe_hits never
-     exceeding Memo_hits;
+     jobs 1/2/8, batch sizes and reduction engines none/sleep/source,
+     and every reduced config is accounted by exactly one cause
+     (Configs_reduced = Sleep_prunes + Memo_hits + Local_cache_hits +
+     Source_prunes), with Batch_probe_hits never exceeding Memo_hits;
    - observational transparency: verdicts and computation fingerprints
      are byte-identical with telemetry on and off;
    - the deterministic stats snapshot is byte-stable across --jobs and
@@ -55,12 +55,15 @@ let check_conservation ~por ~jobs ~batch () =
         "telemetry reduced = result reduced" o.Monitor.reduced
         (T.read T.Configs_reduced);
       Alcotest.(check int)
-        "reduced = sleep prunes + memo hits + local-cache hits"
-        (T.read T.Sleep_prunes + T.read T.Memo_hits + T.read T.Local_cache_hits)
+        "reduced = sleep prunes + memo hits + local-cache hits + source prunes"
+        (T.read T.Sleep_prunes + T.read T.Memo_hits + T.read T.Local_cache_hits
+       + T.read T.Source_prunes)
         (T.read T.Configs_reduced);
       Alcotest.(check bool)
         "batch-probe hits bounded by memo hits" true
         (T.read T.Batch_probe_hits <= T.read T.Memo_hits);
+      Alcotest.(check int) "no source prunes outside the source engine" 0
+        (T.read T.Source_prunes);
       if not por then
         Alcotest.(check int) "no sleep prunes without POR" 0
           (T.read T.Sleep_prunes);
@@ -83,6 +86,45 @@ let conservation_tests =
             (check_conservation ~por ~jobs ~batch))
         [ (1, 1); (2, 7); (8, 1); (8, 64) ])
     [ true; false ]
+
+(* The source-DPOR engine feeds the same invariant: its never-scheduled
+   backtrack candidates land in Source_prunes, and the race machinery
+   reports through Races_detected/Backtrack_points. The engine runs
+   sequentially regardless of jobs/batch, so the parallel-only counters
+   must stay zero even when those knobs are set. *)
+let check_conservation_source ~jobs ~batch () =
+  with_telemetry (fun () ->
+      let o =
+        Monitor.explore ~reduction:Explore.Source_sets ~jobs ~batch (rw 2 1)
+      in
+      Alcotest.(check int)
+        "telemetry explored = result explored" o.Monitor.explored
+        (T.read T.Configs_explored);
+      Alcotest.(check int)
+        "telemetry reduced = result reduced" o.Monitor.reduced
+        (T.read T.Configs_reduced);
+      Alcotest.(check int)
+        "reduced = sleep prunes + memo hits + local-cache hits + source prunes"
+        (T.read T.Sleep_prunes + T.read T.Memo_hits + T.read T.Local_cache_hits
+       + T.read T.Source_prunes)
+        (T.read T.Configs_reduced);
+      Alcotest.(check bool) "contended workload detects races" true
+        (T.read T.Races_detected > 0);
+      Alcotest.(check bool) "races seed backtrack points" true
+        (T.read T.Backtrack_points > 0);
+      Alcotest.(check int) "source engine runs sequentially: no steals" 0
+        (T.read T.Batches_stolen);
+      Alcotest.(check int) "source engine runs sequentially: no local cache" 0
+        (T.read T.Local_cache_hits))
+
+let conservation_source_tests =
+  List.map
+    (fun (jobs, batch) ->
+      Alcotest.test_case
+        (Printf.sprintf "conservation source jobs=%d batch=%d" jobs batch)
+        `Quick
+        (check_conservation_source ~jobs ~batch))
+    [ (1, 1); (8, 64) ]
 
 (* Cross-language: the CSP interpreter feeds the same sink. *)
 let test_conservation_csp () =
@@ -125,9 +167,9 @@ let test_transparency () =
 (* ------------------------------------------------------------------ *)
 
 let test_deterministic_stats () =
-  let snapshot (jobs, batch) =
+  let snapshot ?reduction (jobs, batch) =
     with_telemetry (fun () ->
-        let o = Monitor.explore ~por:true ~jobs ~batch (rw 2 1) in
+        let o = Monitor.explore ?reduction ~por:true ~jobs ~batch (rw 2 1) in
         let problem =
           Readers_writers.spec Readers_writers.Free_for_all
             ~users:(Readers_writers.user_names ~readers:2 ~writers:1)
@@ -144,6 +186,8 @@ let test_deterministic_stats () =
   Alcotest.(check string) "jobs=8 snapshot" s1 (snapshot (8, 1));
   Alcotest.(check string) "jobs=8 batch=64 snapshot" s1 (snapshot (8, 64));
   Alcotest.(check string) "jobs=4 batch=1024 snapshot" s1 (snapshot (4, 1024));
+  Alcotest.(check string) "source-engine snapshot" s1
+    (snapshot ~reduction:Explore.Source_sets (1, 1));
   Alcotest.(check bool) "carries schema_version" true
     (String.length s1 > 0
     && String.sub s1 0 20 = {|{"schema_version":1,|})
@@ -175,7 +219,7 @@ let all_counters =
       Deque_steals; Shard_collisions; Runs_enumerated; Formula_evals;
       Vhs_histories; Budget_stop_deadline; Budget_stop_configs;
       Budget_stop_runs; Budget_stop_memory; Batches_stolen; Batch_probe_hits;
-      Local_cache_hits;
+      Local_cache_hits; Races_detected; Backtrack_points; Source_prunes;
     ]
 
 let all_phases =
@@ -248,7 +292,7 @@ let test_trace_export () =
 let () =
   Alcotest.run "telemetry"
     [
-      ("conservation", conservation_tests);
+      ("conservation", conservation_tests @ conservation_source_tests);
       ( "cross-language",
         [ Alcotest.test_case "csp conservation" `Quick test_conservation_csp ] );
       ( "transparency",
